@@ -1,0 +1,30 @@
+// Model of the ConnectBot UAFs from Figure 1(a)/(b) of the paper:
+// a console activity bound to a terminal service; the disconnect
+// callback frees fields that a context menu and a posted prompt use.
+app ConnectBot
+
+activity ConsoleActivity {
+    field bound: TerminalManager
+    field hostBridge: TerminalManager
+    cb onCreate { bind this }
+    cb onServiceConnected {
+        bound = new TerminalManager
+        hostBridge = new TerminalManager
+    }
+    cb onServiceDisconnected {
+        bound = null
+        hostBridge = null
+    }
+    cb onCreateContextMenu { use bound }
+    cb onClick {
+        if hostBridge != null { post PromptRunnable }
+    }
+}
+
+runnable PromptRunnable in ConsoleActivity {
+    cb run { use outer.hostBridge }
+}
+
+class TerminalManager { }
+
+manifest { main ConsoleActivity }

@@ -1,0 +1,29 @@
+// A no-sleep energy bug (§9): the worker thread's acquire is never
+// balanced, and the onResume/onPause pair is racy.
+app Downloader
+
+activity DownloadActivity {
+    field wl: WakeLock
+    cb onCreate { wl = new WakeLock }
+    cb onResume {
+        t1 = load this DownloadActivity.wl
+        acquire t1
+        spawn Worker
+    }
+    cb onPause {
+        t1 = load this DownloadActivity.wl
+        release t1
+    }
+}
+
+thread Worker in DownloadActivity {
+    cb run {
+        t1 = load this Worker.$outer
+        t2 = load t1 DownloadActivity.wl
+        acquire t2
+    }
+}
+
+class WakeLock { }
+
+manifest { main DownloadActivity }

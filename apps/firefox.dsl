@@ -1,0 +1,20 @@
+// Model of the FireFox UAF from Figure 1(c): a background task nulls
+// jClient while onPause checks-then-uses it without atomicity.
+app FireFox
+
+activity GeckoApp {
+    field jClient: JavaClient
+    cb onCreate { jClient = new JavaClient }
+    cb onResume { spawn AbortTask }
+    cb onPause {
+        if jClient != null { use jClient }
+    }
+}
+
+thread AbortTask in GeckoApp {
+    cb run { outer.jClient = null }
+}
+
+class JavaClient { }
+
+manifest { main GeckoApp }

@@ -1,0 +1,111 @@
+//! FlowDroid-style table of listener-registration APIs.
+//!
+//! nAdroid identifies entry callbacks using the Android API
+//! listener-callback list from FlowDroid (§8.1). This module provides the
+//! equivalent table for our IR: each registration API maps to the callback
+//! kinds it arms on the registered listener object. The threadification
+//! pass uses this to model imperatively-registered callbacks as child
+//! threads of the dummy main.
+
+use crate::CallbackKind;
+
+/// A registration API that arms entry callbacks on a listener object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RegistrationApi {
+    /// `View.setOnClickListener` → `onClick`.
+    SetOnClickListener,
+    /// `View.setOnLongClickListener` → `onLongClick`.
+    SetOnLongClickListener,
+    /// `View.setOnTouchListener` → `onTouch`.
+    SetOnTouchListener,
+    /// `View.setOnKeyListener` → `onKey`.
+    SetOnKeyListener,
+    /// `AdapterView.setOnItemSelectedListener` → `onItemSelected`.
+    SetOnItemSelectedListener,
+    /// `LocationManager.requestLocationUpdates` → `onLocationChanged`.
+    RequestLocationUpdates,
+    /// `SensorManager.registerListener` → `onSensorChanged`.
+    RegisterSensorListener,
+}
+
+impl RegistrationApi {
+    /// All registration APIs in the table.
+    #[must_use]
+    pub fn all() -> &'static [RegistrationApi] {
+        &[
+            RegistrationApi::SetOnClickListener,
+            RegistrationApi::SetOnLongClickListener,
+            RegistrationApi::SetOnTouchListener,
+            RegistrationApi::SetOnKeyListener,
+            RegistrationApi::SetOnItemSelectedListener,
+            RegistrationApi::RequestLocationUpdates,
+            RegistrationApi::RegisterSensorListener,
+        ]
+    }
+
+    /// The Android method name of the registration call.
+    #[must_use]
+    pub fn method_name(self) -> &'static str {
+        match self {
+            RegistrationApi::SetOnClickListener => "setOnClickListener",
+            RegistrationApi::SetOnLongClickListener => "setOnLongClickListener",
+            RegistrationApi::SetOnTouchListener => "setOnTouchListener",
+            RegistrationApi::SetOnKeyListener => "setOnKeyListener",
+            RegistrationApi::SetOnItemSelectedListener => "setOnItemSelectedListener",
+            RegistrationApi::RequestLocationUpdates => "requestLocationUpdates",
+            RegistrationApi::RegisterSensorListener => "registerListener",
+        }
+    }
+
+    /// Resolve an API from its method name.
+    #[must_use]
+    pub fn from_method_name(name: &str) -> Option<RegistrationApi> {
+        RegistrationApi::all()
+            .iter()
+            .copied()
+            .find(|a| a.method_name() == name)
+    }
+
+    /// The entry callback kind this registration arms on the listener.
+    #[must_use]
+    pub fn armed_callback(self) -> CallbackKind {
+        match self {
+            RegistrationApi::SetOnClickListener => CallbackKind::OnClick,
+            RegistrationApi::SetOnLongClickListener => CallbackKind::OnLongClick,
+            RegistrationApi::SetOnTouchListener => CallbackKind::OnTouch,
+            RegistrationApi::SetOnKeyListener => CallbackKind::OnKey,
+            RegistrationApi::SetOnItemSelectedListener => CallbackKind::OnItemSelected,
+            RegistrationApi::RequestLocationUpdates => CallbackKind::OnLocationChanged,
+            RegistrationApi::RegisterSensorListener => CallbackKind::OnSensorChanged,
+        }
+    }
+}
+
+impl std::fmt::Display for RegistrationApi {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.method_name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for &api in RegistrationApi::all() {
+            assert_eq!(
+                RegistrationApi::from_method_name(api.method_name()),
+                Some(api)
+            );
+        }
+    }
+
+    #[test]
+    fn armed_callbacks_are_entry() {
+        use crate::CallbackClass;
+        for &api in RegistrationApi::all() {
+            assert_eq!(api.armed_callback().class(), Some(CallbackClass::Entry));
+        }
+    }
+}

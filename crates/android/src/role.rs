@@ -1,0 +1,187 @@
+//! Framework roles a class can play in an Android application.
+
+use std::fmt;
+
+/// The framework role of a class in the analyzed application.
+///
+/// Roles determine which callbacks a class may declare and how instances of
+/// the class interact with looper threads. They correspond to the Android
+/// base classes / interfaces an application class extends or implements
+/// (e.g. `android.app.Activity`, `java.lang.Runnable`).
+///
+/// # Example
+///
+/// ```
+/// use nadroid_android::ClassRole;
+///
+/// assert!(ClassRole::Activity.is_component());
+/// assert!(ClassRole::AsyncTask.runs_off_looper());
+/// assert!(!ClassRole::Handler.runs_off_looper());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ClassRole {
+    /// `android.app.Activity`: UI component with a framework lifecycle.
+    Activity,
+    /// `android.app.Service`: background component bound or started by others.
+    Service,
+    /// `android.content.BroadcastReceiver`: responds to broadcasts.
+    Receiver,
+    /// `android.app.Application`: process-wide singleton component.
+    Application,
+    /// `android.content.ServiceConnection`: receives service (dis)connect
+    /// callbacks on behalf of a binding component.
+    ServiceConnection,
+    /// `java.lang.Runnable` whose `run` is posted to a looper thread.
+    Runnable,
+    /// `android.os.Handler`: receives `sendMessage`/`post` deliveries.
+    Handler,
+    /// `android.os.AsyncTask`: structured background task with looper-side
+    /// pre/progress/post callbacks.
+    AsyncTask,
+    /// `java.lang.Thread`: a native thread with a `run` body.
+    Thread,
+    /// `android.os.HandlerThread`: a thread that owns its own looper, so
+    /// handlers can be attached to it. Addressing the paper's §8.1
+    /// limitation: callbacks on different loopers are *not* atomic with
+    /// respect to each other, which downgrades the IG/IA filters for
+    /// cross-looper pairs.
+    LooperThread,
+    /// `android.app.Fragment`: a reusable UI portion hosted by an
+    /// activity, with its own framework lifecycle. The paper's prototype
+    /// did not model fragments (§8.1) — the one DEvA warning it missed in
+    /// Table 3; modeling them closes that gap.
+    Fragment,
+    /// A UI or system listener interface implementation (e.g.
+    /// `View.OnClickListener`, `LocationListener`).
+    Listener,
+    /// Any other application class with no framework role.
+    Plain,
+}
+
+impl ClassRole {
+    /// Whether this role is one of the four Android application components
+    /// declared in the manifest (Activity, Service, Receiver, Application).
+    #[must_use]
+    pub fn is_component(self) -> bool {
+        matches!(
+            self,
+            ClassRole::Activity | ClassRole::Service | ClassRole::Receiver | ClassRole::Application
+        )
+    }
+
+    /// Whether instances of this role execute off the looper thread
+    /// (i.e. they introduce genuine multi-threading).
+    ///
+    /// `AsyncTask` counts because its `doInBackground` runs on a pool
+    /// thread; `Thread` is a native thread. Everything else executes as
+    /// event callbacks on a looper thread.
+    #[must_use]
+    pub fn runs_off_looper(self) -> bool {
+        matches!(self, ClassRole::AsyncTask | ClassRole::Thread)
+    }
+
+    /// Whether this role is a framework-helper object that, in Java, would
+    /// be an (anonymous) inner class capturing its creator — Runnable,
+    /// Handler, AsyncTask, Thread, ServiceConnection, Listener.
+    ///
+    /// The IR wires such instances to their creator through the implicit
+    /// `$outer` field when built with `MethodBuilder::new_wired`.
+    #[must_use]
+    pub fn is_framework_helper(self) -> bool {
+        matches!(
+            self,
+            ClassRole::Runnable
+                | ClassRole::Handler
+                | ClassRole::AsyncTask
+                | ClassRole::Thread
+                | ClassRole::ServiceConnection
+                | ClassRole::Listener
+        )
+    }
+
+    /// All roles, useful for exhaustive tests and corpus generation.
+    #[must_use]
+    pub fn all() -> &'static [ClassRole] {
+        &[
+            ClassRole::Activity,
+            ClassRole::Service,
+            ClassRole::Receiver,
+            ClassRole::Application,
+            ClassRole::ServiceConnection,
+            ClassRole::Runnable,
+            ClassRole::Handler,
+            ClassRole::AsyncTask,
+            ClassRole::Thread,
+            ClassRole::LooperThread,
+            ClassRole::Fragment,
+            ClassRole::Listener,
+            ClassRole::Plain,
+        ]
+    }
+
+    /// Short lower-case keyword used by the IR's textual DSL.
+    #[must_use]
+    pub fn keyword(self) -> &'static str {
+        match self {
+            ClassRole::Activity => "activity",
+            ClassRole::Service => "service",
+            ClassRole::Receiver => "receiver",
+            ClassRole::Application => "application",
+            ClassRole::ServiceConnection => "connection",
+            ClassRole::Runnable => "runnable",
+            ClassRole::Handler => "handler",
+            ClassRole::AsyncTask => "asynctask",
+            ClassRole::Thread => "thread",
+            ClassRole::LooperThread => "looperthread",
+            ClassRole::Fragment => "fragment",
+            ClassRole::Listener => "listener",
+            ClassRole::Plain => "class",
+        }
+    }
+
+    /// Parse a DSL keyword back into a role. Inverse of [`ClassRole::keyword`].
+    #[must_use]
+    pub fn from_keyword(kw: &str) -> Option<ClassRole> {
+        ClassRole::all().iter().copied().find(|r| r.keyword() == kw)
+    }
+}
+
+impl fmt::Display for ClassRole {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.keyword())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn components_are_the_manifest_four() {
+        let comps: Vec<_> = ClassRole::all()
+            .iter()
+            .filter(|r| r.is_component())
+            .collect();
+        assert_eq!(comps.len(), 4);
+    }
+
+    #[test]
+    fn keyword_round_trips() {
+        for &role in ClassRole::all() {
+            assert_eq!(ClassRole::from_keyword(role.keyword()), Some(role));
+        }
+    }
+
+    #[test]
+    fn unknown_keyword_is_none() {
+        assert_eq!(ClassRole::from_keyword("dialog"), None);
+    }
+
+    #[test]
+    fn off_looper_roles() {
+        assert!(ClassRole::Thread.runs_off_looper());
+        assert!(ClassRole::AsyncTask.runs_off_looper());
+        assert!(!ClassRole::Runnable.runs_off_looper());
+        assert!(!ClassRole::Activity.runs_off_looper());
+    }
+}

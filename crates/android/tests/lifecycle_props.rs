@@ -1,0 +1,99 @@
+//! Property tests for the Activity lifecycle automaton and the MHB
+//! relations.
+
+use nadroid_android::lifecycle::{Lifecycle, LifecycleState};
+use nadroid_android::{lifecycle, CallbackKind};
+use proptest::prelude::*;
+
+fn lifecycle_events() -> impl Strategy<Value = CallbackKind> {
+    prop::sample::select(
+        CallbackKind::all()
+            .iter()
+            .copied()
+            .filter(|k| k.is_lifecycle())
+            .collect::<Vec<_>>(),
+    )
+}
+
+proptest! {
+    /// Random event sequences never corrupt the automaton: every `fire`
+    /// either transitions to a state whose legal events include what the
+    /// automaton advertises, or errors without changing state.
+    #[test]
+    fn automaton_is_total_and_consistent(events in prop::collection::vec(lifecycle_events(), 0..40)) {
+        let mut lc = Lifecycle::new();
+        for e in events {
+            let before = lc.state();
+            let legal = lc.legal_events();
+            match lc.fire(e) {
+                Ok(after) => {
+                    prop_assert!(legal.contains(&e), "{e} fired but was not advertised");
+                    prop_assert_eq!(after, lc.state());
+                }
+                Err(err) => {
+                    prop_assert!(!legal.contains(&e), "{e} advertised but rejected");
+                    prop_assert_eq!(err.from, before);
+                    prop_assert_eq!(lc.state(), before, "failed fire must not move");
+                }
+            }
+        }
+    }
+
+    /// Driving the automaton with its own advertised events always works
+    /// and only reaches Destroyed via onDestroy.
+    #[test]
+    fn advertised_events_always_fire(choices in prop::collection::vec(0usize..4, 1..30)) {
+        let mut lc = Lifecycle::new();
+        for c in choices {
+            let legal = lc.legal_events();
+            if legal.is_empty() {
+                prop_assert!(lc.is_destroyed());
+                break;
+            }
+            let e = legal[c % legal.len()];
+            lc.fire(e).expect("advertised events fire");
+        }
+    }
+
+    /// UI events are only accepted while at least started and the
+    /// lifecycle is not destroyed.
+    #[test]
+    fn ui_acceptance_matches_state(choices in prop::collection::vec(0usize..4, 0..30)) {
+        let mut lc = Lifecycle::new();
+        for c in choices {
+            let legal = lc.legal_events();
+            if legal.is_empty() {
+                break;
+            }
+            lc.fire(legal[c % legal.len()]).unwrap();
+            let accepts = lc.accepts_ui_events();
+            let expected = matches!(
+                lc.state(),
+                LifecycleState::Started | LifecycleState::Resumed | LifecycleState::Paused
+            );
+            prop_assert_eq!(accepts, expected);
+        }
+    }
+}
+
+#[test]
+fn mhb_is_irreflexive_and_antisymmetric() {
+    for &a in CallbackKind::all() {
+        assert!(!lifecycle::any_mhb(a, a), "{a} MHB {a}");
+        for &b in CallbackKind::all() {
+            if lifecycle::any_mhb(a, b) && lifecycle::any_mhb(b, a) {
+                panic!("MHB cycle: {a} <-> {b}");
+            }
+        }
+    }
+}
+
+#[test]
+fn mhb_chains_through_asynctask_protocol() {
+    use CallbackKind::*;
+    // pre < body < post and pre < progress < post: transitive closure is
+    // consistent with the protocol DAG.
+    assert!(lifecycle::asynctask_mhb(OnPreExecute, DoInBackground));
+    assert!(lifecycle::asynctask_mhb(DoInBackground, OnPostExecute));
+    assert!(lifecycle::asynctask_mhb(OnPreExecute, OnPostExecute));
+}

@@ -1,0 +1,44 @@
+//! Detector scaling over the warning population: full pair enumeration
+//! on generated apps of growing cluster counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nadroid_corpus::{generate, AppSpec, GeneratedApp, PatternKind};
+use nadroid_detector::{detect, DetectorOptions};
+use nadroid_pointsto::{Escape, PointsTo};
+use nadroid_threadify::ThreadModel;
+use std::hint::black_box;
+
+fn app_with(clusters: usize) -> GeneratedApp {
+    generate(
+        &AppSpec::new(format!("Scale{clusters}"), 11)
+            .with(PatternKind::Ig, clusters / 2)
+            .with(PatternKind::HarmfulEcPc, clusters / 4)
+            .with(PatternKind::Tt, clusters / 4),
+    )
+}
+
+fn bench_detector(c: &mut Criterion) {
+    let mut g = c.benchmark_group("detector_scale");
+    g.sample_size(10);
+    for clusters in [16usize, 64, 128] {
+        let app = app_with(clusters);
+        let threads = ThreadModel::build(&app.program);
+        let pts = PointsTo::run(&app.program, &threads, 2);
+        let esc = Escape::compute(&app.program, &threads, &pts);
+        g.bench_with_input(BenchmarkId::from_parameter(clusters), &clusters, |b, _| {
+            b.iter(|| {
+                black_box(detect(
+                    &app.program,
+                    &threads,
+                    &pts,
+                    &esc,
+                    DetectorOptions::default(),
+                ))
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_detector);
+criterion_main!(benches);

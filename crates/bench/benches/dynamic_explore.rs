@@ -1,0 +1,51 @@
+//! Schedule-explorer cost: witness search on the paper-example models
+//! (§7 validation, automated). The ConnectBot witnesses are shallow; the
+//! FireFox one needs instruction-level thread interleaving.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nadroid_corpus::paper;
+use nadroid_dynamic::{explore, ExploreConfig, Goal};
+use std::hint::black_box;
+
+fn bench_explore(c: &mut Criterion) {
+    let connectbot = paper::connectbot();
+    let firefox = paper::firefox();
+    let mut g = c.benchmark_group("dynamic_explore");
+    g.sample_size(20);
+    g.bench_function("connectbot_any_npe", |b| {
+        b.iter(|| {
+            black_box(explore(&connectbot, Goal::AnyNpe, ExploreConfig::default()))
+                .expect("witness")
+        });
+    });
+    g.bench_function("firefox_any_npe", |b| {
+        b.iter(|| {
+            black_box(explore(&firefox, Goal::AnyNpe, ExploreConfig::default())).expect("witness")
+        });
+    });
+    // Exhaustive search on a safe program: the full (bounded) state space.
+    let safe = nadroid_corpus::paper::figure4_gallery();
+    g.bench_function("figure4_exhaustive_safe", |b| {
+        b.iter(|| {
+            // The gallery's filtered patterns include dynamically
+            // unreachable frees, so restrict to a pair goal that never
+            // matches — forcing full exploration.
+            black_box(explore(
+                &safe,
+                Goal::Pair {
+                    use_instr: nadroid_ir::InstrId::from_raw(0),
+                    free_instr: nadroid_ir::InstrId::from_raw(0),
+                },
+                ExploreConfig {
+                    max_events: 5,
+                    max_states: 20_000,
+                    ..ExploreConfig::default()
+                },
+            ))
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_explore);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Full-pipeline benchmark on three representative suite apps (small /
+//! medium / large by planted-cluster count).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nadroid_bench::analyze_program;
+use nadroid_corpus::{generate, spec_for, table1_rows};
+use std::hint::black_box;
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let rows = table1_rows();
+    let mut g = c.benchmark_group("end_to_end");
+    g.sample_size(10);
+    for name in ["Dns66", "Mms", "K-9"] {
+        let row = rows.iter().find(|r| r.name == name).expect("row");
+        let app = generate(&spec_for(row));
+        g.bench_with_input(BenchmarkId::from_parameter(name), &app, |b, app| {
+            b.iter(|| black_box(analyze_program(&app.program).summary()));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_end_to_end);
+criterion_main!(benches);

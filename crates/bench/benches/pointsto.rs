@@ -1,0 +1,60 @@
+//! Points-to sensitivity cost: the k-object-sensitive solver swept over
+//! k = 0..3 on a shared-factory workload (the shape where sensitivity
+//! matters; see the `ablate` binary for the precision side).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nadroid_ir::{parse_program, Program};
+use nadroid_pointsto::PointsTo;
+use nadroid_threadify::ThreadModel;
+use std::fmt::Write as _;
+use std::hint::black_box;
+
+fn shared_factory_app(n: usize) -> Program {
+    let mut src = String::from("app SharedFactory\n");
+    for i in 0..n {
+        let _ = write!(
+            src,
+            r"
+            activity A{i} {{
+                field fac{i}: Factory
+                field p{i}: Prod
+                cb onCreate {{
+                    fac{i} = new Factory
+                    t3 = load this A{i}.fac{i}
+                    t4 = call Factory.make(recv=t3)
+                    store this A{i}.p{i} = t4
+                }}
+                cb onClick {{ use p{i} }}
+            }}
+            "
+        );
+    }
+    src.push_str(
+        r"
+        class Factory {
+            fn make(params=0, locals=2) {
+                t1 = new Prod
+                return t1
+            }
+        }
+        class Prod { }
+        ",
+    );
+    parse_program(&src).expect("workload parses")
+}
+
+fn bench_pointsto(c: &mut Criterion) {
+    let program = shared_factory_app(16);
+    let threads = ThreadModel::build(&program);
+    let mut g = c.benchmark_group("pointsto_k");
+    g.sample_size(20);
+    for k in 0..=3u32 {
+        g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| black_box(PointsTo::run(&program, &threads, k)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_pointsto);
+criterion_main!(benches);

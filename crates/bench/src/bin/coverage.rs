@@ -1,0 +1,76 @@
+//! The §2.3 coverage argument, quantified: a CAFA-style trace-based
+//! dynamic detector only finds races its input generator happens to
+//! exercise, while the static pipeline sees all of them. This binary
+//! compares the dynamic detector's coverage (union of races over N
+//! random schedules) against the static detector's findings on the
+//! paper-example models and a generated multi-race app.
+//!
+//! Run with `cargo run --release -p nadroid-bench --bin coverage`.
+
+use nadroid_bench::render_table;
+use nadroid_core::{analyze, AnalysisConfig};
+use nadroid_corpus::{generate, paper, AppSpec, PatternKind};
+use nadroid_dynamic::cafa;
+use nadroid_ir::Program;
+
+fn static_pairs(program: &Program) -> Vec<(nadroid_ir::InstrId, nadroid_ir::InstrId)> {
+    let analysis = analyze(program, &AnalysisConfig::default());
+    let mut pairs: Vec<_> = analysis.survivors().iter().map(|w| w.pair()).collect();
+    pairs.sort_unstable();
+    pairs.dedup();
+    pairs
+}
+
+fn main() {
+    let many_races = generate(
+        &AppSpec::new("ManyRaces", 3)
+            .with(PatternKind::HarmfulEcEc, 4)
+            .with(PatternKind::HarmfulEcPc, 3)
+            .with(PatternKind::HarmfulCNt, 3),
+    );
+    let apps: Vec<(&str, Program)> = vec![
+        ("ConnectBot", paper::connectbot()),
+        ("FireFox", paper::firefox()),
+        ("ManyRaces", many_races.program),
+    ];
+
+    let mut rows = Vec::new();
+    for (name, program) in &apps {
+        let statically = static_pairs(program);
+        // Larger apps need bigger per-schedule budgets before random
+        // exploration reaches any racy pair at all.
+        let (steps, events) = if *name == "ManyRaces" {
+            (1500, 30)
+        } else {
+            (400, 10)
+        };
+        for schedules in [1u64, 5, 20, 100] {
+            let dynamic = cafa::coverage(program, schedules, 42, steps, events);
+            let covered = statically
+                .iter()
+                .filter(|(u, f)| {
+                    dynamic
+                        .iter()
+                        .any(|r| r.use_instr == *u && r.free_instr == *f)
+                })
+                .count();
+            rows.push(vec![
+                (*name).to_owned(),
+                schedules.to_string(),
+                format!("{covered}/{}", statically.len()),
+            ]);
+        }
+    }
+    println!("Dynamic (CAFA-style) coverage vs static findings (§2.3):");
+    println!("(races found by the trace-based detector over N random schedules,");
+    println!(" out of the pairs the static pipeline reports)");
+    println!();
+    println!(
+        "{}",
+        render_table(&["app", "schedules", "covered/static"], &rows)
+    );
+    println!(
+        "The paper's instance of this gap: CAFA reported no harmful callback races in\n\
+         ConnectBot, while nAdroid found 13 (§2.3)."
+    );
+}

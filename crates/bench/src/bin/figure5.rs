@@ -1,0 +1,83 @@
+//! Regenerate Figure 5: effectiveness of the sound and unsound filters,
+//! each applied individually, over the 20 test applications.
+//!
+//! Run with `cargo run --release -p nadroid-bench --bin figure5`.
+
+use nadroid_bench::{analyze_program, filter_effectiveness, render_table, FilterEffect};
+use nadroid_corpus::{generate, spec_for, table1_rows, AppGroup};
+use nadroid_filters::FilterKind;
+
+fn main() {
+    let rows = table1_rows();
+    let apps: Vec<_> = rows
+        .iter()
+        .filter(|r| r.group == AppGroup::Test)
+        .map(|r| {
+            eprintln!("analyzing {} ...", r.name);
+            generate(&spec_for(r))
+        })
+        .collect();
+    let analyses: Vec<_> = apps.iter().map(|a| analyze_program(&a.program)).collect();
+    let eff = filter_effectiveness(&analyses);
+
+    println!("Figure 5 — filter effectiveness (20 test apps, each filter applied individually).");
+    println!();
+    println!(
+        "(a) Sound filters, % of {} potential UAF pairs (paper: MHB 21, IG 66, IA 13, all 88):",
+        eff.potential
+    );
+    let mut rows_a = Vec::new();
+    for (i, &k) in FilterKind::sound().iter().enumerate() {
+        rows_a.push(vec![
+            k.to_string(),
+            eff.sound_counts[i].to_string(),
+            format!(
+                "{:.1}%",
+                FilterEffect::pct(eff.sound_counts[i], eff.potential)
+            ),
+        ]);
+    }
+    let all_sound = eff.potential - eff.after_sound;
+    rows_a.push(vec![
+        "All".into(),
+        all_sound.to_string(),
+        format!("{:.1}%", FilterEffect::pct(all_sound, eff.potential)),
+    ]);
+    println!("{}", render_table(&["filter", "pruned", "share"], &rows_a));
+
+    println!(
+        "(b) Unsound filters, % of {} remaining pairs (paper: mayHB 13, MA 26, UR 29, TT 15, all 70):",
+        eff.after_sound
+    );
+    let mut rows_b = Vec::new();
+    rows_b.push(vec![
+        "mayHB".into(),
+        eff.mayhb.to_string(),
+        format!("{:.1}%", FilterEffect::pct(eff.mayhb, eff.after_sound)),
+    ]);
+    for (i, &k) in FilterKind::unsound().iter().enumerate() {
+        if FilterKind::may_hb().contains(&k) {
+            continue; // folded into the mayHB bar, as in the paper
+        }
+        rows_b.push(vec![
+            k.to_string(),
+            eff.unsound_counts[i].to_string(),
+            format!(
+                "{:.1}%",
+                FilterEffect::pct(eff.unsound_counts[i], eff.after_sound)
+            ),
+        ]);
+    }
+    let all_unsound = eff.after_sound - eff.after_unsound;
+    rows_b.push(vec![
+        "All".into(),
+        all_unsound.to_string(),
+        format!("{:.1}%", FilterEffect::pct(all_unsound, eff.after_sound)),
+    ]);
+    println!("{}", render_table(&["filter", "pruned", "share"], &rows_b));
+
+    println!(
+        "combined reduction: {:.1}% of potential pairs pruned (paper: 96%)",
+        FilterEffect::pct(eff.potential - eff.after_unsound, eff.potential)
+    );
+}

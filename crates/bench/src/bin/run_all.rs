@@ -1,0 +1,23 @@
+//! Artifact-style `run-all` (appendix A.4 of the paper): regenerate
+//! every table and figure in one go, writing the CSV artifact.
+//!
+//! Run with `cargo run --release -p nadroid-bench --bin run_all`.
+
+use std::process::Command;
+
+fn main() {
+    let bins = [
+        "table1", "figure5", "table2", "table3", "timing", "ablate", "coverage", "harmful",
+    ];
+    let me = std::env::current_exe().expect("current exe");
+    let dir = me.parent().expect("bin dir");
+    for bin in bins {
+        println!("===================== {bin} =====================");
+        let status = Command::new(dir.join(bin))
+            .status()
+            .unwrap_or_else(|e| panic!("failed to run {bin}: {e}"));
+        assert!(status.success(), "{bin} failed");
+        println!();
+    }
+    println!("run-all complete; Result/ResultAnalysis.csv regenerated.");
+}

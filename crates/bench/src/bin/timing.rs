@@ -1,0 +1,46 @@
+//! Regenerate the §8.8 phase-time breakdown: modeling vs detection vs
+//! filtering, summed over the whole suite.
+//!
+//! The paper reports modeling at 1.19%, static detection at 95.73%, and
+//! filtering at 3.08% of the analysis time. Our detection phase (the
+//! k-object-sensitive points-to + escape + pair enumeration) similarly
+//! dominates; absolute times are not comparable (simulator substrate).
+//!
+//! Run with `cargo run --release -p nadroid-bench --bin timing`.
+
+use nadroid_bench::{render_table, run_row};
+use nadroid_corpus::table1_rows;
+use std::time::Duration;
+
+fn main() {
+    let mut modeling = Duration::ZERO;
+    let mut detection = Duration::ZERO;
+    let mut filtering = Duration::ZERO;
+    let mut rows = Vec::new();
+    for row in table1_rows() {
+        eprintln!("analyzing {} ...", row.name);
+        let run = run_row(&row);
+        modeling += run.timings.modeling;
+        detection += run.timings.detection;
+        filtering += run.timings.filtering;
+        rows.push(vec![
+            row.name.to_owned(),
+            format!("{:?}", run.timings.modeling),
+            format!("{:?}", run.timings.detection),
+            format!("{:?}", run.timings.filtering),
+        ]);
+    }
+    println!("Phase times per app:");
+    println!(
+        "{}",
+        render_table(&["app", "modeling", "detection", "filtering"], &rows)
+    );
+
+    let total = modeling + detection + filtering;
+    let pct = |d: Duration| d.as_secs_f64() / total.as_secs_f64() * 100.0;
+    println!("§8.8 breakdown over the 27-app suite (paper: 1.19% / 95.73% / 3.08%):");
+    println!("  modeling  : {modeling:>12?}  {:5.2}%", pct(modeling));
+    println!("  detection : {detection:>12?}  {:5.2}%", pct(detection));
+    println!("  filtering : {filtering:>12?}  {:5.2}%", pct(filtering));
+    println!("  total     : {total:>12?}");
+}

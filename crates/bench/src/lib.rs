@@ -1,0 +1,353 @@
+//! Shared harness for the evaluation binaries and Criterion benches:
+//! suite execution, ground-truth accounting, and plain-text table
+//! rendering.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use nadroid_core::{analyze, Analysis, AnalysisConfig, FpCause, PairType, Summary};
+use nadroid_corpus::{generate, spec_for, Expectation, GeneratedApp, PaperRow, PatternKind};
+use nadroid_detector::UafWarning;
+use nadroid_filters::FilterKind;
+use nadroid_ir::Program;
+
+/// One evaluated application: the generated program, its planted ground
+/// truth, and the pipeline's results.
+pub struct AppRun {
+    /// The Table 1 reference row.
+    pub row: PaperRow,
+    /// The generated app (program + planted patterns).
+    pub app: GeneratedApp,
+    /// The analysis summary.
+    pub summary: Summary,
+    /// Surviving pair types.
+    pub types: Vec<(PairType, usize)>,
+    /// Planted true-harmful count (ground truth; certified per pattern).
+    pub harmful: usize,
+    /// False-positive cause histogram over the surviving non-harmful
+    /// pairs (from planted ground truth).
+    pub fp: Vec<(FpCause, usize)>,
+    /// Phase timings.
+    pub timings: nadroid_core::PhaseTimings,
+}
+
+/// Generate and analyze one Table 1 app.
+#[must_use]
+pub fn run_row(row: &PaperRow) -> AppRun {
+    let app = generate(&spec_for(row));
+    let (summary, types, timings) = {
+        let analysis = analyze(&app.program, &AnalysisConfig::default());
+        (
+            analysis.summary(),
+            analysis.survivor_types(),
+            *analysis.timings(),
+        )
+    };
+    let harmful = app
+        .planted
+        .iter()
+        .filter(|k| matches!(k.expectation(), Expectation::Harmful(_)))
+        .count();
+    let mut fp: Vec<(FpCause, usize)> = FpCause::all()
+        .iter()
+        .map(|&c| {
+            (
+                c,
+                app.planted
+                    .iter()
+                    .filter(|k| k.expectation() == Expectation::FalsePositive(c))
+                    .count(),
+            )
+        })
+        .collect();
+    fp.retain(|(_, n)| *n > 0);
+    AppRun {
+        row: row.clone(),
+        app,
+        summary,
+        types,
+        harmful,
+        fp,
+        timings,
+    }
+}
+
+/// Run all suite rows in parallel (one OS thread per row; the analyses
+/// are independent). Results come back in row order.
+#[must_use]
+pub fn run_rows_parallel(rows: &[PaperRow]) -> Vec<AppRun> {
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = rows
+            .iter()
+            .map(|row| scope.spawn(move || run_row(row)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("analysis thread panicked"))
+            .collect()
+    })
+}
+
+/// Run the analysis (without the reporting extras) on a program —
+/// Criterion's unit of work.
+#[must_use]
+pub fn analyze_program(program: &Program) -> Analysis<'_> {
+    analyze(program, &AnalysisConfig::default())
+}
+
+/// Individual-filter effectiveness over a set of analyses (Figure 5):
+/// for each filter, the number of distinct pairs it would prune on its
+/// own, over the relevant base population.
+#[must_use]
+pub fn filter_effectiveness(analyses: &[Analysis<'_>]) -> FilterEffect {
+    let mut potential = 0usize;
+    let mut after_sound = 0usize;
+    let mut after_unsound = 0usize;
+    let mut sound_counts = vec![0usize; FilterKind::sound().len()];
+    let mut unsound_counts = vec![0usize; FilterKind::unsound().len()];
+    let mut mayhb = 0usize;
+
+    for a in analyses {
+        let filters = a.filters();
+        let s = a.summary();
+        potential += s.potential;
+        after_sound += s.after_sound;
+        after_unsound += s.after_unsound;
+        // Individual sound filters over all potential pairs.
+        for (i, &k) in FilterKind::sound().iter().enumerate() {
+            sound_counts[i] += distinct_pruned(a.warnings(), |w| filters.prunes(k, w));
+        }
+        // Individual unsound filters over the sound survivors.
+        let survivors: Vec<UafWarning> = a
+            .sound_outcomes()
+            .iter()
+            .filter(|o| o.survives())
+            .map(|o| o.warning.clone())
+            .collect();
+        for (i, &k) in FilterKind::unsound().iter().enumerate() {
+            unsound_counts[i] += distinct_pruned(&survivors, |w| filters.prunes(k, w));
+        }
+        mayhb += distinct_pruned(&survivors, |w| {
+            FilterKind::may_hb().iter().any(|&k| filters.prunes(k, w))
+        });
+    }
+    FilterEffect {
+        potential,
+        after_sound,
+        after_unsound,
+        sound_counts,
+        unsound_counts,
+        mayhb,
+    }
+}
+
+fn distinct_pruned(warnings: &[UafWarning], mut pruned: impl FnMut(&UafWarning) -> bool) -> usize {
+    let mut pairs: Vec<_> = warnings
+        .iter()
+        .filter(|w| pruned(w))
+        .map(UafWarning::pair)
+        .collect();
+    pairs.sort_unstable();
+    pairs.dedup();
+    pairs.len()
+}
+
+/// Aggregated Figure 5 data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FilterEffect {
+    /// Total potential pairs.
+    pub potential: usize,
+    /// Pairs after the sound filters.
+    pub after_sound: usize,
+    /// Pairs after all filters.
+    pub after_unsound: usize,
+    /// Individual prune counts for MHB, IG, IA (over potential).
+    pub sound_counts: Vec<usize>,
+    /// Individual prune counts for RHB, CHB, PHB, MA, UR, TT (over the
+    /// sound survivors).
+    pub unsound_counts: Vec<usize>,
+    /// mayHB = RHB ∪ CHB ∪ PHB prune count (over the sound survivors).
+    pub mayhb: usize,
+}
+
+impl FilterEffect {
+    /// Percentage helper.
+    #[must_use]
+    pub fn pct(num: usize, den: usize) -> f64 {
+        if den == 0 {
+            0.0
+        } else {
+            num as f64 / den as f64 * 100.0
+        }
+    }
+}
+
+/// Map a warning back to its planted cluster index: pattern fields are
+/// named `<x><idx>`, so the trailing digits of the racy field identify
+/// the cluster.
+#[must_use]
+pub fn cluster_of(program: &Program, w: &UafWarning) -> Option<usize> {
+    let name = program.field(w.field).name();
+    let digits: String = name
+        .chars()
+        .rev()
+        .take_while(char::is_ascii_digit)
+        .collect::<Vec<_>>()
+        .into_iter()
+        .rev()
+        .collect();
+    digits.parse().ok()
+}
+
+/// Render a plain-text table: a header row plus aligned data rows.
+#[must_use]
+pub fn render_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{c:>width$}", width = widths.get(i).copied().unwrap_or(0)))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let header_cells: Vec<String> = header.iter().map(|s| (*s).to_owned()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Write the Table 1 results as CSV — the shape of the original
+/// artifact's `ResultAnalysis.csv` (appendix A.5).
+///
+/// # Errors
+///
+/// Propagates I/O errors from creating or writing the file.
+pub fn write_csv(runs: &[AppRun], path: &std::path::Path) -> std::io::Result<()> {
+    use std::io::Write as _;
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    let mut f = std::fs::File::create(path)?;
+    writeln!(
+        f,
+        "group,app,loc,ec,pc,threads,potential,after_sound,after_unsound,harmful,paper_potential,paper_after_sound,paper_after_unsound,paper_harmful"
+    )?;
+    for run in runs {
+        writeln!(
+            f,
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            match run.row.group {
+                nadroid_corpus::AppGroup::Train => "train",
+                nadroid_corpus::AppGroup::Test => "test",
+            },
+            run.row.name,
+            run.summary.loc,
+            run.summary.ec,
+            run.summary.pc,
+            run.summary.threads,
+            run.summary.potential,
+            run.summary.after_sound,
+            run.summary.after_unsound,
+            run.harmful,
+            run.row.potential,
+            run.row.after_sound,
+            run.row.after_unsound,
+            run.row.harmful,
+        )?;
+    }
+    Ok(())
+}
+
+/// The number of planted patterns of each kind in an app.
+#[must_use]
+pub fn planted_count(app: &GeneratedApp, kind: PatternKind) -> usize {
+    app.planted.iter().filter(|&&k| k == kind).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nadroid_corpus::AppSpec;
+
+    #[test]
+    fn run_row_matches_planted_ground_truth() {
+        // A small real suite row end-to-end.
+        let rows = nadroid_corpus::table1_rows();
+        let row = rows.iter().find(|r| r.name == "Dns66").unwrap();
+        let run = run_row(row);
+        let detected_planted = run.app.planted.iter().filter(|k| k.detected()).count();
+        assert_eq!(run.summary.potential, detected_planted);
+        let surviving_planted = run
+            .app
+            .planted
+            .iter()
+            .filter(|k| {
+                matches!(
+                    k.expectation(),
+                    Expectation::Harmful(_) | Expectation::FalsePositive(_)
+                )
+            })
+            .count();
+        assert_eq!(run.summary.after_unsound, surviving_planted);
+    }
+
+    #[test]
+    fn cluster_mapping_round_trips() {
+        let app = generate(
+            &AppSpec::new("C", 5)
+                .with(PatternKind::HarmfulEcPc, 2)
+                .with(PatternKind::Ig, 1),
+        );
+        let analysis = analyze_program(&app.program);
+        for w in analysis.warnings() {
+            let idx = cluster_of(&app.program, w).expect("cluster index");
+            assert!(idx < app.planted.len());
+        }
+    }
+
+    #[test]
+    fn csv_writer_produces_one_row_per_app() {
+        let rows = nadroid_corpus::table1_rows();
+        let runs: Vec<AppRun> = rows
+            .iter()
+            .filter(|r| r.name == "Dns66" || r.name == "Aard")
+            .map(run_row)
+            .collect();
+        let path = std::env::temp_dir()
+            .join("nadroid_csv_test")
+            .join("out.csv");
+        write_csv(&runs, &path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 3, "header + 2 rows:\n{text}");
+        assert!(text.starts_with("group,app,loc"));
+        assert!(text.contains("test,Aard"));
+    }
+
+    #[test]
+    fn table_rendering_aligns() {
+        let t = render_table(
+            &["app", "n"],
+            &[
+                vec!["Music".into(), "7".into()],
+                vec!["K-9".into(), "123".into()],
+            ],
+        );
+        assert!(t.contains("Music"));
+        assert!(t.lines().count() == 4);
+    }
+}

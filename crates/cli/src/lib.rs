@@ -1,0 +1,470 @@
+//! Command implementations behind the `nadroid` binary.
+//!
+//! The CLI takes an application model in the textual DSL (the
+//! reproduction's stand-in for an APK) and runs the pipeline:
+//!
+//! ```console
+//! $ nadroid analyze app.dsl              # full report
+//! $ nadroid analyze app.dsl --validate   # + NPE witness search
+//! $ nadroid analyze app.dsl --sound-only # skip the unsound ranking tier
+//! $ nadroid nosleep app.dsl              # the §9 energy-bug client
+//! $ nadroid deva app.dsl                 # the DEvA baseline, for contrast
+//! $ nadroid dot app.dsl                  # threadification forest as DOT
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use nadroid_core::{analyze, render_report, AnalysisConfig};
+use nadroid_dynamic::ExploreConfig;
+use nadroid_filters::FilterKind;
+use nadroid_ir::{parse_program, Program};
+use nadroid_threadify::ThreadModel;
+use std::fmt;
+
+/// A parsed CLI invocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Command {
+    /// Run the full pipeline and print the report.
+    Analyze {
+        /// Path to the DSL file.
+        path: String,
+        /// Also run the schedule explorer on survivors.
+        validate: bool,
+        /// Skip the unsound filter tier.
+        sound_only: bool,
+        /// Points-to sensitivity.
+        k: u32,
+        /// Emit JSON instead of the text report.
+        json: bool,
+        /// Baseline file: suppress fingerprints listed there; created or
+        /// refreshed when `update_baseline` is set.
+        baseline: Option<String>,
+        /// Write the current warning fingerprints to the baseline file.
+        update_baseline: bool,
+    },
+    /// Run the no-sleep energy-bug client.
+    NoSleep {
+        /// Path to the DSL file.
+        path: String,
+    },
+    /// Run the DEvA baseline.
+    Deva {
+        /// Path to the DSL file.
+        path: String,
+    },
+    /// Print the threadification forest as Graphviz DOT.
+    Dot {
+        /// Path to the DSL file.
+        path: String,
+    },
+    /// Print usage.
+    Help,
+}
+
+/// A CLI error with a user-facing message.
+#[derive(Debug)]
+pub struct CliError(String);
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<String> for CliError {
+    fn from(s: String) -> Self {
+        CliError(s)
+    }
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+nadroid — static UAF ordering-violation detector for Android app models
+
+USAGE:
+    nadroid analyze <app.dsl> [--validate] [--sound-only] [--k <N>] [--json]
+                              [--baseline <file>] [--update-baseline]
+    nadroid nosleep <app.dsl>
+    nadroid deva    <app.dsl>
+    nadroid dot     <app.dsl>
+";
+
+/// Parse command-line arguments (without the program name).
+///
+/// # Errors
+///
+/// Returns a [`CliError`] describing the malformed argument.
+pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, CliError> {
+    let mut args = args.into_iter();
+    let Some(cmd) = args.next() else {
+        return Ok(Command::Help);
+    };
+    match cmd.as_str() {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "analyze" => {
+            let mut path = None;
+            let mut validate = false;
+            let mut sound_only = false;
+            let mut k = 2u32;
+            let mut json = false;
+            let mut baseline = None;
+            let mut update_baseline = false;
+            while let Some(a) = args.next() {
+                match a.as_str() {
+                    "--validate" => validate = true,
+                    "--sound-only" => sound_only = true,
+                    "--json" => json = true,
+                    "--update-baseline" => update_baseline = true,
+                    "--baseline" => {
+                        baseline = Some(
+                            args.next()
+                                .ok_or_else(|| CliError("--baseline needs a file".into()))?,
+                        );
+                    }
+                    "--k" => {
+                        let v = args
+                            .next()
+                            .ok_or_else(|| CliError("--k needs a value".into()))?;
+                        k = v
+                            .parse()
+                            .map_err(|_| CliError(format!("bad k value `{v}`")))?;
+                    }
+                    other if !other.starts_with('-') && path.is_none() => {
+                        path = Some(other.to_owned());
+                    }
+                    other => return Err(CliError(format!("unexpected argument `{other}`"))),
+                }
+            }
+            if update_baseline && baseline.is_none() {
+                return Err(CliError("--update-baseline needs --baseline <file>".into()));
+            }
+            let path = path.ok_or_else(|| CliError("analyze needs a file".into()))?;
+            Ok(Command::Analyze {
+                path,
+                validate,
+                sound_only,
+                k,
+                json,
+                baseline,
+                update_baseline,
+            })
+        }
+        "nosleep" | "deva" | "dot" => {
+            let path = args
+                .next()
+                .ok_or_else(|| CliError(format!("{cmd} needs a file")))?;
+            if let Some(extra) = args.next() {
+                return Err(CliError(format!("unexpected argument `{extra}`")));
+            }
+            Ok(match cmd.as_str() {
+                "nosleep" => Command::NoSleep { path },
+                "deva" => Command::Deva { path },
+                _ => Command::Dot { path },
+            })
+        }
+        other => Err(CliError(format!("unknown command `{other}`\n{USAGE}"))),
+    }
+}
+
+fn load(path: &str) -> Result<Program, CliError> {
+    let src =
+        std::fs::read_to_string(path).map_err(|e| CliError(format!("cannot read {path}: {e}")))?;
+    parse_program(&src).map_err(|e| CliError(format!("{path}: {e}")))
+}
+
+/// Execute a command, returning the text to print.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] for unreadable or unparsable inputs.
+pub fn run(cmd: &Command) -> Result<String, CliError> {
+    match cmd {
+        Command::Help => Ok(USAGE.to_owned()),
+        Command::Analyze {
+            path,
+            validate,
+            sound_only,
+            k,
+            json,
+            baseline,
+            update_baseline,
+        } => {
+            let program = load(path)?;
+            let config = AnalysisConfig {
+                k: *k,
+                unsound_filters: if *sound_only {
+                    Vec::new()
+                } else {
+                    FilterKind::unsound().to_vec()
+                },
+                ..AnalysisConfig::default()
+            };
+            let analysis = analyze(&program, &config);
+
+            // Baseline workflow: suppress already-acknowledged warnings.
+            let mut suppressed = 0usize;
+            let mut fresh = Vec::new();
+            let rendered = analysis.rendered_survivors();
+            if let Some(bl_path) = baseline {
+                let known: std::collections::BTreeSet<String> =
+                    match std::fs::read_to_string(bl_path) {
+                        Ok(s) => s.lines().map(str::to_owned).collect(),
+                        Err(_) => std::collections::BTreeSet::new(),
+                    };
+                for w in &rendered {
+                    if known.contains(&nadroid_core::fingerprint(w)) {
+                        suppressed += 1;
+                    } else {
+                        fresh.push(w.clone());
+                    }
+                }
+                if *update_baseline {
+                    let all: Vec<String> = rendered.iter().map(nadroid_core::fingerprint).collect();
+                    std::fs::write(
+                        bl_path,
+                        all.join(
+                            "
+",
+                        ) + "
+",
+                    )
+                    .map_err(|e| CliError(format!("cannot write {bl_path}: {e}")))?;
+                }
+            }
+
+            if *json {
+                return Ok(nadroid_core::render_json(&analysis));
+            }
+            let validation =
+                validate.then(|| analysis.validate_survivors(ExploreConfig::default()));
+            let mut out = render_report(&analysis, validation.as_ref());
+            if baseline.is_some() {
+                out.push_str(&format!(
+                    "
+baseline: {suppressed} suppressed, {} new
+",
+                    fresh.len()
+                ));
+                for w in &fresh {
+                    out.push_str(&format!(
+                        "  NEW [{}] {}
+",
+                        w.pair_type, w.field
+                    ));
+                }
+            }
+            Ok(out)
+        }
+        Command::NoSleep { path } => {
+            let program = load(path)?;
+            let analysis = analyze(&program, &AnalysisConfig::default());
+            let warnings = analysis.no_sleep_warnings();
+            let mut out = format!("{} no-sleep warning(s)\n", warnings.len());
+            for w in &warnings {
+                out.push_str(&format!(
+                    "  acquire at {}",
+                    program.describe_instr(w.acquire.instr)
+                ));
+                if w.unordered_releases.is_empty() {
+                    out.push_str(" — never released\n");
+                } else {
+                    out.push_str(&format!(
+                        " — only racy releases at {}\n",
+                        w.unordered_releases
+                            .iter()
+                            .map(|r| program.describe_instr(r.instr))
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    ));
+                }
+            }
+            Ok(out)
+        }
+        Command::Deva { path } => {
+            let program = load(path)?;
+            let warnings = nadroid_deva::run_deva(&program);
+            let mut out = format!("DEvA: {} event anomaly warning(s)\n", warnings.len());
+            for w in &warnings {
+                out.push_str(&format!(
+                    "  {} — use in {}, free in {}\n",
+                    program.field(w.field).name(),
+                    program.method(w.use_handler).name(),
+                    program.method(w.free_handler).name()
+                ));
+            }
+            Ok(out)
+        }
+        Command::Dot { path } => {
+            let program = load(path)?;
+            let threads = ThreadModel::build(&program);
+            Ok(threads.to_dot(&program))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| (*x).to_owned()).collect()
+    }
+
+    #[test]
+    fn parses_analyze_flags() {
+        let cmd = parse_args(args(&[
+            "analyze",
+            "app.dsl",
+            "--validate",
+            "--k",
+            "3",
+            "--json",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Analyze {
+                path: "app.dsl".into(),
+                validate: true,
+                sound_only: false,
+                k: 3,
+                json: true,
+                baseline: None,
+                update_baseline: false,
+            }
+        );
+        assert!(parse_args(args(&["analyze", "a.dsl", "--update-baseline"])).is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_flags() {
+        assert!(parse_args(args(&["analyze", "app.dsl", "--wat"])).is_err());
+        assert!(parse_args(args(&["frobnicate"])).is_err());
+        assert!(parse_args(args(&["analyze"])).is_err());
+        assert!(parse_args(args(&["dot"])).is_err());
+    }
+
+    #[test]
+    fn no_args_is_help() {
+        assert_eq!(parse_args(Vec::new()).unwrap(), Command::Help);
+        assert!(run(&Command::Help).unwrap().contains("USAGE"));
+    }
+
+    #[test]
+    fn end_to_end_on_a_temp_file() {
+        let dir = std::env::temp_dir().join("nadroid_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("app.dsl");
+        std::fs::write(
+            &path,
+            r#"
+            app Cli
+            activity M {
+                field f: M
+                cb onCreate { f = new M }
+                cb onClick { use f }
+                cb onPause { f = null }
+            }
+            "#,
+        )
+        .unwrap();
+        let p = path.to_string_lossy().to_string();
+
+        let report = run(&Command::Analyze {
+            path: p.clone(),
+            validate: true,
+            sound_only: false,
+            k: 2,
+            json: false,
+            baseline: None,
+            update_baseline: false,
+        })
+        .unwrap();
+        assert!(report.contains("nAdroid report for `Cli`"), "{report}");
+        assert!(report.contains("CONFIRMED"), "{report}");
+
+        let dot = run(&Command::Dot { path: p.clone() }).unwrap();
+        assert!(dot.starts_with("digraph threadification"), "{dot}");
+        assert!(dot.contains("M.onClick"), "{dot}");
+
+        let deva = run(&Command::Deva { path: p.clone() }).unwrap();
+        assert!(deva.contains("1 event anomaly"), "{deva}");
+
+        let ns = run(&Command::NoSleep { path: p }).unwrap();
+        assert!(ns.contains("0 no-sleep"), "{ns}");
+    }
+
+    #[test]
+    fn baseline_suppresses_known_warnings() {
+        let dir = std::env::temp_dir().join("nadroid_cli_baseline");
+        std::fs::create_dir_all(&dir).unwrap();
+        let app = dir.join("app.dsl");
+        std::fs::write(
+            &app,
+            r#"
+            app B
+            activity M {
+                field f: M
+                cb onCreate { f = new M }
+                cb onClick { use f }
+                cb onPause { f = null }
+            }
+            "#,
+        )
+        .unwrap();
+        let bl = dir.join("baseline.txt");
+        let _ = std::fs::remove_file(&bl);
+        let analyze_cmd = |update| Command::Analyze {
+            path: app.to_string_lossy().into_owned(),
+            validate: false,
+            sound_only: false,
+            k: 2,
+            json: false,
+            baseline: Some(bl.to_string_lossy().into_owned()),
+            update_baseline: update,
+        };
+        // First run: everything is new; write the baseline.
+        let out = run(&analyze_cmd(true)).unwrap();
+        assert!(out.contains("baseline: 0 suppressed, 1 new"), "{out}");
+        // Second run: the known warning is suppressed.
+        let out = run(&analyze_cmd(false)).unwrap();
+        assert!(out.contains("baseline: 1 suppressed, 0 new"), "{out}");
+    }
+
+    #[test]
+    fn json_output_mode() {
+        let dir = std::env::temp_dir().join("nadroid_cli_json");
+        std::fs::create_dir_all(&dir).unwrap();
+        let app = dir.join("app.dsl");
+        std::fs::write(
+            &app,
+            "app J
+activity M { cb onClick { } }",
+        )
+        .unwrap();
+        let out = run(&Command::Analyze {
+            path: app.to_string_lossy().into_owned(),
+            validate: false,
+            sound_only: false,
+            k: 2,
+            json: true,
+            baseline: None,
+            update_baseline: false,
+        })
+        .unwrap();
+        assert!(out.trim_start().starts_with('{'), "{out}");
+        assert!(out.contains("\"app\": \"J\""), "{out}");
+    }
+
+    #[test]
+    fn missing_file_errors_cleanly() {
+        let e = run(&Command::Dot {
+            path: "/nonexistent/x.dsl".into(),
+        })
+        .unwrap_err();
+        assert!(e.to_string().contains("cannot read"));
+    }
+}

@@ -1,0 +1,18 @@
+//! The `nadroid` command-line tool.
+
+fn main() {
+    let cmd = match nadroid_cli::parse_args(std::env::args().skip(1)) {
+        Ok(cmd) => cmd,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    match nadroid_cli::run(&cmd) {
+        Ok(out) => print!("{out}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

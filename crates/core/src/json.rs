@@ -1,0 +1,141 @@
+//! Machine-readable (JSON) report output for CI integration.
+//!
+//! The writer is hand-rolled (the report types are tiny and flat), so
+//! the crate keeps its zero-dependency core. Output shape:
+//!
+//! ```json
+//! {
+//!   "app": "ConnectBot",
+//!   "summary": { "loc": 42, "ec": 3, "pc": 3, "threads": 1,
+//!                "potential": 2, "after_sound": 2, "after_unsound": 2 },
+//!   "warnings": [
+//!     { "fingerprint": "…", "pair_type": "PC-PC", "field": "…",
+//!       "use_site": "…", "free_site": "…",
+//!       "use_lineage": "…", "free_lineage": "…" }
+//!   ]
+//! }
+//! ```
+
+use crate::report::RenderedWarning;
+use crate::Analysis;
+use std::fmt::Write as _;
+
+/// Escape a string for a JSON string literal.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A stable identity for a warning across runs of the same model:
+/// field plus both site descriptions (instruction ids are stable for an
+/// unchanged program; the descriptions stay readable in baselines).
+#[must_use]
+pub fn fingerprint(w: &RenderedWarning) -> String {
+    format!("{}|{}|{}|{}", w.pair_type, w.field, w.use_site, w.free_site)
+}
+
+/// Render the analysis as a JSON document.
+#[must_use]
+pub fn render_json(analysis: &Analysis<'_>) -> String {
+    let s = analysis.summary();
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"app\": \"{}\",", esc(analysis.program().name()));
+    let _ = writeln!(
+        out,
+        "  \"summary\": {{ \"loc\": {}, \"ec\": {}, \"pc\": {}, \"threads\": {}, \
+         \"potential\": {}, \"after_sound\": {}, \"after_unsound\": {} }},",
+        s.loc, s.ec, s.pc, s.threads, s.potential, s.after_sound, s.after_unsound
+    );
+    out.push_str("  \"warnings\": [");
+    let warnings = analysis.rendered_survivors();
+    for (i, w) in warnings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    { ");
+        let _ = write!(out, "\"fingerprint\": \"{}\", ", esc(&fingerprint(w)));
+        let _ = write!(out, "\"pair_type\": \"{}\", ", w.pair_type);
+        let _ = write!(out, "\"field\": \"{}\", ", esc(&w.field));
+        let _ = write!(out, "\"use_site\": \"{}\", ", esc(&w.use_site));
+        let _ = write!(out, "\"free_site\": \"{}\", ", esc(&w.free_site));
+        let _ = write!(out, "\"use_lineage\": \"{}\", ", esc(&w.use_lineage));
+        let _ = write!(out, "\"free_lineage\": \"{}\"", esc(&w.free_lineage));
+        out.push_str(" }");
+    }
+    if warnings.is_empty() {
+        out.push_str("]\n");
+    } else {
+        out.push_str("\n  ]\n");
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{analyze, AnalysisConfig};
+    use nadroid_ir::parse_program;
+
+    #[test]
+    fn json_contains_summary_and_warnings() {
+        let p = parse_program(
+            r#"
+            app J
+            activity M {
+                field f: M
+                cb onCreate { f = new M }
+                cb onClick { use f }
+                cb onPause { f = null }
+            }
+            "#,
+        )
+        .unwrap();
+        let a = analyze(&p, &AnalysisConfig::default());
+        let json = render_json(&a);
+        assert!(json.contains("\"app\": \"J\""), "{json}");
+        assert!(json.contains("\"after_unsound\": 1"), "{json}");
+        assert!(json.contains("\"pair_type\": \"EC-EC\""), "{json}");
+        assert!(json.contains("\"fingerprint\""), "{json}");
+        // Shallow well-formedness: balanced braces/brackets, no raw newline
+        // inside strings.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn escaping_handles_special_characters() {
+        assert_eq!(esc("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn fingerprints_are_stable_across_runs() {
+        let src = r#"
+            app S
+            activity M {
+                field f: M
+                cb onClick { use f }
+                cb onPause { f = null }
+            }
+        "#;
+        let p1 = parse_program(src).unwrap();
+        let p2 = parse_program(src).unwrap();
+        let a1 = analyze(&p1, &AnalysisConfig::default());
+        let a2 = analyze(&p2, &AnalysisConfig::default());
+        let f1: Vec<String> = a1.rendered_survivors().iter().map(fingerprint).collect();
+        let f2: Vec<String> = a2.rendered_survivors().iter().map(fingerprint).collect();
+        assert_eq!(f1, f2);
+    }
+}

@@ -1,0 +1,544 @@
+//! The nAdroid-rs pipeline (Figure 2 of the paper): modeling →
+//! detection → filtering → reporting, plus dynamic validation and the
+//! false-positive taxonomy.
+//!
+//! ```text
+//! APK  ──►  threadified program  ──►  potential UAFs  ──►  remaining UAFs
+//!      §4 modeling           §5 detection          §6 filtering
+//! ```
+//!
+//! # Example
+//!
+//! ```
+//! use nadroid_core::{analyze, AnalysisConfig};
+//! use nadroid_ir::parse_program;
+//!
+//! let p = parse_program(
+//!     r#"
+//!     app Demo
+//!     activity Console {
+//!         field bound: Console
+//!         cb onCreate { bind this }
+//!         cb onServiceConnected { bound = new Console }
+//!         cb onServiceDisconnected { bound = null }
+//!         cb onCreateContextMenu { use bound }
+//!     }
+//!     "#,
+//! ).unwrap();
+//! let analysis = analyze(&p, &AnalysisConfig::default());
+//! let summary = analysis.summary();
+//! assert_eq!(summary.after_unsound, 1, "the ConnectBot UAF survives");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fpclass;
+pub mod json;
+pub mod render;
+pub mod report;
+
+pub use fpclass::{classify_fp, component_reachable, FpCause};
+pub use json::{fingerprint, render_json};
+pub use render::render_report;
+pub use report::{classify_pair, rank_key, render_warning, Endpoint, PairType, RenderedWarning};
+
+use nadroid_detector::{detect, distinct_pairs, DetectorOptions, UafWarning};
+use nadroid_dynamic::{explore, ExploreConfig, Goal, Witness};
+use nadroid_filters::{FilterKind, FilterOutcome, Filters};
+use nadroid_ir::{InstrId, Program};
+use nadroid_pointsto::{Escape, PointsTo};
+use nadroid_threadify::ThreadModel;
+use std::time::{Duration, Instant};
+
+/// Pipeline configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AnalysisConfig {
+    /// Points-to sensitivity (the paper uses k = 2).
+    pub k: u32,
+    /// Detector options (§5's Chord modifications).
+    pub detector: DetectorOptions,
+    /// Sound filters to apply, in order.
+    pub sound_filters: Vec<FilterKind>,
+    /// Unsound filters to apply after the sound ones.
+    pub unsound_filters: Vec<FilterKind>,
+}
+
+impl Default for AnalysisConfig {
+    fn default() -> Self {
+        AnalysisConfig {
+            k: 2,
+            detector: DetectorOptions::default(),
+            sound_filters: FilterKind::sound().to_vec(),
+            unsound_filters: FilterKind::unsound().to_vec(),
+        }
+    }
+}
+
+/// Wall-clock time of each pipeline phase (§8.8).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseTimings {
+    /// Threadification (§4).
+    pub modeling: Duration,
+    /// Points-to + escape + race detection (§5).
+    pub detection: Duration,
+    /// Filter evaluation (§6).
+    pub filtering: Duration,
+}
+
+impl PhaseTimings {
+    /// Total time.
+    #[must_use]
+    pub fn total(&self) -> Duration {
+        self.modeling + self.detection + self.filtering
+    }
+}
+
+/// Aggregate counts of one analysis — the per-app row of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Summary {
+    /// Approximate source lines.
+    pub loc: usize,
+    /// Static entry-callback count.
+    pub ec: usize,
+    /// Static posted-callback count.
+    pub pc: usize,
+    /// Static thread count (dummy main + task bodies + native threads).
+    pub threads: usize,
+    /// Potential UAF pairs detected (§5).
+    pub potential: usize,
+    /// Pairs remaining after the sound filters.
+    pub after_sound: usize,
+    /// Pairs remaining after sound + unsound filters.
+    pub after_unsound: usize,
+}
+
+/// The result of running the pipeline on one program.
+#[derive(Debug)]
+pub struct Analysis<'p> {
+    program: &'p Program,
+    config: AnalysisConfig,
+    threads: ThreadModel,
+    pts: PointsTo,
+    escape: Escape,
+    /// Raw warnings (per thread-pair granularity).
+    warnings: Vec<UafWarning>,
+    /// Outcome of the sound-filter pass over every warning.
+    sound_outcomes: Vec<FilterOutcome>,
+    /// Outcome of the unsound-filter pass over the sound survivors.
+    unsound_outcomes: Vec<FilterOutcome>,
+    timings: PhaseTimings,
+}
+
+/// Run the full pipeline.
+#[must_use]
+pub fn analyze<'p>(program: &'p Program, config: &AnalysisConfig) -> Analysis<'p> {
+    let t0 = Instant::now();
+    let threads = ThreadModel::build(program);
+    let modeling = t0.elapsed();
+
+    let t1 = Instant::now();
+    let pts = PointsTo::run(program, &threads, config.k);
+    let escape = Escape::compute(program, &threads, &pts);
+    let warnings = detect(program, &threads, &pts, &escape, config.detector);
+    let detection = t1.elapsed();
+
+    let t2 = Instant::now();
+    let filters = Filters::new(program, &threads, &pts, &escape);
+    let sound_outcomes = filters.pipeline(warnings.clone(), &config.sound_filters);
+    let survivors: Vec<UafWarning> = sound_outcomes
+        .iter()
+        .filter(|o| o.survives())
+        .map(|o| o.warning.clone())
+        .collect();
+    let unsound_outcomes = filters.pipeline(survivors, &config.unsound_filters);
+    let filtering = t2.elapsed();
+
+    Analysis {
+        program,
+        config: config.clone(),
+        threads,
+        pts,
+        escape,
+        warnings,
+        sound_outcomes,
+        unsound_outcomes,
+        timings: PhaseTimings {
+            modeling,
+            detection,
+            filtering,
+        },
+    }
+}
+
+impl<'p> Analysis<'p> {
+    /// The analyzed program.
+    #[must_use]
+    pub fn program(&self) -> &'p Program {
+        self.program
+    }
+
+    /// The configuration the pipeline ran with.
+    #[must_use]
+    pub fn config(&self) -> &AnalysisConfig {
+        &self.config
+    }
+
+    /// The threadification model.
+    #[must_use]
+    pub fn threads(&self) -> &ThreadModel {
+        &self.threads
+    }
+
+    /// The points-to result.
+    #[must_use]
+    pub fn pts(&self) -> &PointsTo {
+        &self.pts
+    }
+
+    /// The escape result.
+    #[must_use]
+    pub fn escape(&self) -> &Escape {
+        &self.escape
+    }
+
+    /// All raw warnings (per thread-pair granularity).
+    #[must_use]
+    pub fn warnings(&self) -> &[UafWarning] {
+        &self.warnings
+    }
+
+    /// Sound-filter outcomes over all warnings.
+    #[must_use]
+    pub fn sound_outcomes(&self) -> &[FilterOutcome] {
+        &self.sound_outcomes
+    }
+
+    /// Unsound-filter outcomes over the sound survivors.
+    #[must_use]
+    pub fn unsound_outcomes(&self) -> &[FilterOutcome] {
+        &self.unsound_outcomes
+    }
+
+    /// Warnings surviving both filter stages.
+    #[must_use]
+    pub fn survivors(&self) -> Vec<&UafWarning> {
+        self.unsound_outcomes
+            .iter()
+            .filter(|o| o.survives())
+            .map(|o| &o.warning)
+            .collect()
+    }
+
+    /// Phase timings (§8.8).
+    #[must_use]
+    pub fn timings(&self) -> &PhaseTimings {
+        &self.timings
+    }
+
+    /// The filter engine, for ad-hoc queries.
+    #[must_use]
+    pub fn filters(&self) -> Filters<'_> {
+        Filters::new(self.program, &self.threads, &self.pts, &self.escape)
+    }
+
+    /// Aggregate counts (one Table 1 row), at distinct (use, free) pair
+    /// granularity.
+    #[must_use]
+    pub fn summary(&self) -> Summary {
+        let survivors_sound: Vec<UafWarning> = self
+            .sound_outcomes
+            .iter()
+            .filter(|o| o.survives())
+            .map(|o| o.warning.clone())
+            .collect();
+        let survivors_all: Vec<UafWarning> = self.survivors().into_iter().cloned().collect();
+        Summary {
+            loc: self.program.loc(),
+            ec: self.threads.entry_callback_count(),
+            pc: self.threads.posted_callback_count(),
+            threads: self.threads.thread_count(),
+            potential: distinct_pairs(&self.warnings),
+            after_sound: distinct_pairs(&survivors_sound),
+            after_unsound: distinct_pairs(&survivors_all),
+        }
+    }
+
+    /// Distribution of surviving pairs over Table 1's type columns
+    /// (distinct pairs; a pair racing under several thread pairs counts
+    /// once, under its highest-ranked type).
+    #[must_use]
+    pub fn survivor_types(&self) -> Vec<(PairType, usize)> {
+        use std::collections::HashMap;
+        let mut best: HashMap<(InstrId, InstrId), PairType> = HashMap::new();
+        for w in self.survivors() {
+            let ty = classify_pair(&self.threads, w);
+            best.entry(w.pair())
+                .and_modify(|t| {
+                    if rank_key(ty) < rank_key(*t) {
+                        *t = ty;
+                    }
+                })
+                .or_insert(ty);
+        }
+        let mut counts: Vec<(PairType, usize)> = PairType::all()
+            .iter()
+            .map(|&t| (t, best.values().filter(|&&v| v == t).count()))
+            .collect();
+        counts.retain(|(_, n)| *n > 0);
+        counts
+    }
+
+    /// Dynamically validate a warning: search for an NPE whose null was
+    /// loaded at the warning's use and written by its free (§7's manual
+    /// validation, automated).
+    #[must_use]
+    pub fn validate(&self, w: &UafWarning, cfg: ExploreConfig) -> Option<Witness> {
+        explore(
+            self.program,
+            Goal::Pair {
+                use_instr: w.use_access.instr,
+                free_instr: w.free_access.instr,
+            },
+            cfg,
+        )
+    }
+
+    /// Validate all surviving warnings; returns (confirmed, unconfirmed)
+    /// at distinct-pair granularity, with the FP taxonomy applied to the
+    /// unconfirmed ones.
+    #[must_use]
+    pub fn validate_survivors(&self, cfg: ExploreConfig) -> ValidationResult {
+        use std::collections::HashMap;
+        let mut by_pair: HashMap<(InstrId, InstrId), &UafWarning> = HashMap::new();
+        for w in self.survivors() {
+            by_pair.entry(w.pair()).or_insert(w);
+        }
+        let mut confirmed = Vec::new();
+        let mut false_positives = Vec::new();
+        for (_, w) in by_pair {
+            match self.validate(w, cfg) {
+                Some(witness) => confirmed.push((w.clone(), witness)),
+                None => false_positives.push((w.clone(), classify_fp(self.program, &self.pts, w))),
+            }
+        }
+        // Deterministic order for reporting.
+        confirmed.sort_by_key(|(w, _)| w.pair());
+        false_positives.sort_by_key(|(w, _)| w.pair());
+        ValidationResult {
+            confirmed,
+            false_positives,
+        }
+    }
+
+    /// Surviving warnings grouped by racy field, as §7's report groups
+    /// them (one entry per field, with the distinct pairs under it).
+    #[must_use]
+    pub fn survivors_by_field(&self) -> Vec<(nadroid_ir::FieldId, Vec<(InstrId, InstrId)>)> {
+        let mut map: std::collections::BTreeMap<nadroid_ir::FieldId, Vec<(InstrId, InstrId)>> =
+            std::collections::BTreeMap::new();
+        for w in self.survivors() {
+            let e = map.entry(w.field).or_default();
+            if !e.contains(&w.pair()) {
+                e.push(w.pair());
+            }
+        }
+        map.into_iter().collect()
+    }
+
+    /// Run the no-sleep energy-bug client (§9) over the same analysis
+    /// results: wake-lock acquires with no release ordered after them.
+    #[must_use]
+    pub fn no_sleep_warnings(&self) -> Vec<nadroid_filters::nosleep::NoSleepWarning> {
+        let filters = self.filters();
+        nadroid_filters::nosleep::detect_no_sleep(self.program, &self.threads, &self.pts, &filters)
+    }
+
+    /// Render surviving warnings for the programmer, ranked by the §7
+    /// hypotheses (PC- and NT-involved pairs first).
+    #[must_use]
+    pub fn rendered_survivors(&self) -> Vec<RenderedWarning> {
+        let mut out: Vec<RenderedWarning> = self
+            .survivors()
+            .into_iter()
+            .map(|w| render_warning(self.program, &self.threads, w))
+            .collect();
+        out.sort_by_key(|r| {
+            (
+                rank_key(r.pair_type),
+                r.use_site.clone(),
+                r.free_site.clone(),
+            )
+        });
+        out.dedup();
+        out
+    }
+}
+
+/// Outcome of dynamically validating all survivors.
+#[derive(Debug, Clone)]
+pub struct ValidationResult {
+    /// Warnings with an NPE witness (true harmful UAFs).
+    pub confirmed: Vec<(UafWarning, Witness)>,
+    /// Warnings without a witness, with their §8.5 cause.
+    pub false_positives: Vec<(UafWarning, FpCause)>,
+}
+
+impl ValidationResult {
+    /// Count of confirmed harmful pairs.
+    #[must_use]
+    pub fn harmful(&self) -> usize {
+        self.confirmed.len()
+    }
+
+    /// Distribution of false positives over §8.5 causes.
+    #[must_use]
+    pub fn fp_histogram(&self) -> Vec<(FpCause, usize)> {
+        FpCause::all()
+            .iter()
+            .map(|&c| {
+                (
+                    c,
+                    self.false_positives.iter().filter(|(_, x)| *x == c).count(),
+                )
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nadroid_ir::parse_program;
+
+    const FIG1A: &str = r#"
+        app Fig1a
+        activity Console {
+            field bound: Console
+            cb onCreate { bind this }
+            cb onServiceConnected { bound = new Console }
+            cb onServiceDisconnected { bound = null }
+            cb onCreateContextMenu { use bound }
+        }
+    "#;
+
+    #[test]
+    fn pipeline_detects_and_survives_fig1a() {
+        let p = parse_program(FIG1A).unwrap();
+        let a = analyze(&p, &AnalysisConfig::default());
+        let s = a.summary();
+        assert!(s.potential >= 1);
+        assert_eq!(s.after_unsound, 1);
+        let types = a.survivor_types();
+        assert_eq!(types, vec![(PairType::EcPc, 1)]);
+    }
+
+    #[test]
+    fn validation_confirms_fig1a() {
+        let p = parse_program(FIG1A).unwrap();
+        let a = analyze(&p, &AnalysisConfig::default());
+        let v = a.validate_survivors(ExploreConfig::default());
+        assert_eq!(v.harmful(), 1);
+        assert!(v.false_positives.is_empty());
+    }
+
+    #[test]
+    fn filtered_program_reports_zero() {
+        let p = parse_program(
+            r#"
+            app Clean
+            activity M {
+                field f: M
+                cb onClick { if f != null { use f } }
+                cb onLongClick { f = null }
+            }
+            "#,
+        )
+        .unwrap();
+        let a = analyze(&p, &AnalysisConfig::default());
+        let s = a.summary();
+        assert!(s.potential >= 1, "detected before filtering");
+        assert_eq!(s.after_sound, 0, "IG prunes it");
+    }
+
+    #[test]
+    fn fp_taxonomy_flags_path_insensitivity() {
+        let p = parse_program(
+            r#"
+            app Fp
+            activity M {
+                field f: M
+                cb onCreate { f = new M }
+                cb onClick {
+                    if ? { } else { use f }
+                }
+                cb onLongClick {
+                    if ? { f = null  f = new M } else { }
+                }
+            }
+            "#,
+        )
+        .unwrap();
+        let a = analyze(&p, &AnalysisConfig::default());
+        let v = a.validate_survivors(ExploreConfig::default());
+        // The free is immediately followed by a re-allocation on the same
+        // path, so no NPE is reachable; the taxonomy blames the opaque
+        // branches.
+        assert_eq!(v.harmful(), 0);
+        assert!(!v.false_positives.is_empty());
+        assert!(v
+            .false_positives
+            .iter()
+            .all(|(_, c)| *c == FpCause::PathInsensitivity));
+    }
+
+    #[test]
+    fn timings_are_recorded() {
+        let p = parse_program(FIG1A).unwrap();
+        let a = analyze(&p, &AnalysisConfig::default());
+        assert!(a.timings().total() > Duration::ZERO);
+    }
+
+    #[test]
+    fn sound_only_config() {
+        let p = parse_program(FIG1A).unwrap();
+        let cfg = AnalysisConfig {
+            unsound_filters: Vec::new(),
+            ..Default::default()
+        };
+        let a = analyze(&p, &cfg);
+        assert_eq!(a.summary().after_sound, a.summary().after_unsound);
+    }
+
+    #[test]
+    fn survivors_group_by_field() {
+        let p = parse_program(
+            r#"
+            app G
+            activity M {
+                field f: M
+                cb onCreate { f = new M }
+                cb onClick { use f }
+                cb onLongClick { use f }
+                cb onPause { f = null }
+            }
+            "#,
+        )
+        .unwrap();
+        let a = analyze(&p, &AnalysisConfig::default());
+        let grouped = a.survivors_by_field();
+        assert_eq!(grouped.len(), 1, "one racy field");
+        assert_eq!(grouped[0].1.len(), 2, "two distinct use sites under it");
+    }
+
+    #[test]
+    fn ranked_rendering_dedups_pairs() {
+        let p = parse_program(FIG1A).unwrap();
+        let a = analyze(&p, &AnalysisConfig::default());
+        let rendered = a.rendered_survivors();
+        assert_eq!(rendered.len(), 1);
+        assert!(rendered[0].use_lineage.starts_with("main > "));
+        assert_eq!(rendered[0].pair_type, PairType::EcPc);
+        assert!(rendered[0].field.contains("bound"));
+    }
+}

@@ -1,0 +1,242 @@
+//! §7 warning classification and programmer-facing reporting.
+//!
+//! nAdroid groups surviving warnings by the origins of their use and
+//! free operations: Entry Callback (EC), Posted Callback (PC), Reachable
+//! Thread (RT), Non-reachable Thread (NT), and provides the callback and
+//! thread lineage of each endpoint so programmers can reconstruct the
+//! triggering schedule.
+
+use nadroid_detector::UafWarning;
+use nadroid_ir::Program;
+use nadroid_threadify::{ThreadId, ThreadKind, ThreadModel};
+use std::fmt;
+
+/// The origin class of one warning endpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Endpoint {
+    /// An entry callback.
+    Ec,
+    /// A posted callback.
+    Pc,
+    /// A native/task thread reachable from the other endpoint's callback.
+    Rt,
+    /// A native/task thread not reachable from the other endpoint.
+    Nt,
+}
+
+impl fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Endpoint::Ec => "EC",
+            Endpoint::Pc => "PC",
+            Endpoint::Rt => "RT",
+            Endpoint::Nt => "NT",
+        })
+    }
+}
+
+/// The §7 / Table 1 type of a warning pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum PairType {
+    /// Both endpoints are entry callbacks.
+    EcEc,
+    /// An entry callback races a posted callback.
+    EcPc,
+    /// Both endpoints are posted callbacks.
+    PcPc,
+    /// A callback races a thread it (transitively) created.
+    CRt,
+    /// A callback races an unrelated thread.
+    CNt,
+    /// Both endpoints are threads (normally removed by the TT filter).
+    TT,
+}
+
+impl PairType {
+    /// All pair types in Table 1 column order.
+    #[must_use]
+    pub fn all() -> &'static [PairType] {
+        &[
+            PairType::EcEc,
+            PairType::EcPc,
+            PairType::PcPc,
+            PairType::CRt,
+            PairType::CNt,
+            PairType::TT,
+        ]
+    }
+}
+
+impl fmt::Display for PairType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            PairType::EcEc => "EC-EC",
+            PairType::EcPc => "EC-PC",
+            PairType::PcPc => "PC-PC",
+            PairType::CRt => "C-RT",
+            PairType::CNt => "C-NT",
+            PairType::TT => "T-T",
+        })
+    }
+}
+
+/// Classify one endpoint relative to the other (§7: thread reachability
+/// is transitive across thread creation and event posting, i.e. lineage).
+#[must_use]
+pub fn classify_endpoint(threads: &ThreadModel, this: ThreadId, other: ThreadId) -> Endpoint {
+    let t = threads.thread(this);
+    match t.kind() {
+        ThreadKind::Callback(k) => match k.class() {
+            Some(nadroid_android::CallbackClass::Entry) => Endpoint::Ec,
+            _ => Endpoint::Pc,
+        },
+        ThreadKind::TaskBody | ThreadKind::Native => {
+            if threads.is_ancestor(other, this) {
+                Endpoint::Rt
+            } else {
+                Endpoint::Nt
+            }
+        }
+        ThreadKind::DummyMain => Endpoint::Ec,
+    }
+}
+
+/// Classify a warning into its Table 1 pair type.
+#[must_use]
+pub fn classify_pair(threads: &ThreadModel, w: &UafWarning) -> PairType {
+    let a = classify_endpoint(threads, w.use_thread, w.free_thread);
+    let b = classify_endpoint(threads, w.free_thread, w.use_thread);
+    use Endpoint::{Ec, Nt, Pc, Rt};
+    match (a, b) {
+        (Ec, Ec) => PairType::EcEc,
+        (Ec, Pc) | (Pc, Ec) => PairType::EcPc,
+        (Pc, Pc) => PairType::PcPc,
+        (Rt | Nt, Rt | Nt) => PairType::TT,
+        (Rt, _) | (_, Rt) => PairType::CRt,
+        (Nt, _) | (_, Nt) => PairType::CNt,
+    }
+}
+
+/// A rendered warning with everything §7 gives the programmer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RenderedWarning {
+    /// The racy field, as `Class.field`.
+    pub field: String,
+    /// Location of the use, as `Class.method#instr`.
+    pub use_site: String,
+    /// Location of the free.
+    pub free_site: String,
+    /// Pair type.
+    pub pair_type: PairType,
+    /// Lineage of the use's thread (`main > Main.onClick > R.run`).
+    pub use_lineage: String,
+    /// Lineage of the free's thread.
+    pub free_lineage: String,
+}
+
+/// Render a warning for the report.
+#[must_use]
+pub fn render_warning(program: &Program, threads: &ThreadModel, w: &UafWarning) -> RenderedWarning {
+    let field = w.field;
+    let owner = program.field(field).owner();
+    RenderedWarning {
+        field: format!(
+            "{}.{}",
+            program.class(owner).name(),
+            program.field(field).name()
+        ),
+        use_site: program.describe_instr(w.use_access.instr),
+        free_site: program.describe_instr(w.free_access.instr),
+        pair_type: classify_pair(threads, w),
+        use_lineage: threads.lineage_string(program, w.use_thread),
+        free_lineage: threads.lineage_string(program, w.free_thread),
+    }
+}
+
+/// The two ranking hypotheses of §7: PC-involved pairs and NT-involved
+/// pairs are the most likely harmful. Returns a sort key (lower = rank
+/// earlier).
+#[must_use]
+pub fn rank_key(pair: PairType) -> u8 {
+    match pair {
+        PairType::CNt => 0,
+        PairType::PcPc => 1,
+        PairType::EcPc => 2,
+        PairType::CRt => 3,
+        PairType::EcEc => 4,
+        PairType::TT => 5,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nadroid_core_test_helpers::*;
+
+    // Local helper module: build a program with one of each endpoint
+    // class and check classification.
+    mod nadroid_core_test_helpers {
+        pub use nadroid_ir::parse_program;
+        pub use nadroid_threadify::ThreadModel;
+    }
+
+    #[test]
+    fn endpoint_classification_covers_all_kinds() {
+        let p = parse_program(
+            r#"
+            app E
+            activity M {
+                cb onClick { spawn W  post R }
+                cb onPause { }
+            }
+            thread W in M { cb run { } }
+            runnable R in M { cb run { } }
+            "#,
+        )
+        .unwrap();
+        let t = ThreadModel::build(&p);
+        let click = t
+            .threads()
+            .find(|(_, x)| x.kind().callback_kind() == Some(nadroid_android::CallbackKind::OnClick))
+            .unwrap()
+            .0;
+        let pause = t
+            .threads()
+            .find(|(_, x)| x.kind().callback_kind() == Some(nadroid_android::CallbackKind::OnPause))
+            .unwrap()
+            .0;
+        let w = t
+            .threads()
+            .find(|(_, x)| x.kind() == nadroid_threadify::ThreadKind::Native)
+            .unwrap()
+            .0;
+        let r = t
+            .threads()
+            .find(|(_, x)| {
+                x.kind().callback_kind() == Some(nadroid_android::CallbackKind::PostedRun)
+            })
+            .unwrap()
+            .0;
+        assert_eq!(classify_endpoint(&t, click, pause), Endpoint::Ec);
+        assert_eq!(classify_endpoint(&t, r, pause), Endpoint::Pc);
+        // W was spawned by onClick: reachable from it, not from onPause.
+        assert_eq!(classify_endpoint(&t, w, click), Endpoint::Rt);
+        assert_eq!(classify_endpoint(&t, w, pause), Endpoint::Nt);
+    }
+
+    #[test]
+    fn ranking_puts_cnt_and_pcpc_first() {
+        let mut order: Vec<PairType> = PairType::all().to_vec();
+        order.sort_by_key(|&t| rank_key(t));
+        assert_eq!(order[0], PairType::CNt);
+        assert_eq!(order[1], PairType::PcPc);
+        assert_eq!(*order.last().unwrap(), PairType::TT);
+    }
+
+    #[test]
+    fn pair_type_display_names() {
+        assert_eq!(PairType::EcPc.to_string(), "EC-PC");
+        assert_eq!(PairType::CNt.to_string(), "C-NT");
+        assert_eq!(Endpoint::Rt.to_string(), "RT");
+    }
+}

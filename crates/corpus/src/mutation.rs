@@ -1,0 +1,174 @@
+//! Mutation certification: every sound-filter pattern, with its
+//! protection removed, must flip from *pruned* to *surviving and
+//! dynamically witnessable*.
+//!
+//! This guards against a filter that prunes for the wrong reason (e.g.
+//! an IG implementation that prunes any pair in a method containing any
+//! `if`): the protected variant must be pruned by the expected filter,
+//! and the unprotected mutant must sail through all filters and crash
+//! under some schedule.
+
+/// A (protected, mutated) DSL pair with the filter the protected variant
+/// exercises.
+#[derive(Debug, Clone, Copy)]
+pub struct MutationCase {
+    /// Name for diagnostics.
+    pub name: &'static str,
+    /// The filter expected to prune the protected variant.
+    pub filter: &'static str,
+    /// Protected program: the pair must be pruned.
+    pub protected: &'static str,
+    /// Mutant with the protection removed: the pair must survive and be
+    /// witnessable.
+    pub mutated: &'static str,
+}
+
+/// The mutation suite for the three sound filters.
+#[must_use]
+pub fn sound_mutations() -> Vec<MutationCase> {
+    vec![
+        MutationCase {
+            name: "ig_guard_removed",
+            filter: "IG",
+            protected: r#"
+                app IgProt
+                activity M {
+                    field f: M
+                    cb onCreate { f = new M }
+                    cb onClick { if f != null { use f } }
+                    cb onLongClick { f = null }
+                }
+            "#,
+            mutated: r#"
+                app IgMut
+                activity M {
+                    field f: M
+                    cb onCreate { f = new M }
+                    cb onClick { use f }
+                    cb onLongClick { f = null }
+                }
+            "#,
+        },
+        MutationCase {
+            name: "ia_allocation_removed",
+            filter: "IA",
+            protected: r#"
+                app IaProt
+                activity M {
+                    field f: M
+                    cb onClick { f = new M  use f }
+                    cb onLongClick { f = null }
+                }
+            "#,
+            mutated: r#"
+                app IaMut
+                activity M {
+                    field f: M
+                    cb onCreate { f = new M }
+                    cb onClick { use f }
+                    cb onLongClick { f = null }
+                }
+            "#,
+        },
+        MutationCase {
+            name: "mhb_order_removed",
+            filter: "MHB",
+            protected: r#"
+                app MhbProt
+                activity M {
+                    field f: M
+                    cb onCreate { f = new M  use f }
+                    cb onDestroy { f = null }
+                }
+            "#,
+            // The free moves from onDestroy (always after every use) to
+            // onPause (unordered with onClick).
+            mutated: r#"
+                app MhbMut
+                activity M {
+                    field f: M
+                    cb onCreate { f = new M }
+                    cb onClick { use f }
+                    cb onPause { f = null }
+                }
+            "#,
+        },
+        MutationCase {
+            name: "ig_guard_useless_across_threads",
+            filter: "IG",
+            protected: r#"
+                app IgT
+                activity M {
+                    field f: M
+                    cb onCreate { f = new M }
+                    cb onClick { if f != null { use f } }
+                    cb onLongClick { f = null }
+                }
+            "#,
+            // Same guard, but the free moves to a thread: the guard no
+            // longer protects (atomicity gone), so IG must NOT prune.
+            mutated: r#"
+                app IgTMut
+                activity M {
+                    field f: M
+                    cb onCreate { f = new M  spawn W }
+                    cb onClick { if f != null { use f } }
+                }
+                thread W in M { cb run { outer.f = null } }
+            "#,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nadroid_core::{analyze, AnalysisConfig};
+    use nadroid_dynamic::{explore, ExploreConfig, Goal};
+    use nadroid_ir::parse_program;
+
+    #[test]
+    fn protections_prune_and_mutants_crash() {
+        for case in sound_mutations() {
+            // Protected: the pair is pruned by a sound filter.
+            let prot = parse_program(case.protected).unwrap();
+            let analysis = analyze(&prot, &AnalysisConfig::default());
+            assert!(
+                analysis.summary().potential >= 1,
+                "{}: protected variant still has a detectable pair",
+                case.name
+            );
+            assert_eq!(
+                analysis.summary().after_sound,
+                0,
+                "{} ({}): protected variant pruned by a sound filter",
+                case.name,
+                case.filter
+            );
+
+            // Mutant: the pair survives and has an NPE witness.
+            let mutant = parse_program(case.mutated).unwrap();
+            let analysis = analyze(&mutant, &AnalysisConfig::default());
+            let survivors = analysis.survivors();
+            assert!(
+                !survivors.is_empty(),
+                "{}: mutant must survive all filters",
+                case.name
+            );
+            let w = survivors[0];
+            let witness = explore(
+                &mutant,
+                Goal::Pair {
+                    use_instr: w.use_access.instr,
+                    free_instr: w.free_access.instr,
+                },
+                ExploreConfig::default(),
+            );
+            assert!(
+                witness.is_some(),
+                "{}: mutant must be witnessable",
+                case.name
+            );
+        }
+    }
+}

@@ -1,0 +1,615 @@
+//! A semi-naive, bottom-up Datalog engine.
+//!
+//! Chord — the static race detector nAdroid builds on — expresses its
+//! analyses (call graph, k-object-sensitive points-to, thread escape) as
+//! Datalog programs solved by the bddbddb engine. This crate is the
+//! equivalent substrate for nAdroid-rs: relations over dense `u32` terms,
+//! positive Horn rules, and semi-naive fixpoint evaluation.
+//!
+//! # Example: transitive closure
+//!
+//! ```
+//! use nadroid_datalog::{Database, RuleSet, Term};
+//!
+//! let mut db = Database::new();
+//! let edge = db.relation("edge", 2);
+//! let path = db.relation("path", 2);
+//! db.insert(edge, &[1, 2]);
+//! db.insert(edge, &[2, 3]);
+//! db.insert(edge, &[3, 4]);
+//!
+//! let mut rules = RuleSet::new();
+//! // path(x, y) :- edge(x, y).
+//! rules.add(path, vec![Term::var(0), Term::var(1)])
+//!     .when(edge, vec![Term::var(0), Term::var(1)]);
+//! // path(x, z) :- path(x, y), edge(y, z).
+//! rules.add(path, vec![Term::var(0), Term::var(2)])
+//!     .when(path, vec![Term::var(0), Term::var(1)])
+//!     .when(edge, vec![Term::var(1), Term::var(2)]);
+//!
+//! db.run(&rules);
+//! assert!(db.contains(path, &[1, 4]));
+//! assert_eq!(db.len(path), 6);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// Identifier of a relation within a [`Database`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RelId(u32);
+
+impl RelId {
+    fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for RelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// A term in a rule atom: either a variable (identified by a small index,
+/// scoped to the rule) or a constant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Term {
+    /// A rule-scoped variable.
+    Var(u8),
+    /// A constant value.
+    Const(u32),
+}
+
+impl Term {
+    /// Shorthand for [`Term::Var`].
+    #[must_use]
+    pub fn var(i: u8) -> Term {
+        Term::Var(i)
+    }
+
+    /// Shorthand for [`Term::Const`].
+    #[must_use]
+    pub fn val(v: u32) -> Term {
+        Term::Const(v)
+    }
+}
+
+/// One atom of a rule body or head: a relation applied to terms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Atom {
+    rel: RelId,
+    terms: Vec<Term>,
+}
+
+impl Atom {
+    /// Construct an atom.
+    #[must_use]
+    pub fn new(rel: RelId, terms: Vec<Term>) -> Self {
+        Atom { rel, terms }
+    }
+}
+
+/// A positive Horn rule: `head :- body₀, body₁, ...`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rule {
+    head: Atom,
+    body: Vec<Atom>,
+}
+
+/// A collection of rules evaluated together to fixpoint.
+#[derive(Debug, Clone, Default)]
+pub struct RuleSet {
+    rules: Vec<Rule>,
+}
+
+/// Builder handle returned by [`RuleSet::add`]; chain [`RuleBuilder::when`]
+/// to append body atoms.
+#[derive(Debug)]
+pub struct RuleBuilder<'a> {
+    rules: &'a mut Vec<Rule>,
+    index: usize,
+}
+
+impl RuleBuilder<'_> {
+    /// Append a body atom to the rule.
+    #[allow(clippy::return_self_not_must_use)]
+    pub fn when(self, rel: RelId, terms: Vec<Term>) -> Self {
+        self.rules[self.index].body.push(Atom::new(rel, terms));
+        self
+    }
+}
+
+impl RuleSet {
+    /// An empty rule set.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Start a rule with the given head; returns a builder to append body
+    /// atoms. A rule with an empty body is a fact template (head must then
+    /// be all-constant).
+    pub fn add(&mut self, head_rel: RelId, head_terms: Vec<Term>) -> RuleBuilder<'_> {
+        let index = self.rules.len();
+        self.rules.push(Rule {
+            head: Atom::new(head_rel, head_terms),
+            body: Vec::new(),
+        });
+        RuleBuilder {
+            rules: &mut self.rules,
+            index,
+        }
+    }
+
+    /// Number of rules.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Whether the set is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+}
+
+#[derive(Debug, Default)]
+struct RelationData {
+    name: String,
+    arity: usize,
+    /// All derived tuples.
+    all: HashSet<Box<[u32]>>,
+    /// Insertion-ordered copy for deterministic iteration.
+    ordered: Vec<Box<[u32]>>,
+    /// Tuples derived in the previous semi-naive iteration.
+    delta: Vec<Box<[u32]>>,
+}
+
+/// A deductive database: named relations plus fixpoint evaluation.
+#[derive(Debug, Default)]
+pub struct Database {
+    relations: Vec<RelationData>,
+}
+
+impl Database {
+    /// An empty database.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declare a relation with a fixed arity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arity` is zero or a relation with this name exists.
+    pub fn relation(&mut self, name: impl Into<String>, arity: usize) -> RelId {
+        let name = name.into();
+        assert!(arity > 0, "relations must have positive arity");
+        assert!(
+            !self.relations.iter().any(|r| r.name == name),
+            "duplicate relation name {name:?}"
+        );
+        let id = RelId(self.relations.len() as u32);
+        self.relations.push(RelationData {
+            name,
+            arity,
+            ..Default::default()
+        });
+        id
+    }
+
+    /// Insert a base (EDB) tuple. Returns true if it was new.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tuple arity does not match the relation.
+    pub fn insert(&mut self, rel: RelId, tuple: &[u32]) -> bool {
+        let r = &mut self.relations[rel.index()];
+        assert_eq!(
+            tuple.len(),
+            r.arity,
+            "arity mismatch inserting into {}",
+            r.name
+        );
+        let boxed: Box<[u32]> = tuple.into();
+        if r.all.insert(boxed.clone()) {
+            r.ordered.push(boxed.clone());
+            r.delta.push(boxed);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Whether a tuple is present.
+    #[must_use]
+    pub fn contains(&self, rel: RelId, tuple: &[u32]) -> bool {
+        self.relations[rel.index()].all.contains(tuple)
+    }
+
+    /// Number of tuples in a relation.
+    #[must_use]
+    pub fn len(&self, rel: RelId) -> usize {
+        self.relations[rel.index()].all.len()
+    }
+
+    /// Whether a relation is empty.
+    #[must_use]
+    pub fn is_empty(&self, rel: RelId) -> bool {
+        self.len(rel) == 0
+    }
+
+    /// Iterate the tuples of a relation in first-derivation order.
+    pub fn tuples(&self, rel: RelId) -> impl Iterator<Item = &[u32]> + '_ {
+        self.relations[rel.index()]
+            .ordered
+            .iter()
+            .map(AsRef::as_ref)
+    }
+
+    /// The declared name of a relation.
+    #[must_use]
+    pub fn name(&self, rel: RelId) -> &str {
+        &self.relations[rel.index()].name
+    }
+
+    /// Run the rules to fixpoint with semi-naive evaluation.
+    ///
+    /// Newly derived tuples are added to the head relations; evaluation
+    /// stops when an iteration derives nothing new. Running twice with the
+    /// same rules is a no-op (fixpoints are idempotent).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a rule's head contains a variable that does not occur in
+    /// its body, or atom arities mismatch their relations.
+    pub fn run(&mut self, rules: &RuleSet) {
+        for rule in &rules.rules {
+            self.check_rule(rule);
+        }
+        // Initially, everything already present counts as delta.
+        for r in &mut self.relations {
+            r.delta = r.ordered.clone();
+        }
+        loop {
+            let mut new_tuples: Vec<(RelId, Box<[u32]>)> = Vec::new();
+            for rule in &rules.rules {
+                self.eval_rule(rule, &mut new_tuples);
+            }
+            for r in &mut self.relations {
+                r.delta.clear();
+            }
+            let mut grew = false;
+            for (rel, t) in new_tuples {
+                let r = &mut self.relations[rel.index()];
+                if r.all.insert(t.clone()) {
+                    r.ordered.push(t.clone());
+                    r.delta.push(t);
+                    grew = true;
+                }
+            }
+            if !grew {
+                break;
+            }
+        }
+    }
+
+    fn check_rule(&self, rule: &Rule) {
+        let mut body_vars = HashSet::new();
+        for atom in &rule.body {
+            let r = &self.relations[atom.rel.index()];
+            assert_eq!(
+                atom.terms.len(),
+                r.arity,
+                "arity mismatch in body atom of {}",
+                r.name
+            );
+            for t in &atom.terms {
+                if let Term::Var(v) = t {
+                    body_vars.insert(*v);
+                }
+            }
+        }
+        let hr = &self.relations[rule.head.rel.index()];
+        assert_eq!(
+            rule.head.terms.len(),
+            hr.arity,
+            "arity mismatch in head atom of {}",
+            hr.name
+        );
+        for t in &rule.head.terms {
+            if let Term::Var(v) = t {
+                assert!(
+                    body_vars.contains(v),
+                    "head variable v{v} of rule for {} is unbound in the body",
+                    hr.name
+                );
+            }
+        }
+    }
+
+    /// Evaluate one rule semi-naively: once per body position, restrict
+    /// that atom to the delta of its relation.
+    fn eval_rule(&self, rule: &Rule, out: &mut Vec<(RelId, Box<[u32]>)>) {
+        if rule.body.is_empty() {
+            // Fact template: all-constant head (checked).
+            let tuple: Box<[u32]> = rule
+                .head
+                .terms
+                .iter()
+                .map(|t| match t {
+                    Term::Const(c) => *c,
+                    Term::Var(_) => unreachable!("checked: no unbound head vars"),
+                })
+                .collect();
+            out.push((rule.head.rel, tuple));
+            return;
+        }
+        for delta_pos in 0..rule.body.len() {
+            if self.relations[rule.body[delta_pos].rel.index()]
+                .delta
+                .is_empty()
+            {
+                continue;
+            }
+            let mut bindings: HashMap<u8, u32> = HashMap::new();
+            self.join(rule, 0, delta_pos, &mut bindings, out);
+        }
+    }
+
+    fn join(
+        &self,
+        rule: &Rule,
+        pos: usize,
+        delta_pos: usize,
+        bindings: &mut HashMap<u8, u32>,
+        out: &mut Vec<(RelId, Box<[u32]>)>,
+    ) {
+        if pos == rule.body.len() {
+            let tuple: Box<[u32]> = rule
+                .head
+                .terms
+                .iter()
+                .map(|t| match t {
+                    Term::Const(c) => *c,
+                    Term::Var(v) => bindings[v],
+                })
+                .collect();
+            out.push((rule.head.rel, tuple));
+            return;
+        }
+        let atom = &rule.body[pos];
+        let r = &self.relations[atom.rel.index()];
+        let source: &[Box<[u32]>] = if pos == delta_pos {
+            &r.delta
+        } else {
+            &r.ordered
+        };
+        'tuples: for tuple in source {
+            let mut local_bound: Vec<u8> = Vec::new();
+            for (term, &value) in atom.terms.iter().zip(tuple.iter()) {
+                match term {
+                    Term::Const(c) => {
+                        if *c != value {
+                            for v in local_bound.drain(..) {
+                                bindings.remove(&v);
+                            }
+                            continue 'tuples;
+                        }
+                    }
+                    Term::Var(v) => match bindings.get(v) {
+                        Some(&bound) if bound != value => {
+                            for v in local_bound.drain(..) {
+                                bindings.remove(&v);
+                            }
+                            continue 'tuples;
+                        }
+                        Some(_) => {}
+                        None => {
+                            bindings.insert(*v, value);
+                            local_bound.push(*v);
+                        }
+                    },
+                }
+            }
+            self.join(rule, pos + 1, delta_pos, bindings, out);
+            for v in local_bound {
+                bindings.remove(&v);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: u8) -> Term {
+        Term::var(i)
+    }
+
+    #[test]
+    fn transitive_closure() {
+        let mut db = Database::new();
+        let edge = db.relation("edge", 2);
+        let path = db.relation("path", 2);
+        for e in [[0u32, 1], [1, 2], [2, 3], [3, 4]] {
+            db.insert(edge, &e);
+        }
+        let mut rules = RuleSet::new();
+        rules
+            .add(path, vec![v(0), v(1)])
+            .when(edge, vec![v(0), v(1)]);
+        rules
+            .add(path, vec![v(0), v(2)])
+            .when(path, vec![v(0), v(1)])
+            .when(edge, vec![v(1), v(2)]);
+        db.run(&rules);
+        assert_eq!(db.len(path), 10); // 4+3+2+1
+        assert!(db.contains(path, &[0, 4]));
+        assert!(!db.contains(path, &[4, 0]));
+    }
+
+    #[test]
+    fn fixpoint_is_idempotent() {
+        let mut db = Database::new();
+        let edge = db.relation("edge", 2);
+        let path = db.relation("path", 2);
+        db.insert(edge, &[0, 1]);
+        db.insert(edge, &[1, 0]); // cycle
+        let mut rules = RuleSet::new();
+        rules
+            .add(path, vec![v(0), v(1)])
+            .when(edge, vec![v(0), v(1)]);
+        rules
+            .add(path, vec![v(0), v(2)])
+            .when(path, vec![v(0), v(1)])
+            .when(path, vec![v(1), v(2)]);
+        db.run(&rules);
+        let n = db.len(path);
+        assert_eq!(n, 4); // {0,1}²
+        db.run(&rules);
+        assert_eq!(db.len(path), n);
+    }
+
+    #[test]
+    fn constants_filter_joins() {
+        let mut db = Database::new();
+        let edge = db.relation("edge", 2);
+        let from_zero = db.relation("fromZero", 1);
+        db.insert(edge, &[0, 1]);
+        db.insert(edge, &[5, 6]);
+        let mut rules = RuleSet::new();
+        rules
+            .add(from_zero, vec![v(0)])
+            .when(edge, vec![Term::val(0), v(0)]);
+        db.run(&rules);
+        assert_eq!(db.len(from_zero), 1);
+        assert!(db.contains(from_zero, &[1]));
+    }
+
+    #[test]
+    fn repeated_variables_enforce_equality() {
+        let mut db = Database::new();
+        let edge = db.relation("edge", 2);
+        let self_loop = db.relation("selfLoop", 1);
+        db.insert(edge, &[3, 3]);
+        db.insert(edge, &[3, 4]);
+        let mut rules = RuleSet::new();
+        rules
+            .add(self_loop, vec![v(0)])
+            .when(edge, vec![v(0), v(0)]);
+        db.run(&rules);
+        assert_eq!(db.len(self_loop), 1);
+        assert!(db.contains(self_loop, &[3]));
+    }
+
+    #[test]
+    fn fact_rules_insert_constants() {
+        let mut db = Database::new();
+        let marker = db.relation("marker", 1);
+        let mut rules = RuleSet::new();
+        rules.add(marker, vec![Term::val(42)]);
+        db.run(&rules);
+        assert!(db.contains(marker, &[42]));
+    }
+
+    #[test]
+    #[should_panic(expected = "unbound in the body")]
+    fn unbound_head_var_panics() {
+        let mut db = Database::new();
+        let a = db.relation("a", 1);
+        let b = db.relation("b", 1);
+        let mut rules = RuleSet::new();
+        rules.add(a, vec![v(1)]).when(b, vec![v(0)]);
+        db.run(&rules);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn arity_mismatch_panics() {
+        let mut db = Database::new();
+        let a = db.relation("a", 2);
+        db.insert(a, &[1]);
+    }
+
+    #[test]
+    fn three_way_join() {
+        // grandparent(x, z) :- parent(x, y), parent(y, z), person(z).
+        let mut db = Database::new();
+        let parent = db.relation("parent", 2);
+        let person = db.relation("person", 1);
+        let gp = db.relation("grandparent", 2);
+        db.insert(parent, &[1, 2]);
+        db.insert(parent, &[2, 3]);
+        db.insert(person, &[3]);
+        let mut rules = RuleSet::new();
+        rules
+            .add(gp, vec![v(0), v(2)])
+            .when(parent, vec![v(0), v(1)])
+            .when(parent, vec![v(1), v(2)])
+            .when(person, vec![v(2)]);
+        db.run(&rules);
+        assert_eq!(db.len(gp), 1);
+        assert!(db.contains(gp, &[1, 3]));
+    }
+
+    #[test]
+    fn incremental_inserts_then_rerun() {
+        let mut db = Database::new();
+        let edge = db.relation("edge", 2);
+        let path = db.relation("path", 2);
+        let mut rules = RuleSet::new();
+        rules
+            .add(path, vec![v(0), v(1)])
+            .when(edge, vec![v(0), v(1)]);
+        rules
+            .add(path, vec![v(0), v(2)])
+            .when(path, vec![v(0), v(1)])
+            .when(edge, vec![v(1), v(2)]);
+        db.insert(edge, &[0, 1]);
+        db.run(&rules);
+        assert_eq!(db.len(path), 1);
+        db.insert(edge, &[1, 2]);
+        db.run(&rules);
+        assert!(db.contains(path, &[0, 2]));
+        assert_eq!(db.len(path), 3);
+    }
+
+    #[test]
+    fn deterministic_iteration_order() {
+        let mut db = Database::new();
+        let r = db.relation("r", 1);
+        for i in (0..10).rev() {
+            db.insert(r, &[i]);
+        }
+        let order: Vec<u32> = db.tuples(r).map(|t| t[0]).collect();
+        assert_eq!(order, (0..10).rev().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn diamond_derivations_deduplicate() {
+        let mut db = Database::new();
+        let e = db.relation("e", 2);
+        let p = db.relation("p", 2);
+        // two paths from 0 to 3
+        for t in [[0u32, 1], [0, 2], [1, 3], [2, 3]] {
+            db.insert(e, &t);
+        }
+        let mut rules = RuleSet::new();
+        rules.add(p, vec![v(0), v(1)]).when(e, vec![v(0), v(1)]);
+        rules
+            .add(p, vec![v(0), v(2)])
+            .when(p, vec![v(0), v(1)])
+            .when(e, vec![v(1), v(2)]);
+        db.run(&rules);
+        assert!(db.contains(p, &[0, 3]));
+        assert_eq!(db.len(p), 5); // 4 edges + (0,3) once
+    }
+}

@@ -1,0 +1,133 @@
+//! Property tests for the Datalog engine: monotonicity, idempotence, and
+//! agreement with a reference transitive-closure implementation.
+
+use nadroid_datalog::{Database, RuleSet, Term};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+fn closure_rules(db: &mut Database) -> (nadroid_datalog::RelId, nadroid_datalog::RelId, RuleSet) {
+    let edge = db.relation("edge", 2);
+    let path = db.relation("path", 2);
+    let v = Term::var;
+    let mut rules = RuleSet::new();
+    rules
+        .add(path, vec![v(0), v(1)])
+        .when(edge, vec![v(0), v(1)]);
+    rules
+        .add(path, vec![v(0), v(2)])
+        .when(path, vec![v(0), v(1)])
+        .when(edge, vec![v(1), v(2)]);
+    (edge, path, rules)
+}
+
+/// Reference transitive closure (Warshall over a dense matrix).
+fn reference_closure(n: u32, edges: &[(u32, u32)]) -> BTreeSet<(u32, u32)> {
+    let n = n as usize;
+    let mut reach = vec![vec![false; n]; n];
+    for &(a, b) in edges {
+        reach[a as usize][b as usize] = true;
+    }
+    for k in 0..n {
+        for i in 0..n {
+            if reach[i][k] {
+                let row_k = reach[k].clone();
+                for (j, r) in row_k.iter().enumerate() {
+                    if *r {
+                        reach[i][j] = true;
+                    }
+                }
+            }
+        }
+    }
+    let mut out = BTreeSet::new();
+    for (i, row) in reach.iter().enumerate() {
+        for (j, &r) in row.iter().enumerate() {
+            if r {
+                out.insert((i as u32, j as u32));
+            }
+        }
+    }
+    out
+}
+
+fn edges_strategy() -> impl Strategy<Value = Vec<(u32, u32)>> {
+    prop::collection::vec((0u32..12, 0u32..12), 0..40)
+}
+
+proptest! {
+    /// The engine's fixpoint equals the reference closure.
+    #[test]
+    fn closure_matches_reference(edges in edges_strategy()) {
+        let mut db = Database::new();
+        let (edge, path, rules) = closure_rules(&mut db);
+        for &(a, b) in &edges {
+            db.insert(edge, &[a, b]);
+        }
+        db.run(&rules);
+        let engine: BTreeSet<(u32, u32)> =
+            db.tuples(path).map(|t| (t[0], t[1])).collect();
+        prop_assert_eq!(engine, reference_closure(12, &edges));
+    }
+
+    /// Monotonicity: adding facts never removes derived tuples.
+    #[test]
+    fn adding_facts_is_monotone(
+        edges in edges_strategy(),
+        extra in (0u32..12, 0u32..12),
+    ) {
+        let mut db = Database::new();
+        let (edge, path, rules) = closure_rules(&mut db);
+        for &(a, b) in &edges {
+            db.insert(edge, &[a, b]);
+        }
+        db.run(&rules);
+        let before: BTreeSet<(u32, u32)> =
+            db.tuples(path).map(|t| (t[0], t[1])).collect();
+        db.insert(edge, &[extra.0, extra.1]);
+        db.run(&rules);
+        let after: BTreeSet<(u32, u32)> =
+            db.tuples(path).map(|t| (t[0], t[1])).collect();
+        prop_assert!(before.is_subset(&after));
+    }
+
+    /// Idempotence: re-running the same rules changes nothing.
+    #[test]
+    fn rerun_is_idempotent(edges in edges_strategy()) {
+        let mut db = Database::new();
+        let (edge, path, rules) = closure_rules(&mut db);
+        for &(a, b) in &edges {
+            db.insert(edge, &[a, b]);
+        }
+        db.run(&rules);
+        let n = db.len(path);
+        db.run(&rules);
+        prop_assert_eq!(db.len(path), n);
+    }
+
+    /// Incremental insertion then rerun equals batch insertion.
+    #[test]
+    fn incremental_equals_batch(edges in edges_strategy(), split in 0usize..40) {
+        let split = split.min(edges.len());
+        // Incremental.
+        let mut db1 = Database::new();
+        let (e1, p1, rules) = closure_rules(&mut db1);
+        for &(a, b) in &edges[..split] {
+            db1.insert(e1, &[a, b]);
+        }
+        db1.run(&rules);
+        for &(a, b) in &edges[split..] {
+            db1.insert(e1, &[a, b]);
+        }
+        db1.run(&rules);
+        // Batch.
+        let mut db2 = Database::new();
+        let (e2, p2, rules2) = closure_rules(&mut db2);
+        for &(a, b) in &edges {
+            db2.insert(e2, &[a, b]);
+        }
+        db2.run(&rules2);
+        let inc: BTreeSet<(u32, u32)> = db1.tuples(p1).map(|t| (t[0], t[1])).collect();
+        let bat: BTreeSet<(u32, u32)> = db2.tuples(p2).map(|t| (t[0], t[1])).collect();
+        prop_assert_eq!(inc, bat);
+    }
+}

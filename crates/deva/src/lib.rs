@@ -1,0 +1,320 @@
+//! DEvA baseline: the state-of-the-art static "event anomaly" detector
+//! the paper compares against (§2.3, §8.7).
+//!
+//! This reimplements DEvA's published algorithm with the limitations the
+//! paper documents, which is what makes the Table 3 comparison
+//! meaningful:
+//!
+//! 1. **Intra-class scope**: read/write sets are computed per class and
+//!    its inner classes; inter-class racy accesses are invisible.
+//! 2. **No multi-threading**: Runnable, Thread, AsyncTask, and Handler
+//!    classes are not treated as concurrent units — their accesses are
+//!    ignored, and all methods are assumed atomic.
+//! 3. **Unsound if-guard and intra-allocation filters**: applied without
+//!    any atomicity analysis.
+//! 4. **No happens-before reasoning**: pairs ordered by the Android
+//!    lifecycle (e.g. frees in `onDestroy`) are still reported — the
+//!    false positives nAdroid's MHB filter removes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use nadroid_android::{CallbackKind, ClassRole};
+use nadroid_ir::walk::{self, InstrCtx};
+use nadroid_ir::{ClassId, FieldId, InstrId, Local, MethodId, Op, Program};
+use std::collections::HashMap;
+
+/// One DEvA event-anomaly warning.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DevaWarning {
+    /// The racy field.
+    pub field: FieldId,
+    /// The class group (outermost class) the anomaly was found in.
+    pub group: ClassId,
+    /// The handler containing the use.
+    pub use_handler: MethodId,
+    /// The use instruction.
+    pub use_instr: InstrId,
+    /// The handler containing the free.
+    pub free_handler: MethodId,
+    /// The free instruction.
+    pub free_instr: InstrId,
+}
+
+impl DevaWarning {
+    /// The (use, free) pair, comparable with nAdroid warnings.
+    #[must_use]
+    pub fn pair(&self) -> (InstrId, InstrId) {
+        (self.use_instr, self.free_instr)
+    }
+}
+
+/// Whether DEvA treats a class as hosting event handlers at all
+/// (limitation 2: thread-adjacent classes are not concurrent units).
+fn analyzed_role(role: ClassRole) -> bool {
+    !matches!(
+        role,
+        ClassRole::Runnable | ClassRole::Thread | ClassRole::AsyncTask | ClassRole::Handler
+    )
+}
+
+/// Whether DEvA considers a callback an event handler.
+fn is_handler(kind: CallbackKind) -> bool {
+    kind.runs_on_looper()
+        && !matches!(
+            kind,
+            CallbackKind::PostedRun
+                | CallbackKind::HandleMessage
+                | CallbackKind::OnPreExecute
+                | CallbackKind::OnProgressUpdate
+                | CallbackKind::OnPostExecute
+        )
+}
+
+#[derive(Debug, Clone)]
+struct HandlerAccess {
+    handler: MethodId,
+    instr: InstrId,
+    field: FieldId,
+    guarded: bool,
+    alloc_before: bool,
+}
+
+/// Run DEvA over a program.
+#[must_use]
+pub fn run_deva(program: &Program) -> Vec<DevaWarning> {
+    // Group classes by their outermost class.
+    let mut groups: HashMap<ClassId, Vec<ClassId>> = HashMap::new();
+    for (cid, _) in program.classes() {
+        groups
+            .entry(program.outermost_class(cid))
+            .or_default()
+            .push(cid);
+    }
+
+    let mut out = Vec::new();
+    for (&group, members) in &groups {
+        let (uses, frees) = group_accesses(program, members);
+        for u in &uses {
+            // Unsound filters: guard or allocation-before drops the use
+            // with no atomicity consideration (limitation 3).
+            if u.guarded || u.alloc_before {
+                continue;
+            }
+            for f in &frees {
+                if u.field != f.field || u.handler == f.handler {
+                    continue;
+                }
+                out.push(DevaWarning {
+                    field: u.field,
+                    group,
+                    use_handler: u.handler,
+                    use_instr: u.instr,
+                    free_handler: f.handler,
+                    free_instr: f.instr,
+                });
+            }
+        }
+    }
+    out.sort_by_key(DevaWarning::pair);
+    out
+}
+
+/// Collect the handler-attributed uses and frees of one class group.
+fn group_accesses(
+    program: &Program,
+    members: &[ClassId],
+) -> (Vec<HandlerAccess>, Vec<HandlerAccess>) {
+    let group_fields: Vec<FieldId> = members
+        .iter()
+        .flat_map(|&c| program.class(c).fields().iter().copied())
+        .collect();
+    let mut uses = Vec::new();
+    let mut frees = Vec::new();
+    for &c in members {
+        if !analyzed_role(program.class(c).role()) {
+            continue;
+        }
+        for &h in program.class(c).methods() {
+            let Some(kind) = program.method(h).callback() else {
+                continue;
+            };
+            if !is_handler(kind) {
+                continue;
+            }
+            // Intra-class read/write sets: the handler plus plain methods
+            // it calls *within the group*.
+            for m in nadroid_threadify::own_methods(program, h) {
+                if !members.contains(&program.method(m).owner()) {
+                    continue;
+                }
+                collect_method(program, m, h, &group_fields, &mut uses, &mut frees);
+            }
+        }
+    }
+    (uses, frees)
+}
+
+fn collect_method(
+    program: &Program,
+    method: MethodId,
+    handler: MethodId,
+    group_fields: &[FieldId],
+    uses: &mut Vec<HandlerAccess>,
+    frees: &mut Vec<HandlerAccess>,
+) {
+    // DEvA's "allocation before" is a crude linear scan: any store of a
+    // fresh object into the field earlier in the method body counts,
+    // path-insensitively (limitation 3).
+    let mut allocated: Vec<FieldId> = Vec::new();
+    let mut fresh: Vec<Local> = Vec::new();
+    walk::walk_method(program, method, &mut |i, ctx: &InstrCtx| match i.op {
+        Op::New { dst, .. } => fresh.push(dst),
+        Op::Store { field, src, .. } if fresh.contains(&src) && !allocated.contains(&field) => {
+            allocated.push(field);
+        }
+        Op::Load { base, field, .. } if group_fields.contains(&field) => {
+            uses.push(HandlerAccess {
+                handler,
+                instr: i.id,
+                field,
+                guarded: ctx.guarded_non_null(base, field),
+                alloc_before: allocated.contains(&field),
+            });
+        }
+        Op::StoreNull { field, .. } if group_fields.contains(&field) => {
+            frees.push(HandlerAccess {
+                handler,
+                instr: i.id,
+                field,
+                guarded: false,
+                alloc_before: false,
+            });
+        }
+        _ => {}
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nadroid_ir::parse_program;
+    use nadroid_ir::Program;
+
+    fn deva(src: &str) -> (Program, Vec<DevaWarning>) {
+        let p = parse_program(src).unwrap_or_else(|e| panic!("{e}"));
+        let w = run_deva(&p);
+        (p, w)
+    }
+
+    #[test]
+    fn reports_intra_class_anomalies_including_ondestroy() {
+        // The Table 3 pattern: DEvA flags onDestroy frees that nAdroid's
+        // MHB filter would prune.
+        let (p, w) = deva(
+            r#"
+            app Music
+            activity AlbBrowActv {
+                field mAdapter: AlbBrowActv
+                cb onActivityResult { use mAdapter }
+                cb onDestroy { mAdapter = null }
+            }
+            "#,
+        );
+        assert_eq!(w.len(), 1);
+        let act = p.class_by_name("AlbBrowActv").unwrap();
+        assert_eq!(p.method(w[0].free_handler).name(), "onDestroy");
+        assert_eq!(w[0].group, act);
+    }
+
+    #[test]
+    fn misses_cross_class_races() {
+        // Figure 1(b)-style: the use sits in a posted Runnable; DEvA's
+        // scope never sees it.
+        let (_p, w) = deva(
+            r#"
+            app ConnectBot
+            activity Console {
+                field hostBridge: Console
+                cb onCreate { bind this }
+                cb onServiceConnected { hostBridge = new Console }
+                cb onServiceDisconnected { hostBridge = null }
+                cb onClick { if hostBridge != null { post R } }
+            }
+            runnable R in Console {
+                cb run { use outer.hostBridge }
+            }
+            "#,
+        );
+        assert!(w.is_empty(), "DEvA misses the posted use: {w:?}");
+    }
+
+    #[test]
+    fn misses_thread_races() {
+        // Figure 1(c): the freeing access lives in a Thread class.
+        let (_p, w) = deva(
+            r#"
+            app FireFox
+            activity Main {
+                field jClient: Main
+                cb onResume { spawn W }
+                cb onPause { use jClient }
+            }
+            thread W in Main {
+                cb run { outer.jClient = null }
+            }
+            "#,
+        );
+        assert!(w.is_empty(), "DEvA ignores the thread's free: {w:?}");
+    }
+
+    #[test]
+    fn unsound_guard_filter_drops_guarded_uses() {
+        let (_p, w) = deva(
+            r#"
+            app G
+            activity M {
+                field f: M
+                cb onClick { if f != null { use f } }
+                cb onPause { f = null }
+            }
+            "#,
+        );
+        assert!(w.is_empty(), "guarded use dropped without atomicity check");
+    }
+
+    #[test]
+    fn unsound_alloc_filter_drops_alloc_before_uses() {
+        let (_p, w) = deva(
+            r#"
+            app A
+            activity M {
+                field f: M
+                cb onClick {
+                    if ? { f = new M } else { }
+                    use f
+                }
+                cb onPause { f = null }
+            }
+            "#,
+        );
+        // A may-allocation suffices for DEvA (path-insensitive, unsound);
+        // nAdroid's sound IA would keep this pair.
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn detects_plain_two_handler_anomaly() {
+        let (_p, w) = deva(
+            r#"
+            app D
+            activity M {
+                field f: M
+                cb onClick { use f }
+                cb onPause { f = null }
+            }
+            "#,
+        );
+        assert_eq!(w.len(), 1);
+    }
+}

@@ -1,0 +1,364 @@
+//! A CAFA-style *trace-based* dynamic race detector (§2.3's comparison
+//! class: Hsiao et al., PLDI'14).
+//!
+//! Dynamic detectors execute the app under some schedule, record an
+//! access trace, and flag use/free pairs that the trace's
+//! happens-before relation leaves unordered — so a race is reported even
+//! when the observed schedule didn't crash. Their weakness, which the
+//! paper leans on, is *coverage*: only accesses that actually executed
+//! can race. [`coverage`] quantifies that by unioning the races found
+//! over N random schedules, to be compared with the static detector's
+//! findings.
+//!
+//! Happens-before edges over callback/thread *segments*:
+//! - program order within a segment (callbacks run to completion);
+//! - the post edge: enqueuing segment → the posted callback's segment;
+//! - the fork edge: spawning segment → the thread's segment.
+//!
+//! Two callbacks on the same looper get **no** implicit edge — their
+//! dispatch order is scheduler nondeterminism, which is exactly the
+//! single-thread race class CAFA introduced.
+
+use crate::world::{Step, TraceEvent, World};
+use nadroid_ir::{FieldId, InstrId, Program};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::collections::{BTreeSet, HashMap};
+
+/// A dynamically detected UAF race.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct DynamicRace {
+    /// The use (`Load`) instruction.
+    pub use_instr: InstrId,
+    /// The free (`StoreNull`) instruction.
+    pub free_instr: InstrId,
+    /// The racy field.
+    pub field: FieldId,
+}
+
+/// Execute one random schedule, recording the structured trace.
+///
+/// The schedule picks uniformly among enabled steps (bounded by
+/// `max_steps` micro-steps and `max_events` dispatches) — the "automatic
+/// UI exploration" input generators of the dynamic tools.
+#[must_use]
+pub fn run_random_schedule(
+    program: &Program,
+    seed: u64,
+    max_steps: usize,
+    max_events: usize,
+) -> Vec<TraceEvent> {
+    let mut world = World::new(program);
+    world.record_events = true;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    while world.steps < max_steps && world.npe.is_none() {
+        let mut steps = world.enabled_steps();
+        if world.events >= max_events {
+            steps.retain(|s| matches!(s, Step::Advance { .. }));
+        }
+        let Some(step) = steps.choose(&mut rng).cloned() else {
+            break;
+        };
+        world.step(&step);
+    }
+    std::mem::take(&mut world.events_log)
+}
+
+/// Offline race detection over one trace.
+#[must_use]
+pub fn detect_races(trace: &[TraceEvent]) -> Vec<DynamicRace> {
+    // 1. Segment the trace.
+    #[derive(Debug, Default, Clone)]
+    struct Segment {
+        uses: Vec<(InstrId, u32, FieldId)>,
+        frees: Vec<(InstrId, u32, FieldId)>,
+    }
+    let mut segments: Vec<Segment> = Vec::new();
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    let mut current: HashMap<u32, usize> = HashMap::new(); // task -> open segment
+    let mut pending_post: HashMap<u32, usize> = HashMap::new(); // seq -> poster segment
+    let mut awaiting_post: Option<usize> = None; // poster segment of the next SegmentBegin
+    let mut pending_spawn: HashMap<u32, usize> = HashMap::new(); // child task -> spawner segment
+
+    for ev in trace {
+        match *ev {
+            TraceEvent::SegmentBegin { task, .. } => {
+                let id = segments.len();
+                segments.push(Segment::default());
+                current.insert(task.0, id);
+                if let Some(poster) = awaiting_post.take() {
+                    edges.push((poster, id));
+                }
+                if let Some(spawner) = pending_spawn.remove(&task.0) {
+                    edges.push((spawner, id));
+                }
+            }
+            TraceEvent::SegmentEnd { task } => {
+                current.remove(&task.0);
+            }
+            TraceEvent::Use {
+                task,
+                instr,
+                obj,
+                field,
+            } => {
+                if let Some(&seg) = current.get(&task.0) {
+                    segments[seg].uses.push((instr, obj.0, field));
+                }
+            }
+            TraceEvent::Free {
+                task,
+                instr,
+                obj,
+                field,
+            } => {
+                if let Some(&seg) = current.get(&task.0) {
+                    segments[seg].frees.push((instr, obj.0, field));
+                }
+            }
+            TraceEvent::PostEnqueue { from, seq } => {
+                if let Some(&seg) = current.get(&from.0) {
+                    pending_post.insert(seq, seg);
+                }
+            }
+            TraceEvent::PostDequeue { seq } => {
+                awaiting_post = pending_post.remove(&seq);
+            }
+            TraceEvent::Spawn { from, child } => {
+                if let Some(&seg) = current.get(&from.0) {
+                    pending_spawn.insert(child.0, seg);
+                }
+            }
+        }
+    }
+
+    // 2. Happens-before closure over the segment DAG.
+    let n = segments.len();
+    let mut reach = vec![vec![false; n]; n];
+    for &(a, b) in &edges {
+        reach[a][b] = true;
+    }
+    for k in 0..n {
+        for i in 0..n {
+            if reach[i][k] {
+                let row_k = reach[k].clone();
+                for (j, r) in row_k.iter().enumerate() {
+                    if *r {
+                        reach[i][j] = true;
+                    }
+                }
+            }
+        }
+    }
+    let ordered = |a: usize, b: usize| a == b || reach[a][b] || reach[b][a];
+
+    // 3. Racy (use, free) pairs on the same concrete (object, field).
+    let mut out = BTreeSet::new();
+    for (si, s) in segments.iter().enumerate() {
+        for &(u, uobj, ufield) in &s.uses {
+            for (ti, t) in segments.iter().enumerate() {
+                if ordered(si, ti) {
+                    continue;
+                }
+                for &(f, fobj, ffield) in &t.frees {
+                    if uobj == fobj && ufield == ffield {
+                        out.insert(DynamicRace {
+                            use_instr: u,
+                            free_instr: f,
+                            field: ufield,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    out.into_iter().collect()
+}
+
+/// Union of races found over `schedules` random executions — the
+/// coverage a CAFA-style tool achieves with that testing budget.
+#[must_use]
+pub fn coverage(
+    program: &Program,
+    schedules: u64,
+    base_seed: u64,
+    max_steps: usize,
+    max_events: usize,
+) -> BTreeSet<DynamicRace> {
+    let mut found = BTreeSet::new();
+    for s in 0..schedules {
+        let trace = run_random_schedule(program, base_seed.wrapping_add(s), max_steps, max_events);
+        found.extend(detect_races(&trace));
+    }
+    found
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nadroid_ir::parse_program;
+
+    #[test]
+    fn race_detected_without_witnessing_the_crash() {
+        // The trace observes use-then-free (no NPE), but the two
+        // callbacks are unordered by HB, so the race is still reported —
+        // the defining property of trace-based detection.
+        let p = parse_program(
+            r#"
+            app T
+            activity M {
+                field f: M
+                cb onCreate { f = new M }
+                cb onClick { use f }
+                cb onPause { f = null }
+            }
+            "#,
+        )
+        .unwrap();
+        let mut races = BTreeSet::new();
+        for seed in 0..40u64 {
+            let trace = run_random_schedule(&p, seed, 300, 8);
+            races.extend(detect_races(&trace));
+        }
+        assert!(!races.is_empty(), "some schedule exercises both accesses");
+    }
+
+    #[test]
+    fn post_edge_orders_poster_and_postee() {
+        // A synthetic single-click trace: the poster's use is ordered
+        // before its posted free by the post edge, so no race.
+        use crate::world::TaskId;
+        let t0 = TaskId(0);
+        let obj = crate::HeapRef(0);
+        let f = FieldId::from_raw(0);
+        let trace = vec![
+            TraceEvent::SegmentBegin {
+                task: t0,
+                method: nadroid_ir::MethodId::from_raw(0),
+                target: Some(obj),
+            },
+            TraceEvent::Use {
+                task: t0,
+                instr: InstrId::from_raw(1),
+                obj,
+                field: f,
+            },
+            TraceEvent::PostEnqueue { from: t0, seq: 0 },
+            TraceEvent::SegmentEnd { task: t0 },
+            TraceEvent::PostDequeue { seq: 0 },
+            TraceEvent::SegmentBegin {
+                task: t0,
+                method: nadroid_ir::MethodId::from_raw(1),
+                target: Some(obj),
+            },
+            TraceEvent::Free {
+                task: t0,
+                instr: InstrId::from_raw(2),
+                obj,
+                field: f,
+            },
+            TraceEvent::SegmentEnd { task: t0 },
+        ];
+        assert!(detect_races(&trace).is_empty());
+    }
+
+    #[test]
+    fn repeated_clicks_expose_the_phb_unsoundness() {
+        // §6.2.1: the PHB filter "assumes that two different instances of
+        // UI event callbacks do not share an object/field at runtime. If
+        // they do, another call to the onClick callback may lead to a UAF
+        // error." The trace-based detector sees exactly that: a second
+        // click's use races with the first click's posted free.
+        let p = parse_program(
+            r#"
+            app P
+            activity M {
+                field f: M
+                cb onCreate { f = new M }
+                cb onClick { use f  send H }
+            }
+            handler H in M { cb handleMessage { outer.f = null } }
+            "#,
+        )
+        .unwrap();
+        let mut races = BTreeSet::new();
+        for seed in 0..40u64 {
+            races.extend(detect_races(&run_random_schedule(&p, seed, 300, 8)));
+        }
+        assert!(
+            !races.is_empty(),
+            "a double-click schedule exposes the race"
+        );
+    }
+
+    #[test]
+    fn fork_edge_orders_spawner_and_thread() {
+        let p = parse_program(
+            r#"
+            app F
+            activity M {
+                field f: M
+                cb onCreate { f = new M  use f  spawn W }
+            }
+            thread W in M { cb run { outer.f = null } }
+            "#,
+        )
+        .unwrap();
+        for seed in 0..30u64 {
+            let trace = run_random_schedule(&p, seed, 300, 8);
+            let races = detect_races(&trace);
+            assert!(
+                races.is_empty(),
+                "seed {seed}: fork edge must order the pair: {races:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn same_segment_accesses_never_race() {
+        let p = parse_program(
+            r#"
+            app S
+            activity M {
+                field f: M
+                cb onClick { f = new M  use f  f = null }
+            }
+            "#,
+        )
+        .unwrap();
+        for seed in 0..10u64 {
+            let trace = run_random_schedule(&p, seed, 200, 6);
+            assert!(detect_races(&trace).is_empty());
+        }
+    }
+
+    #[test]
+    fn coverage_grows_with_schedules() {
+        // Two independent races; a single schedule may see only one.
+        let p = parse_program(
+            r#"
+            app C
+            activity A1 {
+                field f1: A1
+                cb onCreate { f1 = new A1 }
+                cb onClick { use f1 }
+                cb onPause { f1 = null }
+            }
+            activity A2 {
+                field f2: A2
+                cb onCreate { f2 = new A2 }
+                cb onClick { use f2 }
+                cb onPause { f2 = null }
+            }
+            "#,
+        )
+        .unwrap();
+        let few = coverage(&p, 1, 7, 250, 8);
+        let many = coverage(&p, 60, 7, 250, 8);
+        assert!(few.len() <= many.len());
+        assert!(
+            many.len() >= 2,
+            "enough schedules cover both races: {many:?}"
+        );
+    }
+}

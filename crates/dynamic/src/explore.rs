@@ -1,0 +1,335 @@
+//! Bounded schedule exploration: search for `NullPointerException`
+//! witnesses.
+//!
+//! §7 of the paper validates potential UAF warnings by manually
+//! constructing schedules that trigger an NPE. This module automates that
+//! search over the interpreter: a depth-first exploration of event
+//! dispatch orders, thread interleavings, and opaque-branch resolutions,
+//! bounded by step/event budgets and deduplicated by state fingerprints.
+
+use crate::world::{Npe, Step, World};
+use nadroid_ir::{InstrId, Program};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashSet;
+use std::hash::{Hash, Hasher};
+
+/// Exploration bounds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExploreConfig {
+    /// Maximum framework events dispatched along one path.
+    pub max_events: usize,
+    /// Maximum micro-steps along one path.
+    pub max_steps: usize,
+    /// Global budget of explored states.
+    pub max_states: usize,
+    /// Loop unrolling bound.
+    pub max_loop_iters: u32,
+}
+
+impl Default for ExploreConfig {
+    fn default() -> Self {
+        ExploreConfig {
+            max_events: 8,
+            max_steps: 400,
+            max_states: 200_000,
+            max_loop_iters: 1,
+        }
+    }
+}
+
+/// A schedule that triggers an NPE.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Witness {
+    /// The NPE.
+    pub npe: Npe,
+    /// The schedule trace (dispatched events and the throw site).
+    pub trace: Vec<String>,
+    /// The exact step sequence; [`replay`] reproduces the NPE from it.
+    pub schedule: Vec<Step>,
+    /// States explored before the witness was found.
+    pub states_explored: usize,
+}
+
+/// The goal of a search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Goal {
+    /// Any `NullPointerException`.
+    AnyNpe,
+    /// An NPE whose null value was loaded by the given use instruction
+    /// (matches a static warning's use site), or thrown at it.
+    AtUse(InstrId),
+    /// An NPE attributable to a specific warning: the null was loaded by
+    /// `use_instr` and written by `free_instr`.
+    Pair {
+        /// The warning's use (`Load`) instruction.
+        use_instr: InstrId,
+        /// The warning's free (`StoreNull`) instruction.
+        free_instr: InstrId,
+    },
+}
+
+impl Goal {
+    fn matches(self, npe: &Npe) -> bool {
+        match self {
+            Goal::AnyNpe => true,
+            Goal::AtUse(u) => npe.loaded_from == Some(u) || npe.at == u,
+            Goal::Pair {
+                use_instr,
+                free_instr,
+            } => npe.loaded_from == Some(use_instr) && npe.freed_by == Some(free_instr),
+        }
+    }
+}
+
+/// Search for an NPE witness under the given bounds.
+#[must_use]
+pub fn explore(program: &Program, goal: Goal, cfg: ExploreConfig) -> Option<Witness> {
+    let mut initial = World::new(program);
+    initial.max_loop_iters = cfg.max_loop_iters;
+    let mut stack: Vec<World<'_>> = vec![initial];
+    let mut visited: HashSet<u64> = HashSet::new();
+    let mut states = 0usize;
+
+    while let Some(world) = stack.pop() {
+        if states >= cfg.max_states {
+            return None;
+        }
+        states += 1;
+        if let Some(npe) = &world.npe {
+            if goal.matches(npe) {
+                return Some(Witness {
+                    npe: npe.clone(),
+                    trace: world.trace.clone(),
+                    schedule: world.schedule.clone(),
+                    states_explored: states,
+                });
+            }
+            continue;
+        }
+        if world.steps >= cfg.max_steps {
+            continue;
+        }
+        for step in world.enabled_steps() {
+            if let Step::Dispatch(_) = step {
+                if world.events >= cfg.max_events {
+                    continue;
+                }
+            }
+            let mut next = world.clone();
+            if !next.step(&step) {
+                continue;
+            }
+            // Check NPEs eagerly: a throwing state has the same heap and
+            // frame shape as its parent, so it must not be deduplicated.
+            if let Some(npe) = &next.npe {
+                if goal.matches(npe) {
+                    return Some(Witness {
+                        npe: npe.clone(),
+                        trace: next.trace.clone(),
+                        schedule: next.schedule.clone(),
+                        states_explored: states,
+                    });
+                }
+                continue;
+            }
+            let fp = fingerprint(&next);
+            if visited.insert(fp) {
+                stack.push(next);
+            }
+        }
+    }
+    None
+}
+
+/// Convenience: search for any NPE with default bounds.
+#[must_use]
+pub fn find_any_npe(program: &Program) -> Option<Witness> {
+    explore(program, Goal::AnyNpe, ExploreConfig::default())
+}
+
+/// Convenience: search for an NPE at a specific use site with default
+/// bounds.
+#[must_use]
+pub fn find_npe_at_use(program: &Program, use_instr: InstrId) -> Option<Witness> {
+    explore(program, Goal::AtUse(use_instr), ExploreConfig::default())
+}
+
+/// Deterministically replay a step sequence (e.g. a [`Witness`]
+/// schedule) and return the final world — the reproduction workflow the
+/// paper performs by hand in §7.
+#[must_use]
+pub fn replay<'p>(program: &'p Program, schedule: &[Step]) -> World<'p> {
+    let mut world = World::new(program);
+    for step in schedule {
+        if !world.step(step) {
+            break;
+        }
+    }
+    world
+}
+
+/// Minimize a witness schedule by greedy delta-debugging: repeatedly try
+/// dropping steps, keeping a drop when the replay still ends in the same
+/// NPE. The result is an (often much) shorter schedule a developer can
+/// read as a reproduction recipe.
+#[must_use]
+pub fn minimize_schedule(program: &Program, schedule: &[Step], npe: &Npe) -> Vec<Step> {
+    let reproduces = |candidate: &[Step]| {
+        let world = replay(program, candidate);
+        world.npe.as_ref() == Some(npe)
+    };
+    let mut current: Vec<Step> = schedule.to_vec();
+    debug_assert!(reproduces(&current));
+    let mut changed = true;
+    while changed {
+        changed = false;
+        let mut i = 0;
+        while i < current.len() {
+            let mut candidate = current.clone();
+            candidate.remove(i);
+            if reproduces(&candidate) {
+                current = candidate;
+                changed = true;
+            } else {
+                i += 1;
+            }
+        }
+    }
+    current
+}
+
+/// A stable fingerprint of the scheduling-relevant state (heap, frames,
+/// queues, component states) — progress counters and traces excluded so
+/// that converging schedules deduplicate.
+fn fingerprint(w: &World<'_>) -> u64 {
+    let mut h = DefaultHasher::new();
+    // Heap.
+    for i in 0..w.heap.len() {
+        let r = crate::machine::HeapRef(i as u32);
+        w.heap.class_of(r).raw().hash(&mut h);
+        let obj_fields: std::collections::BTreeMap<u32, i64> = (0..w.program_field_count())
+            .filter_map(|f| {
+                let fid = nadroid_ir::FieldId::from_raw(f);
+                match w.heap.load(r, fid) {
+                    crate::machine::Value::Null => None,
+                    crate::machine::Value::Obj(o) => Some((f, i64::from(o.0))),
+                }
+            })
+            .collect();
+        obj_fields.hash(&mut h);
+    }
+    // Tasks.
+    for t in &w.tasks {
+        t.done.hash(&mut h);
+        for f in &t.frames {
+            f.method.raw().hash(&mut h);
+            f.pc.hash(&mut h);
+            for v in &f.locals {
+                match v {
+                    crate::machine::Value::Null => (-1i64).hash(&mut h),
+                    crate::machine::Value::Obj(o) => i64::from(o.0).hash(&mut h),
+                }
+            }
+            let budget: std::collections::BTreeMap<_, _> =
+                f.loop_budget.iter().map(|(k, v)| (*k, *v)).collect();
+            budget.hash(&mut h);
+        }
+    }
+    // Queues and component state.
+    let mut queues: Vec<u32> = w.posts.keys().copied().collect();
+    queues.sort_unstable();
+    for q in queues {
+        q.hash(&mut h);
+        for p in &w.posts[&q] {
+            p.target.0.hash(&mut h);
+            p.method.raw().hash(&mut h);
+        }
+    }
+    let mut lcs: Vec<(u32, u8)> = w
+        .lifecycles
+        .iter()
+        .map(|(c, l)| (c.raw(), l.state() as u8))
+        .collect();
+    lcs.sort_unstable();
+    lcs.hash(&mut h);
+    let mut fin: Vec<u32> = w.finished.iter().map(|c| c.raw()).collect();
+    fin.sort_unstable();
+    fin.hash(&mut h);
+    for (c, s) in &w.connections {
+        c.0.hash(&mut h);
+        (*s as u8).hash(&mut h);
+    }
+    for r in &w.receivers {
+        r.0.hash(&mut h);
+    }
+    for (l, m) in &w.listeners {
+        l.0.hash(&mut h);
+        m.raw().hash(&mut h);
+    }
+    for a in &w.async_runs {
+        a.obj.0.hash(&mut h);
+        (a.phase as u8).hash(&mut h);
+    }
+    let mut mons: Vec<(u32, u32, u32)> = w
+        .monitors
+        .iter()
+        .map(|(r, (t, d))| (r.0, t.0, *d))
+        .collect();
+    mons.sort_unstable();
+    mons.hash(&mut h);
+    let mut wl: Vec<(u32, u32)> = w.wakelocks.iter().map(|(r, n)| (r.0, *n)).collect();
+    wl.sort_unstable();
+    wl.hash(&mut h);
+    let mut svc: Vec<(u32, u8)> = w
+        .services
+        .iter()
+        .map(|(c, s)| (c.raw(), *s as u8))
+        .collect();
+    svc.sort_unstable();
+    svc.hash(&mut h);
+    h.finish()
+}
+
+/// Search for a **no-sleep witness** (§9's energy-bug client): a schedule
+/// that leaves the app backgrounded and idle with a wake lock still held.
+#[must_use]
+pub fn explore_no_sleep(program: &Program, cfg: ExploreConfig) -> Option<Vec<String>> {
+    let mut initial = World::new(program);
+    initial.max_loop_iters = cfg.max_loop_iters;
+    let mut stack: Vec<World<'_>> = vec![initial];
+    let mut visited: HashSet<u64> = HashSet::new();
+    let mut states = 0usize;
+    while let Some(world) = stack.pop() {
+        if states >= cfg.max_states {
+            return None;
+        }
+        states += 1;
+        if world.npe.is_some() {
+            continue;
+        }
+        if world.holds_wakelock() && world.quiescent_background() {
+            let mut trace = world.trace.clone();
+            trace.push("QUIESCENT with wake lock held".to_owned());
+            return Some(trace);
+        }
+        if world.steps >= cfg.max_steps {
+            continue;
+        }
+        for step in world.enabled_steps() {
+            if let Step::Dispatch(_) = step {
+                if world.events >= cfg.max_events {
+                    continue;
+                }
+            }
+            let mut next = world.clone();
+            if !next.step(&step) {
+                continue;
+            }
+            let fp = fingerprint(&next);
+            if visited.insert(fp) {
+                stack.push(next);
+            }
+        }
+    }
+    None
+}

@@ -1,0 +1,414 @@
+//! The sound and unsound false-positive filters of §6.
+//!
+//! nAdroid prunes potential UAF warnings with filters derived from the
+//! Android concurrency model and its happens-before relation:
+//!
+//! | Filter | Kind | Rule |
+//! |---|---|---|
+//! | MHB | sound | use must-happen-before free (Service, AsyncTask, Lifecycle) |
+//! | IG | sound | use guarded by a null check, under atomicity or a common lock |
+//! | IA | sound | must-allocation before the use in the same callback |
+//! | RHB | unsound | `onResume` may re-allocate before a UI-use / `onPause`-free pair |
+//! | CHB | unsound | the freeing callback may cancel the use's callback family |
+//! | PHB | unsound | the use's callback posted the freeing callback |
+//! | MA | unsound | IA with custom getters assumed non-null |
+//! | UR | unsound | the use only flows to return/argument positions |
+//! | TT | unsound | both endpoints are native (non-looper) threads |
+//!
+//! Filters are independent, composable passes: [`Filters::prunes`]
+//! answers one filter for one warning (Figure 5 measures them
+//! individually), and [`Filters::pipeline`] applies a sequence with
+//! first-pruner attribution (the Table 1 columns).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dataflow;
+pub mod nosleep;
+
+use nadroid_android::lifecycle;
+use nadroid_android::{CallbackKind, CancelApi};
+use nadroid_detector::{common_must_lock, UafWarning, UseConsumption};
+use nadroid_ir::Program;
+use nadroid_pointsto::{Escape, PointsTo};
+use nadroid_threadify::resolve::SiteAction;
+use nadroid_threadify::{SpawnVia, ThreadId, ThreadKind, ThreadModel};
+use std::fmt;
+
+/// The nine filters of §6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum FilterKind {
+    /// Must-happens-before (sound, §6.1.1).
+    Mhb,
+    /// If-guard (sound, §6.1.2).
+    Ig,
+    /// Intra-allocation (sound, §6.1.3).
+    Ia,
+    /// Resume-happens-before (unsound, §6.2.1).
+    Rhb,
+    /// Cancel-happens-before (unsound, §6.2.1).
+    Chb,
+    /// Post-happens-before (unsound, §6.2.1).
+    Phb,
+    /// Maybe-allocation (unsound, §6.2.2).
+    Ma,
+    /// Used-for-return (unsound, §6.2.3).
+    Ur,
+    /// Thread-thread (unsound, §6.2.4).
+    Tt,
+}
+
+impl FilterKind {
+    /// All filters in pipeline order (sound first, as in §8.3).
+    #[must_use]
+    pub fn all() -> &'static [FilterKind] {
+        use FilterKind::*;
+        &[Mhb, Ig, Ia, Rhb, Chb, Phb, Ma, Ur, Tt]
+    }
+
+    /// The sound filters.
+    #[must_use]
+    pub fn sound() -> &'static [FilterKind] {
+        use FilterKind::*;
+        &[Mhb, Ig, Ia]
+    }
+
+    /// The unsound filters.
+    #[must_use]
+    pub fn unsound() -> &'static [FilterKind] {
+        use FilterKind::*;
+        &[Rhb, Chb, Phb, Ma, Ur, Tt]
+    }
+
+    /// The may-happens-before family (RHB + CHB + PHB), reported jointly
+    /// as "mayHB" in Figure 5(b).
+    #[must_use]
+    pub fn may_hb() -> &'static [FilterKind] {
+        use FilterKind::*;
+        &[Rhb, Chb, Phb]
+    }
+
+    /// Whether the filter is sound (never prunes a feasible UAF).
+    #[must_use]
+    pub fn is_sound(self) -> bool {
+        matches!(self, FilterKind::Mhb | FilterKind::Ig | FilterKind::Ia)
+    }
+
+    /// Short display name as used in the paper.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            FilterKind::Mhb => "MHB",
+            FilterKind::Ig => "IG",
+            FilterKind::Ia => "IA",
+            FilterKind::Rhb => "RHB",
+            FilterKind::Chb => "CHB",
+            FilterKind::Phb => "PHB",
+            FilterKind::Ma => "MA",
+            FilterKind::Ur => "UR",
+            FilterKind::Tt => "TT",
+        }
+    }
+}
+
+impl fmt::Display for FilterKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Outcome of running a filter pipeline over one warning.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FilterOutcome {
+    /// The warning.
+    pub warning: UafWarning,
+    /// The first filter (in pipeline order) that pruned it, if any.
+    pub pruned_by: Option<FilterKind>,
+    /// Every filter in the pipeline that would prune it individually
+    /// (Figure 5 overlap analysis).
+    pub all_pruning: Vec<FilterKind>,
+}
+
+impl FilterOutcome {
+    /// Whether the warning survived the pipeline.
+    #[must_use]
+    pub fn survives(&self) -> bool {
+        self.pruned_by.is_none()
+    }
+}
+
+/// Filter engine bound to one analyzed program.
+#[derive(Debug, Clone, Copy)]
+pub struct Filters<'a> {
+    program: &'a Program,
+    threads: &'a ThreadModel,
+    pts: &'a PointsTo,
+}
+
+impl<'a> Filters<'a> {
+    /// Bind the filter engine to analysis results.
+    #[must_use]
+    pub fn new(
+        program: &'a Program,
+        threads: &'a ThreadModel,
+        pts: &'a PointsTo,
+        escape: &'a Escape,
+    ) -> Self {
+        let _ = escape; // reserved: escape-aware refinements
+        Filters {
+            program,
+            threads,
+            pts,
+        }
+    }
+
+    /// Whether `kind` prunes `w` when applied individually.
+    #[must_use]
+    pub fn prunes(&self, kind: FilterKind, w: &UafWarning) -> bool {
+        match kind {
+            FilterKind::Mhb => self.mhb(w),
+            FilterKind::Ig => self.ig(w),
+            FilterKind::Ia => self.ia(w),
+            FilterKind::Rhb => self.rhb(w),
+            FilterKind::Chb => self.chb(w),
+            FilterKind::Phb => self.phb(w),
+            FilterKind::Ma => self.ma(w),
+            FilterKind::Ur => self.ur(w),
+            FilterKind::Tt => self.tt(w),
+        }
+    }
+
+    /// Apply a filter sequence to each warning, recording the first
+    /// pruner and the full set of agreeing filters.
+    #[must_use]
+    pub fn pipeline(&self, warnings: Vec<UafWarning>, kinds: &[FilterKind]) -> Vec<FilterOutcome> {
+        warnings
+            .into_iter()
+            .map(|w| {
+                let all_pruning: Vec<FilterKind> = kinds
+                    .iter()
+                    .copied()
+                    .filter(|&k| self.prunes(k, &w))
+                    .collect();
+                FilterOutcome {
+                    pruned_by: all_pruning.first().copied(),
+                    all_pruning,
+                    warning: w,
+                }
+            })
+            .collect()
+    }
+
+    // --- helpers -----------------------------------------------------------
+
+    /// The callback kind a modeled thread behaves as for MHB purposes
+    /// (`doInBackground` bodies participate in the AsyncTask order).
+    fn effective_kind(&self, t: ThreadId) -> Option<CallbackKind> {
+        match self.threads.thread(t).kind() {
+            ThreadKind::Callback(k) => Some(k),
+            ThreadKind::TaskBody => Some(CallbackKind::DoInBackground),
+            ThreadKind::DummyMain | ThreadKind::Native => None,
+        }
+    }
+
+    fn same_component(&self, a: ThreadId, b: ThreadId) -> bool {
+        let ca = self.threads.thread(a).component();
+        ca.is_some() && ca == self.threads.thread(b).component()
+    }
+
+    fn same_class(&self, a: ThreadId, b: ThreadId) -> bool {
+        let ca = self.threads.thread(a).class();
+        ca.is_some() && ca == self.threads.thread(b).class()
+    }
+
+    fn same_origin(&self, a: ThreadId, b: ThreadId) -> bool {
+        self.threads.thread(a).origin_site() == self.threads.thread(b).origin_site()
+    }
+
+    /// Whether the two endpoints of a warning execute atomically with
+    /// respect to each other (both are looper callbacks).
+    fn atomic(&self, w: &UafWarning) -> bool {
+        self.threads.atomic_pair(w.use_thread, w.free_thread)
+    }
+
+    /// Guard/allocation filters require atomicity; for concurrent pairs
+    /// they still apply under a common must-lock (§6.1.2).
+    fn atomically_protected(&self, w: &UafWarning) -> bool {
+        self.atomic(w) || common_must_lock(self.pts, &w.use_access, &w.free_access)
+    }
+
+    /// Whether the guard base matches the use base (same local, or equal
+    /// non-empty points-to sets).
+    fn guarded(&self, w: &UafWarning) -> bool {
+        let u = &w.use_access;
+        if u.ctx.guarded_non_null(u.base, u.field) {
+            return true;
+        }
+        u.ctx.guards.iter().any(|g| {
+            g.non_null && g.field == u.field && {
+                let a = self.pts.pts(u.method, g.base);
+                let b = self.pts.pts(u.method, u.base);
+                !a.is_empty() && a == b
+            }
+        })
+    }
+
+    // --- sound filters ------------------------------------------------------
+
+    /// The three sound must-happens-before relations at thread
+    /// granularity (§6.1.1): whether every execution orders callbacks of
+    /// `first` strictly before callbacks of `second`. Public so other
+    /// ordering-violation clients (e.g. the no-sleep detector) can reuse
+    /// it.
+    #[must_use]
+    pub fn must_happen_before(&self, first: ThreadId, second: ThreadId) -> bool {
+        let (Some(uk), Some(fk)) = (self.effective_kind(first), self.effective_kind(second)) else {
+            return false;
+        };
+        // MHB-Service: same connection class.
+        if lifecycle::service_mhb(uk, fk) && self.same_class(first, second) {
+            return true;
+        }
+        // MHB-AsyncTask: same task class and same execute site (same
+        // task instance).
+        if lifecycle::asynctask_mhb(uk, fk)
+            && self.same_class(first, second)
+            && self.same_origin(first, second)
+        {
+            return true;
+        }
+        // MHB-Lifecycle: same component.
+        if lifecycle::lifecycle_mhb(uk, fk) && self.same_component(first, second) {
+            return true;
+        }
+        false
+    }
+
+    /// MHB (§6.1.1): prune when the use must happen before the free.
+    fn mhb(&self, w: &UafWarning) -> bool {
+        self.must_happen_before(w.use_thread, w.free_thread)
+    }
+
+    /// IG (§6.1.2): the use is null-checked, and check-to-use atomicity
+    /// holds (same looper, or a common lock for concurrent pairs).
+    fn ig(&self, w: &UafWarning) -> bool {
+        self.guarded(w) && self.atomically_protected(w)
+    }
+
+    /// IA (§6.1.3): a must-allocation dominates the use inside its
+    /// (atomic) callback.
+    fn ia(&self, w: &UafWarning) -> bool {
+        self.atomically_protected(w)
+            && dataflow::must_alloc_before(
+                self.program,
+                self.pts,
+                w.use_access.method,
+                w.use_access.instr,
+                w.use_access.base,
+                w.use_access.field,
+                dataflow::AllocSources { getters: false },
+            )
+    }
+
+    // --- unsound filters -----------------------------------------------------
+
+    /// RHB (§6.2.1): UI-use / `onPause`-free pairs are pruned when
+    /// `onResume` of the same component may re-allocate the field.
+    fn rhb(&self, w: &UafWarning) -> bool {
+        let (Some(uk), Some(fk)) = (
+            self.effective_kind(w.use_thread),
+            self.effective_kind(w.free_thread),
+        ) else {
+            return false;
+        };
+        if fk != CallbackKind::OnPause || !(uk.is_ui() || uk.is_system()) {
+            return false;
+        }
+        if !self.same_component(w.use_thread, w.free_thread) {
+            return false;
+        }
+        // Find onResume threads of the same component and check for a
+        // may-allocation of the racy field.
+        self.threads.threads().any(|(_, mt)| {
+            mt.kind().callback_kind() == Some(CallbackKind::OnResume)
+                && mt.component() == self.threads.thread(w.use_thread).component()
+                && mt.root().is_some_and(|root| {
+                    dataflow::may_alloc_field(self.program, root, w.use_access.field)
+                })
+        })
+    }
+
+    /// CHB (§6.2.1): the freeing callback may invoke a cancellation API
+    /// silencing the use's callback family, so the use must precede the
+    /// free.
+    fn chb(&self, w: &UafWarning) -> bool {
+        let Some(uk) = self.effective_kind(w.use_thread) else {
+            return false;
+        };
+        let use_class = self.threads.thread(w.use_thread).class();
+        for site in self.threads.sites_of(w.free_thread) {
+            let cancels = match site.action {
+                SiteAction::Finish => {
+                    CancelApi::Finish.scope().covers(uk)
+                        && self.same_component(w.use_thread, w.free_thread)
+                }
+                SiteAction::Unbind(c) => {
+                    CancelApi::UnbindService.scope().covers(uk) && use_class == Some(c)
+                }
+                SiteAction::Unregister(c) => {
+                    CancelApi::UnregisterReceiver.scope().covers(uk) && use_class == Some(c)
+                }
+                SiteAction::RemovePosts(c) => {
+                    CancelApi::RemoveCallbacksAndMessages.scope().covers(uk) && use_class == Some(c)
+                }
+                _ => false,
+            };
+            if cancels {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// PHB (§6.2.1): the use's callback posted the freeing callback on
+    /// the same looper, so the (atomic) use completes before the free
+    /// runs.
+    fn phb(&self, w: &UafWarning) -> bool {
+        let free = self.threads.thread(w.free_thread);
+        free.parent() == Some(w.use_thread)
+            && matches!(free.via(), SpawnVia::Post | SpawnVia::Send)
+            && self.atomic(w)
+    }
+
+    /// MA (§6.2.2): IA with custom getters assumed to never return null.
+    fn ma(&self, w: &UafWarning) -> bool {
+        self.atomically_protected(w)
+            && dataflow::must_alloc_before(
+                self.program,
+                self.pts,
+                w.use_access.method,
+                w.use_access.instr,
+                w.use_access.base,
+                w.use_access.field,
+                dataflow::AllocSources { getters: true },
+            )
+    }
+
+    /// UR (§6.2.3): the loaded value only flows to return/argument
+    /// positions (or nowhere), so the use is commonly benign.
+    fn ur(&self, w: &UafWarning) -> bool {
+        matches!(
+            w.use_access.consumption,
+            UseConsumption::ReturnOrArgOnly | UseConsumption::Unused
+        )
+    }
+
+    /// TT (§6.2.4): both endpoints are native (non-looper) threads.
+    fn tt(&self, w: &UafWarning) -> bool {
+        !self.threads.thread(w.use_thread).kind().on_looper()
+            && !self.threads.thread(w.free_thread).kind().on_looper()
+    }
+}
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,128 @@
+//! Interned identifier newtypes for IR entities.
+//!
+//! All program entities live in arenas on [`crate::Program`] and are
+//! addressed by dense `u32` indices wrapped in newtypes ([C-NEWTYPE]), so
+//! analyses can use them directly as relation columns in the Datalog layer.
+
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(pub(crate) u32);
+
+        impl $name {
+            /// Construct from a raw arena index.
+            #[must_use]
+            pub fn from_raw(raw: u32) -> Self {
+                Self(raw)
+            }
+
+            /// The raw arena index.
+            #[must_use]
+            pub fn raw(self) -> u32 {
+                self.0
+            }
+
+            /// The raw index as `usize`, for arena indexing.
+            #[must_use]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifier of a class in a [`crate::Program`].
+    ClassId,
+    "c"
+);
+id_type!(
+    /// Identifier of a field in a [`crate::Program`].
+    FieldId,
+    "f"
+);
+id_type!(
+    /// Identifier of a method in a [`crate::Program`].
+    MethodId,
+    "m"
+);
+id_type!(
+    /// Program-wide unique identifier of an instruction.
+    ///
+    /// Instruction ids double as allocation-site identifiers for `new`
+    /// instructions, mirroring Chord's site-based heap abstraction.
+    InstrId,
+    "i"
+);
+
+/// A method-local slot (register). Slot 0 is `this` for instance methods;
+/// slots `1..=param_count` hold reference parameters; higher slots are
+/// temporaries introduced by the builder or parser.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Local(pub u16);
+
+impl Local {
+    /// The `this` receiver slot.
+    pub const THIS: Local = Local(0);
+
+    /// The raw slot index.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for Local {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if *self == Local::THIS {
+            write!(f, "this")
+        } else {
+            write!(f, "t{}", self.0)
+        }
+    }
+}
+
+impl fmt::Display for Local {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn raw_round_trip() {
+        let c = ClassId::from_raw(7);
+        assert_eq!(c.raw(), 7);
+        assert_eq!(c.index(), 7);
+        assert_eq!(format!("{c}"), "c7");
+    }
+
+    #[test]
+    fn this_prints_specially() {
+        assert_eq!(format!("{}", Local::THIS), "this");
+        assert_eq!(format!("{}", Local(3)), "t3");
+    }
+
+    #[test]
+    fn ids_are_ordered_by_index() {
+        assert!(InstrId::from_raw(1) < InstrId::from_raw(2));
+    }
+}

@@ -1,0 +1,304 @@
+//! Canonical textual form of IR programs.
+//!
+//! [`print_program`] emits the low-level statement syntax accepted by the
+//! parser ([`crate::parse_program`]); `parse(print(p)) == p` for every
+//! program built through [`crate::ProgramBuilder`] (the round-trip
+//! property tested in this crate and by proptest suites).
+
+use crate::ids::{ClassId, FieldId, MethodId};
+use crate::instr::{AndroidOp, Block, Callee, Cond, Instr, Op, Stmt};
+use crate::program::Program;
+use std::fmt::Write as _;
+
+/// Render a whole program in canonical DSL form.
+#[must_use]
+pub fn print_program(p: &Program) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "app {}", p.name());
+    for (_, class) in p.classes() {
+        out.push('\n');
+        let _ = write!(out, "{} {}", class.role().keyword(), class.name());
+        if let Some(outer) = class.outer() {
+            let _ = write!(out, " in {}", p.class(outer).name());
+        }
+        if let Some(looper) = class.looper() {
+            let _ = write!(out, " on {}", p.class(looper).name());
+        }
+        out.push_str(" {\n");
+        for &f in class.fields() {
+            let field = p.field(f);
+            let _ = write!(out, "  field {}", field.name());
+            if let Some(ty) = field.ty() {
+                let _ = write!(out, ": {}", p.class(ty).name());
+            }
+            out.push('\n');
+        }
+        for &m in class.methods() {
+            print_method(p, m, &mut out);
+        }
+        out.push_str("}\n");
+    }
+    let manifest = p.manifest();
+    if manifest.main_activity().is_some() || !manifest.declared_receivers().is_empty() {
+        out.push_str("\nmanifest {\n");
+        if let Some(main) = manifest.main_activity() {
+            let _ = writeln!(out, "  main {}", p.class(main).name());
+        }
+        for &r in manifest.declared_receivers() {
+            let _ = writeln!(out, "  receiver {}", p.class(r).name());
+        }
+        out.push_str("}\n");
+    }
+    out
+}
+
+fn print_method(p: &Program, mid: MethodId, out: &mut String) {
+    let m = p.method(mid);
+    let kw = if m.callback().is_some() { "cb" } else { "fn" };
+    let _ = write!(
+        out,
+        "  {kw} {}(params={}, locals={})",
+        m.name(),
+        m.param_count(),
+        m.num_locals()
+    );
+    if m.body().is_empty() {
+        out.push_str(" { }\n");
+        return;
+    }
+    out.push_str(" {\n");
+    print_block(p, m.body(), 2, out);
+    out.push_str("  }\n");
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn print_block(p: &Program, block: &Block, depth: usize, out: &mut String) {
+    for stmt in block {
+        print_stmt(p, stmt, depth + 1, out);
+    }
+}
+
+fn qfield(p: &Program, f: FieldId) -> String {
+    let field = p.field(f);
+    format!("{}.{}", p.class(field.owner()).name(), field.name())
+}
+
+fn print_stmt(p: &Program, stmt: &Stmt, depth: usize, out: &mut String) {
+    match stmt {
+        Stmt::Instr(i) => {
+            indent(out, depth);
+            print_instr(p, i, out);
+            out.push('\n');
+        }
+        Stmt::If {
+            cond,
+            then_blk,
+            else_blk,
+        } => {
+            indent(out, depth);
+            match cond {
+                Cond::NotNull { base, field } => {
+                    let _ = write!(out, "if notnull {base} {}", qfield(p, *field));
+                }
+                Cond::IsNull { base, field } => {
+                    let _ = write!(out, "if isnull {base} {}", qfield(p, *field));
+                }
+                Cond::Opaque => out.push_str("if ?"),
+            }
+            out.push_str(" {\n");
+            print_block(p, then_blk, depth, out);
+            indent(out, depth);
+            out.push('}');
+            if !else_blk.is_empty() {
+                out.push_str(" else {\n");
+                print_block(p, else_blk, depth, out);
+                indent(out, depth);
+                out.push('}');
+            }
+            out.push('\n');
+        }
+        Stmt::Loop { body } => {
+            indent(out, depth);
+            out.push_str("loop {\n");
+            print_block(p, body, depth, out);
+            indent(out, depth);
+            out.push_str("}\n");
+        }
+        Stmt::Sync { lock, body } => {
+            indent(out, depth);
+            let _ = write!(out, "sync {lock} {{");
+            out.push('\n');
+            print_block(p, body, depth, out);
+            indent(out, depth);
+            out.push_str("}\n");
+        }
+    }
+}
+
+fn class_name(p: &Program, c: ClassId) -> &str {
+    p.class(c).name()
+}
+
+fn print_instr(p: &Program, i: &Instr, out: &mut String) {
+    match &i.op {
+        Op::New { dst, class } => {
+            let _ = write!(out, "{dst} = new {}", class_name(p, *class));
+        }
+        Op::LoadStatic { dst, class } => {
+            let _ = write!(out, "{dst} = static {}", class_name(p, *class));
+        }
+        Op::Load { dst, base, field } => {
+            let _ = write!(out, "{dst} = load {base} {}", qfield(p, *field));
+        }
+        Op::Store { base, field, src } => {
+            let _ = write!(out, "store {base} {} = {src}", qfield(p, *field));
+        }
+        Op::StoreNull { base, field } => {
+            let _ = write!(out, "free {base} {}", qfield(p, *field));
+        }
+        Op::Move { dst, src } => {
+            let _ = write!(out, "{dst} = move {src}");
+        }
+        Op::Null { dst } => {
+            let _ = write!(out, "{dst} = null");
+        }
+        Op::Invoke {
+            dst,
+            callee,
+            recv,
+            args,
+        } => {
+            if let Some(d) = dst {
+                let _ = write!(out, "{d} = ");
+            }
+            match callee {
+                Callee::Method(m) => {
+                    let method = p.method(*m);
+                    let _ = write!(
+                        out,
+                        "call {}.{}",
+                        class_name(p, method.owner()),
+                        method.name()
+                    );
+                }
+                Callee::Opaque => {
+                    let _ = write!(out, "call opaque");
+                }
+            }
+            out.push('(');
+            let mut first = true;
+            if let Some(r) = recv {
+                let _ = write!(out, "recv={r}");
+                first = false;
+            }
+            for a in args {
+                if !first {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, "{a}");
+                first = false;
+            }
+            out.push(')');
+        }
+        Op::Return { val } => {
+            out.push_str("return");
+            if let Some(v) = val {
+                let _ = write!(out, " {v}");
+            }
+        }
+        Op::Android(a) => print_android(p, a, out),
+    }
+}
+
+fn print_android(_p: &Program, a: &AndroidOp, out: &mut String) {
+    match a {
+        AndroidOp::Post { runnable } => {
+            let _ = write!(out, "post {runnable}");
+        }
+        AndroidOp::SendMessage { handler } => {
+            let _ = write!(out, "send {handler}");
+        }
+        AndroidOp::BindService { connection } => {
+            let _ = write!(out, "bindservice {connection}");
+        }
+        AndroidOp::UnbindService { connection } => {
+            let _ = write!(out, "unbindservice {connection}");
+        }
+        AndroidOp::RegisterReceiver { receiver } => {
+            let _ = write!(out, "registerreceiver {receiver}");
+        }
+        AndroidOp::UnregisterReceiver { receiver } => {
+            let _ = write!(out, "unregisterreceiver {receiver}");
+        }
+        AndroidOp::Execute { task } => {
+            let _ = write!(out, "execute {task}");
+        }
+        AndroidOp::PublishProgress => out.push_str("publish"),
+        AndroidOp::Start { thread } => {
+            let _ = write!(out, "start {thread}");
+        }
+        AndroidOp::Finish => out.push_str("finish"),
+        AndroidOp::RemoveCallbacksAndMessages { handler } => {
+            let _ = write!(out, "removeposts {handler}");
+        }
+        AndroidOp::RegisterListener { api, listener } => {
+            let _ = write!(out, "listen {} {listener}", api.method_name());
+        }
+        AndroidOp::AcquireWakeLock { lock } => {
+            let _ = write!(out, "acquire {lock}");
+        }
+        AndroidOp::ReleaseWakeLock { lock } => {
+            let _ = write!(out, "release {lock}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::ids::Local;
+    use nadroid_android::{CallbackKind, ClassRole};
+
+    #[test]
+    fn prints_a_small_program() {
+        let mut b = ProgramBuilder::new("Demo");
+        let act = b.add_class("Main", ClassRole::Activity);
+        let f = b.add_field(act, "svc", Some(act));
+        let mut m = b.method(act, "onCreate");
+        m.alloc_field(f, act);
+        m.finish_callback(CallbackKind::OnCreate);
+        let mut m = b.method(act, "onClick");
+        m.if_not_null(Local::THIS, f, |m| {
+            m.use_field(f);
+        });
+        m.finish_callback(CallbackKind::OnClick);
+        b.set_main_activity(act);
+        let p = b.build();
+
+        let text = print_program(&p);
+        assert!(text.contains("app Demo"), "{text}");
+        assert!(text.contains("activity Main {"), "{text}");
+        assert!(text.contains("field svc: Main"), "{text}");
+        assert!(text.contains("if notnull this Main.svc {"), "{text}");
+        assert!(text.contains("free") || text.contains("load"), "{text}");
+        assert!(text.contains("manifest {"), "{text}");
+        assert!(text.contains("main Main"), "{text}");
+    }
+
+    #[test]
+    fn loc_counts_nonblank_lines() {
+        let mut b = ProgramBuilder::new("L");
+        let c = b.add_class("C", ClassRole::Plain);
+        let mut m = b.method(c, "m");
+        m.ret(None);
+        m.finish();
+        let p = b.build();
+        assert!(p.loc() >= 4); // app, class, method, return... braces
+    }
+}

@@ -1,0 +1,233 @@
+//! Context-carrying traversal of method bodies.
+//!
+//! Filters need to know, for each instruction, the structured context it
+//! executes under: which null-check guards dominate it and which locks are
+//! held. [`walk_method`] visits every instruction of a method in program
+//! order with that context, and [`InstrCtx`] captures it.
+
+use crate::ids::{FieldId, Local, MethodId};
+use crate::instr::{Block, Cond, Instr, Stmt};
+use crate::program::Program;
+
+/// A null-check guard active at an instruction: the branch taken implies
+/// `base.field` was (non-)null when checked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Guard {
+    /// Local holding the base object of the checked field.
+    pub base: Local,
+    /// The checked field.
+    pub field: FieldId,
+    /// True in the `!= null` arm, false in the `== null` arm.
+    pub non_null: bool,
+}
+
+/// The structured context of one instruction.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct InstrCtx {
+    /// Null-check guards dominating the instruction, outermost first.
+    pub guards: Vec<Guard>,
+    /// Locals holding the lock objects of enclosing `sync` regions,
+    /// outermost first.
+    pub locks: Vec<Local>,
+    /// Whether the instruction sits inside at least one loop body.
+    pub in_loop: bool,
+    /// Number of enclosing opaque-condition branches (a non-zero depth
+    /// marks path-insensitivity territory, the top false-positive source
+    /// in §8.5).
+    pub opaque_depth: u32,
+}
+
+impl InstrCtx {
+    /// Whether a non-null guard on `(base, field)` dominates the
+    /// instruction.
+    #[must_use]
+    pub fn guarded_non_null(&self, base: Local, field: FieldId) -> bool {
+        self.guards
+            .iter()
+            .any(|g| g.non_null && g.base == base && g.field == field)
+    }
+}
+
+/// Visit every instruction of `method` in program order, passing its
+/// structured context.
+pub fn walk_method<'p>(
+    program: &'p Program,
+    method: MethodId,
+    f: &mut impl FnMut(&'p Instr, &InstrCtx),
+) {
+    let mut ctx = InstrCtx::default();
+    walk_block(program.method(method).body(), &mut ctx, f);
+}
+
+fn walk_block<'b>(block: &'b Block, ctx: &mut InstrCtx, f: &mut impl FnMut(&'b Instr, &InstrCtx)) {
+    for stmt in block {
+        match stmt {
+            Stmt::Instr(i) => f(i, ctx),
+            Stmt::If {
+                cond,
+                then_blk,
+                else_blk,
+            } => {
+                let pushed = match *cond {
+                    Cond::NotNull { base, field } => {
+                        ctx.guards.push(Guard {
+                            base,
+                            field,
+                            non_null: true,
+                        });
+                        true
+                    }
+                    Cond::IsNull { base, field } => {
+                        ctx.guards.push(Guard {
+                            base,
+                            field,
+                            non_null: false,
+                        });
+                        true
+                    }
+                    Cond::Opaque => {
+                        ctx.opaque_depth += 1;
+                        false
+                    }
+                };
+                walk_block(then_blk, ctx, f);
+                if pushed {
+                    let g = ctx.guards.last_mut().expect("guard just pushed");
+                    g.non_null = !g.non_null;
+                }
+                walk_block(else_blk, ctx, f);
+                if pushed {
+                    ctx.guards.pop();
+                } else if matches!(cond, Cond::Opaque) {
+                    ctx.opaque_depth -= 1;
+                }
+            }
+            Stmt::Loop { body } => {
+                let was = ctx.in_loop;
+                ctx.in_loop = true;
+                walk_block(body, ctx, f);
+                ctx.in_loop = was;
+            }
+            Stmt::Sync { lock, body } => {
+                ctx.locks.push(*lock);
+                walk_block(body, ctx, f);
+                ctx.locks.pop();
+            }
+        }
+    }
+}
+
+/// Collect every instruction of `method` with a clone of its context.
+#[must_use]
+pub fn instrs_with_ctx(program: &Program, method: MethodId) -> Vec<(Instr, InstrCtx)> {
+    let mut out = Vec::new();
+    walk_method(program, method, &mut |i, ctx| {
+        out.push((i.clone(), ctx.clone()))
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::instr::Op;
+    use nadroid_android::ClassRole;
+
+    #[test]
+    fn guards_and_locks_are_tracked() {
+        let mut b = ProgramBuilder::new("W");
+        let c = b.add_class("C", ClassRole::Activity);
+        let f = b.add_field(c, "x", None);
+        let mut m = b.method(c, "m");
+        let lock = m.new_local();
+        m.if_not_null(Local::THIS, f, |m| {
+            m.use_field(f);
+        });
+        m.sync(lock, |m| {
+            m.free_field(f);
+        });
+        let mid = m.finish();
+        let p = b.build();
+
+        let all = instrs_with_ctx(&p, mid);
+        // load, deref inside the guard; free inside the sync.
+        let (load, load_ctx) = all
+            .iter()
+            .find(|(i, _)| matches!(i.op, Op::Load { .. }))
+            .expect("load");
+        assert!(
+            load_ctx.guarded_non_null(Local::THIS, f),
+            "load guarded: {load:?}"
+        );
+        assert!(load_ctx.locks.is_empty());
+
+        let (_, free_ctx) = all
+            .iter()
+            .find(|(i, _)| matches!(i.op, Op::StoreNull { .. }))
+            .expect("free");
+        assert!(!free_ctx.guarded_non_null(Local::THIS, f));
+        assert_eq!(free_ctx.locks, vec![lock]);
+    }
+
+    #[test]
+    fn else_arm_sees_negated_guard() {
+        let mut b = ProgramBuilder::new("W");
+        let c = b.add_class("C", ClassRole::Activity);
+        let f = b.add_field(c, "x", None);
+        let mut m = b.method(c, "m");
+        m.if_cond(
+            Cond::NotNull {
+                base: Local::THIS,
+                field: f,
+            },
+            |m| {
+                m.use_field(f);
+            },
+            |m| {
+                m.free_field(f);
+            },
+        );
+        let mid = m.finish();
+        let p = b.build();
+
+        let all = instrs_with_ctx(&p, mid);
+        let (_, then_ctx) = all
+            .iter()
+            .find(|(i, _)| matches!(i.op, Op::Load { .. }))
+            .unwrap();
+        assert!(then_ctx.guarded_non_null(Local::THIS, f));
+        let (_, else_ctx) = all
+            .iter()
+            .find(|(i, _)| matches!(i.op, Op::StoreNull { .. }))
+            .unwrap();
+        assert!(!else_ctx.guarded_non_null(Local::THIS, f));
+        assert_eq!(else_ctx.guards.len(), 1);
+        assert!(!else_ctx.guards[0].non_null);
+    }
+
+    #[test]
+    fn loop_flag() {
+        let mut b = ProgramBuilder::new("W");
+        let c = b.add_class("C", ClassRole::Activity);
+        let f = b.add_field(c, "x", None);
+        let mut m = b.method(c, "m");
+        m.loop_(|m| {
+            m.use_field(f);
+        });
+        m.free_field(f);
+        let mid = m.finish();
+        let p = b.build();
+        let all = instrs_with_ctx(&p, mid);
+        let (_, in_loop) = all
+            .iter()
+            .find(|(i, _)| matches!(i.op, Op::Load { .. }))
+            .unwrap();
+        assert!(in_loop.in_loop);
+        let (_, outside) = all
+            .iter()
+            .find(|(i, _)| matches!(i.op, Op::StoreNull { .. }))
+            .unwrap();
+        assert!(!outside.in_loop);
+    }
+}

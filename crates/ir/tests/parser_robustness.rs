@@ -1,0 +1,84 @@
+//! Parser robustness: the parser must return `Err` (never panic) on
+//! arbitrary input, including mutated versions of valid programs.
+
+use nadroid_ir::{parse_program, print_program, ParseError};
+use proptest::prelude::*;
+
+const SEED_PROGRAM: &str = r#"
+app Seed
+activity Main {
+    field f: Main
+    cb onCreate { f = new Main  bind this }
+    cb onServiceConnected { use f }
+    cb onServiceDisconnected { f = null }
+    cb onClick { if f != null { use f }  post R }
+    fn getF { useret f }
+}
+runnable R in Main { cb run { use outer.f } }
+looperthread Worker { }
+handler H in Main on Worker { cb handleMessage { outer.f = null } }
+manifest { main Main }
+"#;
+
+proptest! {
+    /// Arbitrary ASCII never panics the parser.
+    #[test]
+    fn arbitrary_input_never_panics(s in "[ -~\\n]{0,400}") {
+        let _: Result<_, ParseError> = parse_program(&s);
+    }
+
+    /// Deleting an arbitrary byte range from a valid program never
+    /// panics; either it still parses or it errors with a line number.
+    #[test]
+    fn mutated_programs_never_panic(start in 0usize..400, len in 0usize..80) {
+        let src = SEED_PROGRAM;
+        let bytes = src.as_bytes();
+        let start = start.min(bytes.len());
+        let end = (start + len).min(bytes.len());
+        let mut mutated = Vec::new();
+        mutated.extend_from_slice(&bytes[..start]);
+        mutated.extend_from_slice(&bytes[end..]);
+        if let Ok(s) = String::from_utf8(mutated) {
+            match parse_program(&s) {
+                Ok(p) => {
+                    // Whatever still parses must round-trip.
+                    let printed = print_program(&p);
+                    let again = parse_program(&printed).expect("canonical form parses");
+                    prop_assert_eq!(p, again);
+                }
+                Err(e) => {
+                    prop_assert!(e.line() as usize <= s.lines().count() + 1);
+                }
+            }
+        }
+    }
+
+    /// Splicing random tokens into a valid program never panics.
+    #[test]
+    fn token_splices_never_panic(
+        pos in 0usize..400,
+        tok in prop::sample::select(vec![
+            "{", "}", "(", ")", "=", "null", "use", "cb", "fn", "if", "sync",
+            "post", "t1", "this", "outer.", "field", "activity", "on", "in",
+            "!=", "?", "9999", "$",
+        ]),
+    ) {
+        let src = SEED_PROGRAM;
+        let pos = pos.min(src.len());
+        if !src.is_char_boundary(pos) {
+            return Ok(());
+        }
+        let mutated = format!("{} {} {}", &src[..pos], tok, &src[pos..]);
+        let _ = parse_program(&mutated);
+    }
+}
+
+#[test]
+fn empty_and_junk_inputs_error_cleanly() {
+    assert!(parse_program("").is_err());
+    assert!(parse_program("app").is_err());
+    assert!(parse_program("app A trailing").is_err());
+    assert!(parse_program("app A\nactivity M {").is_err());
+    assert!(parse_program("app A\nactivity M { cb onClick { use missing } }").is_err());
+    assert!(parse_program("app A\nactivity M { cb onClick { t1 = } }").is_err());
+}

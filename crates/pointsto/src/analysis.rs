@@ -1,0 +1,251 @@
+//! Public points-to API plus the Datalog baseline used for
+//! cross-validation.
+//!
+//! nAdroid runs Chord's k-object-sensitive points-to analysis (k = 2 by
+//! default) on the threadified program (§5). [`PointsTo::run`] delegates
+//! to the context-sensitive worklist solver (`solver` module); the
+//! [`datalog_baseline`] function solves the same constraints
+//! context-insensitively on the [`nadroid_datalog`] engine, and the test
+//! suite asserts both agree at k = 0 — the same architecture-validation
+//! role bddbddb played for Chord.
+
+use crate::solver;
+use crate::tables::{AllocKey, ObjId, ObjTable};
+use nadroid_datalog::{Database, RuleSet, Term};
+use nadroid_ir::{Callee, FieldId, Local, MethodId, Op, Program};
+use nadroid_threadify::{SpawnVia, ThreadModel};
+use std::collections::{BTreeSet, HashMap};
+
+/// Result of the points-to analysis.
+#[derive(Debug)]
+pub struct PointsTo {
+    objs: ObjTable,
+    var_pts: HashMap<(MethodId, Local), Vec<ObjId>>,
+    heap: HashMap<(ObjId, u32), Vec<ObjId>>,
+    k: u32,
+}
+
+impl PointsTo {
+    /// Run the analysis at sensitivity `k` (0 = context-insensitive; the
+    /// paper's default is 2).
+    #[must_use]
+    pub fn run(program: &Program, threads: &ThreadModel, k: u32) -> PointsTo {
+        let s = solver::solve(program, threads, k);
+        PointsTo {
+            objs: s.objs,
+            var_pts: s.var_pts,
+            heap: s.heap,
+            k,
+        }
+    }
+
+    /// The sensitivity the analysis ran at.
+    #[must_use]
+    pub fn k(&self) -> u32 {
+        self.k
+    }
+
+    /// The abstract-object table.
+    #[must_use]
+    pub fn objs(&self) -> &ObjTable {
+        &self.objs
+    }
+
+    /// Objects a method-local may point to (merged over receiver
+    /// contexts).
+    #[must_use]
+    pub fn pts(&self, method: MethodId, local: Local) -> &[ObjId] {
+        self.var_pts
+            .get(&(method, local))
+            .map_or(&[], Vec::as_slice)
+    }
+
+    /// Objects stored in field `f` of object `o`.
+    #[must_use]
+    pub fn field_pts(&self, o: ObjId, field: u32) -> &[ObjId] {
+        self.heap.get(&(o, field)).map_or(&[], Vec::as_slice)
+    }
+
+    /// Whether two locals may point to a common object.
+    #[must_use]
+    pub fn may_alias(&self, a: (MethodId, Local), b: (MethodId, Local)) -> bool {
+        let pa = self.pts(a.0, a.1);
+        let pb = self.pts(b.0, b.1);
+        pa.iter().any(|o| pb.contains(o))
+    }
+
+    /// The common objects of two locals' points-to sets.
+    #[must_use]
+    pub fn common_objs(&self, a: (MethodId, Local), b: (MethodId, Local)) -> Vec<ObjId> {
+        let pb = self.pts(b.0, b.1);
+        self.pts(a.0, a.1)
+            .iter()
+            .copied()
+            .filter(|o| pb.contains(o))
+            .collect()
+    }
+
+    /// The *must* lock object of a lock variable: defined only when the
+    /// variable's points-to set is a singleton (Chord's selective lockset
+    /// use in the IG filter requires must-alias on locks).
+    #[must_use]
+    pub fn must_lock(&self, method: MethodId, lock: Local) -> Option<ObjId> {
+        match self.pts(method, lock) {
+            [only] => Some(*only),
+            _ => None,
+        }
+    }
+}
+
+/// Context-insensitive Andersen analysis solved on the Datalog engine.
+///
+/// Returns, for each (method, local), the set of allocation keys of the
+/// objects it may point to — directly comparable with
+/// [`PointsTo::run`] at `k = 0`.
+#[must_use]
+pub fn datalog_baseline(
+    program: &Program,
+    threads: &ThreadModel,
+) -> HashMap<(MethodId, Local), BTreeSet<AllocKey>> {
+    // Dense variable numbering: locals plus a return pseudo-var per method.
+    let mut base = Vec::new();
+    let mut next = 0u32;
+    for (_, m) in program.methods() {
+        base.push(next);
+        next += u32::from(m.num_locals()) + 1;
+    }
+    let var = |m: MethodId, l: Local| base[m.index()] + u32::from(l.0);
+    let ret = |m: MethodId| base[m.index()] + u32::from(program.method(m).num_locals());
+
+    // Object numbering: one per allocation key.
+    let mut keys: Vec<AllocKey> = Vec::new();
+    let mut key_ids: HashMap<AllocKey, u32> = HashMap::new();
+    let obj = |k: AllocKey, keys: &mut Vec<AllocKey>, key_ids: &mut HashMap<AllocKey, u32>| {
+        *key_ids.entry(k).or_insert_with(|| {
+            keys.push(k);
+            keys.len() as u32 - 1
+        })
+    };
+
+    let mut db = Database::new();
+    let r_alloc = db.relation("alloc", 2);
+    let r_move = db.relation("move", 2);
+    let r_load = db.relation("load", 3);
+    let r_store = db.relation("store", 3);
+    let r_vp = db.relation("vP", 2);
+    let r_hp = db.relation("hP", 3);
+
+    let field = FieldId::raw;
+    for (mid, i) in program.instrs() {
+        match &i.op {
+            Op::New { dst, .. } => {
+                let o = obj(AllocKey::Site(i.id), &mut keys, &mut key_ids);
+                db.insert(r_alloc, &[var(mid, *dst), o]);
+            }
+            Op::LoadStatic { dst, class } => {
+                let o = obj(AllocKey::Singleton(*class), &mut keys, &mut key_ids);
+                db.insert(r_alloc, &[var(mid, *dst), o]);
+            }
+            Op::Move { dst, src } => {
+                db.insert(r_move, &[var(mid, *dst), var(mid, *src)]);
+            }
+            Op::Load {
+                dst,
+                base: b,
+                field: f,
+            } => {
+                db.insert(r_load, &[var(mid, *dst), var(mid, *b), field(*f)]);
+            }
+            Op::Store {
+                base: b,
+                field: f,
+                src,
+            } => {
+                db.insert(r_store, &[var(mid, *b), field(*f), var(mid, *src)]);
+            }
+            Op::Invoke {
+                dst,
+                callee: Callee::Method(callee),
+                recv,
+                args,
+            } => {
+                if let Some(r) = recv {
+                    db.insert(r_move, &[var(*callee, Local::THIS), var(mid, *r)]);
+                }
+                let nparams = program.method(*callee).param_count();
+                for (i, a) in args.iter().enumerate() {
+                    if (i as u16) < nparams {
+                        db.insert(r_move, &[var(*callee, Local(i as u16 + 1)), var(mid, *a)]);
+                    }
+                }
+                if let Some(d) = dst {
+                    db.insert(r_move, &[var(mid, *d), ret(*callee)]);
+                }
+            }
+            Op::Return { val: Some(v) } => {
+                db.insert(r_move, &[ret(mid), var(mid, *v)]);
+            }
+            _ => {}
+        }
+    }
+
+    // Thread-root receiver bindings, as in the solver.
+    for (_, t) in threads.threads() {
+        let Some(root) = t.root() else { continue };
+        match t.via() {
+            SpawnVia::Component | SpawnVia::Manifest => {
+                if let Some(c) = t.class() {
+                    let o = obj(AllocKey::Singleton(c), &mut keys, &mut key_ids);
+                    db.insert(r_alloc, &[var(root, Local::THIS), o]);
+                }
+            }
+            SpawnVia::Root => {}
+            _ => {
+                if let Some(site) = t.origin_site() {
+                    let m = program.instr_method(site);
+                    if let Op::Android(a) = &program.instr(site).op {
+                        if let Some(operand) = a.operand() {
+                            db.insert(r_move, &[var(root, Local::THIS), var(m, operand)]);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    let v = Term::var;
+    let mut rules = RuleSet::new();
+    rules
+        .add(r_vp, vec![v(0), v(1)])
+        .when(r_alloc, vec![v(0), v(1)]);
+    rules
+        .add(r_vp, vec![v(0), v(2)])
+        .when(r_move, vec![v(0), v(1)])
+        .when(r_vp, vec![v(1), v(2)]);
+    rules
+        .add(r_hp, vec![v(3), v(1), v(4)])
+        .when(r_store, vec![v(0), v(1), v(2)])
+        .when(r_vp, vec![v(0), v(3)])
+        .when(r_vp, vec![v(2), v(4)]);
+    rules
+        .add(r_vp, vec![v(0), v(4)])
+        .when(r_load, vec![v(0), v(1), v(2)])
+        .when(r_vp, vec![v(1), v(3)])
+        .when(r_hp, vec![v(3), v(2), v(4)]);
+    db.run(&rules);
+
+    // Invert the variable numbering.
+    let mut var_of: HashMap<u32, (MethodId, Local)> = HashMap::new();
+    for (mid, m) in program.methods() {
+        for l in 0..m.num_locals() {
+            var_of.insert(var(mid, Local(l)), (mid, Local(l)));
+        }
+    }
+    let mut out: HashMap<(MethodId, Local), BTreeSet<AllocKey>> = HashMap::new();
+    for t in db.tuples(r_vp) {
+        if let Some(&ml) = var_of.get(&t[0]) {
+            out.entry(ml).or_default().insert(keys[t[1] as usize]);
+        }
+    }
+    out
+}

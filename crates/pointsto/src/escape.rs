@@ -1,0 +1,84 @@
+//! Thread-escape analysis: which abstract objects are reachable from more
+//! than one modeled thread.
+//!
+//! Chord's race detector only reports pairs on *escaped* objects; after
+//! threadification the same check applies with modeled threads (§5). An
+//! object is shared when at least two modeled threads can reach it — from
+//! a local of one of the thread's methods, or transitively through heap
+//! field edges.
+
+use crate::analysis::PointsTo;
+use crate::tables::ObjId;
+use nadroid_ir::{Local, Program};
+use nadroid_threadify::{ThreadId, ThreadModel};
+use std::collections::HashSet;
+
+/// Result of the thread-escape analysis.
+#[derive(Debug, Clone)]
+pub struct Escape {
+    /// Number of distinct modeled threads reaching each object.
+    reach_count: Vec<u32>,
+}
+
+impl Escape {
+    /// Compute reachability of every object from every modeled thread.
+    #[must_use]
+    pub fn compute(program: &Program, threads: &ThreadModel, pts: &PointsTo) -> Escape {
+        let nobjs = pts.objs().len();
+        let mut reach_count = vec![0u32; nobjs];
+        let fields: Vec<u32> = program.field_ids().map(|f| f.raw()).collect();
+
+        for (tid, _) in threads.threads() {
+            let reached = Self::reach_of(program, threads, pts, tid, &fields);
+            for o in reached {
+                reach_count[o.0 as usize] += 1;
+            }
+        }
+        Escape { reach_count }
+    }
+
+    /// The set of objects one thread can reach.
+    fn reach_of(
+        program: &Program,
+        threads: &ThreadModel,
+        pts: &PointsTo,
+        tid: ThreadId,
+        fields: &[u32],
+    ) -> HashSet<ObjId> {
+        let mut seen: HashSet<ObjId> = HashSet::new();
+        let mut stack: Vec<ObjId> = Vec::new();
+        for &m in threads.methods_of(tid) {
+            let n = program.method(m).num_locals();
+            for l in 0..n {
+                for &o in pts.pts(m, Local(l)) {
+                    if seen.insert(o) {
+                        stack.push(o);
+                    }
+                }
+            }
+        }
+        while let Some(o) = stack.pop() {
+            for &f in fields {
+                for &o2 in pts.field_pts(o, f) {
+                    if seen.insert(o2) {
+                        stack.push(o2);
+                    }
+                }
+            }
+        }
+        seen
+    }
+
+    /// Whether an object is reachable from at least two modeled threads
+    /// (thread-escaping).
+    #[must_use]
+    pub fn is_shared(&self, o: ObjId) -> bool {
+        self.reach_count.get(o.0 as usize).copied().unwrap_or(0) >= 2
+    }
+
+    /// Number of modeled threads reaching the object.
+    #[must_use]
+    pub fn reach_count(&self, o: ObjId) -> u32 {
+        self.reach_count.get(o.0 as usize).copied().unwrap_or(0)
+    }
+}

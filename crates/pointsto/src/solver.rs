@@ -1,0 +1,453 @@
+//! The context-sensitive inclusion-constraint solver.
+//!
+//! Implements k-object-sensitivity as in Chord (§5, following Milanova et
+//! al.): a method is analyzed once per *receiver-object context* — the
+//! allocation chain of its receiver truncated to length `k` — and objects
+//! are named by their allocation site extended with the allocating
+//! context. Contexts are discovered on the fly while the inclusion
+//! constraints propagate (pure Datalog cannot create contexts
+//! existentially, which is why bddbddb pre-materializes domains; this
+//! solver creates them during the fixpoint instead).
+
+use crate::tables::{AllocKey, ObjId, ObjTable};
+use nadroid_ir::{Callee, ClassId, Local, MethodId, Op, Program};
+use nadroid_threadify::{SpawnVia, ThreadModel};
+use std::collections::hash_map::Entry;
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// An interned receiver context: an allocation chain of length ≤ k.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct CtxId(u32);
+
+/// A propagation node: a context-cloned variable or a heap cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum NodeKey {
+    Var {
+        method: MethodId,
+        local: Local,
+        ctx: CtxId,
+    },
+    Ret {
+        method: MethodId,
+        ctx: CtxId,
+    },
+    Heap {
+        obj: ObjId,
+        field: u32,
+    },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct NodeId(u32);
+
+#[derive(Debug, Default)]
+struct Interner {
+    ctxs: Vec<Vec<AllocKey>>,
+    ctx_ids: HashMap<Vec<AllocKey>, CtxId>,
+    nodes: Vec<NodeKey>,
+    node_ids: HashMap<NodeKey, NodeId>,
+}
+
+impl Interner {
+    fn ctx(&mut self, chain: Vec<AllocKey>) -> CtxId {
+        if let Some(&c) = self.ctx_ids.get(&chain) {
+            return c;
+        }
+        let id = CtxId(self.ctxs.len() as u32);
+        self.ctx_ids.insert(chain.clone(), id);
+        self.ctxs.push(chain);
+        id
+    }
+
+    fn ctx_chain(&self, c: CtxId) -> &[AllocKey] {
+        &self.ctxs[c.0 as usize]
+    }
+
+    fn node(&mut self, key: NodeKey) -> NodeId {
+        if let Some(&n) = self.node_ids.get(&key) {
+            return n;
+        }
+        let id = NodeId(self.nodes.len() as u32);
+        self.node_ids.insert(key, id);
+        self.nodes.push(key);
+        id
+    }
+}
+
+/// Solver output: merged (context-insensitive view) points-to sets plus
+/// the object table.
+#[derive(Debug)]
+pub(crate) struct Solution {
+    pub objs: ObjTable,
+    /// (method, local) -> objects, merged over contexts.
+    pub var_pts: HashMap<(MethodId, Local), Vec<ObjId>>,
+    /// (obj, field) -> objects.
+    pub heap: HashMap<(ObjId, u32), Vec<ObjId>>,
+}
+
+pub(crate) fn solve(program: &Program, threads: &ThreadModel, k: u32) -> Solution {
+    Solver::new(program, threads, k).run()
+}
+
+struct Solver<'p> {
+    program: &'p Program,
+    threads: &'p ThreadModel,
+    k: usize,
+    intern: Interner,
+    objs: ObjTable,
+    /// pts per node.
+    pts: Vec<HashSet<ObjId>>,
+    /// copy edges (subset constraints) out of each node.
+    succ: Vec<Vec<NodeId>>,
+    /// pending (node, obj) facts.
+    queue: VecDeque<(NodeId, ObjId)>,
+    /// (method, ctx) pairs already expanded.
+    reached: HashSet<(MethodId, CtxId)>,
+    /// Dynamic behaviors triggered when a node's pts grows:
+    /// loads with this node as base: (field, dst node).
+    load_uses: HashMap<NodeId, Vec<(u32, NodeId)>>,
+    /// stores with this node as base: (field, src node).
+    store_uses: HashMap<NodeId, Vec<(u32, NodeId)>>,
+    /// invoke sites with this node as receiver:
+    /// (callee, args nodes, param count, dst node).
+    invoke_uses: HashMap<NodeId, Vec<InvokeUse>>,
+    /// thread-root subscriptions on (method, local): objects arriving at
+    /// any context clone of that variable seed the root's receiver.
+    root_subs: HashMap<(MethodId, Local), Vec<MethodId>>,
+}
+
+#[derive(Debug, Clone)]
+struct InvokeUse {
+    callee: MethodId,
+    args: Vec<NodeId>,
+    dst: Option<NodeId>,
+}
+
+impl<'p> Solver<'p> {
+    fn new(program: &'p Program, threads: &'p ThreadModel, k: u32) -> Self {
+        Solver {
+            program,
+            threads,
+            k: k as usize,
+            intern: Interner::default(),
+            objs: ObjTable::new(),
+            pts: Vec::new(),
+            succ: Vec::new(),
+            queue: VecDeque::new(),
+            reached: HashSet::new(),
+            load_uses: HashMap::new(),
+            store_uses: HashMap::new(),
+            invoke_uses: HashMap::new(),
+            root_subs: HashMap::new(),
+        }
+    }
+
+    fn node(&mut self, key: NodeKey) -> NodeId {
+        let id = self.intern.node(key);
+        while self.pts.len() <= id.0 as usize {
+            self.pts.push(HashSet::new());
+            self.succ.push(Vec::new());
+        }
+        id
+    }
+
+    fn add_obj(&mut self, node: NodeId, obj: ObjId) {
+        if self.pts[node.0 as usize].insert(obj) {
+            self.queue.push_back((node, obj));
+        }
+    }
+
+    fn add_edge(&mut self, from: NodeId, to: NodeId) {
+        if self.succ[from.0 as usize].contains(&to) {
+            return;
+        }
+        self.succ[from.0 as usize].push(to);
+        let existing: Vec<ObjId> = self.pts[from.0 as usize].iter().copied().collect();
+        for o in existing {
+            self.add_obj(to, o);
+        }
+    }
+
+    fn singleton_obj(&mut self, class: ClassId) -> ObjId {
+        self.objs
+            .intern(vec![AllocKey::Singleton(class)], Some(class))
+    }
+
+    /// The receiver context for a callee invoked on object `o`: the
+    /// object's chain truncated to k.
+    fn ctx_of_obj(&mut self, o: ObjId) -> CtxId {
+        let chain: Vec<AllocKey> = self.objs.chain(o).iter().copied().take(self.k).collect();
+        self.intern.ctx(chain)
+    }
+
+    fn run(mut self) -> Solution {
+        self.seed_thread_roots();
+        self.propagate();
+        self.finish()
+    }
+
+    fn seed_thread_roots(&mut self) {
+        // Collect seeds first to avoid borrowing `self.threads` across
+        // mutations.
+        let mut singleton_roots: Vec<(MethodId, ClassId)> = Vec::new();
+        let mut posted_roots: Vec<(MethodId, MethodId, Local)> = Vec::new();
+        for (_, t) in self.threads.threads() {
+            let Some(root) = t.root() else { continue };
+            match t.via() {
+                SpawnVia::Component | SpawnVia::Manifest => {
+                    if let Some(c) = t.class() {
+                        singleton_roots.push((root, c));
+                    }
+                }
+                SpawnVia::Root => {}
+                _ => {
+                    if let Some(site) = t.origin_site() {
+                        let m = self.program.instr_method(site);
+                        if let Op::Android(a) = &self.program.instr(site).op {
+                            if let Some(operand) = a.operand() {
+                                posted_roots.push((root, m, operand));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        for (root, class) in singleton_roots {
+            let o = self.singleton_obj(class);
+            self.spawn_method(root, o);
+        }
+        for (root, m, operand) in posted_roots {
+            self.root_subs.entry((m, operand)).or_default().push(root);
+        }
+    }
+
+    /// Reach `method` with receiver object `recv`: expand its body under
+    /// the receiver's context and bind `this`.
+    fn spawn_method(&mut self, method: MethodId, recv: ObjId) {
+        let ctx = self.ctx_of_obj(recv);
+        let this = self.node(NodeKey::Var {
+            method,
+            local: Local::THIS,
+            ctx,
+        });
+        self.expand(method, ctx);
+        self.add_obj(this, recv);
+    }
+
+    /// Generate the constraint graph of one (method, context) clone.
+    fn expand(&mut self, method: MethodId, ctx: CtxId) {
+        if !self.reached.insert((method, ctx)) {
+            return;
+        }
+        let var = |s: &mut Self, l: Local| {
+            s.node(NodeKey::Var {
+                method,
+                local: l,
+                ctx,
+            })
+        };
+        let body = self.program.method(method).body().clone();
+        body.for_each_instr(&mut |i| match &i.op {
+            Op::New { dst, class } => {
+                let mut chain = vec![AllocKey::Site(i.id)];
+                chain.extend(self.intern.ctx_chain(ctx).to_vec());
+                chain.truncate(self.k + 1);
+                let o = self.objs.intern(chain, Some(*class));
+                let d = var(self, *dst);
+                self.add_obj(d, o);
+            }
+            Op::LoadStatic { dst, class } => {
+                let o = self.singleton_obj(*class);
+                let d = var(self, *dst);
+                self.add_obj(d, o);
+            }
+            Op::Move { dst, src } => {
+                let s = var(self, *src);
+                let d = var(self, *dst);
+                self.add_edge(s, d);
+            }
+            Op::Load { dst, base, field } => {
+                let b = var(self, *base);
+                let d = var(self, *dst);
+                self.load_uses.entry(b).or_default().push((field.raw(), d));
+                let existing: Vec<ObjId> = self.pts[b.0 as usize].iter().copied().collect();
+                for o in existing {
+                    let h = self.node(NodeKey::Heap {
+                        obj: o,
+                        field: field.raw(),
+                    });
+                    self.add_edge(h, d);
+                }
+            }
+            Op::Store { base, field, src } => {
+                let b = var(self, *base);
+                let s = var(self, *src);
+                self.store_uses.entry(b).or_default().push((field.raw(), s));
+                let existing: Vec<ObjId> = self.pts[b.0 as usize].iter().copied().collect();
+                for o in existing {
+                    let h = self.node(NodeKey::Heap {
+                        obj: o,
+                        field: field.raw(),
+                    });
+                    self.add_edge(s, h);
+                }
+            }
+            Op::Invoke {
+                dst,
+                callee: Callee::Method(callee),
+                recv,
+                args,
+            } => {
+                let arg_nodes: Vec<NodeId> = args.iter().map(|a| var(self, *a)).collect();
+                let dst_node = dst.map(|d| var(self, d));
+                match recv {
+                    Some(r) => {
+                        let rn = var(self, *r);
+                        let u = InvokeUse {
+                            callee: *callee,
+                            args: arg_nodes,
+                            dst: dst_node,
+                        };
+                        self.invoke_uses.entry(rn).or_default().push(u.clone());
+                        let existing: Vec<ObjId> =
+                            self.pts[rn.0 as usize].iter().copied().collect();
+                        for o in existing {
+                            self.bind_call(u.callee, o, rn, &u.args, u.dst);
+                        }
+                    }
+                    None => {
+                        // Static-style call: single empty context.
+                        let empty = self.intern.ctx(Vec::new());
+                        self.expand(*callee, empty);
+                        self.wire_call(*callee, empty, &arg_nodes, dst_node);
+                    }
+                }
+            }
+            Op::Return { val: Some(v) } => {
+                let s = var(self, *v);
+                let r = self.node(NodeKey::Ret { method, ctx });
+                self.add_edge(s, r);
+            }
+            _ => {}
+        });
+    }
+
+    /// Bind one receiver object at a virtual call: expand the callee in
+    /// the object's context, seed `this`, and wire args/return.
+    fn bind_call(
+        &mut self,
+        callee: MethodId,
+        recv_obj: ObjId,
+        _recv_node: NodeId,
+        args: &[NodeId],
+        dst: Option<NodeId>,
+    ) {
+        let cctx = self.ctx_of_obj(recv_obj);
+        self.expand(callee, cctx);
+        let this = self.node(NodeKey::Var {
+            method: callee,
+            local: Local::THIS,
+            ctx: cctx,
+        });
+        self.add_obj(this, recv_obj);
+        self.wire_call(callee, cctx, args, dst);
+    }
+
+    fn wire_call(&mut self, callee: MethodId, cctx: CtxId, args: &[NodeId], dst: Option<NodeId>) {
+        let nparams = self.program.method(callee).param_count();
+        for (i, &a) in args.iter().enumerate() {
+            if (i as u16) < nparams {
+                let p = self.node(NodeKey::Var {
+                    method: callee,
+                    local: Local(i as u16 + 1),
+                    ctx: cctx,
+                });
+                self.add_edge(a, p);
+            }
+        }
+        if let Some(d) = dst {
+            let r = self.node(NodeKey::Ret {
+                method: callee,
+                ctx: cctx,
+            });
+            self.add_edge(r, d);
+        }
+    }
+
+    fn propagate(&mut self) {
+        while let Some((node, obj)) = self.queue.pop_front() {
+            // Copy edges.
+            let succs = self.succ[node.0 as usize].clone();
+            for s in succs {
+                self.add_obj(s, obj);
+            }
+            // Loads with this node as base.
+            if let Some(uses) = self.load_uses.get(&node).cloned() {
+                for (field, dst) in uses {
+                    let h = self.node(NodeKey::Heap { obj, field });
+                    self.add_edge(h, dst);
+                }
+            }
+            // Stores with this node as base.
+            if let Some(uses) = self.store_uses.get(&node).cloned() {
+                for (field, src) in uses {
+                    let h = self.node(NodeKey::Heap { obj, field });
+                    self.add_edge(src, h);
+                }
+            }
+            // Virtual calls with this node as receiver.
+            if let Some(uses) = self.invoke_uses.get(&node).cloned() {
+                for u in uses {
+                    self.bind_call(u.callee, obj, node, &u.args, u.dst);
+                }
+            }
+            // Thread-root subscriptions on this variable.
+            if let NodeKey::Var { method, local, .. } = self.intern.nodes[node.0 as usize] {
+                if let Some(roots) = self.root_subs.get(&(method, local)).cloned() {
+                    for root in roots {
+                        self.spawn_method(root, obj);
+                    }
+                }
+            }
+        }
+    }
+
+    fn finish(self) -> Solution {
+        let mut var_pts: HashMap<(MethodId, Local), Vec<ObjId>> = HashMap::new();
+        let mut heap: HashMap<(ObjId, u32), Vec<ObjId>> = HashMap::new();
+        for (i, key) in self.intern.nodes.iter().enumerate() {
+            let set = &self.pts[i];
+            if set.is_empty() {
+                continue;
+            }
+            match *key {
+                NodeKey::Var { method, local, .. } => match var_pts.entry((method, local)) {
+                    Entry::Occupied(mut e) => e.get_mut().extend(set.iter().copied()),
+                    Entry::Vacant(e) => {
+                        e.insert(set.iter().copied().collect());
+                    }
+                },
+                NodeKey::Ret { .. } => {}
+                NodeKey::Heap { obj, field } => match heap.entry((obj, field)) {
+                    Entry::Occupied(mut e) => e.get_mut().extend(set.iter().copied()),
+                    Entry::Vacant(e) => {
+                        e.insert(set.iter().copied().collect());
+                    }
+                },
+            }
+        }
+        for v in var_pts.values_mut() {
+            v.sort_unstable();
+            v.dedup();
+        }
+        for v in heap.values_mut() {
+            v.sort_unstable();
+            v.dedup();
+        }
+        Solution {
+            objs: self.objs,
+            var_pts,
+            heap,
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! Screen a fleet of applications: run the pipeline over the whole
+//! 27-app evaluation suite and triage the findings by the §7 ranking
+//! hypotheses (PC- and NT-involved pairs first).
+//!
+//! Run with `cargo run --release --example suite_screening`.
+
+use nadroid::core::{analyze, rank_key, AnalysisConfig};
+use nadroid::corpus::{generate, spec_for, table1_rows};
+
+fn main() {
+    let mut triage = Vec::new();
+    for row in table1_rows() {
+        let app = generate(&spec_for(&row));
+        let analysis = analyze(&app.program, &AnalysisConfig::default());
+        let s = analysis.summary();
+        if s.after_unsound == 0 {
+            continue;
+        }
+        for w in analysis.rendered_survivors() {
+            triage.push((row.name, w));
+        }
+        println!(
+            "{:>14}: {:>4} potential, {:>3} after filters",
+            row.name, s.potential, s.after_unsound
+        );
+    }
+
+    triage.sort_by_key(|(_, w)| rank_key(w.pair_type));
+    println!();
+    println!("top findings across the fleet (highest-risk pair types first):");
+    for (app, w) in triage.iter().take(15) {
+        println!(
+            "  [{:5}] {:>12}: {} — use {}, free {}",
+            w.pair_type, app, w.field, w.use_site, w.free_site
+        );
+    }
+    println!("({} findings total)", triage.len());
+}

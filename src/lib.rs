@@ -1,0 +1,20 @@
+//! Umbrella crate for the nAdroid-rs workspace.
+//!
+//! Re-exports every sub-crate under one roof so examples and integration
+//! tests can use a single dependency. Downstream users normally depend on
+//! [`nadroid_core`] (the pipeline) directly.
+
+#![forbid(unsafe_code)]
+
+pub use nadroid_android as android;
+pub use nadroid_cli as cli;
+pub use nadroid_core as core;
+pub use nadroid_corpus as corpus;
+pub use nadroid_datalog as datalog;
+pub use nadroid_detector as detector;
+pub use nadroid_deva as deva;
+pub use nadroid_dynamic as dynamic;
+pub use nadroid_filters as filters;
+pub use nadroid_ir as ir;
+pub use nadroid_pointsto as pointsto;
+pub use nadroid_threadify as threadify;

@@ -1,0 +1,63 @@
+//! Integration tests for the CLI on the shipped sample app models.
+
+use nadroid_cli::{parse_args, run, Command};
+
+fn app(p: &str) -> String {
+    format!("{}/apps/{p}", env!("CARGO_MANIFEST_DIR"))
+}
+
+#[test]
+fn connectbot_report_has_both_figure1_warnings() {
+    let out = run(&Command::Analyze {
+        path: app("connectbot.dsl"),
+        validate: false,
+        sound_only: false,
+        k: 2,
+        json: false,
+        baseline: None,
+        update_baseline: false,
+    })
+    .unwrap();
+    assert!(out.contains("2 surviving warning(s)"), "{out}");
+    assert!(out.contains("[PC-PC] ConsoleActivity.hostBridge"), "{out}");
+    assert!(out.contains("[EC-PC] ConsoleActivity.bound"), "{out}");
+}
+
+#[test]
+fn firefox_dot_shows_the_thread() {
+    let out = run(&Command::Dot {
+        path: app("firefox.dsl"),
+    })
+    .unwrap();
+    assert!(out.contains("AbortTask.run"), "{out}");
+    assert!(
+        out.contains("shape=ellipse"),
+        "native threads are ellipses: {out}"
+    );
+    assert!(out.contains("Spawn"), "{out}");
+}
+
+#[test]
+fn downloader_nosleep_finds_both_acquires() {
+    let out = run(&Command::NoSleep {
+        path: app("downloader.dsl"),
+    })
+    .unwrap();
+    assert!(out.contains("2 no-sleep warning(s)"), "{out}");
+}
+
+#[test]
+fn sound_only_mode_reports_more() {
+    // ConnectBot's two harmful pairs survive either way; compare on the
+    // figure-4-style app where the unsound tier prunes.
+    let full = run(&parse_args(vec!["analyze".into(), app("connectbot.dsl")]).unwrap()).unwrap();
+    let sound = run(&parse_args(vec![
+        "analyze".into(),
+        app("connectbot.dsl"),
+        "--sound-only".into(),
+    ])
+    .unwrap())
+    .unwrap();
+    assert!(full.contains("-> 2 reported"));
+    assert!(sound.contains("-> 2 reported"));
+}

@@ -1,0 +1,119 @@
+//! Cross-crate property tests.
+//!
+//! The generator gives us an unbounded family of well-formed Android app
+//! models, which makes it a natural proptest strategy: every invariant
+//! here is checked against randomly composed apps.
+
+use nadroid::core::{analyze, AnalysisConfig};
+use nadroid::corpus::{generate, AppSpec, PatternKind};
+use nadroid::dynamic::{explore, ExploreConfig, Goal};
+use nadroid::ir::{parse_program, print_program};
+use nadroid::pointsto::{datalog_baseline, AllocKey, PointsTo};
+use nadroid::threadify::ThreadModel;
+use proptest::prelude::*;
+
+/// Strategy: a random multiset of patterns (small, to keep the dynamic
+/// checks tractable).
+fn spec_strategy(max_per_kind: usize) -> impl Strategy<Value = AppSpec> {
+    let kinds = PatternKind::all();
+    (
+        proptest::collection::vec(0..=max_per_kind, kinds.len()),
+        any::<u64>(),
+    )
+        .prop_map(move |(counts, seed)| {
+            let mut spec = AppSpec::new("Prop", seed);
+            for (i, &n) in counts.iter().enumerate() {
+                spec = spec.with(kinds[i], n);
+            }
+            spec
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The printer emits exactly the canonical DSL the parser accepts,
+    /// and parsing it back reproduces the program.
+    #[test]
+    fn parse_print_round_trips(spec in spec_strategy(2)) {
+        let app = generate(&spec);
+        let printed = print_program(&app.program);
+        let reparsed = parse_program(&printed).expect("canonical form parses");
+        prop_assert_eq!(&app.program, &reparsed);
+        prop_assert_eq!(print_program(&reparsed), printed);
+    }
+
+    /// The analysis pipeline is deterministic.
+    #[test]
+    fn analysis_is_deterministic(spec in spec_strategy(1)) {
+        let app = generate(&spec);
+        let a = analyze(&app.program, &AnalysisConfig::default());
+        let b = analyze(&app.program, &AnalysisConfig::default());
+        prop_assert_eq!(a.summary(), b.summary());
+        prop_assert_eq!(a.warnings(), b.warnings());
+    }
+
+    /// The context-sensitive worklist solver at k = 0 agrees with the
+    /// Datalog baseline on every variable of every generated program.
+    #[test]
+    fn solver_matches_datalog_baseline(spec in spec_strategy(1)) {
+        let app = generate(&spec);
+        let threads = ThreadModel::build(&app.program);
+        let pts = PointsTo::run(&app.program, &threads, 0);
+        let baseline = datalog_baseline(&app.program, &threads);
+        for (mid, m) in app.program.methods() {
+            for l in 0..m.num_locals() {
+                let local = nadroid::ir::Local(l);
+                let solver_keys: std::collections::BTreeSet<AllocKey> =
+                    pts.pts(mid, local).iter().map(|&o| pts.objs().key(o)).collect();
+                let base_keys = baseline.get(&(mid, local)).cloned().unwrap_or_default();
+                prop_assert_eq!(solver_keys, base_keys);
+            }
+        }
+    }
+
+    /// Raising k never *adds* warning pairs (sensitivity only refines).
+    #[test]
+    fn sensitivity_is_monotone(spec in spec_strategy(1)) {
+        let app = generate(&spec);
+        let k0 = analyze(&app.program, &AnalysisConfig { k: 0, ..Default::default() });
+        let k2 = analyze(&app.program, &AnalysisConfig::default());
+        prop_assert!(k2.summary().potential <= k0.summary().potential);
+    }
+}
+
+proptest! {
+    // Dynamic exploration is expensive; keep the case count low.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Soundness of the sound filters (the paper's central claim): no
+    /// pair pruned by MHB/IG/IA has an NPE witness under the
+    /// Android-semantics interpreter.
+    #[test]
+    fn sound_filters_never_prune_feasible_pairs(
+        seed in any::<u64>(),
+        mhb in 0usize..=1,
+        ig in 0usize..=1,
+        ia in 0usize..=1,
+        harmful in 0usize..=1,
+    ) {
+        let spec = AppSpec::new("Sound", seed)
+            .with(PatternKind::Mhb, mhb)
+            .with(PatternKind::Ig, ig)
+            .with(PatternKind::Ia, ia)
+            .with(PatternKind::HarmfulEcPc, harmful);
+        let app = generate(&spec);
+        let analysis = analyze(&app.program, &AnalysisConfig::default());
+        for outcome in analysis.sound_outcomes() {
+            let Some(f) = outcome.pruned_by else { continue };
+            prop_assert!(f.is_sound());
+            let w = &outcome.warning;
+            let witness = explore(
+                &app.program,
+                Goal::Pair { use_instr: w.use_access.instr, free_instr: w.free_access.instr },
+                ExploreConfig::default(),
+            );
+            prop_assert!(witness.is_none(), "sound filter {f} pruned a feasible pair");
+        }
+    }
+}
