@@ -9,15 +9,38 @@ use nadroid_filters::FilterKind;
 
 fn main() {
     let rows = table1_rows();
-    let apps: Vec<_> = rows
+    let test_rows: Vec<_> = rows
         .iter()
         .filter(|r| r.group == AppGroup::Test)
-        .map(|r| {
-            eprintln!("analyzing {} ...", r.name);
-            generate(&spec_for(r))
-        })
         .collect();
-    let analyses: Vec<_> = apps.iter().map(|a| analyze_program(&a.program)).collect();
+    // Generate, then analyze, each app on its own thread — apps are
+    // independent, and the two scopes keep `apps` alive for the
+    // program-borrowing `Analysis` values.
+    let apps: Vec<_> = std::thread::scope(|scope| {
+        let handles: Vec<_> = test_rows
+            .iter()
+            .map(|r| {
+                scope.spawn(move || {
+                    eprintln!("generating {} ...", r.name);
+                    generate(&spec_for(r))
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("generation thread panicked"))
+            .collect::<Vec<_>>()
+    });
+    let analyses: Vec<_> = std::thread::scope(|scope| {
+        let handles: Vec<_> = apps
+            .iter()
+            .map(|a| scope.spawn(move || analyze_program(&a.program)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("analysis thread panicked"))
+            .collect::<Vec<_>>()
+    });
     let eff = filter_effectiveness(&analyses);
 
     println!("Figure 5 — filter effectiveness (20 test apps, each filter applied individually).");

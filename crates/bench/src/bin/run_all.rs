@@ -1,9 +1,13 @@
 //! Artifact-style `run-all` (appendix A.4 of the paper): regenerate
 //! every table and figure in one go, writing the CSV artifact.
 //!
+//! The child binaries are independent, so they run concurrently (one OS
+//! thread each, capturing output) and their reports are printed in the
+//! canonical order once all complete.
+//!
 //! Run with `cargo run --release -p nadroid-bench --bin run_all`.
 
-use std::process::Command;
+use std::process::{Command, Output};
 
 fn main() {
     let bins = [
@@ -11,12 +15,28 @@ fn main() {
     ];
     let me = std::env::current_exe().expect("current exe");
     let dir = me.parent().expect("bin dir");
-    for bin in bins {
+    let outputs: Vec<Output> = std::thread::scope(|scope| {
+        let handles: Vec<_> = bins
+            .iter()
+            .map(|bin| {
+                let path = dir.join(bin);
+                scope.spawn(move || {
+                    Command::new(&path)
+                        .output()
+                        .unwrap_or_else(|e| panic!("failed to run {bin}: {e}"))
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("driver thread panicked"))
+            .collect()
+    });
+    for (bin, out) in bins.iter().zip(&outputs) {
         println!("===================== {bin} =====================");
-        let status = Command::new(dir.join(bin))
-            .status()
-            .unwrap_or_else(|e| panic!("failed to run {bin}: {e}"));
-        assert!(status.success(), "{bin} failed");
+        print!("{}", String::from_utf8_lossy(&out.stdout));
+        eprint!("{}", String::from_utf8_lossy(&out.stderr));
+        assert!(out.status.success(), "{bin} failed");
         println!();
     }
     println!("run-all complete; Result/ResultAnalysis.csv regenerated.");

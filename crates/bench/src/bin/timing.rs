@@ -1,5 +1,8 @@
 //! Regenerate the §8.8 phase-time breakdown: modeling vs detection vs
-//! filtering, summed over the whole suite.
+//! filtering, summed over the whole suite, with the detection sub-phases
+//! (points-to / escape / pair enumeration) broken out — plus a
+//! machine-readable `BENCH_timing.json` at the repo root for
+//! before/after comparisons.
 //!
 //! The paper reports modeling at 1.19%, static detection at 95.73%, and
 //! filtering at 3.08% of the analysis time. Our detection phase (the
@@ -8,23 +11,58 @@
 //!
 //! Run with `cargo run --release -p nadroid-bench --bin timing`.
 
-use nadroid_bench::{render_table, run_row};
+use nadroid_bench::{render_table, run_rows_parallel};
 use nadroid_corpus::table1_rows;
-use std::time::Duration;
+use nadroid_datalog::{Database, RuleSet, Term};
+use std::time::{Duration, Instant};
+
+/// A fixed Datalog closure workload (chain + shortcut edges, n = 200)
+/// measuring the engine in isolation; tuples/sec comes straight from the
+/// engine's own run counters.
+fn datalog_throughput() -> (u64, f64, Duration) {
+    let mut db = Database::new();
+    let edge = db.relation("edge", 2);
+    let path = db.relation("path", 2);
+    let n = 200u32;
+    for i in 0..n {
+        db.insert(edge, &[i, (i + 1) % n]);
+        db.insert(edge, &[i, (i + 7) % n]);
+    }
+    let v = Term::var;
+    let mut rules = RuleSet::new();
+    rules
+        .add(path, vec![v(0), v(1)])
+        .when(edge, vec![v(0), v(1)]);
+    rules
+        .add(path, vec![v(0), v(2)])
+        .when(path, vec![v(0), v(1)])
+        .when(edge, vec![v(1), v(2)]);
+    db.run(&rules);
+    let stats = db.stats();
+    (stats.derived, stats.tuples_per_sec(), stats.duration)
+}
 
 fn main() {
+    let suite_start = Instant::now();
+    let runs = run_rows_parallel(&table1_rows());
+    let suite_wall = suite_start.elapsed();
+
     let mut modeling = Duration::ZERO;
     let mut detection = Duration::ZERO;
     let mut filtering = Duration::ZERO;
+    let mut pointsto = Duration::ZERO;
+    let mut escape = Duration::ZERO;
+    let mut detect = Duration::ZERO;
     let mut rows = Vec::new();
-    for row in table1_rows() {
-        eprintln!("analyzing {} ...", row.name);
-        let run = run_row(&row);
+    for run in &runs {
         modeling += run.timings.modeling;
         detection += run.timings.detection;
         filtering += run.timings.filtering;
+        pointsto += run.timings.pointsto;
+        escape += run.timings.escape;
+        detect += run.timings.detect;
         rows.push(vec![
-            row.name.to_owned(),
+            run.row.name.to_owned(),
             format!("{:?}", run.timings.modeling),
             format!("{:?}", run.timings.detection),
             format!("{:?}", run.timings.filtering),
@@ -41,6 +79,57 @@ fn main() {
     println!("§8.8 breakdown over the 27-app suite (paper: 1.19% / 95.73% / 3.08%):");
     println!("  modeling  : {modeling:>12?}  {:5.2}%", pct(modeling));
     println!("  detection : {detection:>12?}  {:5.2}%", pct(detection));
+    println!("    pointsto: {pointsto:>12?}  {:5.2}%", pct(pointsto));
+    println!("    escape  : {escape:>12?}  {:5.2}%", pct(escape));
+    println!("    detect  : {detect:>12?}  {:5.2}%", pct(detect));
     println!("  filtering : {filtering:>12?}  {:5.2}%", pct(filtering));
-    println!("  total     : {total:>12?}");
+    println!("  total     : {total:>12?}  (suite wall-clock {suite_wall:?}, parallel)");
+
+    let (derived, tps, engine_time) = datalog_throughput();
+    println!("datalog closure workload (n=200): {derived} tuples in {engine_time:?} = {tps:.0} tuples/sec");
+
+    // Machine-readable record for before/after comparisons, at the repo
+    // root (two levels above this crate's manifest).
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"suite_wall_clock_secs\": {:.6},\n",
+            "  \"phase_secs\": {{\n",
+            "    \"modeling\": {:.6},\n",
+            "    \"detection\": {:.6},\n",
+            "    \"pointsto\": {:.6},\n",
+            "    \"escape\": {:.6},\n",
+            "    \"detect\": {:.6},\n",
+            "    \"filtering\": {:.6},\n",
+            "    \"total\": {:.6}\n",
+            "  }},\n",
+            "  \"datalog_closure\": {{\n",
+            "    \"n\": 200,\n",
+            "    \"derived_tuples\": {},\n",
+            "    \"run_secs\": {:.6},\n",
+            "    \"tuples_per_sec\": {:.0}\n",
+            "  }},\n",
+            "  \"apps\": {}\n",
+            "}}\n"
+        ),
+        suite_wall.as_secs_f64(),
+        modeling.as_secs_f64(),
+        detection.as_secs_f64(),
+        pointsto.as_secs_f64(),
+        escape.as_secs_f64(),
+        detect.as_secs_f64(),
+        filtering.as_secs_f64(),
+        total.as_secs_f64(),
+        derived,
+        engine_time.as_secs_f64(),
+        tps,
+        runs.len(),
+    );
+    let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_timing.json");
+    match std::fs::write(&out, &json) {
+        Ok(()) => println!("wrote {}", out.display()),
+        Err(e) => eprintln!("could not write {}: {e}", out.display()),
+    }
 }

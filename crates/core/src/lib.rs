@@ -84,6 +84,12 @@ pub struct PhaseTimings {
     pub detection: Duration,
     /// Filter evaluation (§6).
     pub filtering: Duration,
+    /// Detection sub-phase: the k-object-sensitive points-to solve.
+    pub pointsto: Duration,
+    /// Detection sub-phase: thread-escape computation.
+    pub escape: Duration,
+    /// Detection sub-phase: racy-pair enumeration.
+    pub detect: Duration,
 }
 
 impl PhaseTimings {
@@ -139,9 +145,12 @@ pub fn analyze<'p>(program: &'p Program, config: &AnalysisConfig) -> Analysis<'p
 
     let t1 = Instant::now();
     let pts = PointsTo::run(program, &threads, config.k);
+    let pointsto = t1.elapsed();
     let escape = Escape::compute(program, &threads, &pts);
+    let escape_time = t1.elapsed() - pointsto;
     let warnings = detect(program, &threads, &pts, &escape, config.detector);
     let detection = t1.elapsed();
+    let detect_time = detection - pointsto - escape_time;
 
     let t2 = Instant::now();
     let filters = Filters::new(program, &threads, &pts, &escape);
@@ -167,6 +176,9 @@ pub fn analyze<'p>(program: &'p Program, config: &AnalysisConfig) -> Analysis<'p
             modeling,
             detection,
             filtering,
+            pointsto,
+            escape: escape_time,
+            detect: detect_time,
         },
     }
 }

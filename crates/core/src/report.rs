@@ -177,7 +177,6 @@ mod tests {
     // class and check classification.
     mod nadroid_core_test_helpers {
         pub use nadroid_ir::parse_program;
-        pub use nadroid_threadify::ThreadModel;
     }
 
     #[test]

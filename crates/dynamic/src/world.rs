@@ -734,7 +734,17 @@ impl<'p> World<'p> {
         self.steps += 1;
         self.schedule.push(step.clone());
         match step {
-            Step::Advance { task, choice } => self.advance(*task, *choice),
+            Step::Advance { task, choice } => {
+                // Same validation as for dispatches below: a minimized
+                // schedule may have dropped the step that created this
+                // task, making the advance stale rather than a crash.
+                if self.tasks.get(task.0 as usize).is_none() {
+                    self.steps -= 1;
+                    self.schedule.pop();
+                    return false;
+                }
+                self.advance(*task, *choice)
+            }
             Step::Dispatch(e) => {
                 // Validate against the framework rules, so replayed or
                 // minimized schedules cannot smuggle in illegal events

@@ -46,7 +46,7 @@ proptest! {
 
             // Invariants:
             // 1. Monitors are only held by live tasks with frames.
-            for (_, (owner, depth)) in &world.monitors {
+            for (owner, depth) in world.monitors.values() {
                 prop_assert!(*depth > 0);
                 let t = &world.tasks[owner.0 as usize];
                 prop_assert!(

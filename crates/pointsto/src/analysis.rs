@@ -66,6 +66,12 @@ impl PointsTo {
         self.heap.get(&(o, field)).map_or(&[], Vec::as_slice)
     }
 
+    /// All populated heap cells, for clients (like the escape analysis)
+    /// that need the object graph without caring about field identity.
+    pub(crate) fn heap_entries(&self) -> impl Iterator<Item = (ObjId, &[ObjId])> + '_ {
+        self.heap.iter().map(|(&(o, _), v)| (o, v.as_slice()))
+    }
+
     /// Whether two locals may point to a common object.
     #[must_use]
     pub fn may_alias(&self, a: (MethodId, Local), b: (MethodId, Local)) -> bool {

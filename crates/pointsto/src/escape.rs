@@ -11,7 +11,6 @@ use crate::analysis::PointsTo;
 use crate::tables::ObjId;
 use nadroid_ir::{Local, Program};
 use nadroid_threadify::{ThreadId, ThreadModel};
-use std::collections::HashSet;
 
 /// Result of the thread-escape analysis.
 #[derive(Debug, Clone)]
@@ -26,47 +25,57 @@ impl Escape {
     pub fn compute(program: &Program, threads: &ThreadModel, pts: &PointsTo) -> Escape {
         let nobjs = pts.objs().len();
         let mut reach_count = vec![0u32; nobjs];
-        let fields: Vec<u32> = program.field_ids().map(|f| f.raw()).collect();
 
+        // Field identity is irrelevant to escape, so collapse the heap
+        // into one adjacency list per object up front. The previous
+        // formulation probed (object × every program field) in a hash
+        // map per traversal step — by far the suite's hottest loop.
+        let mut heap_succ: Vec<Vec<ObjId>> = vec![Vec::new(); nobjs];
+        for (o, targets) in pts.heap_entries() {
+            heap_succ[o.0 as usize].extend_from_slice(targets);
+        }
+
+        let mut seen = vec![false; nobjs];
+        let mut stack: Vec<ObjId> = Vec::new();
         for (tid, _) in threads.threads() {
-            let reached = Self::reach_of(program, threads, pts, tid, &fields);
-            for o in reached {
-                reach_count[o.0 as usize] += 1;
+            seen.fill(false);
+            Self::reach_of(program, threads, pts, tid, &heap_succ, &mut seen, &mut stack);
+            for (o, s) in seen.iter().enumerate() {
+                reach_count[o] += u32::from(*s);
             }
         }
         Escape { reach_count }
     }
 
-    /// The set of objects one thread can reach.
+    /// Mark the objects one thread can reach in `seen` (pre-cleared).
     fn reach_of(
         program: &Program,
         threads: &ThreadModel,
         pts: &PointsTo,
         tid: ThreadId,
-        fields: &[u32],
-    ) -> HashSet<ObjId> {
-        let mut seen: HashSet<ObjId> = HashSet::new();
-        let mut stack: Vec<ObjId> = Vec::new();
+        heap_succ: &[Vec<ObjId>],
+        seen: &mut [bool],
+        stack: &mut Vec<ObjId>,
+    ) {
         for &m in threads.methods_of(tid) {
             let n = program.method(m).num_locals();
             for l in 0..n {
                 for &o in pts.pts(m, Local(l)) {
-                    if seen.insert(o) {
+                    if !seen[o.0 as usize] {
+                        seen[o.0 as usize] = true;
                         stack.push(o);
                     }
                 }
             }
         }
         while let Some(o) = stack.pop() {
-            for &f in fields {
-                for &o2 in pts.field_pts(o, f) {
-                    if seen.insert(o2) {
-                        stack.push(o2);
-                    }
+            for &o2 in &heap_succ[o.0 as usize] {
+                if !seen[o2.0 as usize] {
+                    seen[o2.0 as usize] = true;
+                    stack.push(o2);
                 }
             }
         }
-        seen
     }
 
     /// Whether an object is reachable from at least two modeled threads

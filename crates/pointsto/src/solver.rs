@@ -14,6 +14,7 @@ use nadroid_ir::{Callee, ClassId, Local, MethodId, Op, Program};
 use nadroid_threadify::{SpawnVia, ThreadModel};
 use std::collections::hash_map::Entry;
 use std::collections::{HashMap, HashSet, VecDeque};
+use std::rc::Rc;
 
 /// An interned receiver context: an allocation chain of length ≤ k.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -99,6 +100,9 @@ struct Solver<'p> {
     pts: Vec<HashSet<ObjId>>,
     /// copy edges (subset constraints) out of each node.
     succ: Vec<Vec<NodeId>>,
+    /// membership mirror of `succ`, so edge insertion is O(1) instead of
+    /// an O(degree) scan of the successor list.
+    edge_set: HashSet<(NodeId, NodeId)>,
     /// pending (node, obj) facts.
     queue: VecDeque<(NodeId, ObjId)>,
     /// (method, ctx) pairs already expanded.
@@ -119,7 +123,9 @@ struct Solver<'p> {
 #[derive(Debug, Clone)]
 struct InvokeUse {
     callee: MethodId,
-    args: Vec<NodeId>,
+    /// Shared so re-dispatching the use for each new receiver object is a
+    /// refcount bump, not a fresh argument-vector allocation.
+    args: Rc<[NodeId]>,
     dst: Option<NodeId>,
 }
 
@@ -133,6 +139,7 @@ impl<'p> Solver<'p> {
             objs: ObjTable::new(),
             pts: Vec::new(),
             succ: Vec::new(),
+            edge_set: HashSet::new(),
             queue: VecDeque::new(),
             reached: HashSet::new(),
             load_uses: HashMap::new(),
@@ -158,7 +165,7 @@ impl<'p> Solver<'p> {
     }
 
     fn add_edge(&mut self, from: NodeId, to: NodeId) {
-        if self.succ[from.0 as usize].contains(&to) {
+        if !self.edge_set.insert((from, to)) {
             return;
         }
         self.succ[from.0 as usize].push(to);
@@ -246,7 +253,12 @@ impl<'p> Solver<'p> {
                 ctx,
             })
         };
-        let body = self.program.method(method).body().clone();
+        // Copy the `&'p Program` reference out of `self` so the body
+        // borrow is independent of the `&mut self` the closure needs —
+        // the old `body().clone()` here showed up in profiles, paid once
+        // per (method, context) clone.
+        let program = self.program;
+        let body = program.method(method).body();
         body.for_each_instr(&mut |i| match &i.op {
             Op::New { dst, class } => {
                 let mut chain = vec![AllocKey::Site(i.id)];
@@ -298,7 +310,8 @@ impl<'p> Solver<'p> {
                 recv,
                 args,
             } => {
-                let arg_nodes: Vec<NodeId> = args.iter().map(|a| var(self, *a)).collect();
+                let arg_nodes: Rc<[NodeId]> =
+                    args.iter().map(|a| var(self, *a)).collect();
                 let dst_node = dst.map(|d| var(self, d));
                 match recv {
                     Some(r) => {
@@ -375,38 +388,61 @@ impl<'p> Solver<'p> {
     }
 
     fn propagate(&mut self) {
+        // Every per-event `.clone()` of a use list in this loop used to be
+        // a heap allocation on the solver's hottest path. The lists are
+        // append-only (handlers may grow them mid-iteration via `expand`),
+        // so index loops that re-check the length each step are both
+        // borrow-safe and allocation-free; processing entries appended
+        // mid-loop is harmless because `bind_call`/`add_edge`/`add_obj`
+        // are idempotent.
         while let Some((node, obj)) = self.queue.pop_front() {
             // Copy edges.
-            let succs = self.succ[node.0 as usize].clone();
-            for s in succs {
+            let mut i = 0;
+            while i < self.succ[node.0 as usize].len() {
+                let s = self.succ[node.0 as usize][i];
                 self.add_obj(s, obj);
+                i += 1;
             }
             // Loads with this node as base.
-            if let Some(uses) = self.load_uses.get(&node).cloned() {
-                for (field, dst) in uses {
-                    let h = self.node(NodeKey::Heap { obj, field });
-                    self.add_edge(h, dst);
-                }
+            let mut i = 0;
+            while let Some(&(field, dst)) =
+                self.load_uses.get(&node).and_then(|uses| uses.get(i))
+            {
+                let h = self.node(NodeKey::Heap { obj, field });
+                self.add_edge(h, dst);
+                i += 1;
             }
             // Stores with this node as base.
-            if let Some(uses) = self.store_uses.get(&node).cloned() {
-                for (field, src) in uses {
-                    let h = self.node(NodeKey::Heap { obj, field });
-                    self.add_edge(src, h);
-                }
+            let mut i = 0;
+            while let Some(&(field, src)) =
+                self.store_uses.get(&node).and_then(|uses| uses.get(i))
+            {
+                let h = self.node(NodeKey::Heap { obj, field });
+                self.add_edge(src, h);
+                i += 1;
             }
-            // Virtual calls with this node as receiver.
-            if let Some(uses) = self.invoke_uses.get(&node).cloned() {
-                for u in uses {
-                    self.bind_call(u.callee, obj, node, &u.args, u.dst);
-                }
+            // Virtual calls with this node as receiver. The `InvokeUse`
+            // clone is a refcount bump on the shared argument slice.
+            let mut i = 0;
+            while let Some(u) = self
+                .invoke_uses
+                .get(&node)
+                .and_then(|uses| uses.get(i))
+                .cloned()
+            {
+                self.bind_call(u.callee, obj, node, &u.args, u.dst);
+                i += 1;
             }
             // Thread-root subscriptions on this variable.
             if let NodeKey::Var { method, local, .. } = self.intern.nodes[node.0 as usize] {
-                if let Some(roots) = self.root_subs.get(&(method, local)).cloned() {
-                    for root in roots {
-                        self.spawn_method(root, obj);
-                    }
+                let mut i = 0;
+                while let Some(&root) = self
+                    .root_subs
+                    .get(&(method, local))
+                    .and_then(|roots| roots.get(i))
+                {
+                    self.spawn_method(root, obj);
+                    i += 1;
                 }
             }
         }

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Tier-1 gate: everything a PR must pass before merge.
+#
+#   ./scripts/ci.sh
+#
+# 1. release build of the whole workspace (benches compile too),
+# 2. the full test suite,
+# 3. clippy with warnings promoted to errors.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --workspace --release
+cargo test -q --workspace
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "ci.sh: all gates passed"

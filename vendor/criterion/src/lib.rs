@@ -1,0 +1,233 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access and no registry cache, so
+//! this vendored crate implements the benchmarking API surface the
+//! workspace uses — `Criterion`, `BenchmarkGroup`, `BenchmarkId`,
+//! `Bencher::iter`, and the `criterion_group!`/`criterion_main!` macros —
+//! with a simple wall-clock sampler: per benchmark it calibrates an
+//! iteration batch to ≥ ~25 ms, takes `sample_size` samples, and reports
+//! the median per-iteration time. No statistics beyond that, no plots;
+//! numbers are printed in criterion's familiar `time: [..]` shape so the
+//! output stays grep-compatible.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Mirror of criterion's CLI-argument hook; accepts and ignores them.
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: 10,
+        }
+    }
+
+    /// Run a single ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_benchmark(name, 10, &mut f);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of samples to take per benchmark (min 2).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Benchmark `f` with `input`, labeled by `id`.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_benchmark(&label, self.sample_size, &mut |b| f(b, input));
+        self
+    }
+
+    /// Benchmark `f`, labeled by `id` within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        run_benchmark(&label, self.sample_size, &mut f);
+        self
+    }
+
+    /// End the group (printing happens eagerly; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// A benchmark label: a function name with an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: Option<String>,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// Label `function/parameter`.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            function: Some(function.into()),
+            parameter: parameter.to_string(),
+        }
+    }
+
+    /// Label by parameter alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            function: None,
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.function {
+            Some(func) => write!(f, "{func}/{}", self.parameter),
+            None => write!(f, "{}", self.parameter),
+        }
+    }
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`] with the
+/// routine under test.
+#[derive(Debug)]
+pub struct Bencher {
+    /// Measured per-iteration samples.
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Measure `routine`: calibrate a batch, then sample it.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up and calibration: grow the batch until it costs ≥ 25 ms
+        // (or a single iteration already does).
+        let mut batch: u64 = 1;
+        let batch_floor = Duration::from_millis(25);
+        loop {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = t.elapsed();
+            if elapsed >= batch_floor || batch >= 1 << 20 {
+                break;
+            }
+            // Aim directly for the floor rather than doubling blindly.
+            let scale = (batch_floor.as_nanos() / elapsed.as_nanos().max(1)) + 1;
+            batch = batch.saturating_mul(u64::try_from(scale).unwrap_or(u64::MAX)).min(1 << 20);
+        }
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            self.samples.push(t.elapsed() / u32::try_from(batch).unwrap_or(u32::MAX));
+        }
+    }
+}
+
+fn run_benchmark(label: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        samples: Vec::new(),
+        sample_size,
+    };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("{label:<40} (no measurement: Bencher::iter never called)");
+        return;
+    }
+    b.samples.sort_unstable();
+    let lo = b.samples[0];
+    let median = b.samples[b.samples.len() / 2];
+    let hi = *b.samples.last().expect("non-empty");
+    println!(
+        "{label:<40} time: [{} {} {}]",
+        fmt_duration(lo),
+        fmt_duration(median),
+        fmt_duration(hi)
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+/// Bundle benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_formats() {
+        assert_eq!(BenchmarkId::new("chain", 200).to_string(), "chain/200");
+        assert_eq!(BenchmarkId::from_parameter(7).to_string(), "7");
+    }
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("smoke");
+        g.sample_size(2);
+        g.bench_function("nop", |b| b.iter(|| black_box(1u32 + 1)));
+        g.finish();
+    }
+}

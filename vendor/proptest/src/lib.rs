@@ -1,0 +1,529 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access and no registry cache, so
+//! this vendored crate implements the slice of proptest this workspace
+//! uses: the [`proptest!`] macro, `prop_assert*`, integer-range / tuple /
+//! string-regex / collection / sample strategies, `any::<T>()`, and
+//! `prop_map`. Cases are generated from a deterministic per-test RNG
+//! (seeded from the test name), so failures reproduce by re-running the
+//! test. Shrinking is not implemented — a failing case is reported as-is.
+
+#![forbid(unsafe_code)]
+
+/// Test-runner plumbing: the RNG and the per-suite configuration.
+pub mod test_runner {
+    /// Configuration accepted via `#![proptest_config(..)]`.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases to run per property.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` random cases.
+        #[must_use]
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    /// Deterministic SplitMix64 stream used to drive strategies.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// A generator seeded from an arbitrary string (the test name).
+        #[must_use]
+        pub fn from_name(name: &str) -> Self {
+            // FNV-1a over the name gives a stable per-test seed.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            TestRng { state: h }
+        }
+
+        /// The next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// A uniform draw from `[0, n)`.
+        pub fn below(&mut self, n: u64) -> u64 {
+            assert!(n > 0, "cannot sample empty range");
+            self.next_u64() % n
+        }
+    }
+}
+
+/// The [`Strategy`] trait and combinators.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// A generator of random values of one type.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draw one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Map generated values through `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy yielding a fixed value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn sample(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    macro_rules! impl_int_ranges {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as u128) - (self.start as u128);
+                    self.start.wrapping_add((u128::from(rng.next_u64()) % span) as $t)
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as u128) - (lo as u128) + 1;
+                    lo.wrapping_add((u128::from(rng.next_u64()) % span) as $t)
+                }
+            }
+        )*};
+    }
+
+    impl_int_ranges!(u8, u16, u32, u64, usize);
+
+    macro_rules! impl_tuple_strategy {
+        ($($s:ident/$idx:tt),+) => {
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A/0, B/1);
+    impl_tuple_strategy!(A/0, B/1, C/2);
+    impl_tuple_strategy!(A/0, B/1, C/2, D/3);
+    impl_tuple_strategy!(A/0, B/1, C/2, D/3, E/4);
+    impl_tuple_strategy!(A/0, B/1, C/2, D/3, E/4, F/5);
+
+    /// String literals act as regex strategies. Only the subset the
+    /// workspace uses is supported: one character class with optional
+    /// ranges and escapes, followed by a `{min,max}` repetition, e.g.
+    /// `"[ -~\n]{0,400}"`.
+    impl Strategy for &str {
+        type Value = String;
+        fn sample(&self, rng: &mut TestRng) -> String {
+            let (chars, min, max) = parse_class_regex(self);
+            let len = min + rng.below((max - min + 1) as u64) as usize;
+            (0..len)
+                .map(|_| chars[rng.below(chars.len() as u64) as usize])
+                .collect()
+        }
+    }
+
+    /// Parse `[class]{min,max}` into (alphabet, min, max).
+    ///
+    /// # Panics
+    ///
+    /// Panics on regex features beyond that subset.
+    fn parse_class_regex(pattern: &str) -> (Vec<char>, usize, usize) {
+        let mut it = pattern.chars().peekable();
+        assert_eq!(it.next(), Some('['), "unsupported regex: {pattern}");
+        let mut chars: Vec<char> = Vec::new();
+        let mut pending: Option<char> = None;
+        loop {
+            let c = it.next().unwrap_or_else(|| {
+                panic!("unterminated character class in regex: {pattern}")
+            });
+            let literal = match c {
+                ']' => break,
+                '\\' => match it.next() {
+                    Some('n') => '\n',
+                    Some('t') => '\t',
+                    Some('r') => '\r',
+                    Some(other) => other,
+                    None => panic!("dangling escape in regex: {pattern}"),
+                },
+                '-' if pending.is_some() && it.peek().is_some_and(|&n| n != ']') => {
+                    let lo = pending.take().expect("range start");
+                    let hi = match it.next() {
+                        Some('\\') => it.next().expect("escaped range end"),
+                        Some(h) => h,
+                        None => panic!("unterminated range in regex: {pattern}"),
+                    };
+                    for u in (lo as u32)..=(hi as u32) {
+                        chars.extend(char::from_u32(u));
+                    }
+                    continue;
+                }
+                other => other,
+            };
+            if let Some(prev) = pending.replace(literal) {
+                chars.push(prev);
+            }
+        }
+        if let Some(prev) = pending {
+            chars.push(prev);
+        }
+        assert!(!chars.is_empty(), "empty character class in regex: {pattern}");
+        let rest: String = it.collect();
+        let (min, max) = if rest.is_empty() {
+            (1, 1)
+        } else {
+            let inner = rest
+                .strip_prefix('{')
+                .and_then(|r| r.strip_suffix('}'))
+                .unwrap_or_else(|| panic!("unsupported regex suffix: {pattern}"));
+            match inner.split_once(',') {
+                Some((a, b)) => (
+                    a.trim().parse().expect("repetition min"),
+                    b.trim().parse().expect("repetition max"),
+                ),
+                None => {
+                    let n = inner.trim().parse().expect("repetition count");
+                    (n, n)
+                }
+            }
+        };
+        assert!(min <= max, "bad repetition in regex: {pattern}");
+        (chars, min, max)
+    }
+}
+
+/// `any::<T>()` — the canonical strategy of a type.
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use core::marker::PhantomData;
+
+    /// Types with a canonical strategy.
+    pub trait Arbitrary {
+        /// Draw one canonical value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                #[allow(clippy::cast_possible_truncation)]
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// Strategy returned by [`any`].
+    #[derive(Debug, Clone, Default)]
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The canonical strategy for `T`.
+    #[must_use]
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// A size specification: exact, half-open, or inclusive.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        min: usize,
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                min: *r.start(),
+                max: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a random length.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = self.size.max - self.size.min + 1;
+            let len = self.size.min + rng.below(span as u64) as usize;
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// A vector of `size` elements drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+/// Sampling from fixed sets.
+pub mod sample {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy choosing uniformly from a fixed vector.
+    #[derive(Debug, Clone)]
+    pub struct Select<T: Clone>(Vec<T>);
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            self.0[rng.below(self.0.len() as u64) as usize].clone()
+        }
+    }
+
+    /// A uniform choice among `options` (must be non-empty).
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select() needs at least one option");
+        Select(options)
+    }
+}
+
+/// Everything a property-test file needs.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Assert a condition inside a property; accepts a format message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond);
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*);
+    };
+}
+
+/// Assert equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b);
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_eq!($a, $b, $($fmt)*);
+    };
+}
+
+/// Assert inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {
+        assert_ne!($a, $b);
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_ne!($a, $b, $($fmt)*);
+    };
+}
+
+/// Declare property tests: each `fn name(arg in strategy, ..) { body }`
+/// becomes a `#[test]` running `cases` random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::test_runner::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr); $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut rng = $crate::test_runner::TestRng::from_name(concat!(
+                    module_path!(), "::", stringify!($name)
+                ));
+                for case in 0..config.cases {
+                    $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut rng);)+
+                    // Mirror real proptest: the body runs in a closure
+                    // returning Result, so `return Ok(())` works as an
+                    // early exit.
+                    let outcome = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(
+                            move || -> ::std::result::Result<(), ::std::string::String> {
+                                $body
+                                #[allow(unreachable_code)]
+                                Ok(())
+                            },
+                        ),
+                    );
+                    match outcome {
+                        Ok(Ok(())) => {}
+                        Ok(Err(reject)) => panic!(
+                            "proptest {}: case {case}/{} rejected: {reject}",
+                            stringify!($name),
+                            config.cases,
+                        ),
+                        Err(panic) => {
+                            eprintln!(
+                                "proptest {}: failed at case {case}/{} (deterministic; rerun reproduces)",
+                                stringify!($name),
+                                config.cases,
+                            );
+                            ::std::panic::resume_unwind(panic);
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_in_bounds(x in 3u32..9, y in 0usize..=2) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!(y <= 2);
+        }
+
+        #[test]
+        fn vec_and_tuple_strategies(v in prop::collection::vec((0u32..5, 0u32..5), 0..7)) {
+            prop_assert!(v.len() < 7);
+            for (a, b) in v {
+                prop_assert!(a < 5 && b < 5);
+            }
+        }
+
+        #[test]
+        fn string_regex_subset(s in "[a-c x]{2,5}") {
+            prop_assert!((2..=5).contains(&s.len()));
+            prop_assert!(s.chars().all(|c| matches!(c, 'a'..='c' | ' ' | 'x')));
+        }
+
+        #[test]
+        fn select_and_map(
+            k in prop::sample::select(vec![10u32, 20, 30]),
+            m in (0u32..3).prop_map(|x| x * 2),
+        ) {
+            prop_assert!(k % 10 == 0);
+            prop_assert!(m % 2 == 0 && m < 6);
+        }
+
+        #[test]
+        fn any_u64_varies(x in any::<u64>(), y in any::<u64>()) {
+            // Not a tautology check — just exercise the strategy.
+            let _ = x.wrapping_add(y);
+        }
+    }
+
+    #[test]
+    fn escape_and_range_classes_parse() {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+        let mut rng = TestRng::from_name("escape");
+        let s = "[ -~\\n]{0,40}".sample(&mut rng);
+        assert!(s.chars().all(|c| c == '\n' || (' '..='~').contains(&c)));
+    }
+}
