@@ -39,5 +39,8 @@ fn main() {
         assert!(out.status.success(), "{bin} failed");
         println!();
     }
-    println!("run-all complete; Result/ResultAnalysis.csv regenerated.");
+    println!(
+        "run-all complete; Result/ResultAnalysis.csv, Result/reports/, and \
+         BENCH_timing.json regenerated."
+    );
 }

@@ -4,7 +4,7 @@
 //!
 //! Run with `cargo run --release -p nadroid-bench --bin table1`.
 
-use nadroid_bench::{render_table, run_rows_parallel, write_csv};
+use nadroid_bench::{render_table, run_rows_parallel, write_csv, write_reports};
 use nadroid_corpus::{table1_rows, AppGroup};
 
 fn main() {
@@ -85,5 +85,14 @@ fn main() {
     match write_csv(&runs, csv) {
         Ok(()) => println!("wrote {}", csv.display()),
         Err(e) => eprintln!("could not write {}: {e}", csv.display()),
+    }
+    let reports = std::path::Path::new("Result/reports");
+    match write_reports(&runs, reports) {
+        Ok(()) => println!(
+            "wrote {} per-app run reports under {}",
+            runs.len(),
+            reports.display()
+        ),
+        Err(e) => eprintln!("could not write reports under {}: {e}", reports.display()),
     }
 }

@@ -9,9 +9,26 @@
 //! k-object-sensitive points-to + escape + pair enumeration) similarly
 //! dominates; absolute times are not comparable (simulator substrate).
 //!
+//! `BENCH_timing.json` schema (`nadroid-timing/2`):
+//!
+//! - `suite.wall_secs` — elapsed wall-clock for the parallel suite run;
+//! - `suite.cpu_secs` — per-app phase totals summed across all (parallel)
+//!   app runs, so it exceeds `wall_secs` on a multi-core host;
+//! - `phase_cpu_secs` — the same CPU-semantics sum broken down by phase,
+//!   encoded by `nadroid_core::phase_timings_json` (the encoder the CLI
+//!   run-report also uses);
+//! - `counters` — suite-wide sums of a few recorder counters;
+//! - `datalog_closure` — the isolated engine workload below.
+//!
 //! Run with `cargo run --release -p nadroid-bench --bin timing`.
+//! With `--check <tolerance>` it instead re-measures and compares
+//! against the committed `BENCH_timing.json`, exiting nonzero if any
+//! guarded time blew past `tolerance ×` the baseline (plus a small
+//! absolute slack for scheduler jitter) or the deterministic closure
+//! tuple count changed — the CI bench-regression guard.
 
-use nadroid_bench::{render_table, run_rows_parallel};
+use nadroid_bench::{render_table, run_rows_parallel, AppRun};
+use nadroid_core::{phase_timings_json, PhaseTimings};
 use nadroid_corpus::table1_rows;
 use nadroid_datalog::{Database, RuleSet, Term};
 use std::time::{Duration, Instant};
@@ -42,93 +59,252 @@ fn datalog_throughput() -> (u64, f64, Duration) {
     (stats.derived, stats.tuples_per_sec(), stats.duration)
 }
 
-fn main() {
+/// Sum a recorder counter across all app runs.
+fn counter_sum(runs: &[AppRun], name: &str) -> u64 {
+    runs.iter()
+        .map(|r| r.recorder.counter_value(name))
+        .sum()
+}
+
+/// Extract the first `"key": <number>` value from a JSON document.
+fn extract_num(json: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let at = json.find(&pat)? + pat.len();
+    let rest = json[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || "+-.eE".contains(c)))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+struct SuiteMeasurement {
+    json: String,
+    table: String,
+    breakdown: String,
+}
+
+fn measure() -> SuiteMeasurement {
     let suite_start = Instant::now();
     let runs = run_rows_parallel(&table1_rows());
     let suite_wall = suite_start.elapsed();
 
-    let mut modeling = Duration::ZERO;
-    let mut detection = Duration::ZERO;
-    let mut filtering = Duration::ZERO;
-    let mut pointsto = Duration::ZERO;
-    let mut escape = Duration::ZERO;
-    let mut detect = Duration::ZERO;
+    let mut sum = PhaseTimings::default();
     let mut rows = Vec::new();
     for run in &runs {
-        modeling += run.timings.modeling;
-        detection += run.timings.detection;
-        filtering += run.timings.filtering;
-        pointsto += run.timings.pointsto;
-        escape += run.timings.escape;
-        detect += run.timings.detect;
+        sum.modeling += run.timings.modeling;
+        sum.detection += run.timings.detection;
+        sum.filtering += run.timings.filtering;
+        sum.pointsto += run.timings.pointsto;
+        sum.escape += run.timings.escape;
+        sum.detect += run.timings.detect;
         rows.push(vec![
             run.row.name.to_owned(),
             format!("{:?}", run.timings.modeling),
             format!("{:?}", run.timings.detection),
+            format!("{:?}", run.timings.pointsto),
+            format!("{:?}", run.timings.escape),
+            format!("{:?}", run.timings.detect),
             format!("{:?}", run.timings.filtering),
         ]);
     }
-    println!("Phase times per app:");
-    println!(
-        "{}",
-        render_table(&["app", "modeling", "detection", "filtering"], &rows)
+    let table = render_table(
+        &[
+            "app",
+            "modeling",
+            "detection",
+            "pointsto",
+            "escape",
+            "detect",
+            "filtering",
+        ],
+        &rows,
     );
 
-    let total = modeling + detection + filtering;
+    let total = sum.total();
     let pct = |d: Duration| d.as_secs_f64() / total.as_secs_f64() * 100.0;
-    println!("§8.8 breakdown over the 27-app suite (paper: 1.19% / 95.73% / 3.08%):");
-    println!("  modeling  : {modeling:>12?}  {:5.2}%", pct(modeling));
-    println!("  detection : {detection:>12?}  {:5.2}%", pct(detection));
-    println!("    pointsto: {pointsto:>12?}  {:5.2}%", pct(pointsto));
-    println!("    escape  : {escape:>12?}  {:5.2}%", pct(escape));
-    println!("    detect  : {detect:>12?}  {:5.2}%", pct(detect));
-    println!("  filtering : {filtering:>12?}  {:5.2}%", pct(filtering));
-    println!("  total     : {total:>12?}  (suite wall-clock {suite_wall:?}, parallel)");
+    let mut breakdown = String::new();
+    use std::fmt::Write as _;
+    let _ = writeln!(
+        breakdown,
+        "§8.8 breakdown over the {}-app suite (paper: 1.19% / 95.73% / 3.08%):",
+        runs.len()
+    );
+    let _ = writeln!(
+        breakdown,
+        "  modeling  : {:>12?}  {:5.2}%",
+        sum.modeling,
+        pct(sum.modeling)
+    );
+    let _ = writeln!(
+        breakdown,
+        "  detection : {:>12?}  {:5.2}%",
+        sum.detection,
+        pct(sum.detection)
+    );
+    let _ = writeln!(
+        breakdown,
+        "    pointsto: {:>12?}  {:5.2}%",
+        sum.pointsto,
+        pct(sum.pointsto)
+    );
+    let _ = writeln!(
+        breakdown,
+        "    escape  : {:>12?}  {:5.2}%",
+        sum.escape,
+        pct(sum.escape)
+    );
+    let _ = writeln!(
+        breakdown,
+        "    detect  : {:>12?}  {:5.2}%",
+        sum.detect,
+        pct(sum.detect)
+    );
+    let _ = writeln!(
+        breakdown,
+        "  filtering : {:>12?}  {:5.2}%",
+        sum.filtering,
+        pct(sum.filtering)
+    );
+    let _ = writeln!(
+        breakdown,
+        "  total(cpu): {total:>12?}  (suite wall-clock {suite_wall:?}, parallel)"
+    );
 
     let (derived, tps, engine_time) = datalog_throughput();
-    println!("datalog closure workload (n=200): {derived} tuples in {engine_time:?} = {tps:.0} tuples/sec");
+    let _ = writeln!(
+        breakdown,
+        "datalog closure workload (n=200): {derived} tuples in {engine_time:?} = {tps:.0} tuples/sec"
+    );
 
-    // Machine-readable record for before/after comparisons, at the repo
-    // root (two levels above this crate's manifest).
     let json = format!(
         concat!(
             "{{\n",
-            "  \"suite_wall_clock_secs\": {:.6},\n",
-            "  \"phase_secs\": {{\n",
-            "    \"modeling\": {:.6},\n",
-            "    \"detection\": {:.6},\n",
-            "    \"pointsto\": {:.6},\n",
-            "    \"escape\": {:.6},\n",
-            "    \"detect\": {:.6},\n",
-            "    \"filtering\": {:.6},\n",
-            "    \"total\": {:.6}\n",
+            "  \"schema\": \"nadroid-timing/2\",\n",
+            "  \"apps\": {},\n",
+            "  \"suite\": {{\n",
+            "    \"wall_secs\": {:.6},\n",
+            "    \"cpu_secs\": {:.6}\n",
+            "  }},\n",
+            "  \"phase_cpu_secs\": {},\n",
+            "  \"counters\": {{\n",
+            "    \"pointsto.queue_pops\": {},\n",
+            "    \"detector.pairs_examined\": {},\n",
+            "    \"detector.racy_pairs\": {}\n",
             "  }},\n",
             "  \"datalog_closure\": {{\n",
             "    \"n\": 200,\n",
             "    \"derived_tuples\": {},\n",
             "    \"run_secs\": {:.6},\n",
             "    \"tuples_per_sec\": {:.0}\n",
-            "  }},\n",
-            "  \"apps\": {}\n",
+            "  }}\n",
             "}}\n"
         ),
+        runs.len(),
         suite_wall.as_secs_f64(),
-        modeling.as_secs_f64(),
-        detection.as_secs_f64(),
-        pointsto.as_secs_f64(),
-        escape.as_secs_f64(),
-        detect.as_secs_f64(),
-        filtering.as_secs_f64(),
         total.as_secs_f64(),
+        phase_timings_json(&sum, "  "),
+        counter_sum(&runs, "pointsto.queue_pops"),
+        counter_sum(&runs, "detector.pairs_examined"),
+        counter_sum(&runs, "detector.racy_pairs"),
         derived,
         engine_time.as_secs_f64(),
         tps,
-        runs.len(),
     );
-    let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+    SuiteMeasurement {
+        json,
+        table,
+        breakdown,
+    }
+}
+
+fn baseline_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
         .join("../..")
-        .join("BENCH_timing.json");
-    match std::fs::write(&out, &json) {
+        .join("BENCH_timing.json")
+}
+
+/// Compare a fresh measurement against the committed baseline. Returns
+/// the number of violations (printed as they are found).
+fn check(current: &str, baseline: &str, tol: f64) -> usize {
+    // Wall/CPU-time keys: noisy, so guarded with a multiplicative
+    // tolerance plus an absolute slack (tiny phases jitter wildly in
+    // relative terms).
+    const SLACK_SECS: f64 = 0.25;
+    let mut violations = 0;
+    for key in ["wall_secs", "cpu_secs", "total", "run_secs"] {
+        let (Some(base), Some(cur)) = (extract_num(baseline, key), extract_num(current, key))
+        else {
+            println!("bench-check FAIL: key \"{key}\" missing from baseline or current run");
+            violations += 1;
+            continue;
+        };
+        let limit = base * tol + SLACK_SECS;
+        if cur > limit {
+            println!(
+                "bench-check FAIL: \"{key}\" = {cur:.6}s exceeds {tol}x baseline {base:.6}s (+{SLACK_SECS}s slack)"
+            );
+            violations += 1;
+        } else {
+            println!(
+                "bench-check ok: \"{key}\" {cur:.6}s vs baseline {base:.6}s (limit {limit:.6}s)"
+            );
+        }
+    }
+    // Deterministic keys: exact equality.
+    for key in ["derived_tuples", "apps"] {
+        let (base, cur) = (extract_num(baseline, key), extract_num(current, key));
+        if base == cur && base.is_some() {
+            println!("bench-check ok: \"{key}\" = {:.0}", base.unwrap_or(0.0));
+        } else {
+            println!("bench-check FAIL: \"{key}\" changed: baseline {base:?}, current {cur:?}");
+            violations += 1;
+        }
+    }
+    violations
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let check_tol = match args.first().map(String::as_str) {
+        Some("--check") => Some(
+            args.get(1).and_then(|t| t.parse::<f64>().ok()).unwrap_or_else(|| {
+                eprintln!("usage: timing [--check <tolerance>]");
+                std::process::exit(2);
+            }),
+        ),
+        Some(other) => {
+            eprintln!("unknown argument {other}; usage: timing [--check <tolerance>]");
+            std::process::exit(2);
+        }
+        None => None,
+    };
+
+    let m = measure();
+
+    if let Some(tol) = check_tol {
+        let path = baseline_path();
+        let baseline = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            eprintln!("could not read baseline {}: {e}", path.display());
+            std::process::exit(2);
+        });
+        let violations = check(&m.json, &baseline, tol);
+        if violations > 0 {
+            println!(
+                "bench-check: {violations} violation(s) against {}",
+                path.display()
+            );
+            std::process::exit(1);
+        }
+        println!("bench-check: all keys within {tol}x of {}", path.display());
+        return;
+    }
+
+    println!("Phase times per app:");
+    println!("{}", m.table);
+    print!("{}", m.breakdown);
+
+    let out = baseline_path();
+    match std::fs::write(&out, &m.json) {
         Ok(()) => println!("wrote {}", out.display()),
         Err(e) => eprintln!("could not write {}: {e}", out.display()),
     }

@@ -10,6 +10,7 @@ use nadroid_corpus::{generate, spec_for, Expectation, GeneratedApp, PaperRow, Pa
 use nadroid_detector::UafWarning;
 use nadroid_filters::FilterKind;
 use nadroid_ir::Program;
+use nadroid_obs as obs;
 
 /// One evaluated application: the generated program, its planted ground
 /// truth, and the pipeline's results.
@@ -29,18 +30,29 @@ pub struct AppRun {
     pub fp: Vec<(FpCause, usize)>,
     /// Phase timings.
     pub timings: nadroid_core::PhaseTimings,
+    /// This app's recorder (installed around `analyze` on the running
+    /// thread only, so parallel rows never share metrics).
+    pub recorder: obs::Recorder,
+    /// The rendered JSON run report for this app.
+    pub report: String,
 }
 
-/// Generate and analyze one Table 1 app.
+/// Generate and analyze one Table 1 app, capturing spans and metrics
+/// into a per-app recorder.
 #[must_use]
 pub fn run_row(row: &PaperRow) -> AppRun {
     let app = generate(&spec_for(row));
-    let (summary, types, timings) = {
-        let analysis = analyze(&app.program, &AnalysisConfig::default());
+    let recorder = obs::Recorder::new();
+    let (summary, types, timings, report) = {
+        let analysis = {
+            let _guard = recorder.install();
+            analyze(&app.program, &AnalysisConfig::default())
+        };
         (
             analysis.summary(),
             analysis.survivor_types(),
             *analysis.timings(),
+            nadroid_core::render_run_report(&analysis, &recorder),
         )
     };
     let harmful = app
@@ -69,7 +81,29 @@ pub fn run_row(row: &PaperRow) -> AppRun {
         harmful,
         fp,
         timings,
+        recorder,
+        report,
     }
+}
+
+/// Write each app's JSON run report under `dir` (one `<app>.report.json`
+/// per app; the app name is sanitized to a filesystem-safe slug).
+///
+/// # Errors
+///
+/// Propagates I/O errors from creating the directory or writing a file.
+pub fn write_reports(runs: &[AppRun], dir: &std::path::Path) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    for run in runs {
+        let slug: String = run
+            .row
+            .name
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+            .collect();
+        std::fs::write(dir.join(format!("{slug}.report.json")), &run.report)?;
+    }
+    Ok(())
 }
 
 /// Run all suite rows in parallel (one OS thread per row; the analyses
@@ -98,6 +132,10 @@ pub fn analyze_program(program: &Program) -> Analysis<'_> {
 /// Individual-filter effectiveness over a set of analyses (Figure 5):
 /// for each filter, the number of distinct pairs it would prune on its
 /// own, over the relevant base population.
+///
+/// Built on [`nadroid_filters::tally_outcomes`] — the same accounting
+/// `analyze` records as `filter.<NAME>.killed` counters — so the
+/// figure's bars and the run-report metrics agree by construction.
 #[must_use]
 pub fn filter_effectiveness(analyses: &[Analysis<'_>]) -> FilterEffect {
     let mut potential = 0usize;
@@ -108,28 +146,21 @@ pub fn filter_effectiveness(analyses: &[Analysis<'_>]) -> FilterEffect {
     let mut mayhb = 0usize;
 
     for a in analyses {
-        let filters = a.filters();
         let s = a.summary();
         potential += s.potential;
         after_sound += s.after_sound;
         after_unsound += s.after_unsound;
         // Individual sound filters over all potential pairs.
-        for (i, &k) in FilterKind::sound().iter().enumerate() {
-            sound_counts[i] += distinct_pruned(a.warnings(), |w| filters.prunes(k, w));
+        let sound = nadroid_filters::tally_outcomes(a.sound_outcomes(), FilterKind::sound());
+        for (i, t) in sound.iter().enumerate() {
+            sound_counts[i] += t.killed;
         }
         // Individual unsound filters over the sound survivors.
-        let survivors: Vec<UafWarning> = a
-            .sound_outcomes()
-            .iter()
-            .filter(|o| o.survives())
-            .map(|o| o.warning.clone())
-            .collect();
-        for (i, &k) in FilterKind::unsound().iter().enumerate() {
-            unsound_counts[i] += distinct_pruned(&survivors, |w| filters.prunes(k, w));
+        let unsound = nadroid_filters::tally_outcomes(a.unsound_outcomes(), FilterKind::unsound());
+        for (i, t) in unsound.iter().enumerate() {
+            unsound_counts[i] += t.killed;
         }
-        mayhb += distinct_pruned(&survivors, |w| {
-            FilterKind::may_hb().iter().any(|&k| filters.prunes(k, w))
-        });
+        mayhb += nadroid_filters::distinct_killed_by_any(a.unsound_outcomes(), FilterKind::may_hb());
     }
     FilterEffect {
         potential,
@@ -139,17 +170,6 @@ pub fn filter_effectiveness(analyses: &[Analysis<'_>]) -> FilterEffect {
         unsound_counts,
         mayhb,
     }
-}
-
-fn distinct_pruned(warnings: &[UafWarning], mut pruned: impl FnMut(&UafWarning) -> bool) -> usize {
-    let mut pairs: Vec<_> = warnings
-        .iter()
-        .filter(|w| pruned(w))
-        .map(UafWarning::pair)
-        .collect();
-    pairs.sort_unstable();
-    pairs.dedup();
-    pairs.len()
 }
 
 /// Aggregated Figure 5 data.
@@ -304,6 +324,64 @@ mod tests {
             })
             .count();
         assert_eq!(run.summary.after_unsound, surviving_planted);
+    }
+
+    #[test]
+    fn figure5_counts_match_recorded_counters() {
+        // The Figure 5 driver numbers and the `filter.<NAME>.*` counters
+        // must agree exactly: both sides go through `tally_outcomes`.
+        let rows = nadroid_corpus::table1_rows();
+        let row = rows.iter().find(|r| r.name == "Dns66").unwrap();
+        let run = run_row(row);
+        let app = generate(&spec_for(row));
+        let analysis = analyze_program(&app.program);
+        let eff = filter_effectiveness(std::slice::from_ref(&analysis));
+        for (i, &k) in FilterKind::sound().iter().enumerate() {
+            assert_eq!(
+                run.recorder.counter_value(&format!("filter.{k}.killed")),
+                eff.sound_counts[i] as u64,
+                "sound filter {k}"
+            );
+        }
+        for (i, &k) in FilterKind::unsound().iter().enumerate() {
+            assert_eq!(
+                run.recorder.counter_value(&format!("filter.{k}.killed")),
+                eff.unsound_counts[i] as u64,
+                "unsound filter {k}"
+            );
+        }
+        assert_eq!(
+            run.recorder.counter_value("filter.mayHB.killed"),
+            eff.mayhb as u64
+        );
+    }
+
+    #[test]
+    fn run_reports_write_one_file_per_app() {
+        let rows = nadroid_corpus::table1_rows();
+        let runs: Vec<AppRun> = rows
+            .iter()
+            .filter(|r| r.name == "Dns66")
+            .map(run_row)
+            .collect();
+        let dir = std::env::temp_dir().join("nadroid_reports_test");
+        write_reports(&runs, &dir).unwrap();
+        let text = std::fs::read_to_string(dir.join("Dns66.report.json")).unwrap();
+        assert!(text.contains("\"app\": \"Dns66\""), "{text}");
+        assert!(text.contains("\"filter.MHB.examined\""), "{text}");
+        assert!(text.contains("\"phase_secs\""), "{text}");
+    }
+
+    #[test]
+    fn escape_subphase_is_timed_per_app() {
+        // The timing driver reports per-app sub-phases; the escape pass
+        // must register nonzero time (it was previously swallowed by a
+        // subtraction around the wrong boundary).
+        let rows = nadroid_corpus::table1_rows();
+        let row = rows.iter().find(|r| r.name == "K-9").unwrap();
+        let run = run_row(row);
+        assert!(run.timings.escape > std::time::Duration::ZERO);
+        assert!(run.timings.pointsto + run.timings.escape + run.timings.detect <= run.timings.detection);
     }
 
     #[test]

@@ -42,6 +42,14 @@ pub enum Command {
         baseline: Option<String>,
         /// Write the current warning fingerprints to the baseline file.
         update_baseline: bool,
+        /// Write a Chrome `trace_event` JSON file of the run (load it in
+        /// chrome://tracing or Perfetto).
+        trace: Option<String>,
+        /// Write a flat JSON run-report (timings, counters, span
+        /// aggregates) to this file.
+        report: Option<String>,
+        /// Append the human-readable span/metric tree to the output.
+        stats: bool,
     },
     /// Run the no-sleep energy-bug client.
     NoSleep {
@@ -87,9 +95,20 @@ nadroid — static UAF ordering-violation detector for Android app models
 USAGE:
     nadroid analyze <app.dsl> [--validate] [--sound-only] [--k <N>] [--json]
                               [--baseline <file>] [--update-baseline]
+                              [--trace <file>] [--report <file>] [--stats]
     nadroid nosleep <app.dsl>
     nadroid deva    <app.dsl>
     nadroid dot     <app.dsl>
+
+`analyze` may be omitted when the first argument is a flag or a .dsl
+file: `nadroid --trace out.json app.dsl`.
+
+OBSERVABILITY (see docs/observability.md):
+    --trace <file>    Chrome trace_event JSON — open in chrome://tracing
+                      or https://ui.perfetto.dev
+    --report <file>   flat JSON run-report: phase timings, counters
+                      (incl. per-filter examined/killed), span aggregates
+    --stats           append the span/metric tree to the text report
 ";
 
 /// Parse command-line arguments (without the program name).
@@ -104,53 +123,12 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Cl
     };
     match cmd.as_str() {
         "help" | "--help" | "-h" => Ok(Command::Help),
-        "analyze" => {
-            let mut path = None;
-            let mut validate = false;
-            let mut sound_only = false;
-            let mut k = 2u32;
-            let mut json = false;
-            let mut baseline = None;
-            let mut update_baseline = false;
-            while let Some(a) = args.next() {
-                match a.as_str() {
-                    "--validate" => validate = true,
-                    "--sound-only" => sound_only = true,
-                    "--json" => json = true,
-                    "--update-baseline" => update_baseline = true,
-                    "--baseline" => {
-                        baseline = Some(
-                            args.next()
-                                .ok_or_else(|| CliError("--baseline needs a file".into()))?,
-                        );
-                    }
-                    "--k" => {
-                        let v = args
-                            .next()
-                            .ok_or_else(|| CliError("--k needs a value".into()))?;
-                        k = v
-                            .parse()
-                            .map_err(|_| CliError(format!("bad k value `{v}`")))?;
-                    }
-                    other if !other.starts_with('-') && path.is_none() => {
-                        path = Some(other.to_owned());
-                    }
-                    other => return Err(CliError(format!("unexpected argument `{other}`"))),
-                }
-            }
-            if update_baseline && baseline.is_none() {
-                return Err(CliError("--update-baseline needs --baseline <file>".into()));
-            }
-            let path = path.ok_or_else(|| CliError("analyze needs a file".into()))?;
-            Ok(Command::Analyze {
-                path,
-                validate,
-                sound_only,
-                k,
-                json,
-                baseline,
-                update_baseline,
-            })
+        "analyze" => parse_analyze(args),
+        // Implicit analyze: a leading flag or .dsl path means the
+        // subcommand was omitted (`nadroid --trace out.json app.dsl`).
+        // Anything else is still an unknown-command error.
+        first if first.starts_with("--") || first.ends_with(".dsl") => {
+            parse_analyze(std::iter::once(first.to_owned()).chain(args))
         }
         "nosleep" | "deva" | "dot" => {
             let path = args
@@ -167,6 +145,75 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Cl
         }
         other => Err(CliError(format!("unknown command `{other}`\n{USAGE}"))),
     }
+}
+
+fn parse_analyze(args: impl Iterator<Item = String>) -> Result<Command, CliError> {
+    let mut args = args;
+    let mut path = None;
+    let mut validate = false;
+    let mut sound_only = false;
+    let mut k = 2u32;
+    let mut json = false;
+    let mut baseline = None;
+    let mut update_baseline = false;
+    let mut trace = None;
+    let mut report = None;
+    let mut stats = false;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--validate" => validate = true,
+            "--sound-only" => sound_only = true,
+            "--json" => json = true,
+            "--update-baseline" => update_baseline = true,
+            "--stats" => stats = true,
+            "--baseline" => {
+                baseline = Some(
+                    args.next()
+                        .ok_or_else(|| CliError("--baseline needs a file".into()))?,
+                );
+            }
+            "--trace" => {
+                trace = Some(
+                    args.next()
+                        .ok_or_else(|| CliError("--trace needs a file".into()))?,
+                );
+            }
+            "--report" => {
+                report = Some(
+                    args.next()
+                        .ok_or_else(|| CliError("--report needs a file".into()))?,
+                );
+            }
+            "--k" => {
+                let v = args
+                    .next()
+                    .ok_or_else(|| CliError("--k needs a value".into()))?;
+                k = v
+                    .parse()
+                    .map_err(|_| CliError(format!("bad k value `{v}`")))?;
+            }
+            other if !other.starts_with('-') && path.is_none() => {
+                path = Some(other.to_owned());
+            }
+            other => return Err(CliError(format!("unexpected argument `{other}`"))),
+        }
+    }
+    if update_baseline && baseline.is_none() {
+        return Err(CliError("--update-baseline needs --baseline <file>".into()));
+    }
+    let path = path.ok_or_else(|| CliError("analyze needs a file".into()))?;
+    Ok(Command::Analyze {
+        path,
+        validate,
+        sound_only,
+        k,
+        json,
+        baseline,
+        update_baseline,
+        trace,
+        report,
+        stats,
+    })
 }
 
 fn load(path: &str) -> Result<Program, CliError> {
@@ -191,8 +238,15 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
             json,
             baseline,
             update_baseline,
+            trace,
+            report,
+            stats,
         } => {
             let program = load(path)?;
+            // Any observability output wants a recorder installed for the
+            // duration of the analysis; the Datalog crosscheck rides along
+            // so rule-level engine spans appear in the capture.
+            let observing = trace.is_some() || report.is_some() || *stats;
             let config = AnalysisConfig {
                 k: *k,
                 unsound_filters: if *sound_only {
@@ -200,9 +254,22 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
                 } else {
                     FilterKind::unsound().to_vec()
                 },
+                datalog_crosscheck: observing,
                 ..AnalysisConfig::default()
             };
-            let analysis = analyze(&program, &config);
+            let recorder = nadroid_obs::Recorder::new();
+            let analysis = {
+                let _guard = observing.then(|| recorder.install());
+                analyze(&program, &config)
+            };
+            if let Some(trace_path) = trace {
+                std::fs::write(trace_path, recorder.chrome_trace())
+                    .map_err(|e| CliError(format!("cannot write {trace_path}: {e}")))?;
+            }
+            if let Some(report_path) = report {
+                std::fs::write(report_path, nadroid_core::render_run_report(&analysis, &recorder))
+                    .map_err(|e| CliError(format!("cannot write {report_path}: {e}")))?;
+            }
 
             // Baseline workflow: suppress already-acknowledged warnings.
             let mut suppressed = 0usize;
@@ -241,6 +308,10 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
             let validation =
                 validate.then(|| analysis.validate_survivors(ExploreConfig::default()));
             let mut out = render_report(&analysis, validation.as_ref());
+            if *stats {
+                out.push('\n');
+                out.push_str(&recorder.stats_tree());
+            }
             if baseline.is_some() {
                 out.push_str(&format!(
                     "
@@ -334,6 +405,9 @@ mod tests {
                 json: true,
                 baseline: None,
                 update_baseline: false,
+                trace: None,
+                report: None,
+                stats: false,
             }
         );
         assert!(parse_args(args(&["analyze", "a.dsl", "--update-baseline"])).is_err());
@@ -381,6 +455,9 @@ mod tests {
             json: false,
             baseline: None,
             update_baseline: false,
+            trace: None,
+            report: None,
+            stats: false,
         })
         .unwrap();
         assert!(report.contains("nAdroid report for `Cli`"), "{report}");
@@ -425,6 +502,9 @@ mod tests {
             json: false,
             baseline: Some(bl.to_string_lossy().into_owned()),
             update_baseline: update,
+            trace: None,
+            report: None,
+            stats: false,
         };
         // First run: everything is new; write the baseline.
         let out = run(&analyze_cmd(true)).unwrap();
@@ -453,10 +533,87 @@ activity M { cb onClick { } }",
             json: true,
             baseline: None,
             update_baseline: false,
+            trace: None,
+            report: None,
+            stats: false,
         })
         .unwrap();
         assert!(out.trim_start().starts_with('{'), "{out}");
         assert!(out.contains("\"app\": \"J\""), "{out}");
+    }
+
+    #[test]
+    fn implicit_analyze_accepts_flags_and_dsl_paths() {
+        let cmd = parse_args(args(&["--trace", "out.json", "app.dsl"])).unwrap();
+        match cmd {
+            Command::Analyze { path, trace, .. } => {
+                assert_eq!(path, "app.dsl");
+                assert_eq!(trace.as_deref(), Some("out.json"));
+            }
+            other => panic!("expected Analyze, got {other:?}"),
+        }
+        let cmd = parse_args(args(&["app.dsl", "--stats"])).unwrap();
+        match cmd {
+            Command::Analyze { path, stats, .. } => {
+                assert_eq!(path, "app.dsl");
+                assert!(stats);
+            }
+            other => panic!("expected Analyze, got {other:?}"),
+        }
+        // Bare unknown words are still unknown commands.
+        assert!(parse_args(args(&["frobnicate"])).is_err());
+        assert!(parse_args(args(&["--trace"])).is_err(), "--trace needs a file");
+    }
+
+    #[test]
+    fn trace_report_and_stats_outputs() {
+        let dir = std::env::temp_dir().join("nadroid_cli_obs");
+        std::fs::create_dir_all(&dir).unwrap();
+        let app = dir.join("app.dsl");
+        std::fs::write(
+            &app,
+            r#"
+            app Obs
+            activity M {
+                field f: M
+                cb onCreate { f = new M }
+                cb onClick { use f }
+                cb onPause { f = null }
+            }
+            "#,
+        )
+        .unwrap();
+        let trace_path = dir.join("trace.json");
+        let report_path = dir.join("report.json");
+        let out = run(&Command::Analyze {
+            path: app.to_string_lossy().into_owned(),
+            validate: false,
+            sound_only: false,
+            k: 2,
+            json: false,
+            baseline: None,
+            update_baseline: false,
+            trace: Some(trace_path.to_string_lossy().into_owned()),
+            report: Some(report_path.to_string_lossy().into_owned()),
+            stats: true,
+        })
+        .unwrap();
+        assert!(out.contains("run stats:"), "--stats appends the tree:\n{out}");
+        assert!(out.contains("analyze"), "{out}");
+
+        let trace = std::fs::read_to_string(&trace_path).unwrap();
+        assert!(trace.contains("\"traceEvents\""), "{trace}");
+        // The four pipeline phases plus detection sub-phases and the
+        // engine crosscheck all appear as spans.
+        for name in ["analyze", "modeling", "detection", "pointsto", "escape", "detect", "filtering"] {
+            assert!(trace.contains(&format!("\"name\": \"{name}\"")), "missing {name}:\n{trace}");
+        }
+        assert!(trace.contains("datalog.rule:vP"), "rule-level spans:\n{trace}");
+
+        let report = std::fs::read_to_string(&report_path).unwrap();
+        assert!(report.contains("\"app\": \"Obs\""), "{report}");
+        assert!(report.contains("\"filter.MHB.killed\""), "{report}");
+        assert!(report.contains("\"pointsto.queue_pops\""), "{report}");
     }
 
     #[test]

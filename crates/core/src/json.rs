@@ -17,7 +17,7 @@
 //! ```
 
 use crate::report::RenderedWarning;
-use crate::Analysis;
+use crate::{Analysis, PhaseTimings};
 use std::fmt::Write as _;
 
 /// Escape a string for a JSON string literal.
@@ -83,6 +83,54 @@ pub fn render_json(analysis: &Analysis<'_>) -> String {
     out
 }
 
+/// Render phase timings as a JSON object (seconds, six decimals) — the
+/// single encoder shared by the CLI run-report and the bench drivers'
+/// `BENCH_timing.json`, so the two files always agree on field names:
+/// `modeling`, `detection` with its `pointsto`/`escape`/`detect`
+/// sub-phases, `filtering`, and `total`.
+#[must_use]
+pub fn phase_timings_json(t: &PhaseTimings, indent: &str) -> String {
+    let s = |d: std::time::Duration| format!("{:.6}", d.as_secs_f64());
+    format!(
+        "{{\n{indent}  \"modeling\": {},\n{indent}  \"detection\": {},\n\
+         {indent}  \"pointsto\": {},\n{indent}  \"escape\": {},\n\
+         {indent}  \"detect\": {},\n{indent}  \"filtering\": {},\n\
+         {indent}  \"total\": {}\n{indent}}}",
+        s(t.modeling),
+        s(t.detection),
+        s(t.pointsto),
+        s(t.escape),
+        s(t.detect),
+        s(t.filtering),
+        s(t.total())
+    )
+}
+
+/// Render the full run-report JSON: the app summary, the phase timings,
+/// and everything the recorder captured (wall/busy seconds, counters —
+/// including the per-filter `filter.<NAME>.examined`/`.killed` Figure 5
+/// inputs — gauges, and span aggregates).
+#[must_use]
+pub fn render_run_report(analysis: &Analysis<'_>, recorder: &nadroid_obs::Recorder) -> String {
+    let s = analysis.summary();
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"app\": \"{}\",", esc(analysis.program().name()));
+    let _ = writeln!(
+        out,
+        "  \"summary\": {{ \"loc\": {}, \"ec\": {}, \"pc\": {}, \"threads\": {}, \
+         \"potential\": {}, \"after_sound\": {}, \"after_unsound\": {} }},",
+        s.loc, s.ec, s.pc, s.threads, s.potential, s.after_sound, s.after_unsound
+    );
+    let _ = writeln!(
+        out,
+        "  \"phase_secs\": {},",
+        phase_timings_json(analysis.timings(), "  ")
+    );
+    out.push_str(&recorder.report_fields("  "));
+    out.push_str("\n}\n");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -118,6 +166,55 @@ mod tests {
     #[test]
     fn escaping_handles_special_characters() {
         assert_eq!(esc("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn phase_timings_encode_all_fields_balanced() {
+        let p = parse_program(
+            r#"
+            app T
+            activity M {
+                field f: M
+                cb onClick { use f }
+                cb onPause { f = null }
+            }
+            "#,
+        )
+        .unwrap();
+        let a = analyze(&p, &AnalysisConfig::default());
+        let json = phase_timings_json(a.timings(), "");
+        for key in ["modeling", "detection", "pointsto", "escape", "detect", "filtering", "total"] {
+            assert!(json.contains(&format!("\"{key}\": ")), "{json}");
+        }
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn run_report_embeds_summary_timings_and_metrics() {
+        let p = parse_program(
+            r#"
+            app R
+            activity M {
+                field f: M
+                cb onClick { use f }
+                cb onPause { f = null }
+            }
+            "#,
+        )
+        .unwrap();
+        let rec = nadroid_obs::Recorder::new();
+        let a = {
+            let _g = rec.install();
+            analyze(&p, &AnalysisConfig::default())
+        };
+        let report = render_run_report(&a, &rec);
+        assert!(report.contains("\"app\": \"R\""), "{report}");
+        assert!(report.contains("\"phase_secs\""), "{report}");
+        assert!(report.contains("\"filter.MHB.examined\""), "{report}");
+        assert!(report.contains("\"detector.racy_pairs\""), "{report}");
+        assert!(report.contains("\"wall_secs\""), "{report}");
+        assert_eq!(report.matches('{').count(), report.matches('}').count());
+        assert_eq!(report.matches('[').count(), report.matches(']').count());
     }
 
     #[test]

@@ -39,7 +39,7 @@ pub mod render;
 pub mod report;
 
 pub use fpclass::{classify_fp, component_reachable, FpCause};
-pub use json::{fingerprint, render_json};
+pub use json::{fingerprint, phase_timings_json, render_json, render_run_report};
 pub use render::render_report;
 pub use report::{classify_pair, rank_key, render_warning, Endpoint, PairType, RenderedWarning};
 
@@ -47,6 +47,7 @@ use nadroid_detector::{detect, distinct_pairs, DetectorOptions, UafWarning};
 use nadroid_dynamic::{explore, ExploreConfig, Goal, Witness};
 use nadroid_filters::{FilterKind, FilterOutcome, Filters};
 use nadroid_ir::{InstrId, Program};
+use nadroid_obs as obs;
 use nadroid_pointsto::{Escape, PointsTo};
 use nadroid_threadify::ThreadModel;
 use std::time::{Duration, Instant};
@@ -62,6 +63,13 @@ pub struct AnalysisConfig {
     pub sound_filters: Vec<FilterKind>,
     /// Unsound filters to apply after the sound ones.
     pub unsound_filters: Vec<FilterKind>,
+    /// Also run the context-insensitive Datalog baseline after filtering
+    /// and record agreement counters/spans. Off by default — it is the
+    /// architecture-validation pass (the role bddbddb played for Chord),
+    /// not part of the pipeline, and its time is excluded from
+    /// [`PhaseTimings`]. The CLI enables it when tracing so rule-level
+    /// Datalog spans appear in the capture.
+    pub datalog_crosscheck: bool,
 }
 
 impl Default for AnalysisConfig {
@@ -71,6 +79,7 @@ impl Default for AnalysisConfig {
             detector: DetectorOptions::default(),
             sound_filters: FilterKind::sound().to_vec(),
             unsound_filters: FilterKind::unsound().to_vec(),
+            datalog_crosscheck: false,
         }
     }
 }
@@ -94,8 +103,21 @@ pub struct PhaseTimings {
 
 impl PhaseTimings {
     /// Total time.
+    ///
+    /// In debug builds, asserts the sub-phase invariant: the detection
+    /// sub-phases are measured directly (not by subtraction) and must
+    /// sum to no more than the enclosing detection phase.
     #[must_use]
     pub fn total(&self) -> Duration {
+        debug_assert!(
+            self.pointsto + self.escape + self.detect <= self.detection,
+            "detection sub-phases exceed the detection phase: \
+             {:?} + {:?} + {:?} > {:?}",
+            self.pointsto,
+            self.escape,
+            self.detect,
+            self.detection
+        );
         self.modeling + self.detection + self.filtering
     }
 }
@@ -137,22 +159,55 @@ pub struct Analysis<'p> {
 }
 
 /// Run the full pipeline.
+///
+/// Each phase (and each detection sub-phase) runs under an
+/// [`nadroid_obs`] span, and every layer feeds the installed recorder's
+/// counters — see `docs/observability.md` for the naming scheme. With no
+/// recorder installed the instrumentation is a thread-local check.
+/// Sub-phase durations are measured directly around each sub-phase (not
+/// derived by subtraction), so `pointsto + escape + detect` can never
+/// exceed `detection`.
 #[must_use]
 pub fn analyze<'p>(program: &'p Program, config: &AnalysisConfig) -> Analysis<'p> {
+    let _span = obs::span("analyze");
+
     let t0 = Instant::now();
-    let threads = ThreadModel::build(program);
+    let threads = {
+        let _s = obs::span("modeling");
+        ThreadModel::build(program)
+    };
     let modeling = t0.elapsed();
+    if obs::recording() {
+        obs::counter("model.threads", threads.thread_count() as u64);
+        obs::counter("model.entry_callbacks", threads.entry_callback_count() as u64);
+        obs::counter("model.posted_callbacks", threads.posted_callback_count() as u64);
+    }
 
     let t1 = Instant::now();
-    let pts = PointsTo::run(program, &threads, config.k);
-    let pointsto = t1.elapsed();
-    let escape = Escape::compute(program, &threads, &pts);
-    let escape_time = t1.elapsed() - pointsto;
-    let warnings = detect(program, &threads, &pts, &escape, config.detector);
+    let _detection_span = obs::span("detection");
+    let t_sub = Instant::now();
+    let pts = {
+        let _s = obs::span("pointsto");
+        PointsTo::run(program, &threads, config.k)
+    };
+    let pointsto = t_sub.elapsed();
+    let t_sub = Instant::now();
+    let escape = {
+        let _s = obs::span("escape");
+        Escape::compute(program, &threads, &pts)
+    };
+    let escape_time = t_sub.elapsed();
+    let t_sub = Instant::now();
+    let warnings = {
+        let _s = obs::span("detect");
+        detect(program, &threads, &pts, &escape, config.detector)
+    };
+    let detect_time = t_sub.elapsed();
+    drop(_detection_span);
     let detection = t1.elapsed();
-    let detect_time = detection - pointsto - escape_time;
 
     let t2 = Instant::now();
+    let _filtering_span = obs::span("filtering");
     let filters = Filters::new(program, &threads, &pts, &escape);
     let sound_outcomes = filters.pipeline(warnings.clone(), &config.sound_filters);
     let survivors: Vec<UafWarning> = sound_outcomes
@@ -161,7 +216,14 @@ pub fn analyze<'p>(program: &'p Program, config: &AnalysisConfig) -> Analysis<'p
         .map(|o| o.warning.clone())
         .collect();
     let unsound_outcomes = filters.pipeline(survivors, &config.unsound_filters);
+    nadroid_filters::record_tallies(&sound_outcomes, &config.sound_filters);
+    nadroid_filters::record_tallies(&unsound_outcomes, &config.unsound_filters);
+    drop(_filtering_span);
     let filtering = t2.elapsed();
+
+    if config.datalog_crosscheck {
+        datalog_crosscheck(program, &threads, &pts);
+    }
 
     Analysis {
         program,
@@ -180,6 +242,25 @@ pub fn analyze<'p>(program: &'p Program, config: &AnalysisConfig) -> Analysis<'p
             escape: escape_time,
             detect: detect_time,
         },
+    }
+}
+
+/// The architecture-validation pass (the role bddbddb played for Chord):
+/// solve the context-insensitive Andersen baseline on the Datalog engine
+/// — emitting rule-level `datalog.*` spans into the installed recorder —
+/// and record how far the k-sensitive solver's variable coverage agrees.
+/// Deliberately outside [`PhaseTimings`]: it validates the pipeline, it
+/// is not part of it.
+fn datalog_crosscheck(program: &Program, threads: &ThreadModel, pts: &PointsTo) {
+    let _s = obs::span("datalog.crosscheck");
+    let baseline = nadroid_pointsto::datalog_baseline(program, threads);
+    if obs::recording() {
+        obs::counter("crosscheck.baseline_vars", baseline.len() as u64);
+        let covered = baseline
+            .keys()
+            .filter(|&&(m, l)| !pts.pts(m, l).is_empty())
+            .count();
+        obs::counter("crosscheck.vars_covered_by_solver", covered as u64);
     }
 }
 

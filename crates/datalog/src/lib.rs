@@ -57,6 +57,7 @@
 
 pub mod reference;
 
+use nadroid_obs as obs;
 use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::time::{Duration, Instant};
@@ -459,6 +460,7 @@ impl Database {
     /// Panics if a rule's head contains a variable that does not occur in
     /// its body, or atom arities mismatch their relations.
     pub fn run(&mut self, rules: &RuleSet) {
+        let _run_span = obs::span("datalog.run");
         let t0 = Instant::now();
         for rule in &rules.rules {
             self.check_rule(rule);
@@ -489,7 +491,17 @@ impl Database {
         let mut scratch: Vec<u32> = Vec::new();
         loop {
             stats.iterations += 1;
+            let _iter_span = obs::span_lazy(|| format!("datalog.iteration:{}", stats.iterations));
             let snapshot: Vec<u32> = self.relations.iter().map(RelationData::rows).collect();
+            if obs::recording() {
+                let delta: u64 = snapshot
+                    .iter()
+                    .zip(&delta_lo)
+                    .map(|(&s, &l)| u64::from(s - l))
+                    .sum();
+                obs::counter("datalog.delta_rows", delta);
+                obs::gauge_max("datalog.max_delta_rows", delta);
+            }
             for &(rel, mask) in &needed {
                 if self.relations[rel.index()].ensure_index(mask, snapshot[rel.index()]) {
                     stats.indexes_built += 1;
@@ -498,6 +510,9 @@ impl Database {
 
             let mut grew = false;
             for crule in &compiled {
+                let _rule_span = obs::span_lazy(|| {
+                    format!("datalog.rule:{}", self.relations[crule.head_rel.index()].name)
+                });
                 if crule.atoms.is_empty() {
                     // Fact template: all-constant head (checked).
                     scratch.clear();
@@ -558,6 +573,13 @@ impl Database {
         }
         self.last_rules = Some(rules.clone());
         stats.duration = t0.elapsed();
+        if obs::recording() {
+            obs::counter("datalog.iterations", stats.iterations);
+            obs::counter("datalog.derived", stats.derived);
+            obs::counter("datalog.considered", stats.considered);
+            obs::counter("datalog.index_probes", stats.index_probes);
+            obs::counter("datalog.indexes_built", stats.indexes_built);
+        }
         self.stats = stats;
     }
 

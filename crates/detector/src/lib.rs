@@ -208,9 +208,11 @@ pub fn detect(
         .filter(|a| a.kind == AccessKind::Free)
         .collect();
 
+    let mut pairs_examined = 0u64;
     let mut out = Vec::new();
     for u in &uses {
         for f in &frees {
+            pairs_examined += 1;
             if u.field != f.field || u.instr == f.instr {
                 continue;
             }
@@ -249,6 +251,13 @@ pub fn detect(
                 }
             }
         }
+    }
+    if nadroid_obs::recording() {
+        nadroid_obs::counter("detector.uses", uses.len() as u64);
+        nadroid_obs::counter("detector.frees", frees.len() as u64);
+        nadroid_obs::counter("detector.pairs_examined", pairs_examined);
+        nadroid_obs::counter("detector.warnings", out.len() as u64);
+        nadroid_obs::counter("detector.racy_pairs", distinct_pairs(&out) as u64);
     }
     out
 }

@@ -137,6 +137,84 @@ impl FilterOutcome {
     }
 }
 
+/// Per-filter examined/killed counts at distinct (use, free)-pair
+/// granularity — one Figure 5 bar.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FilterTally {
+    /// The filter.
+    pub kind: FilterKind,
+    /// Distinct pairs the filter was evaluated on (the base population).
+    pub examined: usize,
+    /// Distinct pairs the filter prunes on its own.
+    pub killed: usize,
+}
+
+/// Tally each filter in `kinds` over a set of pipeline outcomes. The
+/// outcomes must come from a [`Filters::pipeline`] run with the same
+/// `kinds` (their `all_pruning` records exactly those filters).
+///
+/// This is the single accounting used by both the analysis-time metric
+/// counters and the Figure 5 driver, so the two agree by construction.
+#[must_use]
+pub fn tally_outcomes(outcomes: &[FilterOutcome], kinds: &[FilterKind]) -> Vec<FilterTally> {
+    let examined = distinct_pairs_of(outcomes, |_| true);
+    kinds
+        .iter()
+        .map(|&kind| FilterTally {
+            kind,
+            examined,
+            killed: distinct_pairs_of(outcomes, |o| o.all_pruning.contains(&kind)),
+        })
+        .collect()
+}
+
+/// Distinct pairs pruned by *any* of `kinds` — Figure 5(b) reports the
+/// RHB/CHB/PHB family jointly as "mayHB" through this.
+#[must_use]
+pub fn distinct_killed_by_any(outcomes: &[FilterOutcome], kinds: &[FilterKind]) -> usize {
+    distinct_pairs_of(outcomes, |o| {
+        kinds.iter().any(|k| o.all_pruning.contains(k))
+    })
+}
+
+/// Emit `filter.<NAME>.examined` / `filter.<NAME>.killed` counters for a
+/// pipeline run into the installed [`nadroid_obs`] recorder (no-op when
+/// none is installed). When `kinds` contains the whole mayHB family, a
+/// joint `filter.mayHB.killed` counter is emitted too, matching Figure
+/// 5(b)'s folded bar.
+pub fn record_tallies(outcomes: &[FilterOutcome], kinds: &[FilterKind]) {
+    if !nadroid_obs::recording() {
+        return;
+    }
+    for t in tally_outcomes(outcomes, kinds) {
+        nadroid_obs::counter(
+            &format!("filter.{}.examined", t.kind.name()),
+            t.examined as u64,
+        );
+        nadroid_obs::counter(&format!("filter.{}.killed", t.kind.name()), t.killed as u64);
+    }
+    if FilterKind::may_hb().iter().all(|k| kinds.contains(k)) {
+        nadroid_obs::counter(
+            "filter.mayHB.killed",
+            distinct_killed_by_any(outcomes, FilterKind::may_hb()) as u64,
+        );
+    }
+}
+
+fn distinct_pairs_of(
+    outcomes: &[FilterOutcome],
+    mut keep: impl FnMut(&FilterOutcome) -> bool,
+) -> usize {
+    let mut pairs: Vec<_> = outcomes
+        .iter()
+        .filter(|o| keep(o))
+        .map(|o| o.warning.pair())
+        .collect();
+    pairs.sort_unstable();
+    pairs.dedup();
+    pairs.len()
+}
+
 /// Filter engine bound to one analyzed program.
 #[derive(Debug, Clone, Copy)]
 pub struct Filters<'a> {

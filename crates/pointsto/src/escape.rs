@@ -44,6 +44,11 @@ impl Escape {
                 reach_count[o] += u32::from(*s);
             }
         }
+        if nadroid_obs::recording() {
+            nadroid_obs::counter("escape.objects", nobjs as u64);
+            let shared = reach_count.iter().filter(|&&c| c >= 2).count();
+            nadroid_obs::counter("escape.shared", shared as u64);
+        }
         Escape { reach_count }
     }
 

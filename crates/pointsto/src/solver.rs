@@ -11,6 +11,7 @@
 
 use crate::tables::{AllocKey, ObjId, ObjTable};
 use nadroid_ir::{Callee, ClassId, Local, MethodId, Op, Program};
+use nadroid_obs as obs;
 use nadroid_threadify::{SpawnVia, ThreadModel};
 use std::collections::hash_map::Entry;
 use std::collections::{HashMap, HashSet, VecDeque};
@@ -189,7 +190,16 @@ impl<'p> Solver<'p> {
 
     fn run(mut self) -> Solution {
         self.seed_thread_roots();
-        self.propagate();
+        let (pops, max_worklist) = self.propagate();
+        if obs::recording() {
+            obs::counter("pointsto.queue_pops", pops);
+            obs::gauge_max("pointsto.max_worklist", max_worklist as u64);
+            obs::counter("pointsto.nodes", self.intern.nodes.len() as u64);
+            obs::counter("pointsto.contexts", self.intern.ctxs.len() as u64);
+            obs::counter("pointsto.copy_edges", self.edge_set.len() as u64);
+            obs::counter("pointsto.reached_method_contexts", self.reached.len() as u64);
+            obs::counter("pointsto.objects", self.objs.len() as u64);
+        }
         self.finish()
     }
 
@@ -387,7 +397,11 @@ impl<'p> Solver<'p> {
         }
     }
 
-    fn propagate(&mut self) {
+    /// Returns (queue pops, max observed worklist length) — cheap local
+    /// tallies so the hot loop carries no recorder lookups.
+    fn propagate(&mut self) -> (u64, usize) {
+        let mut pops = 0u64;
+        let mut max_worklist = self.queue.len();
         // Every per-event `.clone()` of a use list in this loop used to be
         // a heap allocation on the solver's hottest path. The lists are
         // append-only (handlers may grow them mid-iteration via `expand`),
@@ -396,6 +410,8 @@ impl<'p> Solver<'p> {
         // mid-loop is harmless because `bind_call`/`add_edge`/`add_obj`
         // are idempotent.
         while let Some((node, obj)) = self.queue.pop_front() {
+            pops += 1;
+            max_worklist = max_worklist.max(self.queue.len() + 1);
             // Copy edges.
             let mut i = 0;
             while i < self.succ[node.0 as usize].len() {
@@ -446,6 +462,7 @@ impl<'p> Solver<'p> {
                 }
             }
         }
+        (pops, max_worklist)
     }
 
     fn finish(self) -> Solution {

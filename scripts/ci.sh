@@ -5,12 +5,23 @@
 #
 # 1. release build of the whole workspace (benches compile too),
 # 2. the full test suite,
-# 3. clippy with warnings promoted to errors.
+# 3. clippy with warnings promoted to errors,
+# 4. the observability crate builds (and its tests run) with
+#    instrumentation compiled out (--no-default-features),
+# 5. bench-regression guard: re-measure the timing suite and compare
+#    against the committed BENCH_timing.json with a 3x tolerance — a
+#    perf cliff (or a change to the deterministic Datalog closure
+#    workload) fails the gate loudly.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --workspace --release
 cargo test -q --workspace
 cargo clippy --workspace --all-targets -- -D warnings
+
+cargo build -p nadroid-obs --no-default-features
+cargo test -q -p nadroid-obs --no-default-features
+
+cargo run --release -p nadroid-bench --bin timing -- --check 3
 
 echo "ci.sh: all gates passed"

@@ -16,6 +16,9 @@ fn connectbot_report_has_both_figure1_warnings() {
         json: false,
         baseline: None,
         update_baseline: false,
+        trace: None,
+        report: None,
+        stats: false,
     })
     .unwrap();
     assert!(out.contains("2 surviving warning(s)"), "{out}");
