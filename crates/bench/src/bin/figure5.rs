@@ -5,6 +5,7 @@
 
 use nadroid_bench::{analyze_program, filter_effectiveness, render_table, FilterEffect};
 use nadroid_corpus::{generate, spec_for, table1_rows, AppGroup};
+use nadroid_detector::warning_id;
 use nadroid_filters::FilterKind;
 
 fn main() {
@@ -103,4 +104,19 @@ fn main() {
         "combined reduction: {:.1}% of potential pairs pruned (paper: 96%)",
         FilterEffect::pct(eff.potential - eff.after_unsound, eff.potential)
     );
+
+    // Stable ids of the surviving warnings — the handles `nadroid
+    // explain` and the provenance JSON key everything on. Content-hashed,
+    // so they are identical across reruns and parallel orderings.
+    println!();
+    println!("surviving warning ids (explain with `nadroid explain <app.dsl> <id>`):");
+    for (app, analysis) in apps.iter().zip(&analyses) {
+        for w in analysis.survivors() {
+            println!(
+                "  {}  {}",
+                warning_id(&app.program, analysis.threads(), w),
+                app.program.name()
+            );
+        }
+    }
 }

@@ -27,7 +27,7 @@
 //! absolute slack for scheduler jitter) or the deterministic closure
 //! tuple count changed — the CI bench-regression guard.
 
-use nadroid_bench::{render_table, run_rows_parallel, AppRun};
+use nadroid_bench::{render_table, run_rows_parallel_timed, AppRun};
 use nadroid_core::{phase_timings_json, PhaseTimings};
 use nadroid_corpus::table1_rows;
 use nadroid_datalog::{Database, RuleSet, Term};
@@ -85,7 +85,9 @@ struct SuiteMeasurement {
 
 fn measure() -> SuiteMeasurement {
     let suite_start = Instant::now();
-    let runs = run_rows_parallel(&table1_rows());
+    // The timed variant skips provenance capture: wall_secs guards the
+    // analysis pipeline, not the post-run debugging exporter.
+    let runs = run_rows_parallel_timed(&table1_rows());
     let suite_wall = suite_start.elapsed();
 
     let mut sum = PhaseTimings::default();

@@ -35,24 +35,60 @@ pub struct AppRun {
     pub recorder: obs::Recorder,
     /// The rendered JSON run report for this app.
     pub report: String,
+    /// The `nadroid-provenance/1` JSON document: stable warning ids,
+    /// derivation trees, and the per-filter audit trail.
+    pub provenance: String,
+    /// Stable ids of the warnings surviving all filters, in report order.
+    pub surviving_ids: Vec<String>,
 }
 
 /// Generate and analyze one Table 1 app, capturing spans and metrics
-/// into a per-app recorder.
+/// into a per-app recorder, plus the warning-provenance summary.
 #[must_use]
 pub fn run_row(row: &PaperRow) -> AppRun {
+    run_row_inner(row, true)
+}
+
+/// [`run_row`] minus the provenance capture: deriving every warning's
+/// racy pair through the Datalog engine with recording on is real work,
+/// and the §8.8 timing baseline measures the analysis pipeline, not the
+/// debugging exporter. `provenance` and `surviving_ids` come back empty.
+#[must_use]
+pub fn run_row_timed(row: &PaperRow) -> AppRun {
+    run_row_inner(row, false)
+}
+
+fn run_row_inner(row: &PaperRow, capture_provenance: bool) -> AppRun {
     let app = generate(&spec_for(row));
     let recorder = obs::Recorder::new();
-    let (summary, types, timings, report) = {
+    let (summary, types, timings, report, provenance, surviving_ids) = {
         let analysis = {
             let _guard = recorder.install();
             analyze(&app.program, &AnalysisConfig::default())
+        };
+        // Provenance capture happens after the timed pipeline (outside
+        // PhaseTimings), and the timing driver skips it entirely.
+        let (provenance, surviving_ids) = if capture_provenance {
+            let provs = analysis.warning_provenances();
+            let ids = provs
+                .iter()
+                .filter(|p| p.survived)
+                .map(|p| p.id.clone())
+                .collect();
+            (
+                nadroid_core::render_provenance_json_with(&analysis, &provs),
+                ids,
+            )
+        } else {
+            (String::new(), Vec::new())
         };
         (
             analysis.summary(),
             analysis.survivor_types(),
             *analysis.timings(),
             nadroid_core::render_run_report(&analysis, &recorder),
+            provenance,
+            surviving_ids,
         )
     };
     let harmful = app
@@ -83,11 +119,14 @@ pub fn run_row(row: &PaperRow) -> AppRun {
         timings,
         recorder,
         report,
+        provenance,
+        surviving_ids,
     }
 }
 
-/// Write each app's JSON run report under `dir` (one `<app>.report.json`
-/// per app; the app name is sanitized to a filesystem-safe slug).
+/// Write each app's JSON run report and provenance summary under `dir`
+/// (`<app>.report.json` and `<app>.provenance.json` per app; the app
+/// name is sanitized to a filesystem-safe slug).
 ///
 /// # Errors
 ///
@@ -95,25 +134,43 @@ pub fn run_row(row: &PaperRow) -> AppRun {
 pub fn write_reports(runs: &[AppRun], dir: &std::path::Path) -> std::io::Result<()> {
     std::fs::create_dir_all(dir)?;
     for run in runs {
-        let slug: String = run
-            .row
-            .name
-            .chars()
-            .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
-            .collect();
+        let slug = app_slug(run.row.name);
         std::fs::write(dir.join(format!("{slug}.report.json")), &run.report)?;
+        std::fs::write(
+            dir.join(format!("{slug}.provenance.json")),
+            &run.provenance,
+        )?;
     }
     Ok(())
+}
+
+/// Filesystem-safe slug for an app name (non-alphanumerics become `_`).
+#[must_use]
+pub fn app_slug(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
 }
 
 /// Run all suite rows in parallel (one OS thread per row; the analyses
 /// are independent). Results come back in row order.
 #[must_use]
 pub fn run_rows_parallel(rows: &[PaperRow]) -> Vec<AppRun> {
+    run_rows_parallel_inner(rows, run_row)
+}
+
+/// [`run_rows_parallel`] built on [`run_row_timed`] — for the timing
+/// driver, whose `suite.wall_secs` wraps the whole parallel run.
+#[must_use]
+pub fn run_rows_parallel_timed(rows: &[PaperRow]) -> Vec<AppRun> {
+    run_rows_parallel_inner(rows, run_row_timed)
+}
+
+fn run_rows_parallel_inner(rows: &[PaperRow], one: fn(&PaperRow) -> AppRun) -> Vec<AppRun> {
     std::thread::scope(|scope| {
         let handles: Vec<_> = rows
             .iter()
-            .map(|row| scope.spawn(move || run_row(row)))
+            .map(|row| scope.spawn(move || one(row)))
             .collect();
         handles
             .into_iter()
@@ -370,6 +427,23 @@ mod tests {
         assert!(text.contains("\"app\": \"Dns66\""), "{text}");
         assert!(text.contains("\"filter.MHB.examined\""), "{text}");
         assert!(text.contains("\"phase_secs\""), "{text}");
+        let prov = std::fs::read_to_string(dir.join("Dns66.provenance.json")).unwrap();
+        assert!(prov.contains("\"schema\": \"nadroid-provenance/1\""), "{prov}");
+        assert!(prov.contains("racyPair"), "{prov}");
+    }
+
+    #[test]
+    fn surviving_ids_are_stable_and_listed_in_the_provenance() {
+        let rows = nadroid_corpus::table1_rows();
+        let row = rows.iter().find(|r| r.name == "Dns66").unwrap();
+        let a = run_row(row);
+        let b = run_row(row);
+        assert!(!a.surviving_ids.is_empty(), "Dns66 has survivors");
+        assert_eq!(a.surviving_ids, b.surviving_ids, "ids survive reruns");
+        for id in &a.surviving_ids {
+            assert!(id.starts_with("w:") && id.len() == 18, "bad id {id}");
+            assert!(a.provenance.contains(id), "{id} missing from JSON");
+        }
     }
 
     #[test]

@@ -48,8 +48,18 @@ pub enum Command {
         /// Write a flat JSON run-report (timings, counters, span
         /// aggregates) to this file.
         report: Option<String>,
+        /// Write the `nadroid-provenance/1` JSON document (stable warning
+        /// ids, derivation trees, filter audit) to this file.
+        provenance: Option<String>,
         /// Append the human-readable span/metric tree to the output.
         stats: bool,
+    },
+    /// Explain warnings: derivation tree, filter audit, lineages.
+    Explain {
+        /// Path to the DSL file.
+        path: String,
+        /// Stable warning id (`w:` + 16 hex digits); `None` explains all.
+        warning_id: Option<String>,
     },
     /// Run the no-sleep energy-bug client.
     NoSleep {
@@ -95,7 +105,9 @@ nadroid — static UAF ordering-violation detector for Android app models
 USAGE:
     nadroid analyze <app.dsl> [--validate] [--sound-only] [--k <N>] [--json]
                               [--baseline <file>] [--update-baseline]
-                              [--trace <file>] [--report <file>] [--stats]
+                              [--trace <file>] [--report <file>]
+                              [--provenance <file>] [--stats]
+    nadroid explain <app.dsl> [<warning-id>]
     nadroid nosleep <app.dsl>
     nadroid deva    <app.dsl>
     nadroid dot     <app.dsl>
@@ -108,7 +120,14 @@ OBSERVABILITY (see docs/observability.md):
                       or https://ui.perfetto.dev
     --report <file>   flat JSON run-report: phase timings, counters
                       (incl. per-filter examined/killed), span aggregates
+    --provenance <f>  nadroid-provenance/1 JSON: stable warning ids,
+                      Datalog derivation trees, per-filter audit trail
     --stats           append the span/metric tree to the text report
+
+`explain` prints each warning's racy-pair derivation tree, the verdict
+and evidence of every filter that examined it, and the use/free thread
+lineages. With no <warning-id> it explains every warning (pruned ones
+included); ids are stable across reruns and printed by the drivers.
 ";
 
 /// Parse command-line arguments (without the program name).
@@ -129,6 +148,16 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Cl
         // Anything else is still an unknown-command error.
         first if first.starts_with("--") || first.ends_with(".dsl") => {
             parse_analyze(std::iter::once(first.to_owned()).chain(args))
+        }
+        "explain" => {
+            let path = args
+                .next()
+                .ok_or_else(|| CliError("explain needs a file".into()))?;
+            let warning_id = args.next();
+            if let Some(extra) = args.next() {
+                return Err(CliError(format!("unexpected argument `{extra}`")));
+            }
+            Ok(Command::Explain { path, warning_id })
         }
         "nosleep" | "deva" | "dot" => {
             let path = args
@@ -158,6 +187,7 @@ fn parse_analyze(args: impl Iterator<Item = String>) -> Result<Command, CliError
     let mut update_baseline = false;
     let mut trace = None;
     let mut report = None;
+    let mut provenance = None;
     let mut stats = false;
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -182,6 +212,12 @@ fn parse_analyze(args: impl Iterator<Item = String>) -> Result<Command, CliError
                 report = Some(
                     args.next()
                         .ok_or_else(|| CliError("--report needs a file".into()))?,
+                );
+            }
+            "--provenance" => {
+                provenance = Some(
+                    args.next()
+                        .ok_or_else(|| CliError("--provenance needs a file".into()))?,
                 );
             }
             "--k" => {
@@ -212,6 +248,7 @@ fn parse_analyze(args: impl Iterator<Item = String>) -> Result<Command, CliError
         update_baseline,
         trace,
         report,
+        provenance,
         stats,
     })
 }
@@ -240,6 +277,7 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
             update_baseline,
             trace,
             report,
+            provenance,
             stats,
         } => {
             let program = load(path)?;
@@ -269,6 +307,10 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
             if let Some(report_path) = report {
                 std::fs::write(report_path, nadroid_core::render_run_report(&analysis, &recorder))
                     .map_err(|e| CliError(format!("cannot write {report_path}: {e}")))?;
+            }
+            if let Some(prov_path) = provenance {
+                std::fs::write(prov_path, nadroid_core::render_provenance_json(&analysis))
+                    .map_err(|e| CliError(format!("cannot write {prov_path}: {e}")))?;
             }
 
             // Baseline workflow: suppress already-acknowledged warnings.
@@ -328,6 +370,14 @@ baseline: {suppressed} suppressed, {} new
                 }
             }
             Ok(out)
+        }
+        Command::Explain { path, warning_id } => {
+            let program = load(path)?;
+            let analysis = analyze(&program, &AnalysisConfig::default());
+            Ok(nadroid_core::render_explain(
+                &analysis,
+                warning_id.as_deref(),
+            ))
         }
         Command::NoSleep { path } => {
             let program = load(path)?;
@@ -407,10 +457,39 @@ mod tests {
                 update_baseline: false,
                 trace: None,
                 report: None,
+                provenance: None,
                 stats: false,
             }
         );
         assert!(parse_args(args(&["analyze", "a.dsl", "--update-baseline"])).is_err());
+    }
+
+    #[test]
+    fn parses_explain_and_provenance() {
+        assert_eq!(
+            parse_args(args(&["explain", "app.dsl"])).unwrap(),
+            Command::Explain {
+                path: "app.dsl".into(),
+                warning_id: None,
+            }
+        );
+        assert_eq!(
+            parse_args(args(&["explain", "app.dsl", "w:0011223344556677"])).unwrap(),
+            Command::Explain {
+                path: "app.dsl".into(),
+                warning_id: Some("w:0011223344556677".into()),
+            }
+        );
+        assert!(parse_args(args(&["explain"])).is_err());
+        assert!(parse_args(args(&["explain", "a.dsl", "w:1", "extra"])).is_err());
+
+        match parse_args(args(&["analyze", "app.dsl", "--provenance", "p.json"])).unwrap() {
+            Command::Analyze { provenance, .. } => {
+                assert_eq!(provenance.as_deref(), Some("p.json"));
+            }
+            other => panic!("expected Analyze, got {other:?}"),
+        }
+        assert!(parse_args(args(&["analyze", "a.dsl", "--provenance"])).is_err());
     }
 
     #[test]
@@ -457,6 +536,7 @@ mod tests {
             update_baseline: false,
             trace: None,
             report: None,
+            provenance: None,
             stats: false,
         })
         .unwrap();
@@ -504,6 +584,7 @@ mod tests {
             update_baseline: update,
             trace: None,
             report: None,
+            provenance: None,
             stats: false,
         };
         // First run: everything is new; write the baseline.
@@ -535,6 +616,7 @@ activity M { cb onClick { } }",
             update_baseline: false,
             trace: None,
             report: None,
+            provenance: None,
             stats: false,
         })
         .unwrap();
@@ -595,11 +677,16 @@ activity M { cb onClick { } }",
             update_baseline: false,
             trace: Some(trace_path.to_string_lossy().into_owned()),
             report: Some(report_path.to_string_lossy().into_owned()),
+            provenance: None,
             stats: true,
         })
         .unwrap();
         assert!(out.contains("run stats:"), "--stats appends the tree:\n{out}");
         assert!(out.contains("analyze"), "{out}");
+        // The crosscheck solve feeds the engine gauges: throughput plus
+        // the provenance-arena footprint (zero when recording is off).
+        assert!(out.contains("datalog.tuples_per_sec"), "{out}");
+        assert!(out.contains("datalog.prov_arena_bytes"), "{out}");
 
         let trace = std::fs::read_to_string(&trace_path).unwrap();
         assert!(trace.contains("\"traceEvents\""), "{trace}");

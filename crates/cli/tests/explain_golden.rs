@@ -1,0 +1,390 @@
+//! Golden-shape test for warning provenance: `nadroid explain` and the
+//! `--provenance` JSON exporter on the ConnectBot corpus app. The JSON
+//! is checked with the same small recursive-descent parser the obs trace
+//! golden test uses (no serde in the workspace), and the derivation
+//! trees are pinned down to the rule encoding: every warning's tree is
+//! rooted at `racyPair`, goes through `aliasedPair`, and bottoms out in
+//! the EDB facts of the §5 encoding.
+
+use nadroid_cli::{run, Command};
+
+/// Minimal JSON value for validation.
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(s: &'a str) -> Self {
+        Parser {
+            bytes: s.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) {
+        assert_eq!(self.peek(), Some(b), "expected {:?} at {}", b as char, self.pos);
+        self.pos += 1;
+    }
+
+    fn value(&mut self) -> Json {
+        match self.peek().expect("unexpected end of input") {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => Json::Str(self.string()),
+            b't' => self.lit("true", Json::Bool(true)),
+            b'f' => self.lit("false", Json::Bool(false)),
+            b'n' => self.lit("null", Json::Null),
+            _ => self.number(),
+        }
+    }
+
+    fn lit(&mut self, word: &str, v: Json) -> Json {
+        assert!(
+            self.bytes[self.pos..].starts_with(word.as_bytes()),
+            "bad literal at {}",
+            self.pos
+        );
+        self.pos += word.len();
+        v
+    }
+
+    fn object(&mut self) -> Json {
+        self.expect(b'{');
+        let mut fields = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Json::Obj(fields);
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string();
+            self.expect(b':');
+            fields.push((key, self.value()));
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Json::Obj(fields);
+                }
+                other => panic!("bad object separator {other:?} at {}", self.pos),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Json {
+        self.expect(b'[');
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Json::Arr(items);
+        }
+        loop {
+            items.push(self.value());
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Json::Arr(items);
+                }
+                other => panic!("bad array separator {other:?} at {}", self.pos),
+            }
+        }
+    }
+
+    fn string(&mut self) -> String {
+        self.expect(b'"');
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos).copied().expect("unterminated string") {
+                b'"' => {
+                    self.pos += 1;
+                    return out;
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    let e = self.bytes[self.pos];
+                    self.pos += 1;
+                    match e {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex =
+                                std::str::from_utf8(&self.bytes[self.pos..self.pos + 4]).unwrap();
+                            let code = u32::from_str_radix(hex, 16).expect("bad \\u escape");
+                            out.push(char::from_u32(code).expect("bad code point"));
+                            self.pos += 4;
+                        }
+                        other => panic!("unsupported escape \\{}", other as char),
+                    }
+                }
+                _ => {
+                    let s = std::str::from_utf8(&self.bytes[self.pos..]).unwrap();
+                    let c = s.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Json {
+        self.skip_ws();
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        Json::Num(text.parse().unwrap_or_else(|_| panic!("bad number `{text}`")))
+    }
+}
+
+fn parse(s: &str) -> Json {
+    let mut p = Parser::new(s);
+    let v = p.value();
+    p.skip_ws();
+    assert_eq!(p.pos, p.bytes.len(), "trailing garbage after JSON value");
+    v
+}
+
+fn corpus_app() -> String {
+    format!(
+        "{}/../../apps/connectbot.dsl",
+        env!("CARGO_MANIFEST_DIR")
+    )
+}
+
+fn is_warning_id(s: &str) -> bool {
+    s.len() == 18
+        && s.starts_with("w:")
+        && s[2..].bytes().all(|b| b.is_ascii_hexdigit())
+}
+
+/// Assert the derivation tree pins the §5 rule encoding: `racyPair` at
+/// the root, `aliasedPair` below it, EDB leaves with `rule: null`.
+fn check_tree(node: &Json, depth: usize) {
+    let relation = node.get("relation").and_then(Json::as_str).unwrap();
+    let premises = match node.get("premises") {
+        Some(Json::Arr(p)) => p,
+        other => panic!("premises missing: {other:?}"),
+    };
+    match depth {
+        0 => {
+            assert_eq!(relation, "racyPair");
+            let names: Vec<&str> = premises
+                .iter()
+                .map(|p| p.get("relation").and_then(Json::as_str).unwrap())
+                .collect();
+            assert_eq!(
+                names,
+                ["aliasedPair", "runsOn", "runsOn", "distinctThreads"],
+                "racyPair rule body order"
+            );
+        }
+        1 if relation == "aliasedPair" => {
+            let names: Vec<&str> = premises
+                .iter()
+                .map(|p| p.get("relation").and_then(Json::as_str).unwrap())
+                .collect();
+            assert_eq!(
+                names,
+                ["useAt", "freeAt", "ptsUse", "ptsFree", "sharedObj"],
+                "aliasedPair rule body order"
+            );
+        }
+        _ => {}
+    }
+    if premises.is_empty() {
+        assert_eq!(node.get("rule"), Some(&Json::Null), "leaves are EDB facts");
+    } else {
+        assert!(
+            node.get("rule").and_then(Json::as_str).is_some(),
+            "inner nodes carry their deriving rule"
+        );
+        for p in premises {
+            check_tree(p, depth + 1);
+        }
+    }
+    // Every node is rendered in source terms, prefixed by its relation.
+    let fact = node.get("fact").and_then(Json::as_str).unwrap();
+    assert!(fact.starts_with(&format!("{relation}(")), "fact: {fact}");
+}
+
+#[test]
+fn provenance_json_golden_shape_on_connectbot() {
+    let dir = std::env::temp_dir().join("nadroid_explain_golden");
+    std::fs::create_dir_all(&dir).unwrap();
+    let prov_path = dir.join("provenance.json");
+    run(&Command::Analyze {
+        path: corpus_app(),
+        validate: false,
+        sound_only: false,
+        k: 2,
+        json: false,
+        baseline: None,
+        update_baseline: false,
+        trace: None,
+        report: None,
+        provenance: Some(prov_path.to_string_lossy().into_owned()),
+        stats: false,
+    })
+    .unwrap();
+
+    let doc = parse(&std::fs::read_to_string(&prov_path).unwrap());
+    assert_eq!(
+        doc.get("schema").and_then(Json::as_str),
+        Some("nadroid-provenance/1")
+    );
+    assert_eq!(doc.get("app").and_then(Json::as_str), Some("ConnectBot"));
+    let warnings = match doc.get("warnings") {
+        Some(Json::Arr(w)) => w,
+        other => panic!("warnings missing: {other:?}"),
+    };
+    assert!(!warnings.is_empty(), "ConnectBot produces warnings");
+
+    let mut fields = std::collections::BTreeSet::new();
+    let mut survived = 0usize;
+    for w in warnings {
+        let id = w.get("id").and_then(Json::as_str).unwrap();
+        assert!(is_warning_id(id), "bad id {id}");
+        fields.insert(w.get("field").and_then(Json::as_str).unwrap().to_owned());
+        // §7 lineage chains ride along with each warning.
+        for key in ["use_lineage", "free_lineage"] {
+            let lineage = w.get(key).and_then(Json::as_str).unwrap();
+            assert!(lineage.starts_with("main"), "{key}: {lineage}");
+        }
+        if w.get("survived").and_then(Json::as_bool).unwrap() {
+            survived += 1;
+            assert_eq!(w.get("pruned_by"), Some(&Json::Null));
+        }
+        let audit = match w.get("audit") {
+            Some(Json::Arr(a)) => a,
+            other => panic!("audit missing: {other:?}"),
+        };
+        assert!(!audit.is_empty());
+        for entry in audit {
+            assert!(entry.get("filter").and_then(Json::as_str).is_some());
+            assert!(entry.get("pruned").and_then(Json::as_bool).is_some());
+            assert!(!entry
+                .get("evidence")
+                .and_then(Json::as_str)
+                .unwrap()
+                .is_empty());
+        }
+        let tree = w.get("derivation").expect("derivation present");
+        assert_ne!(tree, &Json::Null, "every warning is explainable");
+        check_tree(tree, 0);
+    }
+    // Figure 1(a) and 1(b): both ConnectBot fields are racy and at least
+    // one warning survives the full pipeline.
+    assert!(fields.contains("ConsoleActivity.bound"), "{fields:?}");
+    assert!(fields.contains("ConsoleActivity.hostBridge"), "{fields:?}");
+    assert!(survived >= 1);
+}
+
+#[test]
+fn explain_text_golden_on_connectbot() {
+    let all = run(&Command::Explain {
+        path: corpus_app(),
+        warning_id: None,
+    })
+    .unwrap();
+    for needle in [
+        "warning w:",
+        "field:  ConsoleActivity.bound",
+        "field:  ConsoleActivity.hostBridge",
+        "status: survived all filters",
+        "derivation:",
+        "racyPair(",
+        "aliasedPair(",
+        "(base fact)",
+        "filter audit:",
+        "MHB",
+        "no must-happens-before edge",
+        "[main",
+    ] {
+        assert!(all.contains(needle), "missing {needle:?} in:\n{all}");
+    }
+
+    // Single-id mode explains exactly that warning; ids are stable, so
+    // the id extracted from one run selects in the next.
+    let id = all
+        .lines()
+        .find_map(|l| l.strip_prefix("warning "))
+        .unwrap()
+        .to_owned();
+    assert!(is_warning_id(&id), "{id}");
+    let one = run(&Command::Explain {
+        path: corpus_app(),
+        warning_id: Some(id.clone()),
+    })
+    .unwrap();
+    assert!(one.contains(&id), "{one}");
+    assert_eq!(
+        one.matches("warning w:").count(),
+        1,
+        "exactly one warning explained:\n{one}"
+    );
+
+    let miss = run(&Command::Explain {
+        path: corpus_app(),
+        warning_id: Some("w:0000000000000000".into()),
+    })
+    .unwrap();
+    assert!(miss.contains("no warning with id"), "{miss}");
+    assert!(miss.contains(&id), "unknown-id note lists known ids:\n{miss}");
+}

@@ -21,7 +21,7 @@ use crate::{Analysis, PhaseTimings};
 use std::fmt::Write as _;
 
 /// Escape a string for a JSON string literal.
-fn esc(s: &str) -> String {
+pub(crate) fn esc(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {

@@ -1,0 +1,463 @@
+//! Warning provenance: the full derivation story of each warning.
+//!
+//! Each warning carries three layers of evidence:
+//!
+//! 1. a stable content-derived id ([`nadroid_detector::warning_id`]),
+//! 2. the Datalog derivation tree of its racy-pair fact (§5 re-encoded
+//!    as rules and solved with derivation recording on), and
+//! 3. a filter audit trail — every §6 filter that examined the warning,
+//!    its verdict, and concrete evidence for it.
+//!
+//! The audit is built from [`Filters::verdict`], whose `pruned` bit *is*
+//! [`Filters::prunes`], so it can never disagree with the Figure 5
+//! tallies the drivers report. [`render_provenance_json`] serializes
+//! everything under the `nadroid-provenance/1` schema;
+//! [`render_explain`] is the human-readable form behind
+//! `nadroid explain`.
+
+use crate::json::esc;
+use crate::report::{render_warning, RenderedWarning};
+use crate::Analysis;
+use nadroid_datalog::{Database, Derivation, RuleSet, Term};
+use nadroid_detector::{derive_racy_pairs, describe_fact, warning_id};
+use nadroid_filters::{FilterKind, FilterVerdict, Filters};
+use std::fmt::Write as _;
+
+/// One node of a derivation tree, pre-rendered in source terms (the
+/// solved database is dropped once the tree is built).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DerivationNode {
+    /// The fact in source terms, e.g. `useAt(Console.onClick#3, Console.bound)`.
+    pub fact: String,
+    /// The relation name.
+    pub relation: String,
+    /// The raw tuple (instruction / field / object / thread ids).
+    pub tuple: Vec<u32>,
+    /// The deriving rule, rendered — `None` for base (EDB) facts.
+    pub rule: Option<String>,
+    /// Derivations of the rule's premises, in body order.
+    pub premises: Vec<DerivationNode>,
+}
+
+impl DerivationNode {
+    /// Whether this node is a base fact.
+    #[must_use]
+    pub fn is_base(&self) -> bool {
+        self.rule.is_none()
+    }
+}
+
+/// The complete provenance of one warning.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WarningProvenance {
+    /// Stable content-derived id (`w:` + 16 hex digits).
+    pub id: String,
+    /// The §7 rendering (field, sites, pair type, lineages).
+    pub rendered: RenderedWarning,
+    /// Whether the warning survived the configured filter pipeline.
+    pub survived: bool,
+    /// The first filter (pipeline order, sound before unsound) that
+    /// pruned it, if any.
+    pub pruned_by: Option<FilterKind>,
+    /// Verdict and evidence of every filter that examined the warning:
+    /// the configured sound filters always; the unsound filters only if
+    /// the warning survived the sound pass (mirroring the pipeline).
+    pub audit: Vec<FilterVerdict>,
+    /// Derivation tree of the warning's `racyPair` fact.
+    pub derivation: Option<DerivationNode>,
+}
+
+/// Render a rule as `head :- body.` text with relation names and `vN`
+/// variables.
+fn render_rule(db: &Database, rules: &RuleSet, idx: usize) -> String {
+    let rule = &rules.rules()[idx];
+    let atom = |a: &nadroid_datalog::Atom| {
+        let terms: Vec<String> = a
+            .terms()
+            .iter()
+            .map(|t| match t {
+                Term::Var(v) => format!("v{v}"),
+                Term::Const(c) => c.to_string(),
+            })
+            .collect();
+        format!("{}({})", db.name(a.rel()), terms.join(", "))
+    };
+    let body: Vec<String> = rule.body().iter().map(atom).collect();
+    if body.is_empty() {
+        format!("rule {idx}: {}.", atom(rule.head()))
+    } else {
+        format!("rule {idx}: {} :- {}.", atom(rule.head()), body.join(", "))
+    }
+}
+
+impl Analysis<'_> {
+    /// Build the provenance of every raw warning (pruned ones included —
+    /// their audit shows *why* they were pruned).
+    ///
+    /// Solves the §5 racy-pair Datalog encoding with derivation recording
+    /// on, so each call re-derives the trees from scratch; drivers should
+    /// call it once and reuse the result.
+    #[must_use]
+    pub fn warning_provenances(&self) -> Vec<WarningProvenance> {
+        let prov = derive_racy_pairs(
+            self.program,
+            &self.threads,
+            &self.pts,
+            &self.escape,
+            self.config.detector,
+        );
+        let filters = Filters::new(self.program, &self.threads, &self.pts, &self.escape);
+        self.warnings
+            .iter()
+            .map(|w| {
+                let sound: Vec<FilterVerdict> = self
+                    .config
+                    .sound_filters
+                    .iter()
+                    .map(|&k| filters.verdict(k, w))
+                    .collect();
+                let sound_survived = sound.iter().all(|v| !v.pruned);
+                let mut audit = sound;
+                if sound_survived {
+                    audit.extend(
+                        self.config
+                            .unsound_filters
+                            .iter()
+                            .map(|&k| filters.verdict(k, w)),
+                    );
+                }
+                let pruned_by = audit.iter().find(|v| v.pruned).map(|v| v.kind);
+                let derivation = prov
+                    .explain_warning(w)
+                    .map(|d| render_derivation(self, &prov.db, &prov.rules, &d));
+                WarningProvenance {
+                    id: warning_id(self.program, &self.threads, w),
+                    rendered: render_warning(self.program, &self.threads, w),
+                    survived: pruned_by.is_none(),
+                    pruned_by,
+                    audit,
+                    derivation,
+                }
+            })
+            .collect()
+    }
+}
+
+fn render_derivation(
+    analysis: &Analysis<'_>,
+    db: &Database,
+    rules: &RuleSet,
+    d: &Derivation,
+) -> DerivationNode {
+    DerivationNode {
+        fact: describe_fact(analysis.program(), analysis.threads(), db, d.rel, &d.tuple),
+        relation: db.name(d.rel).to_string(),
+        tuple: d.tuple.clone(),
+        rule: d.rule.map(|idx| render_rule(db, rules, idx)),
+        premises: d
+            .premises
+            .iter()
+            .map(|p| render_derivation(analysis, db, rules, p))
+            .collect(),
+    }
+}
+
+/// Serialize the provenance of every warning as JSON under the
+/// `nadroid-provenance/1` schema.
+#[must_use]
+pub fn render_provenance_json(analysis: &Analysis<'_>) -> String {
+    render_provenance_json_with(analysis, &analysis.warning_provenances())
+}
+
+/// [`render_provenance_json`] over provenances the caller has already
+/// computed — [`Analysis::warning_provenances`] re-derives every racy
+/// pair through the Datalog engine with recording on, so callers that
+/// need both the structs and the JSON should compute once.
+#[must_use]
+pub fn render_provenance_json_with(
+    analysis: &Analysis<'_>,
+    provenances: &[WarningProvenance],
+) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"schema\": \"nadroid-provenance/1\",");
+    let _ = writeln!(out, "  \"app\": \"{}\",", esc(analysis.program().name()));
+    out.push_str("  \"warnings\": [");
+    for (i, p) in provenances.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    {\n");
+        let _ = writeln!(out, "      \"id\": \"{}\",", esc(&p.id));
+        let _ = writeln!(out, "      \"field\": \"{}\",", esc(&p.rendered.field));
+        let _ = writeln!(out, "      \"use_site\": \"{}\",", esc(&p.rendered.use_site));
+        let _ = writeln!(
+            out,
+            "      \"free_site\": \"{}\",",
+            esc(&p.rendered.free_site)
+        );
+        let _ = writeln!(out, "      \"pair_type\": \"{}\",", p.rendered.pair_type);
+        let _ = writeln!(
+            out,
+            "      \"use_lineage\": \"{}\",",
+            esc(&p.rendered.use_lineage)
+        );
+        let _ = writeln!(
+            out,
+            "      \"free_lineage\": \"{}\",",
+            esc(&p.rendered.free_lineage)
+        );
+        let _ = writeln!(out, "      \"survived\": {},", p.survived);
+        match p.pruned_by {
+            Some(k) => {
+                let _ = writeln!(out, "      \"pruned_by\": \"{}\",", k.name());
+            }
+            None => {
+                let _ = writeln!(out, "      \"pruned_by\": null,");
+            }
+        }
+        out.push_str("      \"audit\": [");
+        for (j, v) in p.audit.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n        {{ \"filter\": \"{}\", \"pruned\": {}, \"evidence\": \"{}\" }}",
+                v.kind.name(),
+                v.pruned,
+                esc(&v.evidence)
+            );
+        }
+        if p.audit.is_empty() {
+            out.push_str("],\n");
+        } else {
+            out.push_str("\n      ],\n");
+        }
+        match &p.derivation {
+            Some(d) => {
+                out.push_str("      \"derivation\": ");
+                write_derivation_json(&mut out, d, 6);
+                out.push('\n');
+            }
+            None => out.push_str("      \"derivation\": null\n"),
+        }
+        out.push_str("    }");
+    }
+    if provenances.is_empty() {
+        out.push_str("]\n");
+    } else {
+        out.push_str("\n  ]\n");
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn write_derivation_json(out: &mut String, d: &DerivationNode, indent: usize) {
+    let pad = " ".repeat(indent);
+    out.push_str("{\n");
+    let _ = writeln!(out, "{pad}  \"fact\": \"{}\",", esc(&d.fact));
+    let _ = writeln!(out, "{pad}  \"relation\": \"{}\",", esc(&d.relation));
+    let tuple: Vec<String> = d.tuple.iter().map(ToString::to_string).collect();
+    let _ = writeln!(out, "{pad}  \"tuple\": [{}],", tuple.join(", "));
+    match &d.rule {
+        Some(r) => {
+            let _ = writeln!(out, "{pad}  \"rule\": \"{}\",", esc(r));
+        }
+        None => {
+            let _ = writeln!(out, "{pad}  \"rule\": null,");
+        }
+    }
+    let _ = write!(out, "{pad}  \"premises\": [");
+    for (i, prem) in d.premises.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\n{pad}    ");
+        write_derivation_json(out, prem, indent + 4);
+    }
+    if d.premises.is_empty() {
+        out.push_str("]\n");
+    } else {
+        let _ = write!(out, "\n{pad}  ]\n");
+    }
+    let _ = write!(out, "{pad}}}");
+}
+
+/// Render warning provenance as text — the body of `nadroid explain`.
+/// With `id = Some(..)`, only that warning; with `None`, all of them.
+/// Unknown ids render a note listing the known ids.
+#[must_use]
+pub fn render_explain(analysis: &Analysis<'_>, id: Option<&str>) -> String {
+    let provenances = analysis.warning_provenances();
+    let selected: Vec<&WarningProvenance> = match id {
+        Some(want) => provenances.iter().filter(|p| p.id == want).collect(),
+        None => provenances.iter().collect(),
+    };
+    if selected.is_empty() {
+        let mut out = match id {
+            Some(want) => format!("no warning with id {want}\n"),
+            None => String::from("no warnings\n"),
+        };
+        if !provenances.is_empty() {
+            out.push_str("known ids:\n");
+            for p in &provenances {
+                let _ = writeln!(out, "  {}  ({})", p.id, p.rendered.field);
+            }
+        }
+        return out;
+    }
+    let mut out = String::new();
+    for (i, p) in selected.iter().enumerate() {
+        if i > 0 {
+            out.push('\n');
+        }
+        let _ = writeln!(out, "warning {}", p.id);
+        let _ = writeln!(out, "  field:  {}", p.rendered.field);
+        let _ = writeln!(
+            out,
+            "  use:    {}  [{}]",
+            p.rendered.use_site, p.rendered.use_lineage
+        );
+        let _ = writeln!(
+            out,
+            "  free:   {}  [{}]",
+            p.rendered.free_site, p.rendered.free_lineage
+        );
+        let _ = writeln!(out, "  type:   {}", p.rendered.pair_type);
+        match p.pruned_by {
+            Some(k) => {
+                let _ = writeln!(out, "  status: pruned by {}", k.name());
+            }
+            None => {
+                let _ = writeln!(out, "  status: survived all filters");
+            }
+        }
+        out.push_str("\n  derivation:\n");
+        match &p.derivation {
+            Some(d) => write_derivation_text(&mut out, d, 4),
+            None => out.push_str("    (not recorded)\n"),
+        }
+        out.push_str("\n  filter audit:\n");
+        for v in &p.audit {
+            let verdict = if v.pruned { "prune" } else { "pass " };
+            let _ = writeln!(out, "    {:4} {verdict}  {}", v.kind.name(), v.evidence);
+        }
+    }
+    out
+}
+
+fn write_derivation_text(out: &mut String, d: &DerivationNode, indent: usize) {
+    let pad = " ".repeat(indent);
+    if let Some(rule) = &d.rule {
+        let _ = writeln!(out, "{pad}{}  [{rule}]", d.fact);
+    } else {
+        let _ = writeln!(out, "{pad}{}  (base fact)", d.fact);
+    }
+    for prem in &d.premises {
+        write_derivation_text(out, prem, indent + 2);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{analyze, AnalysisConfig};
+    use nadroid_ir::parse_program;
+
+    const FIG1A: &str = r#"
+        app Fig1a
+        activity Console {
+            field bound: Console
+            cb onCreate { bind this }
+            cb onServiceConnected { bound = new Console }
+            cb onServiceDisconnected { bound = null }
+            cb onCreateContextMenu { use bound }
+        }
+    "#;
+
+    #[test]
+    fn every_warning_is_explainable() {
+        let p = parse_program(FIG1A).unwrap();
+        let a = analyze(&p, &AnalysisConfig::default());
+        let provs = a.warning_provenances();
+        assert_eq!(provs.len(), a.warnings().len());
+        for wp in &provs {
+            let d = wp.derivation.as_ref().expect("derivation recorded");
+            assert_eq!(d.relation, "racyPair");
+            assert!(d.rule.is_some(), "racyPair is derived, not EDB");
+            fn leaves_are_base(n: &DerivationNode) {
+                if n.premises.is_empty() {
+                    assert!(n.is_base(), "leaf {} must be a base fact", n.fact);
+                } else {
+                    for p in &n.premises {
+                        leaves_are_base(p);
+                    }
+                }
+            }
+            leaves_are_base(d);
+            assert!(!wp.audit.is_empty());
+        }
+    }
+
+    #[test]
+    fn audit_is_consistent_with_the_pipeline_outcomes() {
+        // The audit's pruned bits must reproduce the pipeline's verdicts
+        // — the same accounting the Figure 5 tallies are built from.
+        let p = parse_program(FIG1A).unwrap();
+        let a = analyze(&p, &AnalysisConfig::default());
+        let provs = a.warning_provenances();
+        for (wp, outcome) in provs.iter().zip(a.sound_outcomes()) {
+            for v in wp
+                .audit
+                .iter()
+                .filter(|v| a.config().sound_filters.contains(&v.kind))
+            {
+                assert_eq!(
+                    v.pruned,
+                    outcome.all_pruning.contains(&v.kind),
+                    "audit and pipeline disagree on {}",
+                    v.kind
+                );
+            }
+        }
+        let survivors: Vec<&WarningProvenance> = provs.iter().filter(|p| p.survived).collect();
+        assert_eq!(survivors.len(), a.survivors().len());
+    }
+
+    #[test]
+    fn provenance_json_is_balanced_and_carries_the_schema() {
+        let p = parse_program(FIG1A).unwrap();
+        let a = analyze(&p, &AnalysisConfig::default());
+        let json = render_provenance_json(&a);
+        assert!(json.contains("\"schema\": \"nadroid-provenance/1\""), "{json}");
+        assert!(json.contains("\"derivation\": {"), "{json}");
+        assert!(json.contains("racyPair"), "{json}");
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn explain_renders_tree_audit_and_lineage() {
+        let p = parse_program(FIG1A).unwrap();
+        let a = analyze(&p, &AnalysisConfig::default());
+        let text = render_explain(&a, None);
+        assert!(text.contains("derivation:"), "{text}");
+        assert!(text.contains("racyPair("), "{text}");
+        assert!(text.contains("(base fact)"), "{text}");
+        assert!(text.contains("filter audit:"), "{text}");
+        assert!(text.contains("main > "), "{text}");
+    }
+
+    #[test]
+    fn explain_filters_by_id_and_reports_unknown_ids() {
+        let p = parse_program(FIG1A).unwrap();
+        let a = analyze(&p, &AnalysisConfig::default());
+        let provs = a.warning_provenances();
+        let id = &provs[0].id;
+        let text = render_explain(&a, Some(id));
+        assert!(text.contains(id.as_str()), "{text}");
+        let miss = render_explain(&a, Some("w:0000000000000000"));
+        assert!(miss.contains("no warning with id"), "{miss}");
+        assert!(miss.contains(id.as_str()), "unknown-id note lists known ids");
+    }
+}

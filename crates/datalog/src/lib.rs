@@ -26,6 +26,19 @@
 //! [`reference::NaiveEngine`] and the property suite asserts both derive
 //! identical relation contents *in identical first-derivation order*.
 //!
+//! # Provenance
+//!
+//! With [`Database::set_provenance`] enabled, every admitted tuple also
+//! records *how* it was first derived — the rule index and the arena rows
+//! of its premises — in a compact side arena (one `u32` tag per row plus
+//! one record per derived tuple). [`Database::explain`] replays those
+//! records into a [`Derivation`] tree that bottoms out in base (EDB)
+//! facts. Recording is off by default and the machinery can be compiled
+//! out entirely with `--no-default-features` (the `provenance` feature);
+//! in either off state the join loop pays nothing. The naive reference
+//! engine mirrors the same API so the differential suite covers
+//! derivations, not just contents.
+//!
 //! # Example: transitive closure
 //!
 //! ```
@@ -115,6 +128,18 @@ impl Atom {
     pub fn new(rel: RelId, terms: Vec<Term>) -> Self {
         Atom { rel, terms }
     }
+
+    /// The relation this atom ranges over.
+    #[must_use]
+    pub fn rel(&self) -> RelId {
+        self.rel
+    }
+
+    /// The atom's terms, one per column.
+    #[must_use]
+    pub fn terms(&self) -> &[Term] {
+        &self.terms
+    }
 }
 
 /// A positive Horn rule: `head :- body₀, body₁, ...`.
@@ -122,6 +147,20 @@ impl Atom {
 pub struct Rule {
     pub(crate) head: Atom,
     pub(crate) body: Vec<Atom>,
+}
+
+impl Rule {
+    /// The head atom.
+    #[must_use]
+    pub fn head(&self) -> &Atom {
+        &self.head
+    }
+
+    /// The body atoms, in evaluation order.
+    #[must_use]
+    pub fn body(&self) -> &[Atom] {
+        &self.body
+    }
 }
 
 /// A collection of rules evaluated together to fixpoint.
@@ -180,6 +219,13 @@ impl RuleSet {
     pub fn is_empty(&self) -> bool {
         self.rules.is_empty()
     }
+
+    /// The rules, in evaluation order (the indices [`Derivation::rule`]
+    /// refers to).
+    #[must_use]
+    pub fn rules(&self) -> &[Rule] {
+        &self.rules
+    }
 }
 
 /// Counters and timing of the most recent [`Database::run`].
@@ -195,6 +241,12 @@ pub struct EngineStats {
     pub index_probes: u64,
     /// `(relation, column-mask)` indexes materialized or extended.
     pub indexes_built: u64,
+    /// Derivation records appended by this run (0 unless provenance
+    /// recording is enabled; equals `derived` when it is).
+    pub prov_records: u64,
+    /// Total provenance-arena size in bytes after the run (records,
+    /// premise list, and per-row tags; 0 when recording is disabled).
+    pub prov_bytes: u64,
     /// Wall-clock time of the run.
     pub duration: Duration,
 }
@@ -209,6 +261,119 @@ impl EngineStats {
         } else {
             0.0
         }
+    }
+}
+
+/// One node of the derivation tree returned by [`Database::explain`]:
+/// a fact plus how it was *first* derived. Later re-derivations of the
+/// same tuple are not recorded — deduplication keeps the first.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Derivation {
+    /// The relation of the derived fact.
+    pub rel: RelId,
+    /// The fact itself.
+    pub tuple: Vec<u32>,
+    /// Index into the executed [`RuleSet`] of the rule that first derived
+    /// the fact, or `None` for a base (EDB) fact.
+    pub rule: Option<usize>,
+    /// One sub-derivation per body atom of the deriving rule, in body
+    /// order. Empty for base facts and fact-template (empty-body) rules.
+    pub premises: Vec<Derivation>,
+}
+
+impl Derivation {
+    /// Whether this node is a base (EDB) fact.
+    #[must_use]
+    pub fn is_base(&self) -> bool {
+        self.rule.is_none()
+    }
+
+    /// Total number of nodes in the tree (≥ 1).
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        1 + self.premises.iter().map(Derivation::node_count).sum::<usize>()
+    }
+
+    /// Height of the tree: 1 for a leaf.
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        1 + self.premises.iter().map(Derivation::depth).max().unwrap_or(0)
+    }
+}
+
+/// Per-row provenance tag meaning "base fact / not derived by a rule".
+#[cfg(feature = "provenance")]
+const NO_PROV: u32 = u32::MAX;
+
+/// One derivation record: the rule plus a span of the premise list.
+#[cfg(feature = "provenance")]
+#[derive(Debug, Clone, Copy)]
+struct ProvRecord {
+    rule: u32,
+    start: u32,
+    len: u32,
+}
+
+/// The compact side arena of derivation records. Premises are stored as
+/// `(relation, arena row)` pairs — rows are stable because tuple arenas
+/// never shrink or reorder.
+#[cfg(feature = "provenance")]
+#[derive(Debug, Default)]
+struct ProvArena {
+    records: Vec<ProvRecord>,
+    premises: Vec<(RelId, u32)>,
+}
+
+/// Per-(rule, delta-position) premise capture threaded through the join
+/// recursion. When inactive (recording off, or the whole `provenance`
+/// feature disabled) every method is a no-op the optimizer removes.
+#[derive(Debug, Default)]
+struct ProvBuf {
+    #[cfg(feature = "provenance")]
+    active: bool,
+    /// Arena row of the candidate match per body position.
+    #[cfg(feature = "provenance")]
+    path: Vec<u32>,
+    /// One `path` snapshot per emitted head tuple, flattened.
+    #[cfg(feature = "provenance")]
+    rows: Vec<u32>,
+}
+
+impl ProvBuf {
+    fn reset(&mut self, _n_atoms: usize, _active: bool) {
+        #[cfg(feature = "provenance")]
+        {
+            self.active = _active;
+            self.path.clear();
+            self.path.resize(_n_atoms, 0);
+            self.rows.clear();
+        }
+    }
+
+    /// Note the matched arena row for body position `pos`.
+    #[inline]
+    fn enter(&mut self, _pos: usize, _row_id: u32) {
+        #[cfg(feature = "provenance")]
+        if self.active {
+            self.path[_pos] = _row_id;
+        }
+    }
+
+    /// Snapshot the current match path; called once per emitted head
+    /// tuple, keeping `rows` parallel to the scratch output.
+    #[inline]
+    fn emit(&mut self) {
+        #[cfg(feature = "provenance")]
+        if self.active {
+            self.rows.extend_from_slice(&self.path);
+        }
+    }
+
+    /// The premise rows of the `i`-th emitted head tuple.
+    #[cfg(feature = "provenance")]
+    fn premise_rows(&self, i: usize) -> &[u32] {
+        let n = self.path.len();
+        &self.rows[i * n..(i + 1) * n]
     }
 }
 
@@ -236,6 +401,10 @@ struct RelationData {
     indexes: HashMap<u32, ColumnIndex>,
     /// Rows already at fixpoint after the last completed `run`.
     hwm: u32,
+    /// While recording: one derivation-record index per row, parallel to
+    /// the arena (`NO_PROV` = base fact). Empty when recording is off.
+    #[cfg(feature = "provenance")]
+    prov: Vec<u32>,
 }
 
 impl RelationData {
@@ -268,10 +437,17 @@ impl RelationData {
     }
 
     fn contains_row(&self, tuple: &[u32]) -> bool {
+        self.find_row(tuple).is_some()
+    }
+
+    /// The arena row holding `tuple`, if present.
+    fn find_row(&self, tuple: &[u32]) -> Option<u32> {
         let h = hash_vals(tuple.iter().copied());
-        self.dedup.get(&h).is_some_and(|rows| {
-            rows.iter().any(|&r| self.row(r) == tuple)
-        })
+        self.dedup
+            .get(&h)?
+            .iter()
+            .copied()
+            .find(|&r| self.row(r) == tuple)
     }
 
     /// Extend the index for `mask` to cover rows `[0, upto)`.
@@ -360,6 +536,10 @@ pub struct Database {
     /// fixpoint instead of re-deriving from scratch.
     last_rules: Option<RuleSet>,
     stats: EngineStats,
+    #[cfg(feature = "provenance")]
+    prov: ProvArena,
+    #[cfg(feature = "provenance")]
+    record_provenance: bool,
 }
 
 impl Database {
@@ -408,7 +588,12 @@ impl Database {
             "arity mismatch inserting into {}",
             r.name
         );
-        r.insert_row(tuple)
+        let added = r.insert_row(tuple);
+        #[cfg(feature = "provenance")]
+        if added && self.record_provenance {
+            self.relations[rel.index()].prov.push(NO_PROV);
+        }
+        added
     }
 
     /// Whether a tuple is present.
@@ -447,6 +632,112 @@ impl Database {
         &self.stats
     }
 
+    /// Enable or disable derivation recording.
+    ///
+    /// Enabling tags every already-present row as a base fact, so a
+    /// database can start recording mid-life; rows derived while
+    /// recording was off are indistinguishable from EDB facts. Disabling
+    /// discards all recorded provenance. With the crate built without
+    /// the `provenance` feature this is a no-op.
+    pub fn set_provenance(&mut self, _on: bool) {
+        #[cfg(feature = "provenance")]
+        {
+            self.record_provenance = _on;
+            if _on {
+                for r in &mut self.relations {
+                    let rows = r.rows() as usize;
+                    r.prov.resize(rows, NO_PROV);
+                }
+            } else {
+                self.prov = ProvArena::default();
+                for r in &mut self.relations {
+                    r.prov = Vec::new();
+                }
+            }
+        }
+    }
+
+    /// Whether derivation recording is currently enabled.
+    #[must_use]
+    pub fn provenance_enabled(&self) -> bool {
+        #[cfg(feature = "provenance")]
+        {
+            self.record_provenance
+        }
+        #[cfg(not(feature = "provenance"))]
+        {
+            false
+        }
+    }
+
+    /// The derivation tree of a recorded tuple: how it was first derived,
+    /// down to base (EDB) facts. `None` if the tuple is absent or
+    /// recording is (or was) disabled.
+    ///
+    /// Trees are finite by construction: a derived row's premises were
+    /// admitted in strictly earlier fixpoint iterations (joins read the
+    /// iteration-start snapshot), so depth is bounded by the iteration
+    /// count of the recording runs.
+    #[must_use]
+    pub fn explain(&self, _rel: RelId, _tuple: &[u32]) -> Option<Derivation> {
+        #[cfg(feature = "provenance")]
+        {
+            if !self.record_provenance {
+                return None;
+            }
+            let row = self.relations[_rel.index()].find_row(_tuple)?;
+            Some(self.derivation_of(_rel, row))
+        }
+        #[cfg(not(feature = "provenance"))]
+        {
+            None
+        }
+    }
+
+    #[cfg(feature = "provenance")]
+    fn derivation_of(&self, rel: RelId, row: u32) -> Derivation {
+        let r = &self.relations[rel.index()];
+        let tuple = r.row(row).to_vec();
+        let tag = r.prov.get(row as usize).copied().unwrap_or(NO_PROV);
+        if tag == NO_PROV {
+            return Derivation {
+                rel,
+                tuple,
+                rule: None,
+                premises: Vec::new(),
+            };
+        }
+        let rec = self.prov.records[tag as usize];
+        let span = rec.start as usize..(rec.start + rec.len) as usize;
+        let premises = self.prov.premises[span]
+            .iter()
+            .map(|&(prel, prow)| self.derivation_of(prel, prow))
+            .collect();
+        Derivation {
+            rel,
+            tuple,
+            rule: Some(rec.rule as usize),
+            premises,
+        }
+    }
+
+    /// Total provenance-arena size in bytes (0 when recording is off or
+    /// the `provenance` feature is disabled).
+    #[must_use]
+    pub fn provenance_bytes(&self) -> u64 {
+        #[cfg(feature = "provenance")]
+        {
+            let tags: usize = self.relations.iter().map(|r| r.prov.len()).sum();
+            (self.prov.records.len() * std::mem::size_of::<ProvRecord>()
+                + self.prov.premises.len() * std::mem::size_of::<(RelId, u32)>()
+                + tags * std::mem::size_of::<u32>()) as u64
+        }
+        #[cfg(not(feature = "provenance"))]
+        {
+            0
+        }
+    }
+
     /// Run the rules to fixpoint with semi-naive evaluation.
     ///
     /// Newly derived tuples are added to the head relations; evaluation
@@ -459,6 +750,7 @@ impl Database {
     ///
     /// Panics if a rule's head contains a variable that does not occur in
     /// its body, or atom arities mismatch their relations.
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
     pub fn run(&mut self, rules: &RuleSet) {
         let _run_span = obs::span("datalog.run");
         let t0 = Instant::now();
@@ -467,6 +759,9 @@ impl Database {
         }
         let compiled: Vec<CompiledRule> = rules.rules.iter().map(compile_rule).collect();
         let mut stats = EngineStats::default();
+        let record = self.provenance_enabled();
+        #[cfg(feature = "provenance")]
+        let records_before = self.prov.records.len();
 
         // With unchanged rules the previous fixpoint still holds, so only
         // rows inserted since then are delta; a rule change invalidates
@@ -489,6 +784,7 @@ impl Database {
         needed.dedup();
 
         let mut scratch: Vec<u32> = Vec::new();
+        let mut prov = ProvBuf::default();
         loop {
             stats.iterations += 1;
             let _iter_span = obs::span_lazy(|| format!("datalog.iteration:{}", stats.iterations));
@@ -509,7 +805,7 @@ impl Database {
             }
 
             let mut grew = false;
-            for crule in &compiled {
+            for (_rule_idx, crule) in compiled.iter().enumerate() {
                 let _rule_span = obs::span_lazy(|| {
                     format!("datalog.rule:{}", self.relations[crule.head_rel.index()].name)
                 });
@@ -524,6 +820,19 @@ impl Database {
                     if self.relations[crule.head_rel.index()].insert_row(&scratch) {
                         stats.derived += 1;
                         grew = true;
+                        #[cfg(feature = "provenance")]
+                        if record {
+                            // Premise-free record: derived, but by a rule
+                            // with no body.
+                            let rec = self.prov.records.len() as u32;
+                            let start = self.prov.premises.len() as u32;
+                            self.prov.records.push(ProvRecord {
+                                rule: _rule_idx as u32,
+                                start,
+                                len: 0,
+                            });
+                            self.relations[crule.head_rel.index()].prov.push(rec);
+                        }
                     }
                     continue;
                 }
@@ -533,6 +842,7 @@ impl Database {
                         continue; // empty delta: this occurrence derives nothing new
                     }
                     scratch.clear();
+                    prov.reset(crule.atoms.len(), record);
                     let mut stack_buf = [0u32; STACK_SLOTS];
                     let mut heap_buf;
                     let bindings: &mut [u32] = if crule.n_slots <= STACK_SLOTS {
@@ -550,12 +860,29 @@ impl Database {
                         bindings,
                         &mut scratch,
                         &mut stats,
+                        &mut prov,
                     );
-                    let head_rel = &mut self.relations[crule.head_rel.index()];
-                    for tuple in scratch.chunks_exact(crule.head.len()) {
-                        if head_rel.insert_row(tuple) {
+                    let head_idx = crule.head_rel.index();
+                    for (_emit, tuple) in scratch.chunks_exact(crule.head.len()).enumerate() {
+                        if self.relations[head_idx].insert_row(tuple) {
                             stats.derived += 1;
                             grew = true;
+                            #[cfg(feature = "provenance")]
+                            if record {
+                                let start = self.prov.premises.len() as u32;
+                                for (atom, &row) in
+                                    crule.atoms.iter().zip(prov.premise_rows(_emit))
+                                {
+                                    self.prov.premises.push((atom.rel, row));
+                                }
+                                let rec = self.prov.records.len() as u32;
+                                self.prov.records.push(ProvRecord {
+                                    rule: _rule_idx as u32,
+                                    start,
+                                    len: crule.atoms.len() as u32,
+                                });
+                                self.relations[head_idx].prov.push(rec);
+                            }
                         }
                     }
                 }
@@ -573,12 +900,21 @@ impl Database {
         }
         self.last_rules = Some(rules.clone());
         stats.duration = t0.elapsed();
+        #[cfg(feature = "provenance")]
+        {
+            stats.prov_records = (self.prov.records.len() - records_before) as u64;
+            stats.prov_bytes = self.provenance_bytes();
+        }
         if obs::recording() {
             obs::counter("datalog.iterations", stats.iterations);
             obs::counter("datalog.derived", stats.derived);
             obs::counter("datalog.considered", stats.considered);
             obs::counter("datalog.index_probes", stats.index_probes);
             obs::counter("datalog.indexes_built", stats.indexes_built);
+            // A rate, not a sum: high-water across the runs a recorder sees.
+            obs::gauge_max("datalog.tuples_per_sec", stats.tuples_per_sec() as u64);
+            obs::counter("datalog.prov_records", stats.prov_records);
+            obs::gauge_max("datalog.prov_arena_bytes", stats.prov_bytes);
         }
         self.stats = stats;
     }
@@ -599,6 +935,7 @@ impl Database {
         bindings: &mut [u32],
         out: &mut Vec<u32>,
         stats: &mut EngineStats,
+        prov: &mut ProvBuf,
     ) {
         if pos == crule.atoms.len() {
             out.extend(crule.head.iter().map(|p| match p {
@@ -606,6 +943,7 @@ impl Database {
                 KeyPart::Slot(s) => bindings[*s as usize],
             }));
             stats.considered += 1;
+            prov.emit();
             return;
         }
         let atom = &crule.atoms[pos];
@@ -617,7 +955,12 @@ impl Database {
         };
         let hi = snapshot[atom.rel.index()];
 
-        let visit = |row_id: u32, this: &Self, bindings: &mut [u32], out: &mut Vec<u32>, stats: &mut EngineStats| {
+        let visit = |row_id: u32,
+                     this: &Self,
+                     bindings: &mut [u32],
+                     out: &mut Vec<u32>,
+                     stats: &mut EngineStats,
+                     prov: &mut ProvBuf| {
             let row = r.row(row_id);
             for (col, action) in atom.actions.iter().enumerate() {
                 match *action {
@@ -634,12 +977,13 @@ impl Database {
                     ColAction::Bind(slot) => bindings[slot as usize] = row[col],
                 }
             }
-            this.join(crule, pos + 1, delta_pos, delta_lo, snapshot, bindings, out, stats);
+            prov.enter(pos, row_id);
+            this.join(crule, pos + 1, delta_pos, delta_lo, snapshot, bindings, out, stats, prov);
         };
 
         if atom.mask == 0 {
             for row_id in lo..hi {
-                visit(row_id, self, bindings, out, stats);
+                visit(row_id, self, bindings, out, stats, prov);
             }
         } else {
             stats.index_probes += 1;
@@ -656,7 +1000,7 @@ impl Database {
                     if row_id >= hi {
                         break;
                     }
-                    visit(row_id, self, bindings, out, stats);
+                    visit(row_id, self, bindings, out, stats, prov);
                 }
             }
         }
@@ -1082,6 +1426,178 @@ mod tests {
         assert!(s.derived >= 20 * 21 / 2);
         assert!(s.iterations > 2);
         assert!(s.tuples_per_sec() >= 0.0);
+    }
+
+    // ------- provenance recording -------
+
+    /// edge 0→1→2 plus the closure rules; recording enabled up front.
+    #[cfg(feature = "provenance")]
+    fn recorded_closure() -> (Database, RelId, RelId) {
+        let mut db = Database::new();
+        db.set_provenance(true);
+        let edge = db.relation("edge", 2);
+        let path = db.relation("path", 2);
+        db.insert(edge, &[0, 1]);
+        db.insert(edge, &[1, 2]);
+        let mut rules = RuleSet::new();
+        rules
+            .add(path, vec![v(0), v(1)])
+            .when(edge, vec![v(0), v(1)]);
+        rules
+            .add(path, vec![v(0), v(2)])
+            .when(path, vec![v(0), v(1)])
+            .when(edge, vec![v(1), v(2)]);
+        db.run(&rules);
+        (db, edge, path)
+    }
+
+    #[test]
+    #[cfg(feature = "provenance")]
+    fn explain_base_fact_is_a_leaf() {
+        let (db, edge, _) = recorded_closure();
+        let d = db.explain(edge, &[0, 1]).expect("recorded");
+        assert_eq!(d.rule, None);
+        assert!(d.is_base());
+        assert!(d.premises.is_empty());
+        assert_eq!(d.tuple, vec![0, 1]);
+        assert_eq!(d.node_count(), 1);
+        assert_eq!(d.depth(), 1);
+    }
+
+    #[test]
+    #[cfg(feature = "provenance")]
+    fn explain_reconstructs_the_derivation_tree() {
+        let (db, edge, path) = recorded_closure();
+        // path(0,2) :- path(0,1), edge(1,2); path(0,1) :- edge(0,1).
+        let d = db.explain(path, &[0, 2]).expect("recorded");
+        assert_eq!(d.rule, Some(1));
+        assert_eq!(d.premises.len(), 2);
+        assert_eq!(d.premises[0].rel, path);
+        assert_eq!(d.premises[0].tuple, vec![0, 1]);
+        assert_eq!(d.premises[0].rule, Some(0));
+        assert_eq!(d.premises[0].premises.len(), 1);
+        assert_eq!(d.premises[0].premises[0].rel, edge);
+        assert!(d.premises[0].premises[0].is_base());
+        assert_eq!(d.premises[1].rel, edge);
+        assert_eq!(d.premises[1].tuple, vec![1, 2]);
+        assert!(d.premises[1].is_base());
+        assert_eq!(d.node_count(), 4);
+        assert_eq!(d.depth(), 3);
+    }
+
+    #[test]
+    #[cfg(feature = "provenance")]
+    fn diamond_keeps_the_first_derivation() {
+        let mut db = Database::new();
+        db.set_provenance(true);
+        let e = db.relation("e", 2);
+        let p = db.relation("p", 2);
+        for t in [[0u32, 1], [0, 2], [1, 3], [2, 3]] {
+            db.insert(e, &t);
+        }
+        let mut rules = RuleSet::new();
+        rules.add(p, vec![v(0), v(1)]).when(e, vec![v(0), v(1)]);
+        rules
+            .add(p, vec![v(0), v(2)])
+            .when(p, vec![v(0), v(1)])
+            .when(e, vec![v(1), v(2)]);
+        db.run(&rules);
+        // p(0,3) is derivable via p(0,1),e(1,3) and via p(0,2),e(2,3);
+        // the arena scans p in first-derivation order, so (0,1) wins.
+        let d = db.explain(p, &[0, 3]).expect("recorded");
+        assert_eq!(d.rule, Some(1));
+        assert_eq!(d.premises[0].tuple, vec![0, 1]);
+        assert_eq!(d.premises[1].tuple, vec![1, 3]);
+    }
+
+    #[test]
+    #[cfg(feature = "provenance")]
+    fn fact_template_rules_record_premise_free_derivations() {
+        let mut db = Database::new();
+        db.set_provenance(true);
+        let marker = db.relation("marker", 1);
+        let mut rules = RuleSet::new();
+        rules.add(marker, vec![Term::val(42)]);
+        db.run(&rules);
+        let d = db.explain(marker, &[42]).expect("recorded");
+        assert_eq!(d.rule, Some(0), "derived by the fact template, not EDB");
+        assert!(d.premises.is_empty());
+    }
+
+    #[test]
+    fn explain_without_recording_returns_none() {
+        let mut db = Database::new();
+        let edge = db.relation("edge", 2);
+        db.insert(edge, &[0, 1]);
+        db.run(&RuleSet::new());
+        assert_eq!(db.explain(edge, &[0, 1]), None);
+        assert_eq!(db.provenance_bytes(), 0);
+        assert_eq!(db.stats().prov_records, 0);
+        assert_eq!(db.stats().prov_bytes, 0);
+    }
+
+    #[test]
+    #[cfg(feature = "provenance")]
+    fn enabling_mid_life_backfills_base_facts_and_disabling_discards() {
+        let mut db = Database::new();
+        let edge = db.relation("edge", 2);
+        let path = db.relation("path", 2);
+        db.insert(edge, &[0, 1]); // inserted before recording starts
+        db.set_provenance(true);
+        db.insert(edge, &[1, 2]);
+        let mut rules = RuleSet::new();
+        rules
+            .add(path, vec![v(0), v(1)])
+            .when(edge, vec![v(0), v(1)]);
+        db.run(&rules);
+        let d = db.explain(path, &[0, 1]).expect("recorded");
+        assert!(d.premises[0].is_base(), "backfilled row reads as base fact");
+        assert!(db.provenance_bytes() > 0);
+        db.set_provenance(false);
+        assert_eq!(db.explain(path, &[0, 1]), None);
+        assert_eq!(db.provenance_bytes(), 0);
+    }
+
+    #[test]
+    #[cfg(feature = "provenance")]
+    fn explain_of_absent_tuple_is_none() {
+        let (db, edge, path) = recorded_closure();
+        assert_eq!(db.explain(edge, &[7, 8]), None);
+        assert_eq!(db.explain(path, &[2, 0]), None);
+    }
+
+    #[test]
+    #[cfg(feature = "provenance")]
+    fn stats_count_provenance_records() {
+        let (db, _, _) = recorded_closure();
+        let s = *db.stats();
+        assert_eq!(s.prov_records, s.derived, "one record per derived tuple");
+        assert!(s.prov_bytes > 0);
+    }
+
+    #[test]
+    fn recording_does_not_change_contents_or_order() {
+        let build = |record: bool| {
+            let mut db = Database::new();
+            db.set_provenance(record);
+            let edge = db.relation("edge", 2);
+            let path = db.relation("path", 2);
+            for i in 0..12u32 {
+                db.insert(edge, &[i, (i + 1) % 12]);
+                db.insert(edge, &[i, (i + 5) % 12]);
+            }
+            let mut rules = RuleSet::new();
+            rules
+                .add(path, vec![v(0), v(1)])
+                .when(edge, vec![v(0), v(1)]);
+            rules
+                .add(path, vec![v(0), v(2)])
+                .when(path, vec![v(0), v(1)])
+                .when(edge, vec![v(1), v(2)]);
+            db.run(&rules);
+            db.tuples(path).map(<[u32]>::to_vec).collect::<Vec<_>>()
+        };
+        assert_eq!(build(false), build(true));
     }
 
     #[test]

@@ -18,6 +18,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use nadroid_datalog as datalog;
 use nadroid_ir::walk::{self, InstrCtx};
 use nadroid_ir::{Callee, FieldId, InstrId, Local, MethodId, Op, Program};
 use nadroid_pointsto::{Escape, ObjId, PointsTo};
@@ -294,6 +295,200 @@ pub fn is_opaque(callee: Callee) -> bool {
     matches!(callee, Callee::Opaque)
 }
 
+/// A stable, content-derived warning identifier: `w:` plus 16 hex digits
+/// of an FNV-1a hash over the racy field, the rendered use/free sites,
+/// and both thread lineages. Built from rendered names rather than raw
+/// ids, so the same warning keeps its id across reruns, parallel suite
+/// ordering, and unrelated program edits that renumber instructions.
+#[must_use]
+pub fn warning_id(program: &Program, threads: &ThreadModel, w: &UafWarning) -> String {
+    let field = format!(
+        "{}.{}",
+        program.class(program.field(w.field).owner()).name(),
+        program.field(w.field).name()
+    );
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for part in [
+        field.as_str(),
+        &program.describe_instr(w.use_access.instr),
+        &program.describe_instr(w.free_access.instr),
+        &threads.lineage_string(program, w.use_thread),
+        &threads.lineage_string(program, w.free_thread),
+    ] {
+        for b in part.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        // Separate components so ("ab","c") and ("a","bc") differ.
+        h ^= 0x1f;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    format!("w:{h:016x}")
+}
+
+/// The §5 racy-pair detection re-encoded as a Datalog program solved
+/// with derivation recording on — the provenance backbone of
+/// `nadroid explain`. Facts range over raw ids: instructions
+/// ([`InstrId::raw`]), fields, objects, and modeled threads.
+#[derive(Debug)]
+pub struct RacyPairProvenance {
+    /// The solved database (provenance recording enabled).
+    pub db: datalog::Database,
+    /// `racyPair(use, free, useThread, freeThread)` — the root relation.
+    pub racy_pair: datalog::RelId,
+    /// The executed rules; [`datalog::Derivation::rule`] indexes these.
+    pub rules: datalog::RuleSet,
+}
+
+impl RacyPairProvenance {
+    /// The derivation tree of one warning's racy-pair fact.
+    #[must_use]
+    pub fn explain_warning(&self, w: &UafWarning) -> Option<datalog::Derivation> {
+        self.db.explain(
+            self.racy_pair,
+            &[
+                w.use_access.instr.raw(),
+                w.free_access.instr.raw(),
+                w.use_thread.raw(),
+                w.free_thread.raw(),
+            ],
+        )
+    }
+}
+
+/// Re-derive the racy pairs of [`detect`] as a recorded Datalog solve:
+///
+/// ```text
+/// aliasedPair(u, f) :- useAt(u, fld), freeAt(f, fld),
+///                      ptsUse(u, o), ptsFree(f, o), sharedObj(o).
+/// racyPair(u, f, t1, t2) :- aliasedPair(u, f), runsOn(u, t1),
+///                           runsOn(f, t2), distinctThreads(t1, t2).
+/// ```
+///
+/// `sharedObj` holds the thread-escaping objects (all objects when
+/// `options.require_escape` is off), and `distinctThreads` materializes
+/// thread disequality, which the engine has no built-in for. The derived
+/// `racyPair` set equals the warnings of [`detect`] for the same options,
+/// except that `eager_lockset` pruning is *not* encoded — with it on,
+/// warnings are a subset of `racyPair`, and every warning still has a
+/// derivation.
+#[must_use]
+pub fn derive_racy_pairs(
+    program: &Program,
+    threads: &ThreadModel,
+    pts: &PointsTo,
+    escape: &Escape,
+    options: DetectorOptions,
+) -> RacyPairProvenance {
+    let mut db = datalog::Database::new();
+    db.set_provenance(true);
+    let use_at = db.relation("useAt", 2);
+    let free_at = db.relation("freeAt", 2);
+    let pts_use = db.relation("ptsUse", 2);
+    let pts_free = db.relation("ptsFree", 2);
+    let shared_obj = db.relation("sharedObj", 1);
+    let runs_on = db.relation("runsOn", 2);
+    let distinct_threads = db.relation("distinctThreads", 2);
+    let aliased_pair = db.relation("aliasedPair", 2);
+    let racy_pair = db.relation("racyPair", 4);
+
+    for a in collect_accesses(program) {
+        let (at, pt) = match a.kind {
+            AccessKind::Use => (use_at, pts_use),
+            AccessKind::Free => (free_at, pts_free),
+        };
+        db.insert(at, &[a.instr.raw(), a.field.raw()]);
+        for &o in pts.pts(a.method, a.base) {
+            db.insert(pt, &[a.instr.raw(), o.0]);
+        }
+        for &t in threads.threads_of_method(a.method) {
+            db.insert(runs_on, &[a.instr.raw(), t.raw()]);
+        }
+    }
+    for o in pts.objs().iter() {
+        if !options.require_escape || escape.is_shared(o) {
+            db.insert(shared_obj, &[o.0]);
+        }
+    }
+    for (t1, _) in threads.threads() {
+        for (t2, _) in threads.threads() {
+            if t1 != t2 {
+                db.insert(distinct_threads, &[t1.raw(), t2.raw()]);
+            }
+        }
+    }
+
+    let v = datalog::Term::var;
+    let mut rules = datalog::RuleSet::new();
+    // aliasedPair(u, f): same field, aliased bases, shared object.
+    rules
+        .add(aliased_pair, vec![v(0), v(2)])
+        .when(use_at, vec![v(0), v(1)])
+        .when(free_at, vec![v(2), v(1)])
+        .when(pts_use, vec![v(0), v(3)])
+        .when(pts_free, vec![v(2), v(3)])
+        .when(shared_obj, vec![v(3)]);
+    // racyPair(u, f, t1, t2): the pair runs on two different threads.
+    rules
+        .add(racy_pair, vec![v(0), v(1), v(2), v(3)])
+        .when(aliased_pair, vec![v(0), v(1)])
+        .when(runs_on, vec![v(0), v(2)])
+        .when(runs_on, vec![v(1), v(3)])
+        .when(distinct_threads, vec![v(2), v(3)]);
+    db.run(&rules);
+
+    RacyPairProvenance {
+        db,
+        racy_pair,
+        rules,
+    }
+}
+
+/// Render one Datalog fact of the racy-pair encoding in source terms:
+/// instruction sites, qualified fields, thread lineages.
+#[must_use]
+pub fn describe_fact(
+    program: &Program,
+    threads: &ThreadModel,
+    db: &datalog::Database,
+    rel: datalog::RelId,
+    tuple: &[u32],
+) -> String {
+    let site = |raw: u32| program.describe_instr(InstrId::from_raw(raw));
+    let field = |raw: u32| {
+        let f = FieldId::from_raw(raw);
+        format!(
+            "{}.{}",
+            program.class(program.field(f).owner()).name(),
+            program.field(f).name()
+        )
+    };
+    let thread = |raw: u32| threads.lineage_string(program, ThreadId::from_raw(raw));
+    match db.name(rel) {
+        "useAt" => format!("useAt({}, {})", site(tuple[0]), field(tuple[1])),
+        "freeAt" => format!("freeAt({}, {})", site(tuple[0]), field(tuple[1])),
+        "ptsUse" => format!("ptsUse({}, obj#{})", site(tuple[0]), tuple[1]),
+        "ptsFree" => format!("ptsFree({}, obj#{})", site(tuple[0]), tuple[1]),
+        "sharedObj" => format!("sharedObj(obj#{})", tuple[0]),
+        "runsOn" => format!("runsOn({}, {})", site(tuple[0]), thread(tuple[1])),
+        "distinctThreads" => {
+            format!("distinctThreads({}, {})", thread(tuple[0]), thread(tuple[1]))
+        }
+        "aliasedPair" => format!("aliasedPair({}, {})", site(tuple[0]), site(tuple[1])),
+        "racyPair" => format!(
+            "racyPair({}, {}, {}, {})",
+            site(tuple[0]),
+            site(tuple[1]),
+            thread(tuple[2]),
+            thread(tuple[3])
+        ),
+        name => {
+            let vals: Vec<String> = tuple.iter().map(ToString::to_string).collect();
+            format!("{name}({})", vals.join(", "))
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -526,5 +721,84 @@ mod tests {
         let esc = Escape::compute(&p, &t, &pts);
         let w = detect(&p, &t, &pts, &esc, DetectorOptions::default());
         assert!(w.is_empty());
+    }
+
+    fn run_with_provenance(
+        src: &str,
+    ) -> (Program, ThreadModel, Vec<UafWarning>, RacyPairProvenance) {
+        let p = parse_program(src).unwrap_or_else(|e| panic!("{e}"));
+        let t = ThreadModel::build(&p);
+        let pts = PointsTo::run(&p, &t, 2);
+        let esc = Escape::compute(&p, &t, &pts);
+        let opts = DetectorOptions::default();
+        let w = detect(&p, &t, &pts, &esc, opts);
+        let prov = derive_racy_pairs(&p, &t, &pts, &esc, opts);
+        (p, t, w, prov)
+    }
+
+    #[test]
+    fn datalog_racy_pairs_match_the_detector() {
+        let (_p, _t, w, prov) = run_with_provenance(CONNECTBOT_A);
+        assert!(!w.is_empty());
+        assert_eq!(
+            prov.db.len(prov.racy_pair),
+            w.len(),
+            "racyPair must equal detect() under default options"
+        );
+        for x in &w {
+            assert!(prov.db.contains(
+                prov.racy_pair,
+                &[
+                    x.use_access.instr.raw(),
+                    x.free_access.instr.raw(),
+                    x.use_thread.raw(),
+                    x.free_thread.raw(),
+                ]
+            ));
+        }
+    }
+
+    #[test]
+    fn every_warning_has_a_derivation_rooted_at_racy_pair() {
+        let (p, t, w, prov) = run_with_provenance(CONNECTBOT_A);
+        assert!(!w.is_empty());
+        for x in &w {
+            let d = prov.explain_warning(x).expect("warning is explainable");
+            assert_eq!(d.rel, prov.racy_pair);
+            assert!(d.rule.is_some(), "racyPair facts are derived, not EDB");
+            assert!(d.node_count() > 1);
+            // The tree bottoms out in base facts, and every node renders.
+            fn visit(
+                p: &Program,
+                t: &ThreadModel,
+                prov: &RacyPairProvenance,
+                node: &datalog::Derivation,
+            ) {
+                assert!(!describe_fact(p, t, &prov.db, node.rel, &node.tuple).is_empty());
+                if node.premises.is_empty() {
+                    assert!(node.is_base(), "leaves are EDB facts");
+                } else {
+                    for pr in &node.premises {
+                        visit(p, t, prov, pr);
+                    }
+                }
+            }
+            visit(&p, &t, &prov, &d);
+        }
+    }
+
+    #[test]
+    fn warning_ids_are_stable_and_distinct() {
+        let (p1, t1, w1, _) = run_with_provenance(CONNECTBOT_A);
+        let (p2, t2, w2, _) = run_with_provenance(CONNECTBOT_A);
+        assert_eq!(w1.len(), w2.len());
+        let ids1: Vec<String> = w1.iter().map(|x| warning_id(&p1, &t1, x)).collect();
+        let ids2: Vec<String> = w2.iter().map(|x| warning_id(&p2, &t2, x)).collect();
+        assert_eq!(ids1, ids2, "ids survive a full rerun");
+        let unique: std::collections::BTreeSet<_> = ids1.iter().collect();
+        assert_eq!(unique.len(), ids1.len(), "distinct warnings, distinct ids");
+        for id in &ids1 {
+            assert!(id.starts_with("w:") && id.len() == 18, "bad id shape {id}");
+        }
     }
 }

@@ -215,6 +215,23 @@ fn distinct_pairs_of(
     pairs.len()
 }
 
+/// One filter's examination of one warning, with concrete evidence for
+/// the verdict — the audit-trail unit behind `nadroid explain`.
+///
+/// `pruned` always equals [`Filters::prunes`] for the same inputs (it is
+/// computed by that call), so the audit agrees with Figure 5 tallies by
+/// construction; `evidence` re-derives the human-readable *why*.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FilterVerdict {
+    /// The filter that examined the warning.
+    pub kind: FilterKind,
+    /// Whether it prunes the warning when applied individually.
+    pub pruned: bool,
+    /// Concrete evidence for the verdict (MHB edge, guard/lockset,
+    /// allocation witness, cancel site, …).
+    pub evidence: String,
+}
+
 /// Filter engine bound to one analyzed program.
 #[derive(Debug, Clone, Copy)]
 pub struct Filters<'a> {
@@ -253,6 +270,29 @@ impl<'a> Filters<'a> {
             FilterKind::Ma => self.ma(w),
             FilterKind::Ur => self.ur(w),
             FilterKind::Tt => self.tt(w),
+        }
+    }
+
+    /// Examine one warning with one filter and report the verdict with
+    /// concrete evidence. The `pruned` bit is [`Filters::prunes`] itself.
+    #[must_use]
+    pub fn verdict(&self, kind: FilterKind, w: &UafWarning) -> FilterVerdict {
+        let pruned = self.prunes(kind, w);
+        let evidence = match kind {
+            FilterKind::Mhb => self.mhb_evidence(w, pruned),
+            FilterKind::Ig => self.ig_evidence(w, pruned),
+            FilterKind::Ia => self.alloc_evidence(w, pruned, false),
+            FilterKind::Rhb => self.rhb_evidence(w, pruned),
+            FilterKind::Chb => self.chb_evidence(w, pruned),
+            FilterKind::Phb => self.phb_evidence(w, pruned),
+            FilterKind::Ma => self.alloc_evidence(w, pruned, true),
+            FilterKind::Ur => self.ur_evidence(w),
+            FilterKind::Tt => self.tt_evidence(w),
+        };
+        FilterVerdict {
+            kind,
+            pruned,
+            evidence,
         }
     }
 
@@ -485,6 +525,199 @@ impl<'a> Filters<'a> {
     fn tt(&self, w: &UafWarning) -> bool {
         !self.threads.thread(w.use_thread).kind().on_looper()
             && !self.threads.thread(w.free_thread).kind().on_looper()
+    }
+
+    // --- evidence (audit trail) ---------------------------------------------
+
+    fn lineage(&self, t: ThreadId) -> String {
+        self.threads.lineage_string(self.program, t)
+    }
+
+    fn field_name(&self, w: &UafWarning) -> String {
+        let f = self.program.field(w.field);
+        format!("{}.{}", self.program.class(f.owner()).name(), f.name())
+    }
+
+    /// Why check-to-use atomicity holds (only valid when it does).
+    fn protection_reason(&self, w: &UafWarning) -> &'static str {
+        if self.atomic(w) {
+            "both endpoints run atomically on the same looper"
+        } else {
+            "a common must-lock covers both endpoints"
+        }
+    }
+
+    fn mhb_evidence(&self, w: &UafWarning, pruned: bool) -> String {
+        let u = self.lineage(w.use_thread);
+        let f = self.lineage(w.free_thread);
+        if !pruned {
+            return format!("no must-happens-before edge orders [{u}] before [{f}]");
+        }
+        // Re-derive which relation fired, in the order mhb() checks them.
+        let relation = match (
+            self.effective_kind(w.use_thread),
+            self.effective_kind(w.free_thread),
+        ) {
+            (Some(uk), Some(fk)) => {
+                if lifecycle::service_mhb(uk, fk) && self.same_class(w.use_thread, w.free_thread) {
+                    "MHB-Service edge (same connection class)"
+                } else if lifecycle::asynctask_mhb(uk, fk)
+                    && self.same_class(w.use_thread, w.free_thread)
+                    && self.same_origin(w.use_thread, w.free_thread)
+                {
+                    "MHB-AsyncTask edge (same task instance)"
+                } else {
+                    "MHB-Lifecycle edge (same component)"
+                }
+            }
+            _ => "must-happens-before edge",
+        };
+        format!("{relation}: [{u}] completes before [{f}] in every execution")
+    }
+
+    fn ig_evidence(&self, w: &UafWarning, pruned: bool) -> String {
+        let field = self.field_name(w);
+        if pruned {
+            format!(
+                "a non-null check on {field} dominates the use, and {}",
+                self.protection_reason(w)
+            )
+        } else if !self.guarded(w) {
+            format!("no non-null check on {field} dominates the use")
+        } else {
+            format!(
+                "a non-null check on {field} dominates the use, but without atomicity \
+                 or a common lock the field may be freed between check and use"
+            )
+        }
+    }
+
+    /// Shared IA/MA evidence; `getters` selects the MA allocation sources.
+    fn alloc_evidence(&self, w: &UafWarning, pruned: bool, getters: bool) -> String {
+        let field = self.field_name(w);
+        let sources = if getters {
+            "must-allocation (or custom getter assumed non-null)"
+        } else {
+            "must-allocation"
+        };
+        if pruned {
+            format!(
+                "a {sources} of {field} dominates the use in its callback, and {}",
+                self.protection_reason(w)
+            )
+        } else if !self.atomically_protected(w) {
+            "the pair is neither atomic nor commonly locked, so a dominating \
+             allocation cannot protect the use"
+                .into()
+        } else {
+            format!("no {sources} of {field} dominates the use inside its callback")
+        }
+    }
+
+    fn rhb_evidence(&self, w: &UafWarning, pruned: bool) -> String {
+        if pruned {
+            format!(
+                "onPause frees {}, but onResume of the same component may \
+                 re-allocate it before the next UI use",
+                self.field_name(w)
+            )
+        } else {
+            "not a UI-use / onPause-free pair with an onResume re-allocation \
+             in the same component"
+                .into()
+        }
+    }
+
+    fn chb_evidence(&self, w: &UafWarning, pruned: bool) -> String {
+        if !pruned {
+            return "the freeing callback invokes no cancellation API covering \
+                    the use's callback family"
+                .into();
+        }
+        // Re-derive the first cancel site chb() accepted.
+        let api = self
+            .effective_kind(w.use_thread)
+            .and_then(|uk| {
+                let use_class = self.threads.thread(w.use_thread).class();
+                self.threads
+                    .sites_of(w.free_thread)
+                    .iter()
+                    .find_map(|site| match site.action {
+                        SiteAction::Finish
+                            if CancelApi::Finish.scope().covers(uk)
+                                && self.same_component(w.use_thread, w.free_thread) =>
+                        {
+                            Some("Activity.finish()")
+                        }
+                        SiteAction::Unbind(c)
+                            if CancelApi::UnbindService.scope().covers(uk)
+                                && use_class == Some(c) =>
+                        {
+                            Some("Context.unbindService()")
+                        }
+                        SiteAction::Unregister(c)
+                            if CancelApi::UnregisterReceiver.scope().covers(uk)
+                                && use_class == Some(c) =>
+                        {
+                            Some("Context.unregisterReceiver()")
+                        }
+                        SiteAction::RemovePosts(c)
+                            if CancelApi::RemoveCallbacksAndMessages.scope().covers(uk)
+                                && use_class == Some(c) =>
+                        {
+                            Some("Handler.removeCallbacksAndMessages()")
+                        }
+                        _ => None,
+                    })
+            })
+            .unwrap_or("a cancellation API");
+        format!(
+            "the freeing callback calls {api}, silencing [{}]'s callback family",
+            self.lineage(w.use_thread)
+        )
+    }
+
+    fn phb_evidence(&self, w: &UafWarning, pruned: bool) -> String {
+        if pruned {
+            format!(
+                "the freeing callback was posted by the use's callback [{}] and \
+                 both run atomically on the same looper",
+                self.lineage(w.use_thread)
+            )
+        } else {
+            "the freeing callback was not posted by the use's callback on a \
+             shared looper"
+                .into()
+        }
+    }
+
+    fn ur_evidence(&self, w: &UafWarning) -> String {
+        match w.use_access.consumption {
+            UseConsumption::ReturnOrArgOnly => {
+                "the loaded value flows only to return/argument positions".into()
+            }
+            UseConsumption::Unused => "the loaded value is never consumed".into(),
+            UseConsumption::Dereferenced => {
+                "the loaded value is dereferenced, so a null would throw".into()
+            }
+        }
+    }
+
+    fn tt_evidence(&self, w: &UafWarning) -> String {
+        let side = |t: ThreadId| {
+            if self.threads.thread(t).kind().on_looper() {
+                "a looper callback"
+            } else {
+                "a native thread"
+            }
+        };
+        format!(
+            "use runs on {} [{}], free runs on {} [{}]",
+            side(w.use_thread),
+            self.lineage(w.use_thread),
+            side(w.free_thread),
+            self.lineage(w.free_thread)
+        )
     }
 }
 

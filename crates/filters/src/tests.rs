@@ -715,3 +715,52 @@ fn pipeline_attribution_uses_first_filter_in_order() {
     assert!(outcome.all_pruning.contains(&FilterKind::Ia));
     assert!(outcome.all_pruning.len() >= 2);
 }
+
+// --- verdicts (audit trail) ------------------------------------------------
+
+#[test]
+fn verdicts_agree_with_prunes_for_every_filter() {
+    // FilterVerdict.pruned is computed by prunes(), so the audit trail can
+    // never drift from the Figure 5 tallies; pin the contract anyway.
+    let s = setup(FIG4A);
+    let f = s.filters();
+    for w in &s.warnings {
+        for &kind in FilterKind::all() {
+            let v = f.verdict(kind, w);
+            assert_eq!(v.kind, kind);
+            assert_eq!(v.pruned, f.prunes(kind, w));
+            assert!(!v.evidence.is_empty(), "{kind} produced empty evidence");
+        }
+    }
+}
+
+#[test]
+fn mhb_verdict_names_the_edge() {
+    let s = setup(FIG4A);
+    let w = s.warning("onServiceConnected", "onServiceDisconnected");
+    let v = s.filters().verdict(FilterKind::Mhb, w);
+    assert!(v.pruned);
+    assert!(v.evidence.contains("MHB-Service"), "evidence: {}", v.evidence);
+}
+
+#[test]
+fn unpruned_mhb_verdict_explains_the_absence() {
+    let s = setup(
+        r#"
+        app V
+        activity M {
+            field f: M
+            cb onClick { use f }
+            cb onPause { f = null }
+        }
+        "#,
+    );
+    let w = s.warning("onClick", "onPause");
+    let v = s.filters().verdict(FilterKind::Mhb, w);
+    assert!(!v.pruned);
+    assert!(
+        v.evidence.contains("no must-happens-before edge"),
+        "evidence: {}",
+        v.evidence
+    );
+}

@@ -7,8 +7,11 @@
 # 2. the full test suite,
 # 3. clippy with warnings promoted to errors,
 # 4. the observability crate builds (and its tests run) with
-#    instrumentation compiled out (--no-default-features),
-# 5. bench-regression guard: re-measure the timing suite and compare
+#    instrumentation compiled out (--no-default-features), and the
+#    Datalog engine builds with provenance recording compiled out,
+# 5. provenance smoke test: `nadroid explain` on a corpus app must
+#    produce a non-empty derivation tree and a filter audit,
+# 6. bench-regression guard: re-measure the timing suite and compare
 #    against the committed BENCH_timing.json with a 3x tolerance — a
 #    perf cliff (or a change to the deterministic Datalog closure
 #    workload) fails the gate loudly.
@@ -21,6 +24,15 @@ cargo clippy --workspace --all-targets -- -D warnings
 
 cargo build -p nadroid-obs --no-default-features
 cargo test -q -p nadroid-obs --no-default-features
+cargo build -p nadroid-datalog --no-default-features
+
+explain_out=$(cargo run --release -q -p nadroid-cli --bin nadroid -- explain apps/connectbot.dsl)
+echo "$explain_out" | grep -q 'racyPair(' || {
+    echo "ci.sh: explain produced no derivation tree" >&2; exit 1; }
+echo "$explain_out" | grep -q '(base fact)' || {
+    echo "ci.sh: explain derivation has no base-fact leaves" >&2; exit 1; }
+echo "$explain_out" | grep -q 'filter audit:' || {
+    echo "ci.sh: explain produced no filter audit" >&2; exit 1; }
 
 cargo run --release -p nadroid-bench --bin timing -- --check 3
 

@@ -18,6 +18,7 @@ fn connectbot_report_has_both_figure1_warnings() {
         update_baseline: false,
         trace: None,
         report: None,
+        provenance: None,
         stats: false,
     })
     .unwrap();
