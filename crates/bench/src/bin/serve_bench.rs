@@ -1,0 +1,255 @@
+//! Load generator for `nadroid serve`: replay the 27-app Table 1 corpus
+//! against an in-process server, cold then warm, from N concurrent
+//! clients — and write `BENCH_serve.json` at the repo root.
+//!
+//! Measured quantities:
+//!
+//! - **client latency** (wall µs around each round trip, per pass):
+//!   p50/p95/p99 and throughput;
+//! - **server handling time** (the `micros` field of each response):
+//!   for the warm pass this is the cache-lookup cost — the
+//!   "warm requests in microseconds" claim;
+//! - **cache hit rate** from the server's `stats` op;
+//! - **ConnectBot cold vs warm**: the gate. The warm request must be at
+//!   least 20× faster (server handling time) than the cold solve, or
+//!   the binary exits nonzero.
+//!
+//! `BENCH_serve.json` schema (`nadroid-serve-bench/1`): see the fields
+//! written below; all times are microseconds.
+//!
+//! Run with `cargo run --release -p nadroid-bench --bin serve_bench`
+//! (`--concurrency <N>`, `--out <file>`).
+
+use nadroid_corpus::{generate, spec_for, table1_rows};
+use nadroid_ir::print_program;
+use nadroid_serve::client::Client;
+use nadroid_serve::protocol::{AnalyzeOpts, Request, Response};
+use nadroid_serve::server::{ServeConfig, Server};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// One request's measurement.
+#[derive(Debug)]
+struct Sample {
+    app: usize,
+    client_us: u64,
+    server_us: u64,
+    cached: bool,
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+/// Replay every app once across `concurrency` client connections.
+fn run_pass(addr: std::net::SocketAddr, programs: &Arc<Vec<String>>, concurrency: usize) -> (Vec<Sample>, f64) {
+    let next = Arc::new(AtomicUsize::new(0));
+    let samples = Arc::new(Mutex::new(Vec::new()));
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..concurrency.max(1) {
+            let next = Arc::clone(&next);
+            let samples = Arc::clone(&samples);
+            let programs = Arc::clone(programs);
+            scope.spawn(move || {
+                let mut client = Client::connect(addr).expect("connect to bench server");
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(program) = programs.get(i) else { break };
+                    let req = Request::Analyze {
+                        program: program.clone(),
+                        opts: AnalyzeOpts::default(),
+                    };
+                    let t = Instant::now();
+                    let resp = client
+                        .request_with_retry(&req, 1000)
+                        .expect("analyze request");
+                    let client_us = u64::try_from(t.elapsed().as_micros()).unwrap_or(u64::MAX);
+                    let Response::Analyze { micros, cached, .. } = resp else {
+                        panic!("unexpected response for app {i}: {resp:?}");
+                    };
+                    samples.lock().expect("samples lock").push(Sample {
+                        app: i,
+                        client_us,
+                        server_us: micros,
+                        cached,
+                    });
+                }
+            });
+        }
+    });
+    let wall = t0.elapsed().as_secs_f64();
+    let samples = Arc::try_unwrap(samples)
+        .expect("all threads joined")
+        .into_inner()
+        .expect("samples lock");
+    (samples, wall)
+}
+
+fn pass_json(out: &mut String, label: &str, samples: &[Sample], wall_secs: f64) {
+    let mut client: Vec<u64> = samples.iter().map(|s| s.client_us).collect();
+    client.sort_unstable();
+    let mut server: Vec<u64> = samples.iter().map(|s| s.server_us).collect();
+    server.sort_unstable();
+    let throughput = if wall_secs > 0.0 {
+        samples.len() as f64 / wall_secs
+    } else {
+        0.0
+    };
+    let _ = writeln!(out, "  \"{label}\": {{");
+    let _ = writeln!(out, "    \"requests\": {},", samples.len());
+    let _ = writeln!(out, "    \"wall_secs\": {wall_secs:.6},");
+    let _ = writeln!(out, "    \"throughput_rps\": {throughput:.2},");
+    let _ = writeln!(
+        out,
+        "    \"client_p50_us\": {}, \"client_p95_us\": {}, \"client_p99_us\": {},",
+        percentile(&client, 0.50),
+        percentile(&client, 0.95),
+        percentile(&client, 0.99)
+    );
+    let _ = writeln!(
+        out,
+        "    \"server_p50_us\": {}, \"server_p95_us\": {}, \"server_p99_us\": {}",
+        percentile(&server, 0.50),
+        percentile(&server, 0.95),
+        percentile(&server, 0.99)
+    );
+    let _ = writeln!(out, "  }},");
+}
+
+fn main() {
+    let mut concurrency = 4usize;
+    let mut out_path = "BENCH_serve.json".to_owned();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--concurrency" => {
+                concurrency = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--concurrency <N>");
+            }
+            "--out" => out_path = args.next().expect("--out <file>"),
+            other => panic!("unknown argument `{other}`"),
+        }
+    }
+
+    let rows = table1_rows();
+    let programs: Arc<Vec<String>> = Arc::new(
+        rows.iter()
+            .map(|row| print_program(&generate(&spec_for(row)).program))
+            .collect(),
+    );
+    let connectbot = rows
+        .iter()
+        .position(|r| r.name.eq_ignore_ascii_case("connectbot"))
+        .expect("ConnectBot row in the corpus");
+
+    let server = Server::start(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: concurrency.max(1),
+        queue_cap: concurrency.max(1) * 4,
+        ..ServeConfig::default()
+    })
+    .expect("start bench server");
+    let addr = server.local_addr();
+
+    eprintln!(
+        "serve_bench: {} apps, concurrency {concurrency}, server {addr}",
+        programs.len()
+    );
+    let (cold, cold_wall) = run_pass(addr, &programs, concurrency);
+    assert!(
+        cold.iter().all(|s| !s.cached),
+        "first pass must be all cache misses"
+    );
+    let (warm, warm_wall) = run_pass(addr, &programs, concurrency);
+    assert!(
+        warm.iter().all(|s| s.cached),
+        "second pass must be all cache hits"
+    );
+
+    let stats = {
+        let mut client = Client::connect(addr).expect("connect");
+        let Response::Stats { fields } = client.stats().expect("stats op") else {
+            panic!("expected stats response");
+        };
+        let _ = client.shutdown();
+        fields
+    };
+    let stat = |name: &str| {
+        stats
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0, |(_, v)| *v)
+    };
+    let hits = stat("cache_hits");
+    let lookups = hits + stat("cache_misses");
+    let hit_rate = if lookups > 0 {
+        hits as f64 / lookups as f64
+    } else {
+        0.0
+    };
+
+    let cb_cold = cold
+        .iter()
+        .find(|s| s.app == connectbot)
+        .expect("connectbot cold sample")
+        .server_us;
+    let cb_warm = warm
+        .iter()
+        .find(|s| s.app == connectbot)
+        .expect("connectbot warm sample")
+        .server_us;
+    let speedup = cb_cold as f64 / (cb_warm.max(1)) as f64;
+
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"schema\": \"nadroid-serve-bench/1\",");
+    let _ = writeln!(out, "  \"apps\": {},", programs.len());
+    let _ = writeln!(out, "  \"concurrency\": {concurrency},");
+    pass_json(&mut out, "cold", &cold, cold_wall);
+    pass_json(&mut out, "warm", &warm, warm_wall);
+    let _ = writeln!(out, "  \"cache_hit_rate\": {hit_rate:.4},");
+    let _ = writeln!(out, "  \"cache_bytes\": {},", stat("cache_bytes"));
+    let _ = writeln!(out, "  \"cache_entries\": {},", stat("cache_entries"));
+    let _ = writeln!(out, "  \"rejected\": {},", stat("rejected"));
+    let _ = writeln!(
+        out,
+        "  \"connectbot\": {{ \"cold_us\": {cb_cold}, \"warm_us\": {cb_warm}, \"speedup\": {speedup:.1} }}"
+    );
+    out.push_str("}\n");
+    std::fs::write(&out_path, &out).expect("write bench json");
+
+    eprintln!(
+        "serve_bench: cold p50 {}us, warm p50 {}us, hit rate {:.0}%, connectbot {cb_cold}us -> {cb_warm}us ({speedup:.0}x)",
+        percentile(
+            &{
+                let mut v: Vec<u64> = cold.iter().map(|s| s.server_us).collect();
+                v.sort_unstable();
+                v
+            },
+            0.5
+        ),
+        percentile(
+            &{
+                let mut v: Vec<u64> = warm.iter().map(|s| s.server_us).collect();
+                v.sort_unstable();
+                v
+            },
+            0.5
+        ),
+        hit_rate * 100.0
+    );
+    println!("wrote {out_path}");
+
+    if speedup < 20.0 {
+        eprintln!("serve_bench: FAIL — warm ConnectBot only {speedup:.1}x faster than cold (< 20x)");
+        std::process::exit(1);
+    }
+}

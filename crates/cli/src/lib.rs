@@ -19,6 +19,7 @@ use nadroid_core::{analyze, render_report, AnalysisConfig};
 use nadroid_dynamic::ExploreConfig;
 use nadroid_filters::FilterKind;
 use nadroid_ir::{parse_program, Program};
+use nadroid_serve::{AnalyzeOpts, Client, Response, ServeConfig, Server};
 use nadroid_threadify::ThreadModel;
 use std::fmt;
 
@@ -76,6 +77,36 @@ pub enum Command {
         /// Path to the DSL file.
         path: String,
     },
+    /// Run the long-lived analysis service (`nadroid-serve/1`).
+    Serve {
+        /// Listen address; port 0 picks an ephemeral port.
+        addr: String,
+        /// Analysis worker threads.
+        workers: usize,
+        /// Result-cache byte budget.
+        cache_bytes: usize,
+        /// Default per-request deadline (`None` = unlimited).
+        deadline_ms: Option<u64>,
+    },
+    /// Send one request to a running service.
+    Request {
+        /// Path to the DSL file (not needed for `--stats`/`--shutdown`).
+        path: Option<String>,
+        /// Server address.
+        addr: String,
+        /// Explain instead of analyze; `--id` selects one warning.
+        explain: bool,
+        /// Stable warning id for `--explain`.
+        id: Option<String>,
+        /// Points-to sensitivity.
+        k: u32,
+        /// Per-request deadline override.
+        deadline_ms: Option<u64>,
+        /// Fetch the server's counters instead of analyzing.
+        stats: bool,
+        /// Ask the server to shut down gracefully.
+        shutdown: bool,
+    },
     /// Print usage.
     Help,
 }
@@ -111,9 +142,21 @@ USAGE:
     nadroid nosleep <app.dsl>
     nadroid deva    <app.dsl>
     nadroid dot     <app.dsl>
+    nadroid serve   [--addr <host:port>] [--workers <N>]
+                    [--cache-bytes <B>] [--deadline-ms <D>]
+    nadroid request [<app.dsl>] [--addr <host:port>] [--explain]
+                    [--id <warning-id>] [--k <N>] [--deadline-ms <D>]
+                    [--stats] [--shutdown]
 
 `analyze` may be omitted when the first argument is a flag or a .dsl
 file: `nadroid --trace out.json app.dsl`.
+
+SERVING (see docs/serving.md):
+    `serve` runs a concurrent analysis daemon: a bounded worker pool
+    with admission control, a content-addressed result cache (warm
+    requests are a lookup, not a re-solve), and per-request deadlines.
+    `request` is the matching client; repeated requests for the same
+    app and options report `cached: true`.
 
 OBSERVABILITY (see docs/observability.md):
     --trace <file>    Chrome trace_event JSON — open in chrome://tracing
@@ -128,6 +171,9 @@ OBSERVABILITY (see docs/observability.md):
 and evidence of every filter that examined it, and the use/free thread
 lineages. With no <warning-id> it explains every warning (pruned ones
 included); ids are stable across reruns and printed by the drivers.
+When a fresh `<app>.provenance.json` sits next to the DSL file (write
+one with `analyze --provenance`), `explain` renders from it instead of
+re-running the pipeline.
 ";
 
 /// Parse command-line arguments (without the program name).
@@ -159,6 +205,8 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Cl
             }
             Ok(Command::Explain { path, warning_id })
         }
+        "serve" => parse_serve(args),
+        "request" => parse_request(args),
         "nosleep" | "deva" | "dot" => {
             let path = args
                 .next()
@@ -250,6 +298,109 @@ fn parse_analyze(args: impl Iterator<Item = String>) -> Result<Command, CliError
         report,
         provenance,
         stats,
+    })
+}
+
+fn parse_serve(args: impl Iterator<Item = String>) -> Result<Command, CliError> {
+    let mut args = args;
+    let mut addr = "127.0.0.1:7911".to_owned();
+    let mut workers = 4usize;
+    let mut cache_bytes = 64usize << 20;
+    let mut deadline_ms = None;
+    while let Some(a) = args.next() {
+        let mut value = |flag: &str| {
+            args.next()
+                .ok_or_else(|| CliError(format!("{flag} needs a value")))
+        };
+        match a.as_str() {
+            "--addr" => addr = value("--addr")?,
+            "--workers" => {
+                let v = value("--workers")?;
+                workers = v
+                    .parse()
+                    .map_err(|_| CliError(format!("bad worker count `{v}`")))?;
+            }
+            "--cache-bytes" => {
+                let v = value("--cache-bytes")?;
+                cache_bytes = v
+                    .parse()
+                    .map_err(|_| CliError(format!("bad byte budget `{v}`")))?;
+            }
+            "--deadline-ms" => {
+                let v = value("--deadline-ms")?;
+                deadline_ms = Some(
+                    v.parse()
+                        .map_err(|_| CliError(format!("bad deadline `{v}`")))?,
+                );
+            }
+            other => return Err(CliError(format!("unexpected argument `{other}`"))),
+        }
+    }
+    Ok(Command::Serve {
+        addr,
+        workers,
+        cache_bytes,
+        deadline_ms,
+    })
+}
+
+fn parse_request(args: impl Iterator<Item = String>) -> Result<Command, CliError> {
+    let mut args = args;
+    let mut path = None;
+    let mut addr = "127.0.0.1:7911".to_owned();
+    let mut explain = false;
+    let mut id = None;
+    let mut k = 2u32;
+    let mut deadline_ms = None;
+    let mut stats = false;
+    let mut shutdown = false;
+    while let Some(a) = args.next() {
+        let mut value = |flag: &str| {
+            args.next()
+                .ok_or_else(|| CliError(format!("{flag} needs a value")))
+        };
+        match a.as_str() {
+            "--addr" => addr = value("--addr")?,
+            "--explain" => explain = true,
+            "--stats" => stats = true,
+            "--shutdown" => shutdown = true,
+            "--id" => {
+                id = Some(value("--id")?);
+                explain = true;
+            }
+            "--k" => {
+                let v = value("--k")?;
+                k = v
+                    .parse()
+                    .map_err(|_| CliError(format!("bad k value `{v}`")))?;
+            }
+            "--deadline-ms" => {
+                let v = value("--deadline-ms")?;
+                deadline_ms = Some(
+                    v.parse()
+                        .map_err(|_| CliError(format!("bad deadline `{v}`")))?,
+                );
+            }
+            other if !other.starts_with('-') && path.is_none() => {
+                path = Some(other.to_owned());
+            }
+            other => return Err(CliError(format!("unexpected argument `{other}`"))),
+        }
+    }
+    if path.is_none() && !stats && !shutdown {
+        return Err(CliError(
+            "request needs a file (or --stats / --shutdown)".into(),
+        ));
+    }
+    Ok(Command::Request {
+        path,
+        addr,
+        explain,
+        id,
+        k,
+        deadline_ms,
+        stats,
+        shutdown,
     })
 }
 
@@ -372,6 +523,17 @@ baseline: {suppressed} suppressed, {} new
             Ok(out)
         }
         Command::Explain { path, warning_id } => {
+            // A fresh provenance export next to the DSL file already
+            // holds everything `explain` prints — render from it
+            // instead of re-running the whole pipeline. A stale or
+            // corrupt document falls through to a live solve.
+            if let Some((prov_path, doc)) = fresh_provenance_sibling(path) {
+                if let Ok(text) =
+                    nadroid_core::render_explain_from_json(&doc, warning_id.as_deref())
+                {
+                    return Ok(format!("(from cached provenance: {prov_path})\n{text}"));
+                }
+            }
             let program = load(path)?;
             let analysis = analyze(&program, &AnalysisConfig::default());
             Ok(nadroid_core::render_explain(
@@ -423,7 +585,133 @@ baseline: {suppressed} suppressed, {} new
             let threads = ThreadModel::build(&program);
             Ok(threads.to_dot(&program))
         }
+        Command::Serve {
+            addr,
+            workers,
+            cache_bytes,
+            deadline_ms,
+        } => {
+            let mut server = Server::start(ServeConfig {
+                addr: addr.clone(),
+                workers: *workers,
+                cache_bytes: *cache_bytes,
+                queue_cap: workers.saturating_mul(4).max(4),
+                default_deadline_ms: *deadline_ms,
+                ..ServeConfig::default()
+            })
+            .map_err(|e| CliError(format!("cannot bind {addr}: {e}")))?;
+            // Announce readiness before blocking; scripts poll for this
+            // line, and stdout is block-buffered when redirected.
+            println!("nadroid-serve listening on {}", server.local_addr());
+            use std::io::Write as _;
+            let _ = std::io::stdout().flush();
+            let fields = server.run_until_shutdown();
+            let mut out = String::from("final server stats:\n");
+            for (name, value) in fields {
+                out.push_str(&format!("  \"{name}\": {value}\n"));
+            }
+            Ok(out)
+        }
+        Command::Request {
+            path,
+            addr,
+            explain,
+            id,
+            k,
+            deadline_ms,
+            stats,
+            shutdown,
+        } => {
+            let mut client = Client::connect(addr)
+                .map_err(|e| CliError(format!("cannot connect to {addr}: {e}")))?;
+            let response = if *stats {
+                client.stats()
+            } else if *shutdown {
+                client.shutdown()
+            } else {
+                let path = path
+                    .as_ref()
+                    .expect("parse_request guarantees a path here");
+                let program = std::fs::read_to_string(path)
+                    .map_err(|e| CliError(format!("cannot read {path}: {e}")))?;
+                let opts = AnalyzeOpts {
+                    k: *k,
+                    sound_only: false,
+                    deadline_ms: *deadline_ms,
+                };
+                if *explain {
+                    client.explain(&program, id.as_deref(), opts)
+                } else {
+                    client.analyze(&program, opts)
+                }
+            }
+            .map_err(CliError)?;
+            render_response(&response)
+        }
     }
+}
+
+/// Render a server response for the terminal. Protocol-level outcomes
+/// (`rejected`, `deadline exceeded`) are ordinary output; only server
+/// errors and transport failures become a non-zero exit.
+fn render_response(response: &Response) -> Result<String, CliError> {
+    match response {
+        Response::Analyze {
+            app,
+            cached,
+            micros,
+            summary,
+            warnings,
+        } => {
+            let mut out = format!(
+                "app: {app}\ncached: {cached}\nmicros: {micros}\n\
+                 summary: potential={} after_sound={} after_unsound={}\n\
+                 warnings: {}\n",
+                summary.potential,
+                summary.after_sound,
+                summary.after_unsound,
+                warnings.len()
+            );
+            for w in warnings {
+                out.push_str(&format!("  {w}\n"));
+            }
+            Ok(out)
+        }
+        Response::Explain {
+            cached,
+            micros,
+            text,
+        } => Ok(format!("cached: {cached}\nmicros: {micros}\n{text}")),
+        Response::Stats { fields } => {
+            let mut out = String::from("server stats:\n");
+            for (name, value) in fields {
+                out.push_str(&format!("  \"{name}\": {value}\n"));
+            }
+            Ok(out)
+        }
+        Response::Shutdown => Ok("shutdown acknowledged\n".to_owned()),
+        Response::Rejected { retry_after_ms } => {
+            Ok(format!("rejected (retry after {retry_after_ms} ms)\n"))
+        }
+        Response::DeadlineExceeded { deadline_ms } => {
+            Ok(format!("deadline exceeded ({deadline_ms} ms)\n"))
+        }
+        Response::Error { message } => Err(CliError(format!("server error: {message}"))),
+    }
+}
+
+/// The `<app>.provenance.json` sibling of `path`, when it exists and is
+/// at least as new as the DSL file.
+fn fresh_provenance_sibling(path: &str) -> Option<(String, String)> {
+    let dsl = std::path::Path::new(path);
+    let prov = dsl.with_extension("provenance.json");
+    let dsl_mtime = std::fs::metadata(dsl).ok()?.modified().ok()?;
+    let prov_mtime = std::fs::metadata(&prov).ok()?.modified().ok()?;
+    if prov_mtime < dsl_mtime {
+        return None;
+    }
+    let doc = std::fs::read_to_string(&prov).ok()?;
+    Some((prov.to_string_lossy().into_owned(), doc))
 }
 
 #[cfg(test)]
@@ -701,6 +989,190 @@ activity M { cb onClick { } }",
         assert!(report.contains("\"app\": \"Obs\""), "{report}");
         assert!(report.contains("\"filter.MHB.killed\""), "{report}");
         assert!(report.contains("\"pointsto.queue_pops\""), "{report}");
+    }
+
+    #[test]
+    fn parses_serve_and_request() {
+        assert_eq!(
+            parse_args(args(&["serve"])).unwrap(),
+            Command::Serve {
+                addr: "127.0.0.1:7911".into(),
+                workers: 4,
+                cache_bytes: 64 << 20,
+                deadline_ms: None,
+            }
+        );
+        assert_eq!(
+            parse_args(args(&[
+                "serve",
+                "--addr",
+                "127.0.0.1:0",
+                "--workers",
+                "2",
+                "--cache-bytes",
+                "1024",
+                "--deadline-ms",
+                "500",
+            ]))
+            .unwrap(),
+            Command::Serve {
+                addr: "127.0.0.1:0".into(),
+                workers: 2,
+                cache_bytes: 1024,
+                deadline_ms: Some(500),
+            }
+        );
+        assert!(parse_args(args(&["serve", "--workers"])).is_err());
+        assert!(parse_args(args(&["serve", "app.dsl"])).is_err());
+
+        assert_eq!(
+            parse_args(args(&["request", "app.dsl", "--addr", "127.0.0.1:9", "--k", "3"]))
+                .unwrap(),
+            Command::Request {
+                path: Some("app.dsl".into()),
+                addr: "127.0.0.1:9".into(),
+                explain: false,
+                id: None,
+                k: 3,
+                deadline_ms: None,
+                stats: false,
+                shutdown: false,
+            }
+        );
+        // --id implies --explain; --stats/--shutdown need no file.
+        match parse_args(args(&["request", "app.dsl", "--id", "w:0011223344556677"])).unwrap() {
+            Command::Request { explain, id, .. } => {
+                assert!(explain);
+                assert_eq!(id.as_deref(), Some("w:0011223344556677"));
+            }
+            other => panic!("expected Request, got {other:?}"),
+        }
+        assert!(matches!(
+            parse_args(args(&["request", "--stats"])).unwrap(),
+            Command::Request { stats: true, .. }
+        ));
+        assert!(matches!(
+            parse_args(args(&["request", "--shutdown"])).unwrap(),
+            Command::Request { shutdown: true, .. }
+        ));
+        assert!(parse_args(args(&["request"])).is_err(), "needs a file");
+    }
+
+    #[test]
+    fn serve_round_trip_through_the_cli_layer() {
+        // Drive the server directly (CLI `serve` blocks on stdin-less
+        // run_until_shutdown; the smoke gate in ci.sh covers that path)
+        // and exercise `request` end to end via `run`.
+        let server = nadroid_serve::Server::start(nadroid_serve::ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 1,
+            ..nadroid_serve::ServeConfig::default()
+        })
+        .unwrap();
+        let addr = server.local_addr().to_string();
+
+        let dir = std::env::temp_dir().join("nadroid_cli_serve");
+        std::fs::create_dir_all(&dir).unwrap();
+        let app = dir.join("app.dsl");
+        std::fs::write(
+            &app,
+            r#"
+            app Req
+            activity M {
+                field f: M
+                cb onCreate { f = new M }
+                cb onClick { use f }
+                cb onPause { f = null }
+            }
+            "#,
+        )
+        .unwrap();
+        let request = |extra: &[&str]| {
+            let mut argv = vec!["request", app.to_str().unwrap(), "--addr", &addr];
+            argv.extend_from_slice(extra);
+            run(&parse_args(args(&argv)).unwrap()).unwrap()
+        };
+
+        let cold = request(&[]);
+        assert!(cold.contains("app: Req"), "{cold}");
+        assert!(cold.contains("cached: false"), "{cold}");
+        let warm = request(&[]);
+        assert!(warm.contains("cached: true"), "{warm}");
+
+        let timed_out = request(&["--k", "3", "--deadline-ms", "0"]);
+        assert!(timed_out.contains("deadline exceeded"), "{timed_out}");
+
+        let explain = request(&["--explain"]);
+        assert!(explain.contains("filter audit:"), "{explain}");
+
+        let stats = run(&parse_args(args(&["request", "--stats", "--addr", &addr])).unwrap())
+            .unwrap();
+        // cold = miss, warm = hit, deadline (k=3) = miss, explain = hit
+        assert!(stats.contains("\"cache_hits\": 2"), "{stats}");
+        assert!(stats.contains("\"cache_misses\": 2"), "{stats}");
+        assert!(stats.contains("\"deadline_exceeded\": 1"), "{stats}");
+
+        let bye = run(&parse_args(args(&["request", "--shutdown", "--addr", &addr])).unwrap())
+            .unwrap();
+        assert!(bye.contains("shutdown acknowledged"), "{bye}");
+    }
+
+    #[test]
+    fn explain_prefers_a_fresh_provenance_sibling() {
+        let dir = std::env::temp_dir().join("nadroid_cli_prov_sibling");
+        std::fs::create_dir_all(&dir).unwrap();
+        let app = dir.join("app.dsl");
+        std::fs::write(
+            &app,
+            r#"
+            app Sib
+            activity M {
+                field f: M
+                cb onCreate { f = new M }
+                cb onClick { use f }
+                cb onPause { f = null }
+            }
+            "#,
+        )
+        .unwrap();
+        let prov = dir.join("app.provenance.json");
+        let _ = std::fs::remove_file(&prov);
+        let path = app.to_string_lossy().into_owned();
+        let explain_cmd = Command::Explain {
+            path: path.clone(),
+            warning_id: None,
+        };
+
+        // No sibling: live solve.
+        let live = run(&explain_cmd).unwrap();
+        assert!(!live.contains("from cached provenance"), "{live}");
+
+        // Export provenance, then explain again: served from the file,
+        // with identical content after the provenance note.
+        run(&Command::Analyze {
+            path: path.clone(),
+            validate: false,
+            sound_only: false,
+            k: 2,
+            json: false,
+            baseline: None,
+            update_baseline: false,
+            trace: None,
+            report: None,
+            provenance: Some(prov.to_string_lossy().into_owned()),
+            stats: false,
+        })
+        .unwrap();
+        let cached = run(&explain_cmd).unwrap();
+        assert!(cached.contains("from cached provenance"), "{cached}");
+        let (_, body) = cached.split_once('\n').unwrap();
+        assert_eq!(body, live, "cached rendering must match the live one");
+
+        // A corrupt document falls back to the live solve.
+        std::fs::write(&prov, "not json").unwrap();
+        let fallback = run(&explain_cmd).unwrap();
+        assert!(!fallback.contains("from cached provenance"), "{fallback}");
+        assert_eq!(fallback, live);
     }
 
     #[test]

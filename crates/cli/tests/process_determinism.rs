@@ -1,0 +1,53 @@
+//! Cross-process determinism: two separate invocations of the `nadroid`
+//! binary on the same input must print byte-identical output — warning
+//! ids, filter verdicts, JSON reports, explain text. The in-process
+//! variant lives in the workspace root's `tests/determinism.rs`; this
+//! one additionally catches any dependence on ASLR, hash-map iteration
+//! seeds, or other per-process state.
+
+use std::process::Command;
+
+fn connectbot() -> String {
+    concat!(env!("CARGO_MANIFEST_DIR"), "/../../apps/connectbot.dsl").to_owned()
+}
+
+fn run_once(args: &[&str]) -> Vec<u8> {
+    let out = Command::new(env!("CARGO_BIN_EXE_nadroid"))
+        .args(args)
+        .output()
+        .expect("spawn nadroid");
+    assert!(
+        out.status.success(),
+        "nadroid {args:?} failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    out.stdout
+}
+
+#[test]
+fn analyze_json_is_byte_identical_across_processes() {
+    let app = connectbot();
+    let first = run_once(&["analyze", &app, "--json"]);
+    let second = run_once(&["analyze", &app, "--json"]);
+    assert!(!first.is_empty());
+    assert_eq!(first, second, "analyze --json drifts across processes");
+}
+
+#[test]
+fn explain_is_byte_identical_across_processes() {
+    let app = connectbot();
+    let first = run_once(&["explain", &app]);
+    let second = run_once(&["explain", &app]);
+    let text = String::from_utf8(first.clone()).expect("utf8");
+    assert!(text.contains("filter audit:"), "{text}");
+    assert!(text.contains("w:"), "stable ids present: {text}");
+    assert_eq!(first, second, "explain drifts across processes");
+}
+
+#[test]
+fn text_report_is_byte_identical_across_processes() {
+    let app = connectbot();
+    let first = run_once(&["analyze", &app]);
+    let second = run_once(&["analyze", &app]);
+    assert_eq!(first, second, "text report drifts across processes");
+}

@@ -20,8 +20,11 @@ use crate::report::RenderedWarning;
 use crate::{Analysis, PhaseTimings};
 use std::fmt::Write as _;
 
-/// Escape a string for a JSON string literal.
-pub(crate) fn esc(s: &str) -> String {
+/// Escape a string for a JSON string literal. Public because the serve
+/// layer encodes its wire protocol with the same conventions as the
+/// report writers in this module.
+#[must_use]
+pub fn esc(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -36,6 +39,249 @@ pub(crate) fn esc(s: &str) -> String {
         }
     }
     out
+}
+
+/// A parsed JSON value. The workspace's documents (run reports,
+/// provenance files, the `nadroid-serve/1` wire protocol) are all small
+/// and tree-shaped, so a boxed enum with linear object lookup is
+/// entirely adequate — and keeps the crate dependency-free.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (always carried as `f64`).
+    Num(f64),
+    /// A string, unescaped.
+    Str(String),
+    /// An array.
+    Arr(Vec<JsonValue>),
+    /// An object, in source order.
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Object member lookup (first match; `None` on non-objects).
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(members) => {
+                members.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+            }
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a bool.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as an unsigned integer (truncating), if this
+    /// is a non-negative number.
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            JsonValue::Num(n) if *n >= 0.0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    #[must_use]
+    pub fn as_arr(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// Parse a JSON document. Strict on structure (balanced, single
+/// top-level value) but tolerant of surrounding whitespace.
+///
+/// # Errors
+///
+/// Returns a message naming the byte offset of the first malformed
+/// construct.
+pub fn parse_json(src: &str) -> Result<JsonValue, String> {
+    let bytes = src.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(src, bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing garbage at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(src: &str, bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'n') => parse_lit(bytes, pos, "null", JsonValue::Null),
+        Some(b't') => parse_lit(bytes, pos, "true", JsonValue::Bool(true)),
+        Some(b'f') => parse_lit(bytes, pos, "false", JsonValue::Bool(false)),
+        Some(b'"') => parse_string(src, bytes, pos).map(JsonValue::Str),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(JsonValue::Arr(items));
+            }
+            loop {
+                items.push(parse_value(src, bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(JsonValue::Arr(items));
+                    }
+                    _ => return Err(format!("expected `,` or `]` at byte {pos}")),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut members = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(JsonValue::Obj(members));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(src, bytes, pos)?;
+                skip_ws(bytes, pos);
+                if bytes.get(*pos) != Some(&b':') {
+                    return Err(format!("expected `:` at byte {pos}"));
+                }
+                *pos += 1;
+                let value = parse_value(src, bytes, pos)?;
+                members.push((key, value));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(JsonValue::Obj(members));
+                    }
+                    _ => return Err(format!("expected `,` or `}}` at byte {pos}")),
+                }
+            }
+        }
+        Some(c) if c.is_ascii_digit() || *c == b'-' => {
+            let start = *pos;
+            *pos += 1;
+            while *pos < bytes.len()
+                && (bytes[*pos].is_ascii_digit() || matches!(bytes[*pos], b'.' | b'e' | b'E' | b'+' | b'-'))
+            {
+                *pos += 1;
+            }
+            src[start..*pos]
+                .parse::<f64>()
+                .map(JsonValue::Num)
+                .map_err(|_| format!("bad number at byte {start}"))
+        }
+        Some(c) => Err(format!("unexpected byte `{}` at {pos}", *c as char)),
+    }
+}
+
+fn parse_lit(
+    bytes: &[u8],
+    pos: &mut usize,
+    lit: &str,
+    value: JsonValue,
+) -> Result<JsonValue, String> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(format!("bad literal at byte {pos}"))
+    }
+}
+
+fn parse_string(src: &str, bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    if bytes.get(*pos) != Some(&b'"') {
+        return Err(format!("expected string at byte {pos}"));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err("unterminated string".into()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let hex = src
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or_else(|| format!("bad \\u escape at byte {pos}"))?;
+                        let cp = u32::from_str_radix(hex, 16)
+                            .map_err(|_| format!("bad \\u escape at byte {pos}"))?;
+                        // Surrogates are not produced by this workspace's
+                        // writers; map them to the replacement character.
+                        out.push(char::from_u32(cp).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(format!("bad escape at byte {pos}")),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (the input is a &str, so
+                // char boundaries are sound).
+                let c = src[*pos..].chars().next().expect("in-bounds char");
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
 }
 
 /// A stable identity for a warning across runs of the same model:
@@ -166,6 +412,63 @@ mod tests {
     #[test]
     fn escaping_handles_special_characters() {
         assert_eq!(esc("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn parser_handles_nesting_numbers_and_escapes() {
+        let v = parse_json(
+            r#"{ "a": [1, -2.5, 1e3], "s": "x\n\"y\"", "t": true, "n": null, "o": {} }"#,
+        )
+        .unwrap();
+        assert_eq!(v.get("a").unwrap().as_arr().unwrap().len(), 3);
+        assert_eq!(v.get("a").unwrap().as_arr().unwrap()[2].as_f64(), Some(1000.0));
+        assert_eq!(v.get("s").unwrap().as_str(), Some("x\n\"y\""));
+        assert_eq!(v.get("t").unwrap().as_bool(), Some(true));
+        assert_eq!(v.get("n"), Some(&JsonValue::Null));
+        assert_eq!(v.get("o"), Some(&JsonValue::Obj(Vec::new())));
+        assert!(v.get("missing").is_none());
+    }
+
+    #[test]
+    fn parser_rejects_malformed_documents() {
+        assert!(parse_json("{").is_err());
+        assert!(parse_json("[1,]").is_err());
+        assert!(parse_json("{} trailing").is_err());
+        assert!(parse_json("\"unterminated").is_err());
+        assert!(parse_json("nul").is_err());
+    }
+
+    #[test]
+    fn escaped_strings_round_trip_through_the_parser() {
+        let original = "line1\nline2\t\"quoted\" \\ \u{1}";
+        let doc = format!("{{ \"k\": \"{}\" }}", esc(original));
+        let v = parse_json(&doc).unwrap();
+        assert_eq!(v.get("k").unwrap().as_str(), Some(original));
+    }
+
+    #[test]
+    fn parser_reads_this_crates_own_reports() {
+        let p = parse_program(
+            r#"
+            app P
+            activity M {
+                field f: M
+                cb onClick { use f }
+                cb onPause { f = null }
+            }
+            "#,
+        )
+        .unwrap();
+        let a = analyze(&p, &AnalysisConfig::default());
+        let v = parse_json(&render_json(&a)).unwrap();
+        assert_eq!(v.get("app").unwrap().as_str(), Some("P"));
+        assert!(v.get("summary").unwrap().get("potential").unwrap().as_u64().unwrap() >= 1);
+        let prov = parse_json(&crate::render_provenance_json(&a)).unwrap();
+        assert_eq!(
+            prov.get("schema").unwrap().as_str(),
+            Some("nadroid-provenance/1")
+        );
+        assert!(!prov.get("warnings").unwrap().as_arr().unwrap().is_empty());
     }
 
     #[test]

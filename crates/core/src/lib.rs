@@ -40,10 +40,12 @@ pub mod render;
 pub mod report;
 
 pub use fpclass::{classify_fp, component_reachable, FpCause};
-pub use json::{fingerprint, phase_timings_json, render_json, render_run_report};
+pub use json::{
+    esc, fingerprint, parse_json, phase_timings_json, render_json, render_run_report, JsonValue,
+};
 pub use provenance::{
-    render_explain, render_provenance_json, render_provenance_json_with, DerivationNode,
-    WarningProvenance,
+    render_explain, render_explain_from_json, render_provenance_json,
+    render_provenance_json_with, DerivationNode, WarningProvenance,
 };
 pub use render::render_report;
 pub use report::{classify_pair, rank_key, render_warning, Endpoint, PairType, RenderedWarning};

@@ -15,7 +15,7 @@
 //! [`render_explain`] is the human-readable form behind
 //! `nadroid explain`.
 
-use crate::json::esc;
+use crate::json::{esc, JsonValue};
 use crate::report::{render_warning, RenderedWarning};
 use crate::Analysis;
 use nadroid_datalog::{Database, Derivation, RuleSet, Term};
@@ -283,67 +283,197 @@ fn write_derivation_json(out: &mut String, d: &DerivationNode, indent: usize) {
     let _ = write!(out, "{pad}}}");
 }
 
-/// Render warning provenance as text — the body of `nadroid explain`.
-/// With `id = Some(..)`, only that warning; with `None`, all of them.
-/// Unknown ids render a note listing the known ids.
-#[must_use]
-pub fn render_explain(analysis: &Analysis<'_>, id: Option<&str>) -> String {
-    let provenances = analysis.warning_provenances();
-    let selected: Vec<&WarningProvenance> = match id {
-        Some(want) => provenances.iter().filter(|p| p.id == want).collect(),
-        None => provenances.iter().collect(),
+/// The provenance fields `nadroid explain` renders, decoupled from the
+/// live [`Analysis`] so the same rendering serves both a fresh run and a
+/// previously-exported `nadroid-provenance/1` document (the serve
+/// result cache and the CLI's provenance-file fast path).
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct ExplainEntry {
+    id: String,
+    field: String,
+    use_site: String,
+    use_lineage: String,
+    free_site: String,
+    free_lineage: String,
+    pair_type: String,
+    pruned_by: Option<String>,
+    /// (filter name, pruned, evidence).
+    audit: Vec<(String, bool, String)>,
+    derivation: Option<DerivationNode>,
+}
+
+fn entry_of(p: &WarningProvenance) -> ExplainEntry {
+    ExplainEntry {
+        id: p.id.clone(),
+        field: p.rendered.field.clone(),
+        use_site: p.rendered.use_site.clone(),
+        use_lineage: p.rendered.use_lineage.clone(),
+        free_site: p.rendered.free_site.clone(),
+        free_lineage: p.rendered.free_lineage.clone(),
+        pair_type: p.rendered.pair_type.to_string(),
+        pruned_by: p.pruned_by.map(|k| k.name().to_owned()),
+        audit: p
+            .audit
+            .iter()
+            .map(|v| (v.kind.name().to_owned(), v.pruned, v.evidence.clone()))
+            .collect(),
+        derivation: p.derivation.clone(),
+    }
+}
+
+fn render_entries(entries: &[ExplainEntry], id: Option<&str>) -> String {
+    let selected: Vec<&ExplainEntry> = match id {
+        Some(want) => entries.iter().filter(|e| e.id == want).collect(),
+        None => entries.iter().collect(),
     };
     if selected.is_empty() {
         let mut out = match id {
             Some(want) => format!("no warning with id {want}\n"),
             None => String::from("no warnings\n"),
         };
-        if !provenances.is_empty() {
+        if !entries.is_empty() {
             out.push_str("known ids:\n");
-            for p in &provenances {
-                let _ = writeln!(out, "  {}  ({})", p.id, p.rendered.field);
+            for e in entries {
+                let _ = writeln!(out, "  {}  ({})", e.id, e.field);
             }
         }
         return out;
     }
     let mut out = String::new();
-    for (i, p) in selected.iter().enumerate() {
+    for (i, e) in selected.iter().enumerate() {
         if i > 0 {
             out.push('\n');
         }
-        let _ = writeln!(out, "warning {}", p.id);
-        let _ = writeln!(out, "  field:  {}", p.rendered.field);
-        let _ = writeln!(
-            out,
-            "  use:    {}  [{}]",
-            p.rendered.use_site, p.rendered.use_lineage
-        );
-        let _ = writeln!(
-            out,
-            "  free:   {}  [{}]",
-            p.rendered.free_site, p.rendered.free_lineage
-        );
-        let _ = writeln!(out, "  type:   {}", p.rendered.pair_type);
-        match p.pruned_by {
+        let _ = writeln!(out, "warning {}", e.id);
+        let _ = writeln!(out, "  field:  {}", e.field);
+        let _ = writeln!(out, "  use:    {}  [{}]", e.use_site, e.use_lineage);
+        let _ = writeln!(out, "  free:   {}  [{}]", e.free_site, e.free_lineage);
+        let _ = writeln!(out, "  type:   {}", e.pair_type);
+        match &e.pruned_by {
             Some(k) => {
-                let _ = writeln!(out, "  status: pruned by {}", k.name());
+                let _ = writeln!(out, "  status: pruned by {k}");
             }
             None => {
                 let _ = writeln!(out, "  status: survived all filters");
             }
         }
         out.push_str("\n  derivation:\n");
-        match &p.derivation {
+        match &e.derivation {
             Some(d) => write_derivation_text(&mut out, d, 4),
             None => out.push_str("    (not recorded)\n"),
         }
         out.push_str("\n  filter audit:\n");
-        for v in &p.audit {
-            let verdict = if v.pruned { "prune" } else { "pass " };
-            let _ = writeln!(out, "    {:4} {verdict}  {}", v.kind.name(), v.evidence);
+        for (kind, pruned, evidence) in &e.audit {
+            let verdict = if *pruned { "prune" } else { "pass " };
+            let _ = writeln!(out, "    {kind:4} {verdict}  {evidence}");
         }
     }
     out
+}
+
+/// Render warning provenance as text — the body of `nadroid explain`.
+/// With `id = Some(..)`, only that warning; with `None`, all of them.
+/// Unknown ids render a note listing the known ids.
+#[must_use]
+pub fn render_explain(analysis: &Analysis<'_>, id: Option<&str>) -> String {
+    let entries: Vec<ExplainEntry> = analysis
+        .warning_provenances()
+        .iter()
+        .map(entry_of)
+        .collect();
+    render_entries(&entries, id)
+}
+
+/// Render the `nadroid explain` text from a serialized
+/// `nadroid-provenance/1` document instead of a live analysis — the
+/// fast path when the provenance was already computed (by `analyze
+/// --provenance`, the table1 driver, or the serve result cache).
+///
+/// # Errors
+///
+/// Returns a message when the document is not parseable JSON or does not
+/// carry the `nadroid-provenance/1` schema.
+pub fn render_explain_from_json(doc: &str, id: Option<&str>) -> Result<String, String> {
+    let v = crate::json::parse_json(doc)?;
+    if v.get("schema").and_then(JsonValue::as_str) != Some("nadroid-provenance/1") {
+        return Err("not a nadroid-provenance/1 document".into());
+    }
+    let warnings = v
+        .get("warnings")
+        .and_then(JsonValue::as_arr)
+        .ok_or_else(|| "provenance document has no warnings array".to_owned())?;
+    let entries = warnings
+        .iter()
+        .map(entry_from_json)
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(render_entries(&entries, id))
+}
+
+fn json_str(v: &JsonValue, key: &str) -> Result<String, String> {
+    v.get(key)
+        .and_then(JsonValue::as_str)
+        .map(str::to_owned)
+        .ok_or_else(|| format!("provenance warning missing `{key}`"))
+}
+
+fn entry_from_json(v: &JsonValue) -> Result<ExplainEntry, String> {
+    let audit = v
+        .get("audit")
+        .and_then(JsonValue::as_arr)
+        .unwrap_or(&[])
+        .iter()
+        .map(|a| {
+            Ok((
+                json_str(a, "filter")?,
+                a.get("pruned").and_then(JsonValue::as_bool).unwrap_or(false),
+                json_str(a, "evidence")?,
+            ))
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    let derivation = match v.get("derivation") {
+        None | Some(JsonValue::Null) => None,
+        Some(d) => Some(derivation_from_json(d)?),
+    };
+    Ok(ExplainEntry {
+        id: json_str(v, "id")?,
+        field: json_str(v, "field")?,
+        use_site: json_str(v, "use_site")?,
+        use_lineage: json_str(v, "use_lineage")?,
+        free_site: json_str(v, "free_site")?,
+        free_lineage: json_str(v, "free_lineage")?,
+        pair_type: json_str(v, "pair_type")?,
+        pruned_by: v
+            .get("pruned_by")
+            .and_then(JsonValue::as_str)
+            .map(str::to_owned),
+        audit,
+        derivation,
+    })
+}
+
+fn derivation_from_json(v: &JsonValue) -> Result<DerivationNode, String> {
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    let tuple = v
+        .get("tuple")
+        .and_then(JsonValue::as_arr)
+        .unwrap_or(&[])
+        .iter()
+        .filter_map(JsonValue::as_u64)
+        .map(|n| n as u32)
+        .collect();
+    Ok(DerivationNode {
+        fact: json_str(v, "fact")?,
+        relation: json_str(v, "relation")?,
+        tuple,
+        rule: v.get("rule").and_then(JsonValue::as_str).map(str::to_owned),
+        premises: v
+            .get("premises")
+            .and_then(JsonValue::as_arr)
+            .unwrap_or(&[])
+            .iter()
+            .map(derivation_from_json)
+            .collect::<Result<Vec<_>, _>>()?,
+    })
 }
 
 fn write_derivation_text(out: &mut String, d: &DerivationNode, indent: usize) {
@@ -446,6 +576,25 @@ mod tests {
         assert!(text.contains("(base fact)"), "{text}");
         assert!(text.contains("filter audit:"), "{text}");
         assert!(text.contains("main > "), "{text}");
+    }
+
+    #[test]
+    fn explain_from_json_matches_the_live_rendering() {
+        // The provenance-file fast path (CLI cache, serve cache) must
+        // render byte-identically to a fresh analysis.
+        let p = parse_program(FIG1A).unwrap();
+        let a = analyze(&p, &AnalysisConfig::default());
+        let doc = render_provenance_json(&a);
+        let from_json = render_explain_from_json(&doc, None).unwrap();
+        assert_eq!(from_json, render_explain(&a, None));
+        let provs = a.warning_provenances();
+        let id = &provs[0].id;
+        assert_eq!(
+            render_explain_from_json(&doc, Some(id)).unwrap(),
+            render_explain(&a, Some(id))
+        );
+        assert!(render_explain_from_json("{}", None).is_err());
+        assert!(render_explain_from_json("not json", None).is_err());
     }
 
     #[test]

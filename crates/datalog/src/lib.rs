@@ -787,6 +787,9 @@ impl Database {
         let mut prov = ProvBuf::default();
         loop {
             stats.iterations += 1;
+            // Cooperative cancellation hook: one cheap check per
+            // semi-naive drain batch (see `nadroid_obs::cancel`).
+            obs::cancel::checkpoint();
             let _iter_span = obs::span_lazy(|| format!("datalog.iteration:{}", stats.iterations));
             let snapshot: Vec<u32> = self.relations.iter().map(RelationData::rows).collect();
             if obs::recording() {

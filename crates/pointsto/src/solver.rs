@@ -402,6 +402,12 @@ impl<'p> Solver<'p> {
     fn propagate(&mut self) -> (u64, usize) {
         let mut pops = 0u64;
         let mut max_worklist = self.queue.len();
+        // Cooperative cancellation: once before draining (so an
+        // already-expired deadline never pays for even a small fixpoint)
+        // and then once per 512-pop batch — cheap enough to be invisible
+        // in profiles, frequent enough that a deadline or Ctrl-C stops
+        // the solve promptly instead of finishing the fixpoint.
+        obs::cancel::checkpoint();
         // Every per-event `.clone()` of a use list in this loop used to be
         // a heap allocation on the solver's hottest path. The lists are
         // append-only (handlers may grow them mid-iteration via `expand`),
@@ -411,6 +417,9 @@ impl<'p> Solver<'p> {
         // are idempotent.
         while let Some((node, obj)) = self.queue.pop_front() {
             pops += 1;
+            if pops & 0x1FF == 0 {
+                obs::cancel::checkpoint();
+            }
             max_worklist = max_worklist.max(self.queue.len() + 1);
             // Copy edges.
             let mut i = 0;

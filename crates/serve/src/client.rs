@@ -1,0 +1,121 @@
+//! A small blocking client for the `nadroid-serve/1` protocol — used by
+//! the CLI's `request` subcommand, the load-gen bench, and the tests.
+
+use crate::protocol::{AnalyzeOpts, Request, Response};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// One connection to a running server; requests are serial per client.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    /// Connect to a server.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect/configuration failures.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        // A hung server must not wedge the caller forever.
+        stream.set_read_timeout(Some(Duration::from_secs(120)))?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+        })
+    }
+
+    /// Send one request and read its response line.
+    ///
+    /// # Errors
+    ///
+    /// Returns transport failures and protocol decode errors as text.
+    pub fn request(&mut self, req: &Request) -> Result<Response, String> {
+        let mut line = req.encode();
+        line.push('\n');
+        let stream = self.reader.get_mut();
+        stream
+            .write_all(line.as_bytes())
+            .and_then(|()| stream.flush())
+            .map_err(|e| format!("send failed: {e}"))?;
+        let mut reply = String::new();
+        match self.reader.read_line(&mut reply) {
+            Ok(0) => Err("server closed the connection".to_owned()),
+            Ok(_) => Response::decode(reply.trim_end()),
+            Err(e) => Err(format!("receive failed: {e}")),
+        }
+    }
+
+    /// `analyze` a DSL program.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`].
+    pub fn analyze(&mut self, program: &str, opts: AnalyzeOpts) -> Result<Response, String> {
+        self.request(&Request::Analyze {
+            program: program.to_owned(),
+            opts,
+        })
+    }
+
+    /// `explain` one warning (or all with `id = None`).
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`].
+    pub fn explain(
+        &mut self,
+        program: &str,
+        id: Option<&str>,
+        opts: AnalyzeOpts,
+    ) -> Result<Response, String> {
+        self.request(&Request::Explain {
+            program: program.to_owned(),
+            id: id.map(str::to_owned),
+            opts,
+        })
+    }
+
+    /// Fetch the server's counters.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`].
+    pub fn stats(&mut self) -> Result<Response, String> {
+        self.request(&Request::Stats)
+    }
+
+    /// Ask the server to shut down gracefully.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`].
+    pub fn shutdown(&mut self) -> Result<Response, String> {
+        self.request(&Request::Shutdown)
+    }
+
+    /// [`Client::request`], retrying on `rejected` with the server's
+    /// suggested backoff. Gives up after `max_attempts` rejections.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`]; additionally returns an error once the
+    /// attempt budget is exhausted.
+    pub fn request_with_retry(
+        &mut self,
+        req: &Request,
+        max_attempts: u32,
+    ) -> Result<Response, String> {
+        for _ in 0..max_attempts.max(1) {
+            match self.request(req)? {
+                Response::Rejected { retry_after_ms } => {
+                    std::thread::sleep(Duration::from_millis(retry_after_ms.max(1)));
+                }
+                other => return Ok(other),
+            }
+        }
+        Err(format!("still rejected after {max_attempts} attempts"))
+    }
+}

@@ -1,0 +1,475 @@
+//! The `nadroid-serve/1` wire protocol: newline-delimited JSON over
+//! TCP, one request object per line, one response object per line.
+//!
+//! Encoding reuses `nadroid_core::json::esc`; decoding reuses
+//! `nadroid_core::parse_json`, so the serving layer introduces no new
+//! serialization machinery. See `docs/serving.md` for the schema.
+
+use nadroid_core::{esc, parse_json, JsonValue, Summary};
+use std::fmt::Write as _;
+
+/// Protocol identifier carried by every message.
+pub const SCHEMA: &str = "nadroid-serve/1";
+
+/// Per-request analysis options (the cache key covers all of them).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AnalyzeOpts {
+    /// Points-to sensitivity.
+    pub k: u32,
+    /// Skip the unsound filter tier.
+    pub sound_only: bool,
+    /// Per-request deadline override in milliseconds; `None` uses the
+    /// server default (which may be unlimited).
+    pub deadline_ms: Option<u64>,
+}
+
+impl Default for AnalyzeOpts {
+    fn default() -> Self {
+        AnalyzeOpts {
+            k: 2,
+            sound_only: false,
+            deadline_ms: None,
+        }
+    }
+}
+
+/// A client request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Run (or serve from cache) the full pipeline over a DSL program.
+    Analyze {
+        /// DSL source text.
+        program: String,
+        /// Analysis options.
+        opts: AnalyzeOpts,
+    },
+    /// Explain one warning (or all) — served from cached provenance
+    /// when the program was analyzed before.
+    Explain {
+        /// DSL source text.
+        program: String,
+        /// Stable warning id; `None` explains every warning.
+        id: Option<String>,
+        /// Analysis options (part of the cache key).
+        opts: AnalyzeOpts,
+    },
+    /// Server counters snapshot.
+    Stats,
+    /// Graceful shutdown: drain the queue, then exit.
+    Shutdown,
+}
+
+/// A server response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Successful analysis.
+    Analyze {
+        /// App name.
+        app: String,
+        /// Whether the result came from the cache.
+        cached: bool,
+        /// Server-side handling time.
+        micros: u64,
+        /// The Table 1 row counts.
+        summary: Summary,
+        /// Stable ids of warnings surviving all filters.
+        warnings: Vec<String>,
+    },
+    /// Successful explain.
+    Explain {
+        /// Whether the provenance came from the cache.
+        cached: bool,
+        /// Server-side handling time.
+        micros: u64,
+        /// The `nadroid explain` text.
+        text: String,
+    },
+    /// Counters snapshot, in stable name order.
+    Stats {
+        /// `(name, value)` pairs.
+        fields: Vec<(String, u64)>,
+    },
+    /// Shutdown acknowledged.
+    Shutdown,
+    /// Admission control: the submission queue is full. Retry after the
+    /// indicated backoff instead of buffering unboundedly server-side.
+    Rejected {
+        /// Suggested client backoff.
+        retry_after_ms: u64,
+    },
+    /// The request's deadline expired before the analysis finished; the
+    /// worker unwound at a cancellation checkpoint and stays healthy.
+    DeadlineExceeded {
+        /// The deadline that was exceeded.
+        deadline_ms: u64,
+    },
+    /// Malformed request or failed analysis.
+    Error {
+        /// Human-readable cause.
+        message: String,
+    },
+}
+
+fn push_opts(out: &mut String, opts: &AnalyzeOpts) {
+    let _ = write!(out, "\"k\":{},\"sound_only\":{}", opts.k, opts.sound_only);
+    if let Some(d) = opts.deadline_ms {
+        let _ = write!(out, ",\"deadline_ms\":{d}");
+    }
+}
+
+impl Request {
+    /// Encode as one protocol line (no trailing newline).
+    #[must_use]
+    pub fn encode(&self) -> String {
+        let mut out = format!("{{\"schema\":\"{SCHEMA}\",");
+        match self {
+            Request::Analyze { program, opts } => {
+                out.push_str("\"op\":\"analyze\",");
+                push_opts(&mut out, opts);
+                let _ = write!(out, ",\"program\":\"{}\"", esc(program));
+            }
+            Request::Explain { program, id, opts } => {
+                out.push_str("\"op\":\"explain\",");
+                push_opts(&mut out, opts);
+                if let Some(id) = id {
+                    let _ = write!(out, ",\"id\":\"{}\"", esc(id));
+                }
+                let _ = write!(out, ",\"program\":\"{}\"", esc(program));
+            }
+            Request::Stats => out.push_str("\"op\":\"stats\""),
+            Request::Shutdown => out.push_str("\"op\":\"shutdown\""),
+        }
+        out.push('}');
+        out
+    }
+
+    /// Decode one protocol line.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for malformed JSON, a wrong schema, or a
+    /// missing/unknown `op`.
+    pub fn decode(line: &str) -> Result<Request, String> {
+        let v = parse_json(line)?;
+        check_schema(&v)?;
+        let op = v
+            .get("op")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| "request has no op".to_owned())?;
+        let opts = || AnalyzeOpts {
+            #[allow(clippy::cast_possible_truncation)]
+            k: v.get("k").and_then(JsonValue::as_u64).unwrap_or(2) as u32,
+            sound_only: v
+                .get("sound_only")
+                .and_then(JsonValue::as_bool)
+                .unwrap_or(false),
+            deadline_ms: v.get("deadline_ms").and_then(JsonValue::as_u64),
+        };
+        let program = || {
+            v.get("program")
+                .and_then(JsonValue::as_str)
+                .map(str::to_owned)
+                .ok_or_else(|| format!("{op} request has no program"))
+        };
+        match op {
+            "analyze" => Ok(Request::Analyze {
+                program: program()?,
+                opts: opts(),
+            }),
+            "explain" => Ok(Request::Explain {
+                program: program()?,
+                id: v.get("id").and_then(JsonValue::as_str).map(str::to_owned),
+                opts: opts(),
+            }),
+            "stats" => Ok(Request::Stats),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(format!("unknown op `{other}`")),
+        }
+    }
+}
+
+fn check_schema(v: &JsonValue) -> Result<(), String> {
+    match v.get("schema").and_then(JsonValue::as_str) {
+        Some(SCHEMA) => Ok(()),
+        Some(other) => Err(format!("unsupported schema `{other}`")),
+        None => Err("message has no schema".into()),
+    }
+}
+
+fn summary_json(s: &Summary) -> String {
+    format!(
+        "{{\"loc\":{},\"ec\":{},\"pc\":{},\"threads\":{},\"potential\":{},\"after_sound\":{},\"after_unsound\":{}}}",
+        s.loc, s.ec, s.pc, s.threads, s.potential, s.after_sound, s.after_unsound
+    )
+}
+
+fn summary_from_json(v: &JsonValue) -> Result<Summary, String> {
+    let field = |key: &str| -> Result<usize, String> {
+        v.get(key)
+            .and_then(JsonValue::as_u64)
+            .map(|n| usize::try_from(n).unwrap_or(usize::MAX))
+            .ok_or_else(|| format!("summary missing `{key}`"))
+    };
+    Ok(Summary {
+        loc: field("loc")?,
+        ec: field("ec")?,
+        pc: field("pc")?,
+        threads: field("threads")?,
+        potential: field("potential")?,
+        after_sound: field("after_sound")?,
+        after_unsound: field("after_unsound")?,
+    })
+}
+
+impl Response {
+    /// Encode as one protocol line (no trailing newline).
+    #[must_use]
+    pub fn encode(&self) -> String {
+        let mut out = format!("{{\"schema\":\"{SCHEMA}\",");
+        match self {
+            Response::Analyze {
+                app,
+                cached,
+                micros,
+                summary,
+                warnings,
+            } => {
+                let ids: Vec<String> = warnings.iter().map(|w| format!("\"{}\"", esc(w))).collect();
+                let _ = write!(
+                    out,
+                    "\"status\":\"ok\",\"op\":\"analyze\",\"app\":\"{}\",\"cached\":{cached},\
+                     \"micros\":{micros},\"summary\":{},\"warnings\":[{}]",
+                    esc(app),
+                    summary_json(summary),
+                    ids.join(",")
+                );
+            }
+            Response::Explain {
+                cached,
+                micros,
+                text,
+            } => {
+                let _ = write!(
+                    out,
+                    "\"status\":\"ok\",\"op\":\"explain\",\"cached\":{cached},\
+                     \"micros\":{micros},\"text\":\"{}\"",
+                    esc(text)
+                );
+            }
+            Response::Stats { fields } => {
+                out.push_str("\"status\":\"ok\",\"op\":\"stats\",\"stats\":{");
+                for (i, (name, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    let _ = write!(out, "\"{}\":{value}", esc(name));
+                }
+                out.push('}');
+            }
+            Response::Shutdown => out.push_str("\"status\":\"ok\",\"op\":\"shutdown\""),
+            Response::Rejected { retry_after_ms } => {
+                let _ = write!(
+                    out,
+                    "\"status\":\"rejected\",\"retry_after_ms\":{retry_after_ms}"
+                );
+            }
+            Response::DeadlineExceeded { deadline_ms } => {
+                let _ = write!(
+                    out,
+                    "\"status\":\"deadline_exceeded\",\"deadline_ms\":{deadline_ms}"
+                );
+            }
+            Response::Error { message } => {
+                let _ = write!(out, "\"status\":\"error\",\"message\":\"{}\"", esc(message));
+            }
+        }
+        out.push('}');
+        out
+    }
+
+    /// Decode one protocol line.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for malformed JSON, a wrong schema, or an
+    /// unknown status/op combination.
+    pub fn decode(line: &str) -> Result<Response, String> {
+        let v = parse_json(line)?;
+        check_schema(&v)?;
+        let status = v
+            .get("status")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| "response has no status".to_owned())?;
+        match status {
+            "rejected" => Ok(Response::Rejected {
+                retry_after_ms: v
+                    .get("retry_after_ms")
+                    .and_then(JsonValue::as_u64)
+                    .unwrap_or(0),
+            }),
+            "deadline_exceeded" => Ok(Response::DeadlineExceeded {
+                deadline_ms: v
+                    .get("deadline_ms")
+                    .and_then(JsonValue::as_u64)
+                    .unwrap_or(0),
+            }),
+            "error" => Ok(Response::Error {
+                message: v
+                    .get("message")
+                    .and_then(JsonValue::as_str)
+                    .unwrap_or("unknown error")
+                    .to_owned(),
+            }),
+            "ok" => {
+                let op = v
+                    .get("op")
+                    .and_then(JsonValue::as_str)
+                    .ok_or_else(|| "ok response has no op".to_owned())?;
+                let micros = v.get("micros").and_then(JsonValue::as_u64).unwrap_or(0);
+                let cached = v
+                    .get("cached")
+                    .and_then(JsonValue::as_bool)
+                    .unwrap_or(false);
+                match op {
+                    "analyze" => Ok(Response::Analyze {
+                        app: v
+                            .get("app")
+                            .and_then(JsonValue::as_str)
+                            .unwrap_or("")
+                            .to_owned(),
+                        cached,
+                        micros,
+                        summary: summary_from_json(
+                            v.get("summary")
+                                .ok_or_else(|| "analyze response has no summary".to_owned())?,
+                        )?,
+                        warnings: v
+                            .get("warnings")
+                            .and_then(JsonValue::as_arr)
+                            .unwrap_or(&[])
+                            .iter()
+                            .filter_map(JsonValue::as_str)
+                            .map(str::to_owned)
+                            .collect(),
+                    }),
+                    "explain" => Ok(Response::Explain {
+                        cached,
+                        micros,
+                        text: v
+                            .get("text")
+                            .and_then(JsonValue::as_str)
+                            .unwrap_or("")
+                            .to_owned(),
+                    }),
+                    "stats" => Ok(Response::Stats {
+                        fields: match v.get("stats") {
+                            Some(JsonValue::Obj(members)) => members
+                                .iter()
+                                .filter_map(|(k, val)| val.as_u64().map(|n| (k.clone(), n)))
+                                .collect(),
+                            _ => Vec::new(),
+                        },
+                    }),
+                    "shutdown" => Ok(Response::Shutdown),
+                    other => Err(format!("unknown response op `{other}`")),
+                }
+            }
+            other => Err(format!("unknown status `{other}`")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip_request(req: &Request) {
+        let line = req.encode();
+        assert!(!line.contains('\n'), "one line per message: {line}");
+        assert_eq!(&Request::decode(&line).unwrap(), req);
+    }
+
+    fn round_trip_response(resp: &Response) {
+        let line = resp.encode();
+        assert!(!line.contains('\n'), "one line per message: {line}");
+        assert_eq!(&Response::decode(&line).unwrap(), resp);
+    }
+
+    #[test]
+    fn requests_round_trip_including_multiline_programs() {
+        round_trip_request(&Request::Analyze {
+            program: "app X\nactivity M {\n  cb onClick { }\n}\n".into(),
+            opts: AnalyzeOpts::default(),
+        });
+        round_trip_request(&Request::Analyze {
+            program: "app \"quoted\"".into(),
+            opts: AnalyzeOpts {
+                k: 3,
+                sound_only: true,
+                deadline_ms: Some(250),
+            },
+        });
+        round_trip_request(&Request::Explain {
+            program: "app Y".into(),
+            id: Some("w:0011223344556677".into()),
+            opts: AnalyzeOpts::default(),
+        });
+        round_trip_request(&Request::Explain {
+            program: "app Y".into(),
+            id: None,
+            opts: AnalyzeOpts::default(),
+        });
+        round_trip_request(&Request::Stats);
+        round_trip_request(&Request::Shutdown);
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        round_trip_response(&Response::Analyze {
+            app: "ConnectBot".into(),
+            cached: true,
+            micros: 42,
+            summary: Summary {
+                loc: 10,
+                ec: 2,
+                pc: 1,
+                threads: 3,
+                potential: 5,
+                after_sound: 2,
+                after_unsound: 1,
+            },
+            warnings: vec!["w:0011223344556677".into(), "w:8899aabbccddeeff".into()],
+        });
+        round_trip_response(&Response::Explain {
+            cached: false,
+            micros: 9,
+            text: "warning w:..\n  field: x\n".into(),
+        });
+        round_trip_response(&Response::Stats {
+            fields: vec![("cache_hits".into(), 3), ("requests".into(), 4)],
+        });
+        round_trip_response(&Response::Shutdown);
+        round_trip_response(&Response::Rejected { retry_after_ms: 50 });
+        round_trip_response(&Response::DeadlineExceeded { deadline_ms: 100 });
+        round_trip_response(&Response::Error {
+            message: "parse error: line 3".into(),
+        });
+    }
+
+    #[test]
+    fn wrong_schema_and_ops_are_rejected() {
+        assert!(Request::decode("{\"op\":\"analyze\"}").is_err(), "no schema");
+        assert!(
+            Request::decode("{\"schema\":\"nadroid-serve/2\",\"op\":\"stats\"}").is_err(),
+            "future schema"
+        );
+        assert!(
+            Request::decode("{\"schema\":\"nadroid-serve/1\",\"op\":\"frobnicate\"}").is_err()
+        );
+        assert!(
+            Request::decode("{\"schema\":\"nadroid-serve/1\",\"op\":\"analyze\"}").is_err(),
+            "analyze needs a program"
+        );
+        assert!(Response::decode("{\"schema\":\"nadroid-serve/1\"}").is_err());
+    }
+}

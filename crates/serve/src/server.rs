@@ -1,0 +1,462 @@
+//! The analysis server: a TCP accept loop in front of a [`Pool`] of
+//! analysis workers and a shared [`ResultCache`].
+//!
+//! Request lifecycle:
+//!
+//! 1. A connection thread decodes one `nadroid-serve/1` line.
+//! 2. `stats`/`shutdown` are answered inline (they never touch the
+//!    solver). `analyze`/`explain` are wrapped into a job and offered
+//!    to the pool; a full queue is answered `rejected` immediately —
+//!    admission control, not buffering.
+//! 3. On a worker, the job first consults the content-addressed cache
+//!    (warm path: a lookup and a clone). On a miss it installs the
+//!    request's [`CancelToken`] and runs the full pipeline; a deadline
+//!    firing unwinds at the next solver checkpoint, is caught at the
+//!    job boundary, and becomes a structured `deadline_exceeded`
+//!    response — the worker thread survives.
+//!
+//! Every stage reports through [`nadroid_obs`]: per-request spans,
+//! `serve.*` counters, and queue-depth/inflight/cache-bytes gauges.
+
+use crate::cache::{CacheKey, CachedResult, ResultCache};
+use crate::pool::{Pool, Submit};
+use crate::protocol::{AnalyzeOpts, Request, Response};
+use nadroid_core::{
+    analyze, render_explain_from_json, render_provenance_json_with, AnalysisConfig,
+};
+use nadroid_detector::warning_id;
+use nadroid_ir::parse_program;
+use nadroid_obs::{self as obs, cancel::CancelToken, Recorder};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Listen address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Analysis worker threads.
+    pub workers: usize,
+    /// Result-cache byte budget.
+    pub cache_bytes: usize,
+    /// Submission-queue bound; past it requests are rejected.
+    pub queue_cap: usize,
+    /// Deadline applied when a request carries none (`None` = no limit).
+    pub default_deadline_ms: Option<u64>,
+    /// Backoff suggested to rejected clients.
+    pub retry_after_ms: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:7911".to_owned(),
+            workers: 4,
+            cache_bytes: 64 << 20,
+            queue_cap: 16,
+            default_deadline_ms: None,
+            retry_after_ms: 50,
+        }
+    }
+}
+
+struct Shared {
+    cfg: ServeConfig,
+    cache: Mutex<ResultCache>,
+    recorder: Recorder,
+    pool: Pool,
+    stopping: Arc<AtomicBool>,
+    requests: AtomicU64,
+    completed: AtomicU64,
+    rejected: AtomicU64,
+    deadline_exceeded: AtomicU64,
+}
+
+/// A running analysis service. Dropping it shuts the service down.
+pub struct Server {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    accept: Option<std::thread::JoinHandle<()>>,
+}
+
+fn micros_since(t: Instant) -> u64 {
+    u64::try_from(t.elapsed().as_micros()).unwrap_or(u64::MAX)
+}
+
+fn config_for(opts: &AnalyzeOpts) -> AnalysisConfig {
+    let mut cfg = AnalysisConfig {
+        k: opts.k,
+        ..AnalysisConfig::default()
+    };
+    if opts.sound_only {
+        cfg.unsound_filters.clear();
+    }
+    cfg
+}
+
+impl Shared {
+    /// Fetch-or-compute the cached result for `(source, opts)`. `Ok`
+    /// carries `(result, came_from_cache)`; `Err` is a ready-to-send
+    /// failure response.
+    fn cached_result(
+        &self,
+        source: &str,
+        opts: &AnalyzeOpts,
+    ) -> Result<(CachedResult, bool), Response> {
+        let config = config_for(opts);
+        let key = CacheKey::of(source, &config);
+        if let Some(hit) = self.cache.lock().expect("cache lock").get(&key) {
+            obs::counter("serve.cache.hits", 1);
+            return Ok((hit, true));
+        }
+        obs::counter("serve.cache.misses", 1);
+        let result = self.compute(source, opts, &config)?;
+        {
+            let mut cache = self.cache.lock().expect("cache lock");
+            let before = cache.stats().evictions;
+            cache.insert(key, result.clone());
+            let evicted = cache.stats().evictions - before;
+            if evicted > 0 {
+                obs::counter("serve.cache.evictions", evicted);
+            }
+            obs::gauge("serve.cache.bytes", cache.bytes() as u64);
+        }
+        Ok((result, false))
+    }
+
+    /// The cold path: parse, run the pipeline under the request's
+    /// cancel token, and package everything a response (or a later
+    /// `explain`) needs.
+    fn compute(
+        &self,
+        source: &str,
+        opts: &AnalyzeOpts,
+        config: &AnalysisConfig,
+    ) -> Result<CachedResult, Response> {
+        let deadline_ms = opts.deadline_ms.or(self.cfg.default_deadline_ms);
+        let token = match deadline_ms {
+            Some(ms) => CancelToken::with_deadline(Duration::from_millis(ms)),
+            None => CancelToken::new(),
+        };
+        let program = parse_program(source)
+            .map_err(|e| Response::Error {
+                message: format!("parse error: {e}"),
+            })?;
+        // A zero (or already-elapsed) deadline must not reach the
+        // solver at all.
+        if token.is_cancelled() {
+            return Err(Response::DeadlineExceeded {
+                deadline_ms: deadline_ms.unwrap_or(0),
+            });
+        }
+        let t = Instant::now();
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let _scope = token.install();
+            let _span = obs::span("serve.analyze");
+            let analysis = analyze(&program, config);
+            let provenances = analysis.warning_provenances();
+            let provenance_json = render_provenance_json_with(&analysis, &provenances);
+            let warning_ids = analysis
+                .survivors()
+                .iter()
+                .map(|w| warning_id(&program, analysis.threads(), w))
+                .collect();
+            CachedResult {
+                app: program.name().to_owned(),
+                summary: analysis.summary(),
+                warning_ids,
+                provenance_json,
+                compute_micros: 0,
+            }
+        }));
+        match outcome {
+            Ok(mut result) => {
+                result.compute_micros = micros_since(t);
+                Ok(result)
+            }
+            Err(payload) => {
+                if obs::cancel::was_cancelled(&*payload) {
+                    Err(Response::DeadlineExceeded {
+                        deadline_ms: deadline_ms.unwrap_or(0),
+                    })
+                } else {
+                    Err(Response::Error {
+                        message: "analysis panicked".to_owned(),
+                    })
+                }
+            }
+        }
+    }
+
+    fn handle_analyze(&self, source: &str, opts: &AnalyzeOpts) -> Response {
+        let t = Instant::now();
+        let _span = obs::span("serve.request");
+        let resp = match self.cached_result(source, opts) {
+            Ok((result, cached)) => Response::Analyze {
+                app: result.app,
+                cached,
+                micros: micros_since(t),
+                summary: result.summary,
+                warnings: result.warning_ids,
+            },
+            Err(resp) => resp,
+        };
+        self.account(&resp);
+        resp
+    }
+
+    fn handle_explain(&self, source: &str, id: Option<&str>, opts: &AnalyzeOpts) -> Response {
+        let t = Instant::now();
+        let _span = obs::span("serve.request");
+        let resp = match self.cached_result(source, opts) {
+            Ok((result, cached)) => {
+                match render_explain_from_json(&result.provenance_json, id) {
+                    Ok(text) => Response::Explain {
+                        cached,
+                        micros: micros_since(t),
+                        text,
+                    },
+                    Err(message) => Response::Error { message },
+                }
+            }
+            Err(resp) => resp,
+        };
+        self.account(&resp);
+        resp
+    }
+
+    fn account(&self, resp: &Response) {
+        match resp {
+            Response::DeadlineExceeded { .. } => {
+                self.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+                obs::counter("serve.deadline_exceeded", 1);
+            }
+            Response::Error { .. } => {
+                obs::counter("serve.errors", 1);
+            }
+            _ => {
+                self.completed.fetch_add(1, Ordering::Relaxed);
+                obs::counter("serve.completed", 1);
+            }
+        }
+    }
+
+    fn stats_fields(&self) -> Vec<(String, u64)> {
+        let (cache_stats, cache_bytes, cache_entries) = {
+            let cache = self.cache.lock().expect("cache lock");
+            (cache.stats(), cache.bytes() as u64, cache.entries() as u64)
+        };
+        let f = |name: &str, value: u64| (name.to_owned(), value);
+        vec![
+            f("requests", self.requests.load(Ordering::Relaxed)),
+            f("completed", self.completed.load(Ordering::Relaxed)),
+            f("rejected", self.rejected.load(Ordering::Relaxed)),
+            f(
+                "deadline_exceeded",
+                self.deadline_exceeded.load(Ordering::Relaxed),
+            ),
+            f("cache_hits", cache_stats.hits),
+            f("cache_misses", cache_stats.misses),
+            f("cache_evictions", cache_stats.evictions),
+            f("cache_bytes", cache_bytes),
+            f("cache_entries", cache_entries),
+            f("queue_depth", self.pool.queue_depth()),
+            f("inflight", self.pool.inflight()),
+            f("workers", self.cfg.workers as u64),
+        ]
+    }
+}
+
+impl Server {
+    /// Bind `cfg.addr` and start accepting connections.
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error when the address is unavailable.
+    pub fn start(cfg: ServeConfig) -> std::io::Result<Server> {
+        // Cancellation unwinds are routine here; keep them off stderr.
+        obs::cancel::install_quiet_hook();
+        let listener = TcpListener::bind(&cfg.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+
+        let recorder = Recorder::new();
+        let stopping = Arc::new(AtomicBool::new(false));
+        let pool = {
+            let recorder = recorder.clone();
+            Pool::new(cfg.workers, cfg.queue_cap, move || {
+                Box::new(recorder.install())
+            })
+        };
+        let shared = Arc::new(Shared {
+            cache: Mutex::new(ResultCache::new(cfg.cache_bytes)),
+            recorder,
+            pool,
+            stopping: Arc::clone(&stopping),
+            requests: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            deadline_exceeded: AtomicU64::new(0),
+            cfg,
+        });
+
+        let accept_shared = Arc::clone(&shared);
+        let accept = std::thread::Builder::new()
+            .name("nadroid-serve-accept".to_owned())
+            .spawn(move || accept_loop(&listener, &accept_shared))
+            .expect("spawn accept thread");
+
+        Ok(Server {
+            shared,
+            addr,
+            accept: Some(accept),
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The recorder all request spans and `serve.*` metrics feed.
+    #[must_use]
+    pub fn recorder(&self) -> &Recorder {
+        &self.shared.recorder
+    }
+
+    /// Current counters, as served by the `stats` op.
+    #[must_use]
+    pub fn stats_fields(&self) -> Vec<(String, u64)> {
+        self.shared.stats_fields()
+    }
+
+    /// Request a graceful shutdown: stop accepting, drain queued work.
+    pub fn shutdown(&self) {
+        self.shared.stopping.store(true, Ordering::SeqCst);
+    }
+
+    /// Wait for the accept loop and all workers to finish.
+    pub fn join(&mut self) {
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+        self.shared.pool.shutdown();
+        self.shared.pool.join();
+    }
+
+    /// Block until a `shutdown` request (or [`Server::shutdown`]) lands,
+    /// then drain and return the final counters. The CLI's `serve` mode.
+    pub fn run_until_shutdown(&mut self) -> Vec<(String, u64)> {
+        while !self.shared.stopping.load(Ordering::SeqCst) {
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        self.join();
+        self.shared.stats_fields()
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+        self.join();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    loop {
+        if shared.stopping.load(Ordering::SeqCst) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let shared = Arc::clone(shared);
+                let _ = std::thread::Builder::new()
+                    .name("nadroid-serve-conn".to_owned())
+                    .spawn(move || serve_connection(stream, &shared));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+}
+
+fn serve_connection(stream: TcpStream, shared: &Arc<Shared>) {
+    let _installed = shared.recorder.install();
+    let _ = stream.set_nodelay(true);
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) | Err(_) => return, // client closed
+            Ok(_) => {}
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        shared.requests.fetch_add(1, Ordering::Relaxed);
+        obs::counter("serve.requests", 1);
+        let response = match Request::decode(line.trim_end()) {
+            Err(message) => Response::Error { message },
+            Ok(Request::Stats) => Response::Stats {
+                fields: shared.stats_fields(),
+            },
+            Ok(Request::Shutdown) => {
+                let _ = write_response(reader.get_mut(), &Response::Shutdown);
+                shared.stopping.store(true, Ordering::SeqCst);
+                return;
+            }
+            Ok(Request::Analyze { program, opts }) => {
+                dispatch(shared, move |sh| sh.handle_analyze(&program, &opts))
+            }
+            Ok(Request::Explain { program, id, opts }) => dispatch(shared, move |sh| {
+                sh.handle_explain(&program, id.as_deref(), &opts)
+            }),
+        };
+        if write_response(reader.get_mut(), &response).is_err() {
+            return;
+        }
+    }
+}
+
+/// Offer a compute job to the pool and wait for its reply; a full queue
+/// becomes an immediate `rejected` without blocking the connection.
+fn dispatch<F>(shared: &Arc<Shared>, work: F) -> Response
+where
+    F: FnOnce(&Shared) -> Response + Send + 'static,
+{
+    let (tx, rx) = mpsc::channel::<Response>();
+    let job_shared = Arc::clone(shared);
+    let job = Box::new(move || {
+        let _ = tx.send(work(&job_shared));
+    });
+    let submitted = shared.pool.try_submit(job);
+    obs::gauge("serve.queue_depth", shared.pool.queue_depth());
+    obs::gauge("serve.inflight", shared.pool.inflight());
+    match submitted {
+        Submit::Accepted => rx.recv().unwrap_or_else(|_| Response::Error {
+            message: "worker dropped the reply".to_owned(),
+        }),
+        Submit::Full(_) => {
+            shared.rejected.fetch_add(1, Ordering::Relaxed);
+            obs::counter("serve.rejected", 1);
+            Response::Rejected {
+                retry_after_ms: shared.cfg.retry_after_ms,
+            }
+        }
+    }
+}
+
+fn write_response(stream: &mut TcpStream, response: &Response) -> std::io::Result<()> {
+    let mut line = response.encode();
+    line.push('\n');
+    stream.write_all(line.as_bytes())?;
+    stream.flush()
+}

@@ -14,7 +14,12 @@
 # 6. bench-regression guard: re-measure the timing suite and compare
 #    against the committed BENCH_timing.json with a 3x tolerance — a
 #    perf cliff (or a change to the deterministic Datalog closure
-#    workload) fails the gate loudly.
+#    workload) fails the gate loudly,
+# 7. serve smoke gate: start the daemon, cold request, warm request
+#    (must hit the cache), deadline-exceeded request (structured
+#    timeout, worker survives), stats consistency, clean shutdown —
+#    then the serve load bench refreshes BENCH_serve.json and enforces
+#    the 20x warm-vs-cold ConnectBot speedup.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -35,5 +40,45 @@ echo "$explain_out" | grep -q 'filter audit:' || {
     echo "ci.sh: explain produced no filter audit" >&2; exit 1; }
 
 cargo run --release -p nadroid-bench --bin timing -- --check 3
+
+# --- serve smoke gate ---
+bin=target/release/nadroid
+serve_out=$(mktemp)
+"$bin" serve --addr 127.0.0.1:0 --workers 2 > "$serve_out" &
+serve_pid=$!
+trap 'kill "$serve_pid" 2>/dev/null || true; rm -f "$serve_out"' EXIT
+for _ in $(seq 1 100); do
+    grep -q 'listening on' "$serve_out" && break
+    sleep 0.1
+done
+serve_addr=$(sed -n 's/.*listening on //p' "$serve_out")
+[ -n "$serve_addr" ] || { echo "ci.sh: serve never announced its address" >&2; exit 1; }
+
+"$bin" request apps/connectbot.dsl --addr "$serve_addr" | grep -q 'cached: false' || {
+    echo "ci.sh: cold serve request was not computed" >&2; exit 1; }
+"$bin" request apps/connectbot.dsl --addr "$serve_addr" | grep -q 'cached: true' || {
+    echo "ci.sh: warm serve request missed the cache" >&2; exit 1; }
+"$bin" request apps/connectbot.dsl --addr "$serve_addr" --k 3 --deadline-ms 0 \
+    | grep -q 'deadline exceeded' || {
+    echo "ci.sh: zero-deadline request did not time out" >&2; exit 1; }
+# The timed-out worker must still serve fresh work.
+"$bin" request apps/connectbot.dsl --addr "$serve_addr" | grep -q 'cached: true' || {
+    echo "ci.sh: worker unhealthy after deadline-exceeded request" >&2; exit 1; }
+stats_out=$("$bin" request --stats --addr "$serve_addr")
+echo "$stats_out" | grep -q '"cache_hits": 2' || {
+    echo "ci.sh: serve stats cache_hits inconsistent:"; echo "$stats_out"; exit 1; }
+echo "$stats_out" | grep -q '"cache_misses": 2' || {
+    echo "ci.sh: serve stats cache_misses inconsistent:"; echo "$stats_out"; exit 1; }
+echo "$stats_out" | grep -q '"deadline_exceeded": 1' || {
+    echo "ci.sh: serve stats deadline_exceeded inconsistent:"; echo "$stats_out"; exit 1; }
+"$bin" request --shutdown --addr "$serve_addr" | grep -q 'shutdown acknowledged' || {
+    echo "ci.sh: serve shutdown not acknowledged" >&2; exit 1; }
+wait "$serve_pid" || { echo "ci.sh: serve exited nonzero" >&2; exit 1; }
+grep -q '"requests": 6' "$serve_out" || {
+    echo "ci.sh: serve final stats missing/inconsistent:"; cat "$serve_out"; exit 1; }
+trap - EXIT
+rm -f "$serve_out"
+
+cargo run --release -p nadroid-bench --bin serve_bench -- --concurrency 2
 
 echo "ci.sh: all gates passed"

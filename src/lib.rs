@@ -17,4 +17,5 @@ pub use nadroid_dynamic as dynamic;
 pub use nadroid_filters as filters;
 pub use nadroid_ir as ir;
 pub use nadroid_pointsto as pointsto;
+pub use nadroid_serve as serve;
 pub use nadroid_threadify as threadify;

@@ -1,0 +1,75 @@
+//! Determinism regression suite: the serve-layer result cache assumes
+//! that the same program under the same configuration always produces
+//! the byte-identical outcome. Pin that end to end — warning-id sets,
+//! filter verdicts, and the rendered provenance document.
+
+use nadroid::core::{analyze, render_provenance_json, AnalysisConfig};
+use nadroid::ir::parse_program;
+use nadroid::serve::CacheKey;
+
+const CONNECTBOT: &str = include_str!("../apps/connectbot.dsl");
+
+#[test]
+fn repeated_analyses_are_byte_identical_in_process() {
+    let program = parse_program(CONNECTBOT).expect("parse connectbot");
+    let config = AnalysisConfig::default();
+
+    let first = analyze(&program, &config);
+    let second = analyze(&program, &config);
+
+    // Warning-id sets: same ids, same order.
+    let ids = |a: &nadroid::core::Analysis<'_>| -> Vec<String> {
+        a.warning_provenances().iter().map(|p| p.id.clone()).collect()
+    };
+    let first_ids = ids(&first);
+    assert!(!first_ids.is_empty(), "connectbot plants warnings");
+    assert_eq!(first_ids, ids(&second), "warning ids drift across runs");
+
+    // Filter verdicts: every (id, pruned_by, audit verdict) triple.
+    let verdicts = |a: &nadroid::core::Analysis<'_>| -> Vec<String> {
+        a.warning_provenances()
+            .iter()
+            .map(|p| {
+                let audit: Vec<String> = p
+                    .audit
+                    .iter()
+                    .map(|v| format!("{:?}:{}:{}", v.kind, v.pruned, v.evidence))
+                    .collect();
+                format!("{} {:?} [{}]", p.id, p.pruned_by, audit.join(", "))
+            })
+            .collect()
+    };
+    assert_eq!(verdicts(&first), verdicts(&second), "filter verdicts drift");
+
+    // The full provenance document — what the serve cache stores.
+    assert_eq!(
+        render_provenance_json(&first),
+        render_provenance_json(&second),
+        "provenance rendering drifts"
+    );
+
+    // And therefore the cache key is stable too.
+    assert_eq!(
+        CacheKey::of(CONNECTBOT, &config),
+        CacheKey::of(CONNECTBOT, &config)
+    );
+}
+
+#[test]
+fn summaries_and_survivors_are_stable_across_configs() {
+    let program = parse_program(CONNECTBOT).expect("parse connectbot");
+    for k in [1u32, 2, 3] {
+        let config = AnalysisConfig {
+            k,
+            ..AnalysisConfig::default()
+        };
+        let a = analyze(&program, &config);
+        let b = analyze(&program, &config);
+        assert_eq!(a.summary(), b.summary(), "summary drift at k={k}");
+        assert_eq!(
+            a.rendered_survivors(),
+            b.rendered_survivors(),
+            "survivor drift at k={k}"
+        );
+    }
+}
