@@ -9,7 +9,7 @@
 //! k-object-sensitive points-to + escape + pair enumeration) similarly
 //! dominates; absolute times are not comparable (simulator substrate).
 //!
-//! `BENCH_timing.json` schema (`nadroid-timing/2`):
+//! `BENCH_timing.json` schema (`nadroid-timing/3`):
 //!
 //! - `suite.wall_secs` — elapsed wall-clock for the parallel suite run;
 //! - `suite.cpu_secs` — per-app phase totals summed across all (parallel)
@@ -17,7 +17,10 @@
 //! - `phase_cpu_secs` — the same CPU-semantics sum broken down by phase,
 //!   encoded by `nadroid_core::phase_timings_json` (the encoder the CLI
 //!   run-report also uses);
-//! - `counters` — suite-wide sums of a few recorder counters;
+//! - `counters` — suite-wide sums of a few recorder counters, including
+//!   `hb.edges` and `detector.mhp_prepruned` (the timed run enables the
+//!   HB-closure MHP pre-prune, so its savings are visible here);
+//! - `hb.closure_secs` — total HB Datalog closure time across apps;
 //! - `datalog_closure` — the isolated engine workload below.
 //!
 //! Run with `cargo run --release -p nadroid-bench --bin timing`.
@@ -94,6 +97,7 @@ fn measure() -> SuiteMeasurement {
     let mut rows = Vec::new();
     for run in &runs {
         sum.modeling += run.timings.modeling;
+        sum.hb += run.timings.hb;
         sum.detection += run.timings.detection;
         sum.filtering += run.timings.filtering;
         sum.pointsto += run.timings.pointsto;
@@ -102,6 +106,7 @@ fn measure() -> SuiteMeasurement {
         rows.push(vec![
             run.row.name.to_owned(),
             format!("{:?}", run.timings.modeling),
+            format!("{:?}", run.timings.hb),
             format!("{:?}", run.timings.detection),
             format!("{:?}", run.timings.pointsto),
             format!("{:?}", run.timings.escape),
@@ -113,6 +118,7 @@ fn measure() -> SuiteMeasurement {
         &[
             "app",
             "modeling",
+            "hb",
             "detection",
             "pointsto",
             "escape",
@@ -136,6 +142,12 @@ fn measure() -> SuiteMeasurement {
         "  modeling  : {:>12?}  {:5.2}%",
         sum.modeling,
         pct(sum.modeling)
+    );
+    let _ = writeln!(
+        breakdown,
+        "  hb        : {:>12?}  {:5.2}%",
+        sum.hb,
+        pct(sum.hb)
     );
     let _ = writeln!(
         breakdown,
@@ -181,7 +193,7 @@ fn measure() -> SuiteMeasurement {
     let json = format!(
         concat!(
             "{{\n",
-            "  \"schema\": \"nadroid-timing/2\",\n",
+            "  \"schema\": \"nadroid-timing/3\",\n",
             "  \"apps\": {},\n",
             "  \"suite\": {{\n",
             "    \"wall_secs\": {:.6},\n",
@@ -191,7 +203,12 @@ fn measure() -> SuiteMeasurement {
             "  \"counters\": {{\n",
             "    \"pointsto.queue_pops\": {},\n",
             "    \"detector.pairs_examined\": {},\n",
-            "    \"detector.racy_pairs\": {}\n",
+            "    \"detector.racy_pairs\": {},\n",
+            "    \"detector.mhp_prepruned\": {},\n",
+            "    \"hb.edges\": {}\n",
+            "  }},\n",
+            "  \"hb\": {{\n",
+            "    \"closure_secs\": {:.6}\n",
             "  }},\n",
             "  \"datalog_closure\": {{\n",
             "    \"n\": 200,\n",
@@ -208,6 +225,9 @@ fn measure() -> SuiteMeasurement {
         counter_sum(&runs, "pointsto.queue_pops"),
         counter_sum(&runs, "detector.pairs_examined"),
         counter_sum(&runs, "detector.racy_pairs"),
+        counter_sum(&runs, "detector.mhp_prepruned"),
+        counter_sum(&runs, "hb.edges"),
+        counter_sum(&runs, "hb.closure_micros") as f64 / 1e6,
         derived,
         engine_time.as_secs_f64(),
         tps,

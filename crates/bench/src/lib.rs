@@ -35,8 +35,8 @@ pub struct AppRun {
     pub recorder: obs::Recorder,
     /// The rendered JSON run report for this app.
     pub report: String,
-    /// The `nadroid-provenance/1` JSON document: stable warning ids,
-    /// derivation trees, and the per-filter audit trail.
+    /// The `nadroid-provenance/2` JSON document: stable warning ids,
+    /// derivation trees, per-filter audit trail, and HB evidence.
     pub provenance: String,
     /// Stable ids of the warnings surviving all filters, in report order.
     pub surviving_ids: Vec<String>,
@@ -46,25 +46,33 @@ pub struct AppRun {
 /// into a per-app recorder, plus the warning-provenance summary.
 #[must_use]
 pub fn run_row(row: &PaperRow) -> AppRun {
-    run_row_inner(row, true)
+    run_row_inner(row, true, &AnalysisConfig::default())
 }
 
 /// [`run_row`] minus the provenance capture: deriving every warning's
 /// racy pair through the Datalog engine with recording on is real work,
 /// and the §8.8 timing baseline measures the analysis pipeline, not the
 /// debugging exporter. `provenance` and `surviving_ids` come back empty.
+/// The timed run also opts into the HB-closure MHP pre-prune, so the
+/// `detector.mhp_prepruned` delta is visible in `BENCH_timing.json`
+/// without perturbing the Table 1 / Figure 5 populations the other
+/// drivers pin.
 #[must_use]
 pub fn run_row_timed(row: &PaperRow) -> AppRun {
-    run_row_inner(row, false)
+    let config = AnalysisConfig {
+        mhp_preprune: true,
+        ..AnalysisConfig::default()
+    };
+    run_row_inner(row, false, &config)
 }
 
-fn run_row_inner(row: &PaperRow, capture_provenance: bool) -> AppRun {
+fn run_row_inner(row: &PaperRow, capture_provenance: bool, config: &AnalysisConfig) -> AppRun {
     let app = generate(&spec_for(row));
     let recorder = obs::Recorder::new();
     let (summary, types, timings, report, provenance, surviving_ids) = {
         let analysis = {
             let _guard = recorder.install();
-            analyze(&app.program, &AnalysisConfig::default())
+            analyze(&app.program, config)
         };
         // Provenance capture happens after the timed pipeline (outside
         // PhaseTimings), and the timing driver skips it entirely.
@@ -428,7 +436,7 @@ mod tests {
         assert!(text.contains("\"filter.MHB.examined\""), "{text}");
         assert!(text.contains("\"phase_secs\""), "{text}");
         let prov = std::fs::read_to_string(dir.join("Dns66.provenance.json")).unwrap();
-        assert!(prov.contains("\"schema\": \"nadroid-provenance/1\""), "{prov}");
+        assert!(prov.contains("\"schema\": \"nadroid-provenance/2\""), "{prov}");
         assert!(prov.contains("racyPair"), "{prov}");
     }
 

@@ -49,11 +49,15 @@ pub enum Command {
         /// Write a flat JSON run-report (timings, counters, span
         /// aggregates) to this file.
         report: Option<String>,
-        /// Write the `nadroid-provenance/1` JSON document (stable warning
-        /// ids, derivation trees, filter audit) to this file.
+        /// Write the `nadroid-provenance/2` JSON document (stable warning
+        /// ids, derivation trees, filter audit, HB evidence) to this file.
         provenance: Option<String>,
         /// Append the human-readable span/metric tree to the output.
         stats: bool,
+        /// Drop must-ordered (use before free) pairs before the filter
+        /// pipeline via the happens-before closure. Changes the potential
+        /// count, so it is opt-in.
+        mhp_preprune: bool,
     },
     /// Explain warnings: derivation tree, filter audit, lineages.
     Explain {
@@ -138,6 +142,7 @@ USAGE:
                               [--baseline <file>] [--update-baseline]
                               [--trace <file>] [--report <file>]
                               [--provenance <file>] [--stats]
+                              [--mhp-preprune]
     nadroid explain <app.dsl> [<warning-id>]
     nadroid nosleep <app.dsl>
     nadroid deva    <app.dsl>
@@ -163,17 +168,22 @@ OBSERVABILITY (see docs/observability.md):
                       or https://ui.perfetto.dev
     --report <file>   flat JSON run-report: phase timings, counters
                       (incl. per-filter examined/killed), span aggregates
-    --provenance <f>  nadroid-provenance/1 JSON: stable warning ids,
-                      Datalog derivation trees, per-filter audit trail
+    --provenance <f>  nadroid-provenance/2 JSON: stable warning ids,
+                      Datalog derivation trees, per-filter audit trail,
+                      happens-before evidence, and the program hash
     --stats           append the span/metric tree to the text report
+    --mhp-preprune    drop must-ordered (use-before-free) pairs before
+                      the filters via the HB closure; shrinks the
+                      potential count, so off by default
 
 `explain` prints each warning's racy-pair derivation tree, the verdict
 and evidence of every filter that examined it, and the use/free thread
 lineages. With no <warning-id> it explains every warning (pruned ones
 included); ids are stable across reruns and printed by the drivers.
-When a fresh `<app>.provenance.json` sits next to the DSL file (write
-one with `analyze --provenance`), `explain` renders from it instead of
-re-running the pipeline.
+When a `<app>.provenance.json` sits next to the DSL file (write one
+with `analyze --provenance`) and its recorded program hash matches the
+DSL content, `explain` renders from it instead of re-running the
+pipeline.
 ";
 
 /// Parse command-line arguments (without the program name).
@@ -237,6 +247,7 @@ fn parse_analyze(args: impl Iterator<Item = String>) -> Result<Command, CliError
     let mut report = None;
     let mut provenance = None;
     let mut stats = false;
+    let mut mhp_preprune = false;
     while let Some(a) = args.next() {
         match a.as_str() {
             "--validate" => validate = true,
@@ -244,6 +255,7 @@ fn parse_analyze(args: impl Iterator<Item = String>) -> Result<Command, CliError
             "--json" => json = true,
             "--update-baseline" => update_baseline = true,
             "--stats" => stats = true,
+            "--mhp-preprune" => mhp_preprune = true,
             "--baseline" => {
                 baseline = Some(
                     args.next()
@@ -298,6 +310,7 @@ fn parse_analyze(args: impl Iterator<Item = String>) -> Result<Command, CliError
         report,
         provenance,
         stats,
+        mhp_preprune,
     })
 }
 
@@ -430,6 +443,7 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
             report,
             provenance,
             stats,
+            mhp_preprune,
         } => {
             let program = load(path)?;
             // Any observability output wants a recorder installed for the
@@ -444,6 +458,7 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
                     FilterKind::unsound().to_vec()
                 },
                 datalog_crosscheck: observing,
+                mhp_preprune: *mhp_preprune,
                 ..AnalysisConfig::default()
             };
             let recorder = nadroid_obs::Recorder::new();
@@ -523,18 +538,21 @@ baseline: {suppressed} suppressed, {} new
             Ok(out)
         }
         Command::Explain { path, warning_id } => {
-            // A fresh provenance export next to the DSL file already
-            // holds everything `explain` prints — render from it
-            // instead of re-running the whole pipeline. A stale or
+            // A provenance export next to the DSL file already holds
+            // everything `explain` prints — render from it instead of
+            // re-running the whole pipeline, but only when its recorded
+            // program hash matches the current source content (mtimes
+            // lie under copies, checkouts and touch(1)). A stale or
             // corrupt document falls through to a live solve.
-            if let Some((prov_path, doc)) = fresh_provenance_sibling(path) {
+            let program = load(path)?;
+            let want_hash = nadroid_core::program_hash(&program);
+            if let Some((prov_path, doc)) = fresh_provenance_sibling(path, &want_hash) {
                 if let Ok(text) =
                     nadroid_core::render_explain_from_json(&doc, warning_id.as_deref())
                 {
                     return Ok(format!("(from cached provenance: {prov_path})\n{text}"));
                 }
             }
-            let program = load(path)?;
             let analysis = analyze(&program, &AnalysisConfig::default());
             Ok(nadroid_core::render_explain(
                 &analysis,
@@ -700,17 +718,21 @@ fn render_response(response: &Response) -> Result<String, CliError> {
     }
 }
 
-/// The `<app>.provenance.json` sibling of `path`, when it exists and is
-/// at least as new as the DSL file.
-fn fresh_provenance_sibling(path: &str) -> Option<(String, String)> {
-    let dsl = std::path::Path::new(path);
-    let prov = dsl.with_extension("provenance.json");
-    let dsl_mtime = std::fs::metadata(dsl).ok()?.modified().ok()?;
-    let prov_mtime = std::fs::metadata(&prov).ok()?.modified().ok()?;
-    if prov_mtime < dsl_mtime {
+/// The `<app>.provenance.json` sibling of `path`, when it exists and
+/// records `want_hash` as its `program_hash` — validation by content,
+/// not mtime, so a document that merely *looks* newer than the DSL file
+/// can never answer for a program whose text changed.
+fn fresh_provenance_sibling(path: &str, want_hash: &str) -> Option<(String, String)> {
+    let prov = std::path::Path::new(path).with_extension("provenance.json");
+    let doc = std::fs::read_to_string(&prov).ok()?;
+    let recorded = nadroid_core::parse_json(&doc).ok()?;
+    if recorded
+        .get("program_hash")
+        .and_then(nadroid_core::JsonValue::as_str)
+        != Some(want_hash)
+    {
         return None;
     }
-    let doc = std::fs::read_to_string(&prov).ok()?;
     Some((prov.to_string_lossy().into_owned(), doc))
 }
 
@@ -747,6 +769,7 @@ mod tests {
                 report: None,
                 provenance: None,
                 stats: false,
+                mhp_preprune: false,
             }
         );
         assert!(parse_args(args(&["analyze", "a.dsl", "--update-baseline"])).is_err());
@@ -826,6 +849,7 @@ mod tests {
             report: None,
             provenance: None,
             stats: false,
+            mhp_preprune: false,
         })
         .unwrap();
         assert!(report.contains("nAdroid report for `Cli`"), "{report}");
@@ -874,6 +898,7 @@ mod tests {
             report: None,
             provenance: None,
             stats: false,
+            mhp_preprune: false,
         };
         // First run: everything is new; write the baseline.
         let out = run(&analyze_cmd(true)).unwrap();
@@ -906,6 +931,7 @@ activity M { cb onClick { } }",
             report: None,
             provenance: None,
             stats: false,
+            mhp_preprune: false,
         })
         .unwrap();
         assert!(out.trim_start().starts_with('{'), "{out}");
@@ -967,6 +993,7 @@ activity M { cb onClick { } }",
             report: Some(report_path.to_string_lossy().into_owned()),
             provenance: None,
             stats: true,
+            mhp_preprune: false,
         })
         .unwrap();
         assert!(out.contains("run stats:"), "--stats appends the tree:\n{out}");
@@ -1161,12 +1188,24 @@ activity M { cb onClick { } }",
             report: None,
             provenance: Some(prov.to_string_lossy().into_owned()),
             stats: false,
+            mhp_preprune: false,
         })
         .unwrap();
         let cached = run(&explain_cmd).unwrap();
         assert!(cached.contains("from cached provenance"), "{cached}");
         let (_, body) = cached.split_once('\n').unwrap();
         assert_eq!(body, live, "cached rendering must match the live one");
+
+        // A document whose recorded program hash no longer matches the
+        // DSL content is ignored, even though its mtime is *newer* than
+        // the source — the freshness check is content, not timestamps.
+        let stale = std::fs::read_to_string(&prov)
+            .unwrap()
+            .replace("\"program_hash\": \"p:", "\"program_hash\": \"p:dead");
+        std::fs::write(&prov, stale).unwrap();
+        let refreshed = run(&explain_cmd).unwrap();
+        assert!(!refreshed.contains("from cached provenance"), "{refreshed}");
+        assert_eq!(refreshed, live);
 
         // A corrupt document falls back to the live solve.
         std::fs::write(&prov, "not json").unwrap();

@@ -281,13 +281,14 @@ fn provenance_json_golden_shape_on_connectbot() {
         report: None,
         provenance: Some(prov_path.to_string_lossy().into_owned()),
         stats: false,
+        mhp_preprune: false,
     })
     .unwrap();
 
     let doc = parse(&std::fs::read_to_string(&prov_path).unwrap());
     assert_eq!(
         doc.get("schema").and_then(Json::as_str),
-        Some("nadroid-provenance/1")
+        Some("nadroid-provenance/2")
     );
     assert_eq!(doc.get("app").and_then(Json::as_str), Some("ConnectBot"));
     let warnings = match doc.get("warnings") {

@@ -292,6 +292,20 @@ pub fn fingerprint(w: &RenderedWarning) -> String {
     format!("{}|{}|{}|{}", w.pair_type, w.field, w.use_site, w.free_site)
 }
 
+/// Content hash of a program: `p:` plus 16 hex digits of FNV-1a 64 over
+/// its printed form. Recorded in provenance documents so `explain` can
+/// tell whether a `.provenance.json` sibling still describes the source
+/// it sits next to — comparing content, not mtimes.
+#[must_use]
+pub fn program_hash(program: &nadroid_ir::Program) -> String {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in nadroid_ir::print_program(program).bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    format!("p:{h:016x}")
+}
+
 /// Render the analysis as a JSON document.
 #[must_use]
 pub fn render_json(analysis: &Analysis<'_>) -> String {
@@ -332,17 +346,19 @@ pub fn render_json(analysis: &Analysis<'_>) -> String {
 /// Render phase timings as a JSON object (seconds, six decimals) — the
 /// single encoder shared by the CLI run-report and the bench drivers'
 /// `BENCH_timing.json`, so the two files always agree on field names:
-/// `modeling`, `detection` with its `pointsto`/`escape`/`detect`
+/// `modeling`, `hb`, `detection` with its `pointsto`/`escape`/`detect`
 /// sub-phases, `filtering`, and `total`.
 #[must_use]
 pub fn phase_timings_json(t: &PhaseTimings, indent: &str) -> String {
     let s = |d: std::time::Duration| format!("{:.6}", d.as_secs_f64());
     format!(
-        "{{\n{indent}  \"modeling\": {},\n{indent}  \"detection\": {},\n\
+        "{{\n{indent}  \"modeling\": {},\n{indent}  \"hb\": {},\n\
+         {indent}  \"detection\": {},\n\
          {indent}  \"pointsto\": {},\n{indent}  \"escape\": {},\n\
          {indent}  \"detect\": {},\n{indent}  \"filtering\": {},\n\
          {indent}  \"total\": {}\n{indent}}}",
         s(t.modeling),
+        s(t.hb),
         s(t.detection),
         s(t.pointsto),
         s(t.escape),
@@ -466,7 +482,11 @@ mod tests {
         let prov = parse_json(&crate::render_provenance_json(&a)).unwrap();
         assert_eq!(
             prov.get("schema").unwrap().as_str(),
-            Some("nadroid-provenance/1")
+            Some("nadroid-provenance/2")
+        );
+        assert_eq!(
+            prov.get("program_hash").unwrap().as_str(),
+            Some(program_hash(&p).as_str())
         );
         assert!(!prov.get("warnings").unwrap().as_arr().unwrap().is_empty());
     }
@@ -486,7 +506,7 @@ mod tests {
         .unwrap();
         let a = analyze(&p, &AnalysisConfig::default());
         let json = phase_timings_json(a.timings(), "");
-        for key in ["modeling", "detection", "pointsto", "escape", "detect", "filtering", "total"] {
+        for key in ["modeling", "hb", "detection", "pointsto", "escape", "detect", "filtering", "total"] {
             assert!(json.contains(&format!("\"{key}\": ")), "{json}");
         }
         assert_eq!(json.matches('{').count(), json.matches('}').count());

@@ -41,7 +41,8 @@ pub mod report;
 
 pub use fpclass::{classify_fp, component_reachable, FpCause};
 pub use json::{
-    esc, fingerprint, parse_json, phase_timings_json, render_json, render_run_report, JsonValue,
+    esc, fingerprint, parse_json, phase_timings_json, program_hash, render_json,
+    render_run_report, JsonValue,
 };
 pub use provenance::{
     render_explain, render_explain_from_json, render_provenance_json,
@@ -50,9 +51,10 @@ pub use provenance::{
 pub use render::render_report;
 pub use report::{classify_pair, rank_key, render_warning, Endpoint, PairType, RenderedWarning};
 
-use nadroid_detector::{detect, distinct_pairs, DetectorOptions, UafWarning};
+use nadroid_detector::{detect_with, distinct_pairs, DetectorOptions, UafWarning};
 use nadroid_dynamic::{explore, ExploreConfig, Goal, Witness};
 use nadroid_filters::{FilterKind, FilterOutcome, Filters};
+use nadroid_hb::HbGraph;
 use nadroid_ir::{InstrId, Program};
 use nadroid_obs as obs;
 use nadroid_pointsto::{Escape, PointsTo};
@@ -77,6 +79,13 @@ pub struct AnalysisConfig {
     /// [`PhaseTimings`]. The CLI enables it when tracing so rule-level
     /// Datalog spans appear in the capture.
     pub datalog_crosscheck: bool,
+    /// Drop racy pairs whose use is must-ordered before its free
+    /// (`must_hb(use, free)` in the [`HbGraph`] closure) before they enter
+    /// the filter pipeline. Off by default: the pruned pairs never reach
+    /// the filters, so `Summary::potential` and the Figure 5 populations
+    /// shrink — the timing driver opts in to measure the saved work.
+    /// Free-before-use orderings are never pruned (they are the bugs).
+    pub mhp_preprune: bool,
 }
 
 impl Default for AnalysisConfig {
@@ -87,6 +96,7 @@ impl Default for AnalysisConfig {
             sound_filters: FilterKind::sound().to_vec(),
             unsound_filters: FilterKind::unsound().to_vec(),
             datalog_crosscheck: false,
+            mhp_preprune: false,
         }
     }
 }
@@ -96,6 +106,8 @@ impl Default for AnalysisConfig {
 pub struct PhaseTimings {
     /// Threadification (§4).
     pub modeling: Duration,
+    /// Happens-before graph construction and Datalog closure.
+    pub hb: Duration,
     /// Points-to + escape + race detection (§5).
     pub detection: Duration,
     /// Filter evaluation (§6).
@@ -125,7 +137,7 @@ impl PhaseTimings {
             self.detect,
             self.detection
         );
-        self.modeling + self.detection + self.filtering
+        self.modeling + self.hb + self.detection + self.filtering
     }
 }
 
@@ -162,6 +174,9 @@ pub struct Analysis<'p> {
     sound_outcomes: Vec<FilterOutcome>,
     /// Outcome of the unsound-filter pass over the sound survivors.
     unsound_outcomes: Vec<FilterOutcome>,
+    /// The materialized happens-before relation every HB-family filter
+    /// query was answered from.
+    hb: HbGraph,
     timings: PhaseTimings,
 }
 
@@ -190,6 +205,13 @@ pub fn analyze<'p>(program: &'p Program, config: &AnalysisConfig) -> Analysis<'p
         obs::counter("model.posted_callbacks", threads.posted_callback_count() as u64);
     }
 
+    let t_hb = Instant::now();
+    let hb = {
+        let _s = obs::span("hb");
+        HbGraph::build(program, &threads)
+    };
+    let hb_time = t_hb.elapsed();
+
     let t1 = Instant::now();
     let _detection_span = obs::span("detection");
     let t_sub = Instant::now();
@@ -207,7 +229,8 @@ pub fn analyze<'p>(program: &'p Program, config: &AnalysisConfig) -> Analysis<'p
     let t_sub = Instant::now();
     let warnings = {
         let _s = obs::span("detect");
-        detect(program, &threads, &pts, &escape, config.detector)
+        let preprune = config.mhp_preprune.then_some(&hb);
+        detect_with(program, &threads, &pts, &escape, config.detector, preprune)
     };
     let detect_time = t_sub.elapsed();
     drop(_detection_span);
@@ -215,7 +238,7 @@ pub fn analyze<'p>(program: &'p Program, config: &AnalysisConfig) -> Analysis<'p
 
     let t2 = Instant::now();
     let _filtering_span = obs::span("filtering");
-    let filters = Filters::new(program, &threads, &pts, &escape);
+    let filters = Filters::with_hb(program, &threads, &pts, &escape, &hb);
     let sound_outcomes = filters.pipeline(warnings.clone(), &config.sound_filters);
     let survivors: Vec<UafWarning> = sound_outcomes
         .iter()
@@ -241,8 +264,10 @@ pub fn analyze<'p>(program: &'p Program, config: &AnalysisConfig) -> Analysis<'p
         warnings,
         sound_outcomes,
         unsound_outcomes,
+        hb,
         timings: PhaseTimings {
             modeling,
+            hb: hb_time,
             detection,
             filtering,
             pointsto,
@@ -336,10 +361,17 @@ impl<'p> Analysis<'p> {
         &self.timings
     }
 
-    /// The filter engine, for ad-hoc queries.
+    /// The happens-before graph the pipeline built and queried.
+    #[must_use]
+    pub fn hb(&self) -> &HbGraph {
+        &self.hb
+    }
+
+    /// The filter engine, for ad-hoc queries. Borrows the analysis's own
+    /// [`HbGraph`] rather than rebuilding one.
     #[must_use]
     pub fn filters(&self) -> Filters<'_> {
-        Filters::new(self.program, &self.threads, &self.pts, &self.escape)
+        Filters::with_hb(self.program, &self.threads, &self.pts, &self.escape, &self.hb)
     }
 
     /// Aggregate counts (one Table 1 row), at distinct (use, free) pair

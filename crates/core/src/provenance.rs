@@ -1,26 +1,33 @@
 //! Warning provenance: the full derivation story of each warning.
 //!
-//! Each warning carries three layers of evidence:
+//! Each warning carries four layers of evidence:
 //!
 //! 1. a stable content-derived id ([`nadroid_detector::warning_id`]),
 //! 2. the Datalog derivation tree of its racy-pair fact (§5 re-encoded
-//!    as rules and solved with derivation recording on), and
+//!    as rules and solved with derivation recording on),
 //! 3. a filter audit trail — every §6 filter that examined the warning,
-//!    its verdict, and concrete evidence for it.
+//!    its verdict, and concrete evidence for it — and
+//! 4. the happens-before edges the [`nadroid_hb::HbGraph`] holds between
+//!    the warning's two threads (or the `mhp` fact that none exist).
 //!
 //! The audit is built from [`Filters::verdict`], whose `pruned` bit *is*
 //! [`Filters::prunes`], so it can never disagree with the Figure 5
 //! tallies the drivers report. [`render_provenance_json`] serializes
-//! everything under the `nadroid-provenance/1` schema;
+//! everything under the `nadroid-provenance/2` schema (v2 added the
+//! document-level `program_hash` and the per-warning `hb` evidence);
 //! [`render_explain`] is the human-readable form behind
 //! `nadroid explain`.
+//!
+//! [`Filters::verdict`]: nadroid_filters::Filters::verdict
+//! [`Filters::prunes`]: nadroid_filters::Filters::prunes
 
-use crate::json::{esc, JsonValue};
+use crate::json::{esc, program_hash, JsonValue};
 use crate::report::{render_warning, RenderedWarning};
 use crate::Analysis;
 use nadroid_datalog::{Database, Derivation, RuleSet, Term};
-use nadroid_detector::{derive_racy_pairs, describe_fact, warning_id};
-use nadroid_filters::{FilterKind, FilterVerdict, Filters};
+use nadroid_detector::{derive_racy_pairs, describe_fact, warning_id, UafWarning};
+use nadroid_filters::{FilterKind, FilterVerdict};
+use nadroid_hb::HbEdgeKind;
 use std::fmt::Write as _;
 
 /// One node of a derivation tree, pre-rendered in source terms (the
@@ -63,6 +70,11 @@ pub struct WarningProvenance {
     /// the configured sound filters always; the unsound filters only if
     /// the warning survived the sound pass (mirroring the pipeline).
     pub audit: Vec<FilterVerdict>,
+    /// Happens-before evidence between the warning's two threads: every
+    /// direct [`nadroid_hb::HbGraph`] edge in either direction, the
+    /// `mustHb` path when one exists, or the `mhp` fact when neither
+    /// direction is soundly ordered.
+    pub hb: Vec<String>,
     /// Derivation tree of the warning's `racyPair` fact.
     pub derivation: Option<DerivationNode>,
 }
@@ -106,7 +118,7 @@ impl Analysis<'_> {
             &self.escape,
             self.config.detector,
         );
-        let filters = Filters::new(self.program, &self.threads, &self.pts, &self.escape);
+        let filters = self.filters();
         self.warnings
             .iter()
             .map(|w| {
@@ -136,6 +148,7 @@ impl Analysis<'_> {
                     survived: pruned_by.is_none(),
                     pruned_by,
                     audit,
+                    hb: hb_evidence(self, w),
                     derivation,
                 }
             })
@@ -162,8 +175,46 @@ fn render_derivation(
     }
 }
 
+/// Render the happens-before evidence between a warning's two threads,
+/// in source terms: each direct graph edge (use→free first, then
+/// free→use), then either the `mustHb` path or the `mhp` fact.
+fn hb_evidence(analysis: &Analysis<'_>, w: &UafWarning) -> Vec<String> {
+    let g = analysis.hb();
+    let p = analysis.program();
+    let t = analysis.threads();
+    let lin = |id| t.lineage_string(p, id);
+    let label = |kind: HbEdgeKind| match kind {
+        HbEdgeKind::Cancel(api) => format!("{} via {}", kind.relation(), api.method_name()),
+        HbEdgeKind::Reentry(f) => format!(
+            "{} re-allocating {}.{}",
+            kind.relation(),
+            p.class(p.field(f).owner()).name(),
+            p.field(f).name()
+        ),
+        k => k.relation().to_owned(),
+    };
+    let mut out = Vec::new();
+    let mut directions = vec![(w.use_thread, w.free_thread)];
+    if w.free_thread != w.use_thread {
+        directions.push((w.free_thread, w.use_thread));
+    }
+    for (a, b) in directions {
+        for e in g.edges_between(a, b) {
+            out.push(format!("{}: [{}] -> [{}]", label(e.kind), lin(e.src), lin(e.dst)));
+        }
+        if let Some(path) = g.must_hb_path(a, b) {
+            let hops: Vec<String> = path.into_iter().map(lin).collect();
+            out.push(format!("mustHb: {}", hops.join(" -> ")));
+        }
+    }
+    if g.mhp(w.use_thread, w.free_thread) {
+        out.push("mhp: no sound ordering in either direction".to_owned());
+    }
+    out
+}
+
 /// Serialize the provenance of every warning as JSON under the
-/// `nadroid-provenance/1` schema.
+/// `nadroid-provenance/2` schema.
 #[must_use]
 pub fn render_provenance_json(analysis: &Analysis<'_>) -> String {
     render_provenance_json_with(analysis, &analysis.warning_provenances())
@@ -179,8 +230,13 @@ pub fn render_provenance_json_with(
     provenances: &[WarningProvenance],
 ) -> String {
     let mut out = String::from("{\n");
-    let _ = writeln!(out, "  \"schema\": \"nadroid-provenance/1\",");
+    let _ = writeln!(out, "  \"schema\": \"nadroid-provenance/2\",");
     let _ = writeln!(out, "  \"app\": \"{}\",", esc(analysis.program().name()));
+    let _ = writeln!(
+        out,
+        "  \"program_hash\": \"{}\",",
+        esc(&program_hash(analysis.program()))
+    );
     out.push_str("  \"warnings\": [");
     for (i, p) in provenances.iter().enumerate() {
         if i > 0 {
@@ -229,6 +285,18 @@ pub fn render_provenance_json_with(
             );
         }
         if p.audit.is_empty() {
+            out.push_str("],\n");
+        } else {
+            out.push_str("\n      ],\n");
+        }
+        out.push_str("      \"hb\": [");
+        for (j, line) in p.hb.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\n        \"{}\"", esc(line));
+        }
+        if p.hb.is_empty() {
             out.push_str("],\n");
         } else {
             out.push_str("\n      ],\n");
@@ -285,7 +353,7 @@ fn write_derivation_json(out: &mut String, d: &DerivationNode, indent: usize) {
 
 /// The provenance fields `nadroid explain` renders, decoupled from the
 /// live [`Analysis`] so the same rendering serves both a fresh run and a
-/// previously-exported `nadroid-provenance/1` document (the serve
+/// previously-exported `nadroid-provenance/2` document (the serve
 /// result cache and the CLI's provenance-file fast path).
 #[derive(Debug, Clone, PartialEq, Eq)]
 struct ExplainEntry {
@@ -299,6 +367,7 @@ struct ExplainEntry {
     pruned_by: Option<String>,
     /// (filter name, pruned, evidence).
     audit: Vec<(String, bool, String)>,
+    hb: Vec<String>,
     derivation: Option<DerivationNode>,
 }
 
@@ -317,6 +386,7 @@ fn entry_of(p: &WarningProvenance) -> ExplainEntry {
             .iter()
             .map(|v| (v.kind.name().to_owned(), v.pruned, v.evidence.clone()))
             .collect(),
+        hb: p.hb.clone(),
         derivation: p.derivation.clone(),
     }
 }
@@ -349,6 +419,12 @@ fn render_entries(entries: &[ExplainEntry], id: Option<&str>) -> String {
         let _ = writeln!(out, "  use:    {}  [{}]", e.use_site, e.use_lineage);
         let _ = writeln!(out, "  free:   {}  [{}]", e.free_site, e.free_lineage);
         let _ = writeln!(out, "  type:   {}", e.pair_type);
+        if !e.hb.is_empty() {
+            out.push_str("  ordering:\n");
+            for line in &e.hb {
+                let _ = writeln!(out, "    {line}");
+            }
+        }
         match &e.pruned_by {
             Some(k) => {
                 let _ = writeln!(out, "  status: pruned by {k}");
@@ -385,18 +461,18 @@ pub fn render_explain(analysis: &Analysis<'_>, id: Option<&str>) -> String {
 }
 
 /// Render the `nadroid explain` text from a serialized
-/// `nadroid-provenance/1` document instead of a live analysis — the
+/// `nadroid-provenance/2` document instead of a live analysis — the
 /// fast path when the provenance was already computed (by `analyze
 /// --provenance`, the table1 driver, or the serve result cache).
 ///
 /// # Errors
 ///
 /// Returns a message when the document is not parseable JSON or does not
-/// carry the `nadroid-provenance/1` schema.
+/// carry the `nadroid-provenance/2` schema.
 pub fn render_explain_from_json(doc: &str, id: Option<&str>) -> Result<String, String> {
     let v = crate::json::parse_json(doc)?;
-    if v.get("schema").and_then(JsonValue::as_str) != Some("nadroid-provenance/1") {
-        return Err("not a nadroid-provenance/1 document".into());
+    if v.get("schema").and_then(JsonValue::as_str) != Some("nadroid-provenance/2") {
+        return Err("not a nadroid-provenance/2 document".into());
     }
     let warnings = v
         .get("warnings")
@@ -430,6 +506,14 @@ fn entry_from_json(v: &JsonValue) -> Result<ExplainEntry, String> {
             ))
         })
         .collect::<Result<Vec<_>, String>>()?;
+    let hb = v
+        .get("hb")
+        .and_then(JsonValue::as_arr)
+        .unwrap_or(&[])
+        .iter()
+        .filter_map(JsonValue::as_str)
+        .map(str::to_owned)
+        .collect();
     let derivation = match v.get("derivation") {
         None | Some(JsonValue::Null) => None,
         Some(d) => Some(derivation_from_json(d)?),
@@ -447,6 +531,7 @@ fn entry_from_json(v: &JsonValue) -> Result<ExplainEntry, String> {
             .and_then(JsonValue::as_str)
             .map(str::to_owned),
         audit,
+        hb,
         derivation,
     })
 }
@@ -559,7 +644,9 @@ mod tests {
         let p = parse_program(FIG1A).unwrap();
         let a = analyze(&p, &AnalysisConfig::default());
         let json = render_provenance_json(&a);
-        assert!(json.contains("\"schema\": \"nadroid-provenance/1\""), "{json}");
+        assert!(json.contains("\"schema\": \"nadroid-provenance/2\""), "{json}");
+        assert!(json.contains("\"program_hash\": \"p:"), "{json}");
+        assert!(json.contains("\"hb\": ["), "{json}");
         assert!(json.contains("\"derivation\": {"), "{json}");
         assert!(json.contains("racyPair"), "{json}");
         assert_eq!(json.matches('{').count(), json.matches('}').count());
@@ -572,6 +659,7 @@ mod tests {
         let a = analyze(&p, &AnalysisConfig::default());
         let text = render_explain(&a, None);
         assert!(text.contains("derivation:"), "{text}");
+        assert!(text.contains("ordering:"), "{text}");
         assert!(text.contains("racyPair("), "{text}");
         assert!(text.contains("(base fact)"), "{text}");
         assert!(text.contains("filter audit:"), "{text}");

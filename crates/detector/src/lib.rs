@@ -199,6 +199,31 @@ pub fn detect(
     escape: &Escape,
     options: DetectorOptions,
 ) -> Vec<UafWarning> {
+    detect_with(program, threads, pts, escape, options, None)
+}
+
+/// [`detect`] with an optional MHP pre-prune: when a happens-before
+/// graph is supplied, thread pairs whose use is must-ordered before the
+/// free (`mustHb(use, free)` — the transitive extension of the sound MHB
+/// filter) are dropped before a warning is ever materialized, shrinking
+/// the population entering the filter pipeline. Pairs ordered the *other*
+/// way (free before use) are kept: those are definite ordering
+/// violations, not safe ones.
+///
+/// Because `mustHb` is the closure of the direct MHB relations, the
+/// pre-prune can remove strictly more pairs than the per-warning MHB
+/// filter would; it is therefore opt-in (the timing driver and the
+/// `--mhp-preprune` CLI flag), never the default pipeline, whose Figure 5
+/// populations are pinned by the evaluation suite.
+#[must_use]
+pub fn detect_with(
+    program: &Program,
+    threads: &ThreadModel,
+    pts: &PointsTo,
+    escape: &Escape,
+    options: DetectorOptions,
+    hb: Option<&nadroid_hb::HbGraph>,
+) -> Vec<UafWarning> {
     let accesses = collect_accesses(program);
     let uses: Vec<&Access> = accesses
         .iter()
@@ -210,6 +235,7 @@ pub fn detect(
         .collect();
 
     let mut pairs_examined = 0u64;
+    let mut mhp_prepruned = 0u64;
     let mut out = Vec::new();
     for u in &uses {
         for f in &frees {
@@ -241,6 +267,10 @@ pub fn detect(
                     if tu == tf {
                         continue;
                     }
+                    if hb.is_some_and(|g| g.must_hb(tu, tf)) {
+                        mhp_prepruned += 1;
+                        continue;
+                    }
                     out.push(UafWarning {
                         field: u.field,
                         use_access: (*u).clone(),
@@ -259,6 +289,9 @@ pub fn detect(
         nadroid_obs::counter("detector.pairs_examined", pairs_examined);
         nadroid_obs::counter("detector.warnings", out.len() as u64);
         nadroid_obs::counter("detector.racy_pairs", distinct_pairs(&out) as u64);
+        if hb.is_some() {
+            nadroid_obs::counter("detector.mhp_prepruned", mhp_prepruned);
+        }
     }
     out
 }
@@ -721,6 +754,39 @@ mod tests {
         let esc = Escape::compute(&p, &t, &pts);
         let w = detect(&p, &t, &pts, &esc, DetectorOptions::default());
         assert!(w.is_empty());
+    }
+
+    #[test]
+    fn mhp_preprune_drops_must_ordered_pairs() {
+        let src = r#"
+            app PP
+            activity Main {
+                field f: Main
+                cb onCreate { f = new Main  use f }
+                cb onDestroy { f = null }
+            }
+        "#;
+        let p = parse_program(src).unwrap();
+        let t = ThreadModel::build(&p);
+        let pts = PointsTo::run(&p, &t, 2);
+        let esc = Escape::compute(&p, &t, &pts);
+        let base = detect(&p, &t, &pts, &esc, DetectorOptions::default());
+        assert!(!base.is_empty(), "the lifecycle-ordered pair is detected");
+        let g = nadroid_hb::HbGraph::build(&p, &t);
+        let pruned = detect_with(&p, &t, &pts, &esc, DetectorOptions::default(), Some(&g));
+        assert!(
+            pruned.len() < base.len(),
+            "mustHb(onCreate, onDestroy) pairs are dropped before warning \
+             materialization ({} -> {})",
+            base.len(),
+            pruned.len()
+        );
+        for w in &pruned {
+            assert!(
+                !g.must_hb(w.use_thread, w.free_thread),
+                "no surviving pair is must-ordered use-before-free"
+            );
+        }
     }
 
     fn run_with_provenance(

@@ -19,6 +19,12 @@
 //! answers one filter for one warning (Figure 5 measures them
 //! individually), and [`Filters::pipeline`] applies a sequence with
 //! first-pruner attribution (the Table 1 columns).
+//!
+//! The HB-family filters (MHB, RHB, CHB, PHB) are answered by the
+//! materialized happens-before graph ([`nadroid_hb::HbGraph`]) rather
+//! than private lineage walks; the pre-graph logic is kept as
+//! [`Filters::legacy_prunes`] and asserted equivalent under
+//! [`Filters::with_crosscheck`] (the CI parity gate).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -29,6 +35,7 @@ pub mod nosleep;
 use nadroid_android::lifecycle;
 use nadroid_android::{CallbackKind, CancelApi};
 use nadroid_detector::{common_must_lock, UafWarning, UseConsumption};
+use nadroid_hb::{HbEdgeKind, HbGraph};
 use nadroid_ir::Program;
 use nadroid_pointsto::{Escape, PointsTo};
 use nadroid_threadify::resolve::SiteAction;
@@ -232,16 +239,29 @@ pub struct FilterVerdict {
     pub evidence: String,
 }
 
+/// Where the filter engine's happens-before graph comes from: built and
+/// owned by the engine ([`Filters::new`]) or borrowed from a caller that
+/// already materialized it ([`Filters::with_hb`] — the analysis pipeline,
+/// which also hands the graph to the detector's pre-prune).
+#[derive(Debug)]
+enum HbSource<'a> {
+    Owned(Box<HbGraph>),
+    Borrowed(&'a HbGraph),
+}
+
 /// Filter engine bound to one analyzed program.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug)]
 pub struct Filters<'a> {
     program: &'a Program,
     threads: &'a ThreadModel,
     pts: &'a PointsTo,
+    hb: HbSource<'a>,
+    crosscheck: bool,
 }
 
 impl<'a> Filters<'a> {
-    /// Bind the filter engine to analysis results.
+    /// Bind the filter engine to analysis results, materializing its own
+    /// happens-before graph.
     #[must_use]
     pub fn new(
         program: &'a Program,
@@ -254,19 +274,88 @@ impl<'a> Filters<'a> {
             program,
             threads,
             pts,
+            hb: HbSource::Owned(Box::new(HbGraph::build(program, threads))),
+            crosscheck: false,
+        }
+    }
+
+    /// [`Filters::new`] over a happens-before graph the caller already
+    /// built — avoids a second graph construction (and a second round of
+    /// `hb.*` counters) when the analysis pipeline owns the graph.
+    #[must_use]
+    pub fn with_hb(
+        program: &'a Program,
+        threads: &'a ThreadModel,
+        pts: &'a PointsTo,
+        escape: &'a Escape,
+        hb: &'a HbGraph,
+    ) -> Self {
+        let _ = escape; // reserved: escape-aware refinements
+        Filters {
+            program,
+            threads,
+            pts,
+            hb: HbSource::Borrowed(hb),
+            crosscheck: false,
+        }
+    }
+
+    /// Enable crosscheck mode: every [`Filters::prunes`] call also runs
+    /// the legacy per-filter logic and panics on disagreement. The CI
+    /// parity gate runs the evaluation corpus through this.
+    #[must_use]
+    pub fn with_crosscheck(mut self, on: bool) -> Self {
+        self.crosscheck = on;
+        self
+    }
+
+    /// The happens-before graph answering the HB-family filters.
+    #[must_use]
+    pub fn hb(&self) -> &HbGraph {
+        match &self.hb {
+            HbSource::Owned(g) => g,
+            HbSource::Borrowed(g) => g,
         }
     }
 
     /// Whether `kind` prunes `w` when applied individually.
     #[must_use]
     pub fn prunes(&self, kind: FilterKind, w: &UafWarning) -> bool {
-        match kind {
+        let pruned = match kind {
             FilterKind::Mhb => self.mhb(w),
             FilterKind::Ig => self.ig(w),
             FilterKind::Ia => self.ia(w),
             FilterKind::Rhb => self.rhb(w),
             FilterKind::Chb => self.chb(w),
             FilterKind::Phb => self.phb(w),
+            FilterKind::Ma => self.ma(w),
+            FilterKind::Ur => self.ur(w),
+            FilterKind::Tt => self.tt(w),
+        };
+        if self.crosscheck {
+            let legacy = self.legacy_prunes(kind, w);
+            assert_eq!(
+                pruned,
+                legacy,
+                "HB-graph and legacy logic disagree on {kind} for pair {:?}",
+                w.pair()
+            );
+        }
+        pruned
+    }
+
+    /// The pre-graph per-filter logic, kept verbatim for crosscheck mode
+    /// and the parity suite. The filters with no HB component (IG, IA,
+    /// MA, UR, TT) share one implementation with [`Filters::prunes`].
+    #[must_use]
+    pub fn legacy_prunes(&self, kind: FilterKind, w: &UafWarning) -> bool {
+        match kind {
+            FilterKind::Mhb => self.legacy_mhb(w),
+            FilterKind::Ig => self.ig(w),
+            FilterKind::Ia => self.ia(w),
+            FilterKind::Rhb => self.legacy_rhb(w),
+            FilterKind::Chb => self.legacy_chb(w),
+            FilterKind::Phb => self.legacy_phb(w),
             FilterKind::Ma => self.ma(w),
             FilterKind::Ur => self.ur(w),
             FilterKind::Tt => self.tt(w),
@@ -377,9 +466,17 @@ impl<'a> Filters<'a> {
     /// granularity (§6.1.1): whether every execution orders callbacks of
     /// `first` strictly before callbacks of `second`. Public so other
     /// ordering-violation clients (e.g. the no-sleep detector) can reuse
-    /// it.
+    /// it. Answered by the graph's *direct* edge relations (exactly the
+    /// §6.1.1 semantics); the transitive extension is
+    /// [`HbGraph::must_hb`].
     #[must_use]
     pub fn must_happen_before(&self, first: ThreadId, second: ThreadId) -> bool {
+        self.hb().mhb_edge(first, second).is_some()
+    }
+
+    /// Pre-graph [`Filters::must_happen_before`], kept for the
+    /// crosscheck.
+    fn legacy_must_happen_before(&self, first: ThreadId, second: ThreadId) -> bool {
         let (Some(uk), Some(fk)) = (self.effective_kind(first), self.effective_kind(second)) else {
             return false;
         };
@@ -407,6 +504,11 @@ impl<'a> Filters<'a> {
         self.must_happen_before(w.use_thread, w.free_thread)
     }
 
+    /// Pre-graph MHB, kept for the crosscheck.
+    fn legacy_mhb(&self, w: &UafWarning) -> bool {
+        self.legacy_must_happen_before(w.use_thread, w.free_thread)
+    }
+
     /// IG (§6.1.2): the use is null-checked, and check-to-use atomicity
     /// holds (same looper, or a common lock for concurrent pairs).
     fn ig(&self, w: &UafWarning) -> bool {
@@ -431,8 +533,15 @@ impl<'a> Filters<'a> {
     // --- unsound filters -----------------------------------------------------
 
     /// RHB (§6.2.1): UI-use / `onPause`-free pairs are pruned when
-    /// `onResume` of the same component may re-allocate the field.
+    /// `onResume` of the same component may re-allocate the field —
+    /// the graph's re-entry edges.
     fn rhb(&self, w: &UafWarning) -> bool {
+        self.hb()
+            .reentry_hb(w.use_thread, w.free_thread, w.use_access.field)
+    }
+
+    /// Pre-graph RHB, kept for the crosscheck.
+    fn legacy_rhb(&self, w: &UafWarning) -> bool {
         let (Some(uk), Some(fk)) = (
             self.effective_kind(w.use_thread),
             self.effective_kind(w.free_thread),
@@ -458,8 +567,13 @@ impl<'a> Filters<'a> {
 
     /// CHB (§6.2.1): the freeing callback may invoke a cancellation API
     /// silencing the use's callback family, so the use must precede the
-    /// free.
+    /// free — the graph's cancel edges.
     fn chb(&self, w: &UafWarning) -> bool {
+        self.hb().cancel_hb(w.use_thread, w.free_thread).is_some()
+    }
+
+    /// Pre-graph CHB, kept for the crosscheck.
+    fn legacy_chb(&self, w: &UafWarning) -> bool {
         let Some(uk) = self.effective_kind(w.use_thread) else {
             return false;
         };
@@ -490,8 +604,13 @@ impl<'a> Filters<'a> {
 
     /// PHB (§6.2.1): the use's callback posted the freeing callback on
     /// the same looper, so the (atomic) use completes before the free
-    /// runs.
+    /// runs — the graph's looper-restricted post edges.
     fn phb(&self, w: &UafWarning) -> bool {
+        self.hb().post_hb(w.use_thread, w.free_thread)
+    }
+
+    /// Pre-graph PHB, kept for the crosscheck.
+    fn legacy_phb(&self, w: &UafWarning) -> bool {
         let free = self.threads.thread(w.free_thread);
         free.parent() == Some(w.use_thread)
             && matches!(free.via(), SpawnVia::Post | SpawnVia::Send)
@@ -553,23 +672,12 @@ impl<'a> Filters<'a> {
         if !pruned {
             return format!("no must-happens-before edge orders [{u}] before [{f}]");
         }
-        // Re-derive which relation fired, in the order mhb() checks them.
-        let relation = match (
-            self.effective_kind(w.use_thread),
-            self.effective_kind(w.free_thread),
-        ) {
-            (Some(uk), Some(fk)) => {
-                if lifecycle::service_mhb(uk, fk) && self.same_class(w.use_thread, w.free_thread) {
-                    "MHB-Service edge (same connection class)"
-                } else if lifecycle::asynctask_mhb(uk, fk)
-                    && self.same_class(w.use_thread, w.free_thread)
-                    && self.same_origin(w.use_thread, w.free_thread)
-                {
-                    "MHB-AsyncTask edge (same task instance)"
-                } else {
-                    "MHB-Lifecycle edge (same component)"
-                }
-            }
+        // The graph's direct edge, labeled in the order the legacy logic
+        // checked the relations (Service, AsyncTask, Lifecycle).
+        let relation = match self.hb().mhb_edge(w.use_thread, w.free_thread) {
+            Some(HbEdgeKind::MhbService) => "MHB-Service edge (same connection class)",
+            Some(HbEdgeKind::MhbAsyncTask) => "MHB-AsyncTask edge (same task instance)",
+            Some(HbEdgeKind::MhbLifecycle) => "MHB-Lifecycle edge (same component)",
             _ => "must-happens-before edge",
         };
         format!("{relation}: [{u}] completes before [{f}] in every execution")
@@ -634,43 +742,16 @@ impl<'a> Filters<'a> {
                     the use's callback family"
                 .into();
         }
-        // Re-derive the first cancel site chb() accepted.
-        let api = self
-            .effective_kind(w.use_thread)
-            .and_then(|uk| {
-                let use_class = self.threads.thread(w.use_thread).class();
-                self.threads
-                    .sites_of(w.free_thread)
-                    .iter()
-                    .find_map(|site| match site.action {
-                        SiteAction::Finish
-                            if CancelApi::Finish.scope().covers(uk)
-                                && self.same_component(w.use_thread, w.free_thread) =>
-                        {
-                            Some("Activity.finish()")
-                        }
-                        SiteAction::Unbind(c)
-                            if CancelApi::UnbindService.scope().covers(uk)
-                                && use_class == Some(c) =>
-                        {
-                            Some("Context.unbindService()")
-                        }
-                        SiteAction::Unregister(c)
-                            if CancelApi::UnregisterReceiver.scope().covers(uk)
-                                && use_class == Some(c) =>
-                        {
-                            Some("Context.unregisterReceiver()")
-                        }
-                        SiteAction::RemovePosts(c)
-                            if CancelApi::RemoveCallbacksAndMessages.scope().covers(uk)
-                                && use_class == Some(c) =>
-                        {
-                            Some("Handler.removeCallbacksAndMessages()")
-                        }
-                        _ => None,
-                    })
-            })
-            .unwrap_or("a cancellation API");
+        // The graph's cancel edge records the first matching cancel site
+        // in the free thread's site order — the same site the legacy
+        // logic accepted.
+        let api = match self.hb().cancel_hb(w.use_thread, w.free_thread) {
+            Some(CancelApi::Finish) => "Activity.finish()",
+            Some(CancelApi::UnbindService) => "Context.unbindService()",
+            Some(CancelApi::UnregisterReceiver) => "Context.unregisterReceiver()",
+            Some(CancelApi::RemoveCallbacksAndMessages) => "Handler.removeCallbacksAndMessages()",
+            None => "a cancellation API",
+        };
         format!(
             "the freeing callback calls {api}, silencing [{}]'s callback family",
             self.lineage(w.use_thread)

@@ -267,6 +267,18 @@ impl Shared {
             f("queue_depth", self.pool.queue_depth()),
             f("inflight", self.pool.inflight()),
             f("workers", self.cfg.workers as u64),
+            // HB-graph aggregates across every analysis the workers ran
+            // (worker threads install the shared recorder, so the hb.*
+            // counters accumulate here).
+            f("hb.edges", self.recorder.counter_value("hb.edges")),
+            f(
+                "hb.closure_micros",
+                self.recorder.counter_value("hb.closure_micros"),
+            ),
+            f(
+                "detector.mhp_prepruned",
+                self.recorder.counter_value("detector.mhp_prepruned"),
+            ),
         ]
     }
 }

@@ -7,8 +7,10 @@
 # 2. the full test suite,
 # 3. clippy with warnings promoted to errors,
 # 4. the observability crate builds (and its tests run) with
-#    instrumentation compiled out (--no-default-features), and the
-#    Datalog engine builds with provenance recording compiled out,
+#    instrumentation compiled out (--no-default-features), the Datalog
+#    engine builds with provenance recording compiled out, and the HB
+#    graph builds with metrics compiled out; the HB parity gate then
+#    checks graph-backed filters against the legacy logic on all 27 apps,
 # 5. provenance smoke test: `nadroid explain` on a corpus app must
 #    produce a non-empty derivation tree and a filter audit,
 # 6. bench-regression guard: re-measure the timing suite and compare
@@ -30,6 +32,11 @@ cargo clippy --workspace --all-targets -- -D warnings
 cargo build -p nadroid-obs --no-default-features
 cargo test -q -p nadroid-obs --no-default-features
 cargo build -p nadroid-datalog --no-default-features
+cargo build -p nadroid-hb --no-default-features
+
+# HB parity gate: the graph-backed filters must reproduce the legacy
+# filter logic byte-for-byte across the whole 27-app corpus.
+cargo test -q --release --test hb_parity
 
 explain_out=$(cargo run --release -q -p nadroid-cli --bin nadroid -- explain apps/connectbot.dsl)
 echo "$explain_out" | grep -q 'racyPair(' || {

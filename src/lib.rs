@@ -15,6 +15,7 @@ pub use nadroid_detector as detector;
 pub use nadroid_deva as deva;
 pub use nadroid_dynamic as dynamic;
 pub use nadroid_filters as filters;
+pub use nadroid_hb as hb;
 pub use nadroid_ir as ir;
 pub use nadroid_pointsto as pointsto;
 pub use nadroid_serve as serve;

@@ -20,6 +20,7 @@ fn connectbot_report_has_both_figure1_warnings() {
         report: None,
         provenance: None,
         stats: false,
+        mhp_preprune: false,
     })
     .unwrap();
     assert!(out.contains("2 surviving warning(s)"), "{out}");

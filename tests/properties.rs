@@ -80,6 +80,41 @@ proptest! {
         let k2 = analyze(&app.program, &AnalysisConfig::default());
         prop_assert!(k2.summary().potential <= k0.summary().potential);
     }
+
+    /// `must_hb` is a strict partial order — irreflexive and transitive —
+    /// and `mhp` is exactly its symmetric complement: two distinct
+    /// threads may happen in parallel iff neither is must-ordered before
+    /// the other, so the two relations never overlap.
+    #[test]
+    fn must_hb_is_a_strict_partial_order_disjoint_from_mhp(spec in spec_strategy(2)) {
+        let app = generate(&spec);
+        let threads = ThreadModel::build(&app.program);
+        let g = nadroid::hb::HbGraph::build(&app.program, &threads);
+        let ids: Vec<_> = threads.threads().map(|(id, _)| id).collect();
+        for &a in &ids {
+            prop_assert!(!g.must_hb(a, a), "must_hb must be irreflexive");
+            prop_assert!(!g.mhp(a, a), "a thread never races itself");
+            for &b in &ids {
+                if g.mhp(a, b) {
+                    prop_assert!(g.mhp(b, a), "mhp is symmetric");
+                    prop_assert!(
+                        !g.must_hb(a, b) && !g.must_hb(b, a),
+                        "mhp and must_hb are disjoint"
+                    );
+                } else if a != b {
+                    prop_assert!(
+                        g.must_hb(a, b) || g.must_hb(b, a),
+                        "non-mhp distinct threads are must-ordered"
+                    );
+                }
+                for &c in &ids {
+                    if g.must_hb(a, b) && g.must_hb(b, c) {
+                        prop_assert!(g.must_hb(a, c), "must_hb is transitive");
+                    }
+                }
+            }
+        }
+    }
 }
 
 proptest! {
