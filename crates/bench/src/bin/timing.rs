@@ -9,7 +9,7 @@
 //! k-object-sensitive points-to + escape + pair enumeration) similarly
 //! dominates; absolute times are not comparable (simulator substrate).
 //!
-//! `BENCH_timing.json` schema (`nadroid-timing/3`):
+//! `BENCH_timing.json` schema (`nadroid-timing/4`):
 //!
 //! - `suite.wall_secs` — elapsed wall-clock for the parallel suite run;
 //! - `suite.cpu_secs` — per-app phase totals summed across all (parallel)
@@ -21,14 +21,26 @@
 //!   `hb.edges` and `detector.mhp_prepruned` (the timed run enables the
 //!   HB-closure MHP pre-prune, so its savings are visible here);
 //! - `hb.closure_secs` — total HB Datalog closure time across apps;
-//! - `datalog_closure` — the isolated engine workload below.
+//! - `datalog_closure` — the isolated engine workload below;
+//! - `scale` — the corpus-scale thread-scaling curve (new in /4): the
+//!   deterministic 1000-app population analyzed once per inner-thread
+//!   count (1/2/4/8), with `cores` recording how much hardware
+//!   parallelism the measuring machine actually had (speedups are
+//!   machine-bound; the deterministic counters are not). Per-curve-row
+//!   keys carry a `_t<N>` suffix so the flat `extract_num` scanner can
+//!   address them individually.
 //!
-//! Run with `cargo run --release -p nadroid-bench --bin timing`.
-//! With `--check <tolerance>` it instead re-measures and compares
-//! against the committed `BENCH_timing.json`, exiting nonzero if any
-//! guarded time blew past `tolerance ×` the baseline (plus a small
-//! absolute slack for scheduler jitter) or the deterministic closure
-//! tuple count changed — the CI bench-regression guard.
+//! Run with `cargo run --release -p nadroid-bench --bin timing`; add
+//! `--scale [N]` to (re-)measure the corpus-scale curve too (a plain
+//! run carries the committed curve forward unchanged — it is far more
+//! expensive than the suite). With `--check <tolerance>` it instead
+//! re-measures the suite, compares against the committed
+//! `BENCH_timing.json`, and validates the committed scale block
+//! structurally (curve rows present for threads 1/2/4/8, deterministic
+//! counters identical across the curve), exiting nonzero if any guarded
+//! time blew past `tolerance ×` the baseline (plus a small absolute
+//! slack for scheduler jitter) or a deterministic invariant changed —
+//! the CI bench-regression guard.
 
 use nadroid_bench::{render_table, run_rows_parallel_timed, AppRun};
 use nadroid_core::{phase_timings_json, PhaseTimings};
@@ -193,7 +205,7 @@ fn measure() -> SuiteMeasurement {
     let json = format!(
         concat!(
             "{{\n",
-            "  \"schema\": \"nadroid-timing/3\",\n",
+            "  \"schema\": \"nadroid-timing/4\",\n",
             "  \"apps\": {},\n",
             "  \"suite\": {{\n",
             "    \"wall_secs\": {:.6},\n",
@@ -239,6 +251,126 @@ fn measure() -> SuiteMeasurement {
     }
 }
 
+/// The inner-thread counts the scaling curve covers. Thread counts
+/// beyond the machine's cores are deliberately included: they prove the
+/// determinism claim under real oversubscription, and `cores` in the
+/// artifact tells readers which rows could physically speed up.
+const CURVE_THREADS: [usize; 4] = [1, 2, 4, 8];
+
+/// Measure the corpus-scale thread-scaling curve and render the `scale`
+/// JSON block (everything between `"scale":` and its closing brace,
+/// newline-terminated, ready for [`with_scale_block`]).
+///
+/// Asserts the deterministic-counter invariant on the spot: the
+/// aggregate `detector.pairs_examined` and `pointsto.queue_pops` (and
+/// the warning total) must be identical at every thread count.
+fn measure_scale(total: usize) -> String {
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+    let mut runs = Vec::new();
+    for &t in &CURVE_THREADS {
+        let run = nadroid_bench::run_scale(total, t);
+        println!(
+            "scale: {} apps at threads={t}: {:?} wall, {} pairs examined, {} queue pops, {} warnings",
+            run.apps, run.wall, run.pairs_examined, run.queue_pops, run.warnings
+        );
+        runs.push(run);
+    }
+    let first = &runs[0];
+    for run in &runs[1..] {
+        assert_eq!(
+            (run.pairs_examined, run.queue_pops, run.warnings),
+            (first.pairs_examined, first.queue_pops, first.warnings),
+            "thread count changed a deterministic aggregate (threads={})",
+            run.threads
+        );
+    }
+    let rows: Vec<String> = runs
+        .iter()
+        .map(|r| {
+            format!(
+                concat!(
+                    "      {{\n",
+                    "        \"threads\": {},\n",
+                    "        \"wall_secs_t{}\": {:.6},\n",
+                    "        \"pairs_examined_t{}\": {},\n",
+                    "        \"queue_pops_t{}\": {},\n",
+                    "        \"warnings_t{}\": {}\n",
+                    "      }}"
+                ),
+                r.threads,
+                r.threads,
+                r.wall.as_secs_f64(),
+                r.threads,
+                r.pairs_examined,
+                r.threads,
+                r.queue_pops,
+                r.threads,
+                r.warnings,
+            )
+        })
+        .collect();
+    format!(
+        "  \"scale\": {{\n    \"scale_apps\": {total},\n    \"cores\": {cores},\n    \"curve\": [\n{}\n    ]\n  }}\n",
+        rows.join(",\n")
+    )
+}
+
+/// Splice a `scale` block into a suite document as its last member.
+fn with_scale_block(json: &str, block: &str) -> String {
+    let body = json
+        .trim_end()
+        .strip_suffix('}')
+        .expect("suite json ends with the top-level brace")
+        .trim_end();
+    format!("{body},\n{block}}}\n")
+}
+
+/// Pull the `scale` block back out of a committed document (it is
+/// always the last top-level member), so a plain suite re-measure can
+/// carry the expensive curve forward unchanged.
+fn extract_scale_block(doc: &str) -> Option<String> {
+    let start = doc.find("  \"scale\": {")?;
+    let end = doc.trim_end().strip_suffix('}')?.trim_end().len();
+    let block = doc.get(start..end)?;
+    block.ends_with('}').then(|| format!("{block}\n"))
+}
+
+/// Structural validation of the committed scale block: curve rows for
+/// every [`CURVE_THREADS`] entry, and deterministic aggregates that do
+/// not move across the curve. Machine-independent — `--check` never
+/// re-measures the corpus-scale population. Returns the violation count.
+fn check_scale(baseline: &str) -> usize {
+    let mut violations = 0;
+    for key in ["scale_apps", "cores"] {
+        if extract_num(baseline, key).is_none() {
+            println!("bench-check FAIL: scale key \"{key}\" missing from baseline");
+            violations += 1;
+        }
+    }
+    let mut pairs = Vec::new();
+    let mut pops = Vec::new();
+    for t in CURVE_THREADS {
+        if extract_num(baseline, &format!("wall_secs_t{t}")).is_none() {
+            println!("bench-check FAIL: scale curve row for threads={t} missing");
+            violations += 1;
+        }
+        pairs.push(extract_num(baseline, &format!("pairs_examined_t{t}")));
+        pops.push(extract_num(baseline, &format!("queue_pops_t{t}")));
+    }
+    for (name, series) in [("pairs_examined", &pairs), ("queue_pops", &pops)] {
+        if series.iter().any(Option::is_none) || series.windows(2).any(|w| w[0] != w[1]) {
+            println!("bench-check FAIL: \"{name}\" varies across the thread curve: {series:?}");
+            violations += 1;
+        } else {
+            println!(
+                "bench-check ok: \"{name}\" identical across threads {CURVE_THREADS:?} ({:.0})",
+                series[0].unwrap_or(0.0)
+            );
+        }
+    }
+    violations
+}
+
 fn baseline_path() -> std::path::PathBuf {
     std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
         .join("../..")
@@ -282,24 +414,50 @@ fn check(current: &str, baseline: &str, tol: f64) -> usize {
             violations += 1;
         }
     }
+    // The schema/4 scale block: validated structurally, never re-run.
+    violations += check_scale(baseline);
     violations
 }
 
 fn main() {
+    const USAGE: &str = "usage: timing [--check <tolerance>] [--scale [N]]";
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let check_tol = match args.first().map(String::as_str) {
-        Some("--check") => Some(
-            args.get(1).and_then(|t| t.parse::<f64>().ok()).unwrap_or_else(|| {
-                eprintln!("usage: timing [--check <tolerance>]");
+    let mut check_tol: Option<f64> = None;
+    let mut scale_apps: Option<usize> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--check" => {
+                check_tol = Some(
+                    args.get(i + 1)
+                        .and_then(|t| t.parse::<f64>().ok())
+                        .unwrap_or_else(|| {
+                            eprintln!("{USAGE}");
+                            std::process::exit(2);
+                        }),
+                );
+                i += 2;
+            }
+            "--scale" => {
+                // Optional count; defaults to the 1000-app population.
+                if let Some(n) = args.get(i + 1).and_then(|v| v.parse::<usize>().ok()) {
+                    scale_apps = Some(n);
+                    i += 2;
+                } else {
+                    scale_apps = Some(1000);
+                    i += 1;
+                }
+            }
+            other => {
+                eprintln!("unknown argument {other}; {USAGE}");
                 std::process::exit(2);
-            }),
-        ),
-        Some(other) => {
-            eprintln!("unknown argument {other}; usage: timing [--check <tolerance>]");
-            std::process::exit(2);
+            }
         }
-        None => None,
-    };
+    }
+    if check_tol.is_some() && scale_apps.is_some() {
+        eprintln!("--check validates the committed scale block; it cannot re-measure it. {USAGE}");
+        std::process::exit(2);
+    }
 
     let m = measure();
 
@@ -326,7 +484,22 @@ fn main() {
     print!("{}", m.breakdown);
 
     let out = baseline_path();
-    match std::fs::write(&out, &m.json) {
+    // A fresh scale curve when asked; otherwise carry the committed one
+    // forward so a plain suite re-measure never drops the (expensive)
+    // corpus-scale artifact.
+    let json = if let Some(n) = scale_apps {
+        with_scale_block(&m.json, &measure_scale(n))
+    } else if let Some(block) = std::fs::read_to_string(&out)
+        .ok()
+        .as_deref()
+        .and_then(extract_scale_block)
+    {
+        println!("carrying forward the committed scale block (re-measure with --scale)");
+        with_scale_block(&m.json, &block)
+    } else {
+        m.json
+    };
+    match std::fs::write(&out, &json) {
         Ok(()) => println!("wrote {}", out.display()),
         Err(e) => eprintln!("could not write {}: {e}", out.display()),
     }

@@ -58,6 +58,10 @@ pub enum Command {
         /// pipeline via the happens-before closure. Changes the potential
         /// count, so it is opt-in.
         mhp_preprune: bool,
+        /// Worker threads for the parallel phases; `None` inherits the
+        /// `NADROID_THREADS` environment default (falling back to 1).
+        /// Output is byte-identical at every thread count.
+        threads: Option<usize>,
     },
     /// Explain warnings: derivation tree, filter audit, lineages.
     Explain {
@@ -87,6 +91,9 @@ pub enum Command {
         addr: String,
         /// Analysis worker threads.
         workers: usize,
+        /// Inner analysis threads per worker (clamped so that
+        /// `workers x threads` never exceeds the machine's cores).
+        threads: usize,
         /// Result-cache byte budget.
         cache_bytes: usize,
         /// Default per-request deadline (`None` = unlimited).
@@ -142,12 +149,12 @@ USAGE:
                               [--baseline <file>] [--update-baseline]
                               [--trace <file>] [--report <file>]
                               [--provenance <file>] [--stats]
-                              [--mhp-preprune]
+                              [--mhp-preprune] [--threads <N>]
     nadroid explain <app.dsl> [<warning-id>]
     nadroid nosleep <app.dsl>
     nadroid deva    <app.dsl>
     nadroid dot     <app.dsl>
-    nadroid serve   [--addr <host:port>] [--workers <N>]
+    nadroid serve   [--addr <host:port>] [--workers <N>] [--threads <N>]
                     [--cache-bytes <B>] [--deadline-ms <D>]
     nadroid request [<app.dsl>] [--addr <host:port>] [--explain]
                     [--id <warning-id>] [--k <N>] [--deadline-ms <D>]
@@ -175,6 +182,10 @@ OBSERVABILITY (see docs/observability.md):
     --mhp-preprune    drop must-ordered (use-before-free) pairs before
                       the filters via the HB closure; shrinks the
                       potential count, so off by default
+    --threads <N>     worker threads for the parallel phases (detection,
+                      filtering, points-to planning, Datalog rules);
+                      output is byte-identical at every N. Defaults to
+                      the NADROID_THREADS environment variable, then 1
 
 `explain` prints each warning's racy-pair derivation tree, the verdict
 and evidence of every filter that examined it, and the use/free thread
@@ -248,6 +259,7 @@ fn parse_analyze(args: impl Iterator<Item = String>) -> Result<Command, CliError
     let mut provenance = None;
     let mut stats = false;
     let mut mhp_preprune = false;
+    let mut threads = None;
     while let Some(a) = args.next() {
         match a.as_str() {
             "--validate" => validate = true,
@@ -288,6 +300,18 @@ fn parse_analyze(args: impl Iterator<Item = String>) -> Result<Command, CliError
                     .parse()
                     .map_err(|_| CliError(format!("bad k value `{v}`")))?;
             }
+            "--threads" => {
+                let v = args
+                    .next()
+                    .ok_or_else(|| CliError("--threads needs a value".into()))?;
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| CliError(format!("bad thread count `{v}`")))?;
+                if n == 0 {
+                    return Err(CliError("--threads must be at least 1".into()));
+                }
+                threads = Some(n);
+            }
             other if !other.starts_with('-') && path.is_none() => {
                 path = Some(other.to_owned());
             }
@@ -311,6 +335,7 @@ fn parse_analyze(args: impl Iterator<Item = String>) -> Result<Command, CliError
         provenance,
         stats,
         mhp_preprune,
+        threads,
     })
 }
 
@@ -318,6 +343,7 @@ fn parse_serve(args: impl Iterator<Item = String>) -> Result<Command, CliError> 
     let mut args = args;
     let mut addr = "127.0.0.1:7911".to_owned();
     let mut workers = 4usize;
+    let mut threads = 1usize;
     let mut cache_bytes = 64usize << 20;
     let mut deadline_ms = None;
     while let Some(a) = args.next() {
@@ -332,6 +358,15 @@ fn parse_serve(args: impl Iterator<Item = String>) -> Result<Command, CliError> 
                 workers = v
                     .parse()
                     .map_err(|_| CliError(format!("bad worker count `{v}`")))?;
+            }
+            "--threads" => {
+                let v = value("--threads")?;
+                threads = v
+                    .parse()
+                    .map_err(|_| CliError(format!("bad thread count `{v}`")))?;
+                if threads == 0 {
+                    return Err(CliError("--threads must be at least 1".into()));
+                }
             }
             "--cache-bytes" => {
                 let v = value("--cache-bytes")?;
@@ -352,6 +387,7 @@ fn parse_serve(args: impl Iterator<Item = String>) -> Result<Command, CliError> 
     Ok(Command::Serve {
         addr,
         workers,
+        threads,
         cache_bytes,
         deadline_ms,
     })
@@ -444,6 +480,7 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
             provenance,
             stats,
             mhp_preprune,
+            threads,
         } => {
             let program = load(path)?;
             // Any observability output wants a recorder installed for the
@@ -460,6 +497,10 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
                 datalog_crosscheck: observing,
                 mhp_preprune: *mhp_preprune,
                 ..AnalysisConfig::default()
+            };
+            let config = match threads {
+                Some(n) => AnalysisConfig { threads: *n, ..config },
+                None => config,
             };
             let recorder = nadroid_obs::Recorder::new();
             let analysis = {
@@ -606,12 +647,14 @@ baseline: {suppressed} suppressed, {} new
         Command::Serve {
             addr,
             workers,
+            threads,
             cache_bytes,
             deadline_ms,
         } => {
             let mut server = Server::start(ServeConfig {
                 addr: addr.clone(),
                 workers: *workers,
+                threads: *threads,
                 cache_bytes: *cache_bytes,
                 queue_cap: workers.saturating_mul(4).max(4),
                 default_deadline_ms: *deadline_ms,
@@ -770,6 +813,7 @@ mod tests {
                 provenance: None,
                 stats: false,
                 mhp_preprune: false,
+                threads: None,
             }
         );
         assert!(parse_args(args(&["analyze", "a.dsl", "--update-baseline"])).is_err());
@@ -850,6 +894,7 @@ mod tests {
             provenance: None,
             stats: false,
             mhp_preprune: false,
+            threads: None,
         })
         .unwrap();
         assert!(report.contains("nAdroid report for `Cli`"), "{report}");
@@ -899,6 +944,7 @@ mod tests {
             provenance: None,
             stats: false,
             mhp_preprune: false,
+            threads: None,
         };
         // First run: everything is new; write the baseline.
         let out = run(&analyze_cmd(true)).unwrap();
@@ -932,6 +978,7 @@ activity M { cb onClick { } }",
             provenance: None,
             stats: false,
             mhp_preprune: false,
+            threads: None,
         })
         .unwrap();
         assert!(out.trim_start().starts_with('{'), "{out}");
@@ -994,6 +1041,7 @@ activity M { cb onClick { } }",
             provenance: None,
             stats: true,
             mhp_preprune: false,
+            threads: None,
         })
         .unwrap();
         assert!(out.contains("run stats:"), "--stats appends the tree:\n{out}");
@@ -1025,6 +1073,7 @@ activity M { cb onClick { } }",
             Command::Serve {
                 addr: "127.0.0.1:7911".into(),
                 workers: 4,
+                threads: 1,
                 cache_bytes: 64 << 20,
                 deadline_ms: None,
             }
@@ -1045,6 +1094,7 @@ activity M { cb onClick { } }",
             Command::Serve {
                 addr: "127.0.0.1:0".into(),
                 workers: 2,
+                threads: 1,
                 cache_bytes: 1024,
                 deadline_ms: Some(500),
             }
@@ -1189,6 +1239,7 @@ activity M { cb onClick { } }",
             provenance: Some(prov.to_string_lossy().into_owned()),
             stats: false,
             mhp_preprune: false,
+            threads: None,
         })
         .unwrap();
         let cached = run(&explain_cmd).unwrap();

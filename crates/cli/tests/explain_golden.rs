@@ -282,6 +282,7 @@ fn provenance_json_golden_shape_on_connectbot() {
         provenance: Some(prov_path.to_string_lossy().into_owned()),
         stats: false,
         mhp_preprune: false,
+        threads: None,
     })
     .unwrap();
 

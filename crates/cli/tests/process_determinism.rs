@@ -51,3 +51,36 @@ fn text_report_is_byte_identical_across_processes() {
     let second = run_once(&["analyze", &app]);
     assert_eq!(first, second, "text report drifts across processes");
 }
+
+/// `--threads` must be invisible in every byte the binary prints:
+/// sweep the curve against a fresh single-threaded process for both the
+/// JSON report and the explain rendering (which exercises provenance
+/// derivation on top of the pipeline).
+#[test]
+fn thread_count_is_byte_invisible_across_processes() {
+    let app = connectbot();
+    let json_base = run_once(&["analyze", &app, "--json", "--threads", "1"]);
+    let explain_base = run_once(&["analyze", &app, "--threads", "1"]);
+    assert!(!json_base.is_empty());
+    for t in ["2", "4", "8"] {
+        let json = run_once(&["analyze", &app, "--json", "--threads", t]);
+        assert_eq!(json_base, json, "analyze --json drifts at --threads {t}");
+        let text = run_once(&["analyze", &app, "--threads", t]);
+        assert_eq!(explain_base, text, "text report drifts at --threads {t}");
+    }
+}
+
+/// The `NADROID_THREADS` environment default must behave exactly like
+/// the flag — this is how CI runs the whole tier-1 suite at 4 threads.
+#[test]
+fn threads_env_var_matches_the_flag() {
+    let app = connectbot();
+    let flagged = run_once(&["analyze", &app, "--json", "--threads", "4"]);
+    let out = Command::new(env!("CARGO_BIN_EXE_nadroid"))
+        .args(["analyze", &app, "--json"])
+        .env("NADROID_THREADS", "4")
+        .output()
+        .expect("spawn nadroid");
+    assert!(out.status.success());
+    assert_eq!(flagged, out.stdout, "env default and flag disagree");
+}

@@ -86,10 +86,21 @@ pub struct AnalysisConfig {
     /// shrink — the timing driver opts in to measure the saved work.
     /// Free-before-use orderings are never pruned (they are the bugs).
     pub mhp_preprune: bool,
+    /// Worker threads for the parallel phases (detection, filtering,
+    /// points-to planning, Datalog rule evaluation). `1` (the default)
+    /// keeps every phase on the calling thread; any value produces
+    /// byte-identical output — see `docs/parallelism.md`. The default
+    /// honors the `NADROID_THREADS` environment variable so whole test
+    /// suites can be swept across thread counts without plumbing.
+    pub threads: usize,
 }
 
 impl Default for AnalysisConfig {
     fn default() -> Self {
+        let threads = std::env::var("NADROID_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .map_or(1, |n| n.clamp(1, 256));
         AnalysisConfig {
             k: 2,
             detector: DetectorOptions::default(),
@@ -97,6 +108,7 @@ impl Default for AnalysisConfig {
             unsound_filters: FilterKind::unsound().to_vec(),
             datalog_crosscheck: false,
             mhp_preprune: false,
+            threads,
         }
     }
 }
@@ -191,6 +203,13 @@ pub struct Analysis<'p> {
 /// exceed `detection`.
 #[must_use]
 pub fn analyze<'p>(program: &'p Program, config: &AnalysisConfig) -> Analysis<'p> {
+    // The thread budget is ambient (thread-local) rather than plumbed
+    // through every phase signature; the parallel phases read it via
+    // `nadroid_par::current()` and fall back to sequential at 1.
+    nadroid_par::with_threads(config.threads, || analyze_inner(program, config))
+}
+
+fn analyze_inner<'p>(program: &'p Program, config: &AnalysisConfig) -> Analysis<'p> {
     let _span = obs::span("analyze");
 
     let t0 = Instant::now();

@@ -29,7 +29,7 @@ pub mod suite;
 
 pub use generator::{distribute, generate, AppSpec, GeneratedApp};
 pub use patterns::{Expectation, PatternKind};
-pub use suite::{spec_for, table1_rows, table2_rows, AppGroup, InjectedRow, PaperRow};
+pub use suite::{scale_specs, spec_for, table1_rows, table2_rows, AppGroup, InjectedRow, PaperRow};
 
 #[cfg(test)]
 mod certification {

@@ -246,6 +246,59 @@ pub fn spec_for(row: &PaperRow) -> AppSpec {
     spec
 }
 
+/// The synthetic population for the corpus-scale benchmark (the timing
+/// driver's `--scale` mode, nominally 1000 apps).
+///
+/// Everything is a pure function of the app's index: the name, the seed
+/// (via [`fxhash`] of the name, like the Table 1 suite), and a
+/// heavy-tailed size class — one in 200 apps is K-9-sized (~60 planted
+/// clusters), one in 50 is mid-sized, one in 10 is small-but-real, and
+/// the rest are the 2–5-cluster long tail that dominates real app
+/// stores. Pattern mixes reuse the Figure 5 splits so population-level
+/// filter tallies stay comparable to the suite's. Calling this twice
+/// (or on different machines) yields byte-identical specs; the scale
+/// bench leans on that to compare thread counts.
+#[must_use]
+pub fn scale_specs(total: usize) -> Vec<AppSpec> {
+    (0..total)
+        .map(|i| {
+            let name = format!("scale_{i:04}");
+            let seed = fxhash(&name);
+            let clusters = if i % 200 == 0 {
+                60
+            } else if i % 50 == 0 {
+                25
+            } else if i % 10 == 0 {
+                12
+            } else {
+                2 + (seed as usize) % 4
+            };
+            // Roughly the suite's global shape: most planted mass is
+            // sound-pruned, a band is unsound-pruned, a sliver survives.
+            let sound = clusters * 6 / 10;
+            let unsound = clusters * 3 / 10;
+            let harmful = usize::from(i % 25 == 0);
+            let fp = usize::from(i % 7 == 0);
+            let mut spec = AppSpec::new(&name, seed);
+            let weights: Vec<f64> = SOUND_SPLIT.iter().map(|(_, w)| *w).collect();
+            for (k, n) in distribute(sound, &weights).into_iter().enumerate() {
+                spec = spec.with(SOUND_SPLIT[k].0, n);
+            }
+            let weights: Vec<f64> = UNSOUND_SPLIT.iter().map(|(_, w)| *w).collect();
+            for (k, n) in distribute(unsound, &weights).into_iter().enumerate() {
+                spec = spec.with(UNSOUND_SPLIT[k].0, n);
+            }
+            if harmful > 0 {
+                spec = spec.with(HARMFUL_KINDS[(seed >> 8) as usize % HARMFUL_KINDS.len()], 1);
+            }
+            if fp > 0 {
+                spec = spec.with(FP_KINDS[(seed >> 16) as usize % FP_KINDS.len()], 1);
+            }
+            spec.with(PatternKind::Benign, 1 + (seed >> 24) as usize % 3)
+        })
+        .collect()
+}
+
 /// Deterministic name hash for per-app seeds.
 fn fxhash(name: &str) -> u64 {
     name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
@@ -434,5 +487,24 @@ mod tests {
         assert_eq!(scale(1), 1);
         assert!(scale(45336) < 250);
         assert!(scale(19167) < scale(45336));
+    }
+
+    #[test]
+    fn scale_population_is_deterministic_and_heavy_tailed() {
+        let a = scale_specs(1000);
+        let b = scale_specs(1000);
+        assert_eq!(a, b, "the population is a pure function of the index");
+        assert_eq!(a.len(), 1000);
+        assert_eq!(a[0].name, "scale_0000");
+        // The size classes land where the index arithmetic says.
+        let totals: Vec<usize> = a.iter().map(AppSpec::total).collect();
+        assert!(totals[0] > totals[50], "i%200 apps dominate i%50 apps");
+        assert!(totals[50] > totals[10], "i%50 apps dominate i%10 apps");
+        assert!(totals[10] > totals[1], "i%10 apps dominate the tail");
+        assert!((2..=8).contains(&totals[1]), "tail apps stay small: {}", totals[1]);
+        // A prefix is a prefix: growing the population never changes
+        // the apps already in it.
+        let small = scale_specs(100);
+        assert_eq!(&a[..100], &small[..]);
     }
 }

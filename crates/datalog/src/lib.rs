@@ -792,14 +792,14 @@ impl Database {
             obs::cancel::checkpoint();
             let _iter_span = obs::span_lazy(|| format!("datalog.iteration:{}", stats.iterations));
             let snapshot: Vec<u32> = self.relations.iter().map(RelationData::rows).collect();
+            let delta_total: u64 = snapshot
+                .iter()
+                .zip(&delta_lo)
+                .map(|(&s, &l)| u64::from(s - l))
+                .sum();
             if obs::recording() {
-                let delta: u64 = snapshot
-                    .iter()
-                    .zip(&delta_lo)
-                    .map(|(&s, &l)| u64::from(s - l))
-                    .sum();
-                obs::counter("datalog.delta_rows", delta);
-                obs::gauge_max("datalog.max_delta_rows", delta);
+                obs::counter("datalog.delta_rows", delta_total);
+                obs::gauge_max("datalog.max_delta_rows", delta_total);
             }
             for &(rel, mask) in &needed {
                 if self.relations[rel.index()].ensure_index(mask, snapshot[rel.index()]) {
@@ -807,7 +807,29 @@ impl Database {
                 }
             }
 
+            // Within one iteration every (rule, delta-occurrence)
+            // evaluation reads only rows below the snapshot — tuples
+            // inserted by earlier rules of the same iteration are
+            // invisible to joins — so the evaluations are independent
+            // and can run concurrently. Insertions are then replayed
+            // sequentially in task order, which reproduces the
+            // sequential engine's arena order, dedup outcomes,
+            // first-derivation provenance, and stats exactly. Only
+            // iterations with enough delta rows to amortise the fan-out
+            // take this path; small programs keep the sequential loop
+            // (and its per-rule spans).
+            const PAR_MIN_DELTA_ROWS: u64 = 512;
             let mut grew = false;
+            if nadroid_par::current() > 1 && delta_total >= PAR_MIN_DELTA_ROWS {
+                grew = self.run_iteration_parallel(
+                    &compiled, &delta_lo, &snapshot, record, &mut stats,
+                );
+                delta_lo.copy_from_slice(&snapshot);
+                if !grew {
+                    break;
+                }
+                continue;
+            }
             for (_rule_idx, crule) in compiled.iter().enumerate() {
                 let _rule_span = obs::span_lazy(|| {
                     format!("datalog.rule:{}", self.relations[crule.head_rel.index()].name)
@@ -920,6 +942,133 @@ impl Database {
             obs::gauge_max("datalog.prov_arena_bytes", stats.prov_bytes);
         }
         self.stats = stats;
+    }
+
+    /// One semi-naive iteration with concurrent rule evaluation.
+    ///
+    /// Builds the task list — one entry per fact-template rule and per
+    /// (rule, non-empty delta occurrence), in the exact order the
+    /// sequential loop would visit them — evaluates the join tasks in
+    /// parallel against the immutable snapshot, then replays insertions
+    /// sequentially in task order. Returns whether any relation grew.
+    #[allow(clippy::cast_possible_truncation)]
+    fn run_iteration_parallel(
+        &mut self,
+        compiled: &[CompiledRule],
+        delta_lo: &[u32],
+        snapshot: &[u32],
+        record: bool,
+        stats: &mut EngineStats,
+    ) -> bool {
+        const PAR_RULE_GRAIN: usize = 1;
+        let mut tasks: Vec<(usize, Option<usize>)> = Vec::new();
+        for (rule_idx, crule) in compiled.iter().enumerate() {
+            if crule.atoms.is_empty() {
+                tasks.push((rule_idx, None));
+                continue;
+            }
+            for delta_pos in 0..crule.atoms.len() {
+                let drel = crule.atoms[delta_pos].rel.index();
+                if delta_lo[drel] < snapshot[drel] {
+                    tasks.push((rule_idx, Some(delta_pos)));
+                }
+            }
+        }
+
+        let engine = &*self;
+        let results = nadroid_par::map_chunks(tasks.len(), PAR_RULE_GRAIN, |range| {
+            tasks[range]
+                .iter()
+                .map(|&(rule_idx, delta_pos)| {
+                    let crule = &compiled[rule_idx];
+                    let mut scratch: Vec<u32> = Vec::new();
+                    let mut prov = ProvBuf::default();
+                    let mut local = EngineStats::default();
+                    match delta_pos {
+                        None => {
+                            // Fact template: all-constant head (checked).
+                            scratch.extend(crule.head.iter().map(|p| match p {
+                                KeyPart::Const(c) => *c,
+                                KeyPart::Slot(_) => {
+                                    unreachable!("checked: no unbound head vars")
+                                }
+                            }));
+                            local.considered += 1;
+                        }
+                        Some(delta_pos) => {
+                            prov.reset(crule.atoms.len(), record);
+                            let mut stack_buf = [0u32; STACK_SLOTS];
+                            let mut heap_buf;
+                            let bindings: &mut [u32] = if crule.n_slots <= STACK_SLOTS {
+                                &mut stack_buf[..]
+                            } else {
+                                heap_buf = vec![0u32; crule.n_slots];
+                                &mut heap_buf[..]
+                            };
+                            engine.join(
+                                crule,
+                                0,
+                                delta_pos,
+                                delta_lo,
+                                snapshot,
+                                bindings,
+                                &mut scratch,
+                                &mut local,
+                                &mut prov,
+                            );
+                        }
+                    }
+                    (rule_idx, delta_pos, scratch, prov, local)
+                })
+                .collect::<Vec<_>>()
+        });
+
+        let mut grew = false;
+        for (_rule_idx, delta_pos, scratch, _prov, local) in results.into_iter().flatten() {
+            stats.considered += local.considered;
+            stats.index_probes += local.index_probes;
+            let crule = &compiled[_rule_idx];
+            let head_idx = crule.head_rel.index();
+            if delta_pos.is_none() {
+                if self.relations[head_idx].insert_row(&scratch) {
+                    stats.derived += 1;
+                    grew = true;
+                    #[cfg(feature = "provenance")]
+                    if record {
+                        let rec = self.prov.records.len() as u32;
+                        let start = self.prov.premises.len() as u32;
+                        self.prov.records.push(ProvRecord {
+                            rule: _rule_idx as u32,
+                            start,
+                            len: 0,
+                        });
+                        self.relations[head_idx].prov.push(rec);
+                    }
+                }
+                continue;
+            }
+            for (_emit, tuple) in scratch.chunks_exact(crule.head.len()).enumerate() {
+                if self.relations[head_idx].insert_row(tuple) {
+                    stats.derived += 1;
+                    grew = true;
+                    #[cfg(feature = "provenance")]
+                    if record {
+                        let start = self.prov.premises.len() as u32;
+                        for (atom, &row) in crule.atoms.iter().zip(_prov.premise_rows(_emit)) {
+                            self.prov.premises.push((atom.rel, row));
+                        }
+                        let rec = self.prov.records.len() as u32;
+                        self.prov.records.push(ProvRecord {
+                            rule: _rule_idx as u32,
+                            start,
+                            len: crule.atoms.len() as u32,
+                        });
+                        self.relations[head_idx].prov.push(rec);
+                    }
+                }
+            }
+        }
+        grew
     }
 
     /// Enumerate matches of `crule.atoms[pos..]`, with the atom at

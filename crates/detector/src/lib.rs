@@ -202,6 +202,12 @@ pub fn detect(
     detect_with(program, threads, pts, escape, options, None)
 }
 
+/// Uses per parallel chunk of the pair scan. Small enough that the big
+/// suite apps (hundreds of uses) split across workers, large enough
+/// that per-chunk bookkeeping stays invisible next to the O(uses ×
+/// frees) scan each chunk performs.
+const PAIR_CHUNK_USES: usize = 32;
+
 /// [`detect`] with an optional MHP pre-prune: when a happens-before
 /// graph is supplied, thread pairs whose use is must-ordered before the
 /// free (`mustHb(use, free)` — the transitive extension of the sound MHB
@@ -234,54 +240,70 @@ pub fn detect_with(
         .filter(|a| a.kind == AccessKind::Free)
         .collect();
 
-    let mut pairs_examined = 0u64;
-    let mut mhp_prepruned = 0u64;
-    let mut out = Vec::new();
-    for u in &uses {
-        for f in &frees {
-            pairs_examined += 1;
-            if u.field != f.field || u.instr == f.instr {
-                continue;
-            }
-            let common = pts.common_objs((u.method, u.base), (f.method, f.base));
-            if common.is_empty() {
-                continue;
-            }
-            let shared: Vec<ObjId> = if options.require_escape {
-                common
-                    .iter()
-                    .copied()
-                    .filter(|&o| escape.is_shared(o))
-                    .collect()
-            } else {
-                common
-            };
-            if shared.is_empty() {
-                continue;
-            }
-            if options.eager_lockset && common_must_lock(pts, u, f) {
-                continue;
-            }
-            for &tu in threads.threads_of_method(u.method) {
-                for &tf in threads.threads_of_method(f.method) {
-                    if tu == tf {
-                        continue;
+    // The candidate pair space is partitioned by use index into
+    // contiguous chunks; each worker scans its chunk against the shared
+    // immutable points-to/escape/HB state and the per-chunk results are
+    // concatenated in chunk order — byte-identical to the sequential
+    // nested loop at any thread count (see docs/parallelism.md).
+    let chunks = nadroid_par::map_chunks(uses.len(), PAIR_CHUNK_USES, |range| {
+        let mut pairs_examined = 0u64;
+        let mut mhp_prepruned = 0u64;
+        let mut out = Vec::new();
+        for u in &uses[range] {
+            for f in &frees {
+                pairs_examined += 1;
+                if u.field != f.field || u.instr == f.instr {
+                    continue;
+                }
+                let common = pts.common_objs((u.method, u.base), (f.method, f.base));
+                if common.is_empty() {
+                    continue;
+                }
+                let shared: Vec<ObjId> = if options.require_escape {
+                    common
+                        .iter()
+                        .copied()
+                        .filter(|&o| escape.is_shared(o))
+                        .collect()
+                } else {
+                    common
+                };
+                if shared.is_empty() {
+                    continue;
+                }
+                if options.eager_lockset && common_must_lock(pts, u, f) {
+                    continue;
+                }
+                for &tu in threads.threads_of_method(u.method) {
+                    for &tf in threads.threads_of_method(f.method) {
+                        if tu == tf {
+                            continue;
+                        }
+                        if hb.is_some_and(|g| g.must_hb(tu, tf)) {
+                            mhp_prepruned += 1;
+                            continue;
+                        }
+                        out.push(UafWarning {
+                            field: u.field,
+                            use_access: (*u).clone(),
+                            free_access: (*f).clone(),
+                            use_thread: tu,
+                            free_thread: tf,
+                            shared_objs: shared.clone(),
+                        });
                     }
-                    if hb.is_some_and(|g| g.must_hb(tu, tf)) {
-                        mhp_prepruned += 1;
-                        continue;
-                    }
-                    out.push(UafWarning {
-                        field: u.field,
-                        use_access: (*u).clone(),
-                        free_access: (*f).clone(),
-                        use_thread: tu,
-                        free_thread: tf,
-                        shared_objs: shared.clone(),
-                    });
                 }
             }
         }
+        (out, pairs_examined, mhp_prepruned)
+    });
+    let mut pairs_examined = 0u64;
+    let mut mhp_prepruned = 0u64;
+    let mut out = Vec::new();
+    for (warnings, pairs, prepruned) in chunks {
+        out.extend(warnings);
+        pairs_examined += pairs;
+        mhp_prepruned += prepruned;
     }
     if nadroid_obs::recording() {
         nadroid_obs::counter("detector.uses", uses.len() as u64);

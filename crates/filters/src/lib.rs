@@ -387,21 +387,34 @@ impl<'a> Filters<'a> {
 
     /// Apply a filter sequence to each warning, recording the first
     /// pruner and the full set of agreeing filters.
+    ///
+    /// Each warning's verdicts are independent reads of the shared
+    /// program/HB/points-to state, so the warning list is partitioned
+    /// into contiguous chunks mapped in parallel and re-concatenated in
+    /// warning-index order — the outcome vector is identical at any
+    /// thread count.
     #[must_use]
     pub fn pipeline(&self, warnings: Vec<UafWarning>, kinds: &[FilterKind]) -> Vec<FilterOutcome> {
+        const CHUNK_WARNINGS: usize = 32;
+        let chunks = nadroid_par::map_chunks(warnings.len(), CHUNK_WARNINGS, |range| {
+            warnings[range]
+                .iter()
+                .map(|w| {
+                    kinds
+                        .iter()
+                        .copied()
+                        .filter(|&k| self.prunes(k, w))
+                        .collect::<Vec<FilterKind>>()
+                })
+                .collect::<Vec<_>>()
+        });
         warnings
             .into_iter()
-            .map(|w| {
-                let all_pruning: Vec<FilterKind> = kinds
-                    .iter()
-                    .copied()
-                    .filter(|&k| self.prunes(k, &w))
-                    .collect();
-                FilterOutcome {
-                    pruned_by: all_pruning.first().copied(),
-                    all_pruning,
-                    warning: w,
-                }
+            .zip(chunks.into_iter().flatten())
+            .map(|(warning, all_pruning)| FilterOutcome {
+                pruned_by: all_pruning.first().copied(),
+                all_pruning,
+                warning,
             })
             .collect()
     }

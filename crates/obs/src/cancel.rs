@@ -114,6 +114,18 @@ thread_local! {
     static INSTALLED: RefCell<Vec<Arc<TokenInner>>> = const { RefCell::new(Vec::new()) };
 }
 
+/// The token installed on the current thread, if any. Scoped worker
+/// pools use this to re-install the spawning thread's token on their
+/// workers, so [`checkpoint`] keeps firing inside parallel regions.
+#[must_use]
+pub fn current_token() -> Option<CancelToken> {
+    INSTALLED.with(|stack| {
+        stack.borrow().last().map(|inner| CancelToken {
+            inner: inner.clone(),
+        })
+    })
+}
+
 /// Guard returned by [`CancelToken::install`]; uninstalls on drop.
 #[derive(Debug)]
 pub struct CancelScope {

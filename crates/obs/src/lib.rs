@@ -194,6 +194,21 @@ impl Recorder {
 
 }
 
+/// The recorder installed on the current thread, if any. Scoped worker
+/// pools use this to re-install the spawning thread's collection target
+/// on their workers, so counters bumped inside parallel regions land in
+/// the same registry they would have sequentially (counter merges are
+/// additive, so totals are exact at any thread count).
+#[must_use]
+pub fn current_recorder() -> Option<Recorder> {
+    #[cfg(feature = "enabled")]
+    {
+        enabled::current().map(|inner| Recorder { inner })
+    }
+    #[cfg(not(feature = "enabled"))]
+    None
+}
+
 /// Guard returned by [`Recorder::install`]; uninstalls on drop.
 #[derive(Debug)]
 pub struct Installed {

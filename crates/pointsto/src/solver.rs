@@ -415,63 +415,126 @@ impl<'p> Solver<'p> {
         // borrow-safe and allocation-free; processing entries appended
         // mid-loop is harmless because `bind_call`/`add_edge`/`add_obj`
         // are idempotent.
-        while let Some((node, obj)) = self.queue.pop_front() {
-            pops += 1;
-            if pops & 0x1FF == 0 {
-                obs::cancel::checkpoint();
-            }
-            max_worklist = max_worklist.max(self.queue.len() + 1);
-            // Copy edges.
-            let mut i = 0;
-            while i < self.succ[node.0 as usize].len() {
-                let s = self.succ[node.0 as usize][i];
-                self.add_obj(s, obj);
-                i += 1;
-            }
-            // Loads with this node as base.
-            let mut i = 0;
-            while let Some(&(field, dst)) =
-                self.load_uses.get(&node).and_then(|uses| uses.get(i))
-            {
-                let h = self.node(NodeKey::Heap { obj, field });
-                self.add_edge(h, dst);
-                i += 1;
-            }
-            // Stores with this node as base.
-            let mut i = 0;
-            while let Some(&(field, src)) =
-                self.store_uses.get(&node).and_then(|uses| uses.get(i))
-            {
-                let h = self.node(NodeKey::Heap { obj, field });
-                self.add_edge(src, h);
-                i += 1;
-            }
-            // Virtual calls with this node as receiver. The `InvokeUse`
-            // clone is a refcount bump on the shared argument slice.
-            let mut i = 0;
-            while let Some(u) = self
-                .invoke_uses
-                .get(&node)
-                .and_then(|uses| uses.get(i))
-                .cloned()
-            {
-                self.bind_call(u.callee, obj, node, &u.args, u.dst);
-                i += 1;
-            }
-            // Thread-root subscriptions on this variable.
-            if let NodeKey::Var { method, local, .. } = self.intern.nodes[node.0 as usize] {
+        //
+        // The drain proceeds in *epochs*: the items queued at epoch start
+        // form the frontier, and a parallel read-only plan pass
+        // pre-computes, for each frontier item, which snapshot copy-edge
+        // targets still need its object inserted. The apply loop below
+        // then pops items in exact FIFO order — pops, max_worklist,
+        // checkpoint cadence, and every mutation (hence ObjId interning
+        // order) are identical to the sequential drain; the plan only
+        // lets it skip membership probes that were already satisfied at
+        // the snapshot (pts sets only grow, so a satisfied probe stays a
+        // no-op). See docs/parallelism.md for the determinism argument.
+        while !self.queue.is_empty() {
+            let frontier = self.queue.len();
+            let plan = self.plan_epoch(frontier);
+            for f in 0..frontier {
+                let (node, obj) = self.queue.pop_front().expect("frontier item queued");
+                pops += 1;
+                if pops & 0x1FF == 0 {
+                    obs::cancel::checkpoint();
+                }
+                max_worklist = max_worklist.max(self.queue.len() + 1);
+                // Copy edges. With a plan, entries up to the snapshot
+                // length are replaced by the pre-filtered target list;
+                // entries appended to `succ[node]` since the snapshot
+                // (by earlier items of this epoch) are walked live, as
+                // the sequential loop would.
                 let mut i = 0;
-                while let Some(&root) = self
-                    .root_subs
-                    .get(&(method, local))
-                    .and_then(|roots| roots.get(i))
-                {
-                    self.spawn_method(root, obj);
+                if let Some(plan) = &plan {
+                    let (snap_len, need_insert) = &plan[f];
+                    for &s in need_insert {
+                        self.add_obj(s, obj);
+                    }
+                    i = *snap_len;
+                }
+                while i < self.succ[node.0 as usize].len() {
+                    let s = self.succ[node.0 as usize][i];
+                    self.add_obj(s, obj);
                     i += 1;
+                }
+                // Loads with this node as base.
+                let mut i = 0;
+                while let Some(&(field, dst)) =
+                    self.load_uses.get(&node).and_then(|uses| uses.get(i))
+                {
+                    let h = self.node(NodeKey::Heap { obj, field });
+                    self.add_edge(h, dst);
+                    i += 1;
+                }
+                // Stores with this node as base.
+                let mut i = 0;
+                while let Some(&(field, src)) =
+                    self.store_uses.get(&node).and_then(|uses| uses.get(i))
+                {
+                    let h = self.node(NodeKey::Heap { obj, field });
+                    self.add_edge(src, h);
+                    i += 1;
+                }
+                // Virtual calls with this node as receiver. The `InvokeUse`
+                // clone is a refcount bump on the shared argument slice.
+                let mut i = 0;
+                while let Some(u) = self
+                    .invoke_uses
+                    .get(&node)
+                    .and_then(|uses| uses.get(i))
+                    .cloned()
+                {
+                    self.bind_call(u.callee, obj, node, &u.args, u.dst);
+                    i += 1;
+                }
+                // Thread-root subscriptions on this variable.
+                if let NodeKey::Var { method, local, .. } = self.intern.nodes[node.0 as usize] {
+                    let mut i = 0;
+                    while let Some(&root) = self
+                        .root_subs
+                        .get(&(method, local))
+                        .and_then(|roots| roots.get(i))
+                    {
+                        self.spawn_method(root, obj);
+                        i += 1;
+                    }
                 }
             }
         }
         (pops, max_worklist)
+    }
+
+    /// Parallel read-only pre-pass over the current epoch's frontier.
+    ///
+    /// For each of the first `frontier` queued `(node, obj)` items, records
+    /// the snapshot length of `succ[node]` and the subset of those snapshot
+    /// targets whose points-to set does not yet contain `obj`. The apply
+    /// loop inserts exactly that subset (same order as a sequential scan)
+    /// and skips the satisfied targets — a pure no-op elision, because
+    /// points-to sets only grow, so a target satisfied at the snapshot is
+    /// still satisfied when its item is popped.
+    ///
+    /// Returns `None` when planning cannot pay for itself: a single
+    /// ambient thread, or a frontier too small to amortise the pass.
+    fn plan_epoch(&self, frontier: usize) -> Option<Vec<(usize, Vec<NodeId>)>> {
+        const PLAN_MIN_FRONTIER: usize = 256;
+        const PLAN_GRAIN: usize = 128;
+        if nadroid_par::current() <= 1 || frontier < PLAN_MIN_FRONTIER {
+            return None;
+        }
+        let (queue, succ, pts) = (&self.queue, &self.succ, &self.pts);
+        let chunks = nadroid_par::map_chunks(frontier, PLAN_GRAIN, |range| {
+            range
+                .map(|f| {
+                    let (node, obj) = queue[f];
+                    let targets = &succ[node.0 as usize];
+                    let need: Vec<NodeId> = targets
+                        .iter()
+                        .copied()
+                        .filter(|s| !pts[s.0 as usize].contains(&obj))
+                        .collect();
+                    (targets.len(), need)
+                })
+                .collect::<Vec<_>>()
+        });
+        Some(chunks.into_iter().flatten().collect())
     }
 
     fn finish(self) -> Solution {

@@ -40,11 +40,20 @@ pub struct CacheKey {
 
 impl CacheKey {
     /// The key for analyzing `source` under `config`.
+    ///
+    /// The thread count is canonicalized to 1 before hashing: analyses
+    /// are byte-identical at every thread count (the determinism suite
+    /// sweeps 1/2/4/8), so a result computed at one `--threads` setting
+    /// must hit for requests served at another.
     #[must_use]
     pub fn of(source: &str, config: &AnalysisConfig) -> CacheKey {
+        let canonical = AnalysisConfig {
+            threads: 1,
+            ..config.clone()
+        };
         CacheKey {
             program_hash: fnv64(source.as_bytes()),
-            config_hash: fnv64(format!("{config:?}").as_bytes()),
+            config_hash: fnv64(format!("{canonical:?}").as_bytes()),
         }
     }
 }

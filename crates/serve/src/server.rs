@@ -41,6 +41,12 @@ pub struct ServeConfig {
     pub addr: String,
     /// Analysis worker threads.
     pub workers: usize,
+    /// Requested inner analysis threads per worker (the `--threads`
+    /// flag). The effective value is clamped so that
+    /// `workers x threads` never exceeds the machine's cores — see
+    /// [`ServeConfig::effective_threads`]. Results are byte-identical
+    /// at every value, so the clamp never changes a response.
+    pub threads: usize,
     /// Result-cache byte budget.
     pub cache_bytes: usize,
     /// Submission-queue bound; past it requests are rejected.
@@ -56,11 +62,26 @@ impl Default for ServeConfig {
         ServeConfig {
             addr: "127.0.0.1:7911".to_owned(),
             workers: 4,
+            threads: 1,
             cache_bytes: 64 << 20,
             queue_cap: 16,
             default_deadline_ms: None,
             retry_after_ms: 50,
         }
+    }
+}
+
+impl ServeConfig {
+    /// The inner thread count each worker actually runs with: the
+    /// requested `threads`, clamped so the pool's total concurrency
+    /// (`workers x threads`) stays within the machine's core budget.
+    /// Admission control already bounds the number of jobs in flight;
+    /// this keeps inner parallelism from oversubscribing beneath it.
+    #[must_use]
+    pub fn effective_threads(&self) -> usize {
+        let cores = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+        let per_worker = cores / self.workers.max(1);
+        self.threads.max(1).min(per_worker.max(1))
     }
 }
 
@@ -87,9 +108,10 @@ fn micros_since(t: Instant) -> u64 {
     u64::try_from(t.elapsed().as_micros()).unwrap_or(u64::MAX)
 }
 
-fn config_for(opts: &AnalyzeOpts) -> AnalysisConfig {
+fn config_for(opts: &AnalyzeOpts, threads: usize) -> AnalysisConfig {
     let mut cfg = AnalysisConfig {
         k: opts.k,
+        threads,
         ..AnalysisConfig::default()
     };
     if opts.sound_only {
@@ -107,7 +129,7 @@ impl Shared {
         source: &str,
         opts: &AnalyzeOpts,
     ) -> Result<(CachedResult, bool), Response> {
-        let config = config_for(opts);
+        let config = config_for(opts, self.cfg.effective_threads());
         let key = CacheKey::of(source, &config);
         if let Some(hit) = self.cache.lock().expect("cache lock").get(&key) {
             obs::counter("serve.cache.hits", 1);
@@ -267,6 +289,11 @@ impl Shared {
             f("queue_depth", self.pool.queue_depth()),
             f("inflight", self.pool.inflight()),
             f("workers", self.cfg.workers as u64),
+            // Inner analysis parallelism: the clamped value each worker
+            // runs with, plus the raw request so operators can see when
+            // the core budget reduced it.
+            f("threads", self.cfg.effective_threads() as u64),
+            f("threads_requested", self.cfg.threads.max(1) as u64),
             // HB-graph aggregates across every analysis the workers ran
             // (worker threads install the shared recorder, so the hb.*
             // counters accumulate here).

@@ -4,35 +4,46 @@
 #   ./scripts/ci.sh
 #
 # 1. release build of the whole workspace (benches compile too),
-# 2. the full test suite,
+# 2. the full test suite — run at NADROID_THREADS=4 so every analysis
+#    in tier-1 exercises the parallel detection/filtering/points-to/
+#    Datalog paths (output is byte-identical by construction; the
+#    determinism suites assert it),
 # 3. clippy with warnings promoted to errors,
 # 4. the observability crate builds (and its tests run) with
 #    instrumentation compiled out (--no-default-features), the Datalog
-#    engine builds with provenance recording compiled out, and the HB
-#    graph builds with metrics compiled out; the HB parity gate then
-#    checks graph-backed filters against the legacy logic on all 27 apps,
+#    engine builds with provenance recording compiled out, the HB
+#    graph builds with metrics compiled out, and the work-pool crate
+#    builds (and its tests run) with its obs integration compiled out;
+#    the HB parity gate then checks graph-backed filters against the
+#    legacy logic on all 27 apps,
 # 5. provenance smoke test: `nadroid explain` on a corpus app must
 #    produce a non-empty derivation tree and a filter audit,
 # 6. bench-regression guard: re-measure the timing suite and compare
-#    against the committed BENCH_timing.json with a 3x tolerance — a
-#    perf cliff (or a change to the deterministic Datalog closure
-#    workload) fails the gate loudly,
-# 7. serve smoke gate: start the daemon, cold request, warm request
+#    against the committed BENCH_timing.json (nadroid-timing/4) with a
+#    3x tolerance, and validate the corpus-scale thread curve
+#    structurally (rows for threads 1/2/4/8; deterministic counters
+#    identical across the curve) — a perf cliff (or a change to the
+#    deterministic Datalog closure workload) fails the gate loudly,
+# 7. serve smoke gate: start the daemon with --threads 2 (inner
+#    parallelism under admission control), cold request, warm request
 #    (must hit the cache), deadline-exceeded request (structured
-#    timeout, worker survives), stats consistency, clean shutdown —
-#    then the serve load bench refreshes BENCH_serve.json and enforces
-#    the 20x warm-vs-cold ConnectBot speedup.
+#    timeout, worker survives), stats consistency incl. the exported
+#    thread config, clean shutdown — then the serve load bench
+#    refreshes BENCH_serve.json and enforces the 20x warm-vs-cold
+#    ConnectBot speedup.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --workspace --release
-cargo test -q --workspace
+NADROID_THREADS=4 cargo test -q --workspace
 cargo clippy --workspace --all-targets -- -D warnings
 
 cargo build -p nadroid-obs --no-default-features
 cargo test -q -p nadroid-obs --no-default-features
 cargo build -p nadroid-datalog --no-default-features
 cargo build -p nadroid-hb --no-default-features
+cargo build -p nadroid-par --no-default-features
+cargo test -q -p nadroid-par --no-default-features
 
 # HB parity gate: the graph-backed filters must reproduce the legacy
 # filter logic byte-for-byte across the whole 27-app corpus.
@@ -51,7 +62,7 @@ cargo run --release -p nadroid-bench --bin timing -- --check 3
 # --- serve smoke gate ---
 bin=target/release/nadroid
 serve_out=$(mktemp)
-"$bin" serve --addr 127.0.0.1:0 --workers 2 > "$serve_out" &
+"$bin" serve --addr 127.0.0.1:0 --workers 2 --threads 2 > "$serve_out" &
 serve_pid=$!
 trap 'kill "$serve_pid" 2>/dev/null || true; rm -f "$serve_out"' EXIT
 for _ in $(seq 1 100); do
@@ -78,6 +89,13 @@ echo "$stats_out" | grep -q '"cache_misses": 2' || {
     echo "ci.sh: serve stats cache_misses inconsistent:"; echo "$stats_out"; exit 1; }
 echo "$stats_out" | grep -q '"deadline_exceeded": 1' || {
     echo "ci.sh: serve stats deadline_exceeded inconsistent:"; echo "$stats_out"; exit 1; }
+# The requested inner-thread config must be exported verbatim (the
+# effective "threads" value is machine-bound — workers x threads is
+# clamped to the core budget — so the gate checks the request echo).
+echo "$stats_out" | grep -q '"threads_requested": 2' || {
+    echo "ci.sh: serve stats missing threads_requested:"; echo "$stats_out"; exit 1; }
+echo "$stats_out" | grep -q '"threads": ' || {
+    echo "ci.sh: serve stats missing effective threads:"; echo "$stats_out"; exit 1; }
 "$bin" request --shutdown --addr "$serve_addr" | grep -q 'shutdown acknowledged' || {
     echo "ci.sh: serve shutdown not acknowledged" >&2; exit 1; }
 wait "$serve_pid" || { echo "ci.sh: serve exited nonzero" >&2; exit 1; }

@@ -17,6 +17,8 @@ pub use nadroid_dynamic as dynamic;
 pub use nadroid_filters as filters;
 pub use nadroid_hb as hb;
 pub use nadroid_ir as ir;
+pub use nadroid_obs as obs;
+pub use nadroid_par as par;
 pub use nadroid_pointsto as pointsto;
 pub use nadroid_serve as serve;
 pub use nadroid_threadify as threadify;

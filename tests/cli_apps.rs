@@ -21,6 +21,7 @@ fn connectbot_report_has_both_figure1_warnings() {
         provenance: None,
         stats: false,
         mhp_preprune: false,
+        threads: None,
     })
     .unwrap();
     assert!(out.contains("2 surviving warning(s)"), "{out}");

@@ -55,6 +55,95 @@ fn repeated_analyses_are_byte_identical_in_process() {
     );
 }
 
+/// The parallel analysis core's headline claim: thread count is
+/// invisible in the output. Sweep 1/2/4/8 on an app big enough to cross
+/// every parallel gate (K-9's ~213 planted clusters drive the chunked
+/// detector scan, the filter pipeline, the points-to epoch planner, and
+/// the Datalog delta threshold) and require byte-identical warning ids,
+/// filter verdicts, provenance JSON, and deterministic counters.
+#[test]
+fn thread_count_never_changes_the_output() {
+    let rows = nadroid::corpus::table1_rows();
+    let row = rows.iter().find(|r| r.name == "K-9").expect("K-9 row");
+    let app = nadroid::corpus::generate(&nadroid::corpus::spec_for(row));
+
+    let run = |threads: usize| {
+        let config = AnalysisConfig {
+            threads,
+            datalog_crosscheck: true,
+            ..AnalysisConfig::default()
+        };
+        let recorder = nadroid::obs::Recorder::new();
+        let (ids, verdicts, provenance, summary) = {
+            let _guard = recorder.install();
+            let analysis = analyze(&app.program, &config);
+            let provs = analysis.warning_provenances();
+            let ids: Vec<String> = provs.iter().map(|p| p.id.clone()).collect();
+            let verdicts: Vec<String> = provs
+                .iter()
+                .map(|p| format!("{} {:?}", p.id, p.pruned_by))
+                .collect();
+            (
+                ids,
+                verdicts,
+                render_provenance_json(&analysis),
+                analysis.summary(),
+            )
+        };
+        let counters = (
+            recorder.counter_value("detector.pairs_examined"),
+            recorder.counter_value("pointsto.queue_pops"),
+        );
+        (ids, verdicts, provenance, summary, counters)
+    };
+
+    let baseline = run(1);
+    assert!(!baseline.0.is_empty(), "K-9 plants warnings");
+    assert!(baseline.4 .0 > 0, "pairs_examined recorded");
+    assert!(baseline.4 .1 > 0, "queue_pops recorded");
+    for threads in [2usize, 4, 8] {
+        let swept = run(threads);
+        assert_eq!(baseline.0, swept.0, "warning ids drift at threads={threads}");
+        assert_eq!(baseline.1, swept.1, "verdicts drift at threads={threads}");
+        assert_eq!(
+            baseline.2, swept.2,
+            "provenance JSON drifts at threads={threads}"
+        );
+        assert_eq!(baseline.3, swept.3, "summary drifts at threads={threads}");
+        assert_eq!(
+            baseline.4, swept.4,
+            "deterministic counters drift at threads={threads}"
+        );
+    }
+}
+
+/// The serve cache canonicalizes the thread count out of its key: a
+/// result computed at one `--threads` must hit for any other.
+#[test]
+fn cache_keys_ignore_the_thread_count() {
+    let one = AnalysisConfig {
+        threads: 1,
+        ..AnalysisConfig::default()
+    };
+    let eight = AnalysisConfig {
+        threads: 8,
+        ..AnalysisConfig::default()
+    };
+    assert_eq!(
+        CacheKey::of(CONNECTBOT, &one),
+        CacheKey::of(CONNECTBOT, &eight)
+    );
+    let k3 = AnalysisConfig {
+        k: 3,
+        ..AnalysisConfig::default()
+    };
+    assert_ne!(
+        CacheKey::of(CONNECTBOT, &one),
+        CacheKey::of(CONNECTBOT, &k3),
+        "real config differences must still miss"
+    );
+}
+
 #[test]
 fn summaries_and_survivors_are_stable_across_configs() {
     let program = parse_program(CONNECTBOT).expect("parse connectbot");

@@ -72,6 +72,34 @@ proptest! {
         }
     }
 
+    /// The points-to fixpoint under the parallel epoch planner equals
+    /// the sequential solve exactly — same sets *and* same deterministic
+    /// solver trace (queue pops), on every generated program. The
+    /// ambient thread budget is what flips the planner on; nothing else
+    /// in the solve changes.
+    #[test]
+    fn parallel_pointsto_fixpoint_equals_sequential(spec in spec_strategy(2), k in 0u32..=2) {
+        let app = generate(&spec);
+        let threads = ThreadModel::build(&app.program);
+        let solve = |budget: usize| {
+            let recorder = nadroid::obs::Recorder::new();
+            let pts = {
+                let _guard = recorder.install();
+                nadroid::par::with_threads(budget, || PointsTo::run(&app.program, &threads, k))
+            };
+            (pts, recorder.counter_value("pointsto.queue_pops"))
+        };
+        let (seq, seq_pops) = solve(1);
+        let (par, par_pops) = solve(4);
+        prop_assert_eq!(seq_pops, par_pops, "solver trace diverged");
+        for (mid, m) in app.program.methods() {
+            for l in 0..m.num_locals() {
+                let local = nadroid::ir::Local(l);
+                prop_assert_eq!(seq.pts(mid, local), par.pts(mid, local), "pts diverged");
+            }
+        }
+    }
+
     /// Raising k never *adds* warning pairs (sensitivity only refines).
     #[test]
     fn sensitivity_is_monotone(spec in spec_strategy(1)) {
