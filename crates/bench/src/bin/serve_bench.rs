@@ -5,23 +5,38 @@
 //! Measured quantities:
 //!
 //! - **client latency** (wall µs around each round trip, per pass):
-//!   p50/p95/p99 and throughput;
+//!   p50/p95/p99 and throughput, computed with the same log-bucketed
+//!   [`Histogram`] the server uses (relative error ≤ 1/32);
 //! - **server handling time** (the `micros` field of each response):
 //!   for the warm pass this is the cache-lookup cost — the
 //!   "warm requests in microseconds" claim;
+//! - **server-side distributions** from the `metrics` op: per-endpoint
+//!   latency and queue-wait percentiles as the server itself saw them;
 //! - **cache hit rate** from the server's `stats` op;
 //! - **ConnectBot cold vs warm**: the gate. The warm request must be at
 //!   least 20× faster (server handling time) than the cold solve, or
 //!   the binary exits nonzero.
 //!
-//! `BENCH_serve.json` schema (`nadroid-serve-bench/1`): see the fields
+//! Two self-checks also gate the run:
+//!
+//! 1. warm `client_p50 >= server_p50` — a round trip can never be
+//!    faster than the handling time it contains;
+//! 2. the `serve.latency.analyze.miss` percentiles reported by the
+//!    `metrics` op must **exactly** equal a histogram this bench builds
+//!    from the cold responses' `micros` fields. The server records the
+//!    same value it echoes, into the same histogram implementation, so
+//!    any drift means the telemetry plumbing is lying.
+//!
+//! `BENCH_serve.json` schema (`nadroid-serve-bench/2`): see the fields
 //! written below; all times are microseconds.
 //!
 //! Run with `cargo run --release -p nadroid-bench --bin serve_bench`
 //! (`--concurrency <N>`, `--out <file>`).
 
+use nadroid_core::{parse_json, JsonValue};
 use nadroid_corpus::{generate, spec_for, table1_rows};
 use nadroid_ir::print_program;
+use nadroid_obs::Histogram;
 use nadroid_serve::client::Client;
 use nadroid_serve::protocol::{AnalyzeOpts, Request, Response};
 use nadroid_serve::server::{ServeConfig, Server};
@@ -39,12 +54,12 @@ struct Sample {
     cached: bool,
 }
 
-fn percentile(sorted: &[u64], p: f64) -> u64 {
-    if sorted.is_empty() {
-        return 0;
+fn hist_of<I: IntoIterator<Item = u64>>(values: I) -> Histogram {
+    let mut h = Histogram::new();
+    for v in values {
+        h.record(v);
     }
-    let rank = ((sorted.len() as f64 - 1.0) * p).round() as usize;
-    sorted[rank.min(sorted.len() - 1)]
+    h
 }
 
 /// Replay every app once across `concurrency` client connections.
@@ -93,10 +108,8 @@ fn run_pass(addr: std::net::SocketAddr, programs: &Arc<Vec<String>>, concurrency
 }
 
 fn pass_json(out: &mut String, label: &str, samples: &[Sample], wall_secs: f64) {
-    let mut client: Vec<u64> = samples.iter().map(|s| s.client_us).collect();
-    client.sort_unstable();
-    let mut server: Vec<u64> = samples.iter().map(|s| s.server_us).collect();
-    server.sort_unstable();
+    let client = hist_of(samples.iter().map(|s| s.client_us));
+    let server = hist_of(samples.iter().map(|s| s.server_us));
     let throughput = if wall_secs > 0.0 {
         samples.len() as f64 / wall_secs
     } else {
@@ -109,17 +122,50 @@ fn pass_json(out: &mut String, label: &str, samples: &[Sample], wall_secs: f64) 
     let _ = writeln!(
         out,
         "    \"client_p50_us\": {}, \"client_p95_us\": {}, \"client_p99_us\": {},",
-        percentile(&client, 0.50),
-        percentile(&client, 0.95),
-        percentile(&client, 0.99)
+        client.percentile(0.50),
+        client.percentile(0.95),
+        client.percentile(0.99)
     );
     let _ = writeln!(
         out,
         "    \"server_p50_us\": {}, \"server_p95_us\": {}, \"server_p99_us\": {}",
-        percentile(&server, 0.50),
-        percentile(&server, 0.95),
-        percentile(&server, 0.99)
+        server.percentile(0.50),
+        server.percentile(0.95),
+        server.percentile(0.99)
     );
+    let _ = writeln!(out, "  }},");
+}
+
+/// Pull `count`/percentile fields for one histogram series out of the
+/// parsed `nadroid-serve-metrics/1` document.
+fn series_stats(metrics: &JsonValue, name: &str) -> Option<(u64, u64, u64, u64, u64)> {
+    let h = metrics.get("histograms")?.get(name)?;
+    let f = |k: &str| h.get(k).and_then(JsonValue::as_u64);
+    Some((
+        f("count")?,
+        f("p50_us")?,
+        f("p95_us")?,
+        f("p99_us")?,
+        f("max_us")?,
+    ))
+}
+
+fn server_block(out: &mut String, metrics: &JsonValue) {
+    let _ = writeln!(out, "  \"server\": {{");
+    let series = [
+        "serve.latency.analyze.miss",
+        "serve.latency.analyze.hit",
+        "serve.queue_wait.analyze",
+    ];
+    for (i, name) in series.iter().enumerate() {
+        let (count, p50, p95, p99, max) =
+            series_stats(metrics, name).unwrap_or_else(|| panic!("metrics series `{name}` missing"));
+        let comma = if i + 1 < series.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    \"{name}\": {{ \"count\": {count}, \"p50_us\": {p50}, \"p95_us\": {p95}, \"p99_us\": {p99}, \"max_us\": {max} }}{comma}"
+        );
+    }
     let _ = writeln!(out, "  }},");
 }
 
@@ -175,13 +221,17 @@ fn main() {
         "second pass must be all cache hits"
     );
 
-    let stats = {
+    let (stats, metrics) = {
         let mut client = Client::connect(addr).expect("connect");
         let Response::Stats { fields } = client.stats().expect("stats op") else {
             panic!("expected stats response");
         };
+        let Response::Metrics { json } = client.metrics().expect("metrics op") else {
+            panic!("expected metrics response");
+        };
         let _ = client.shutdown();
-        fields
+        let metrics = parse_json(&json).expect("metrics document parses");
+        (fields, metrics)
     };
     let stat = |name: &str| {
         stats
@@ -210,14 +260,16 @@ fn main() {
     let speedup = cb_cold as f64 / (cb_warm.max(1)) as f64;
 
     let mut out = String::from("{\n");
-    let _ = writeln!(out, "  \"schema\": \"nadroid-serve-bench/1\",");
+    let _ = writeln!(out, "  \"schema\": \"nadroid-serve-bench/2\",");
     let _ = writeln!(out, "  \"apps\": {},", programs.len());
     let _ = writeln!(out, "  \"concurrency\": {concurrency},");
     pass_json(&mut out, "cold", &cold, cold_wall);
     pass_json(&mut out, "warm", &warm, warm_wall);
+    server_block(&mut out, &metrics);
     let _ = writeln!(out, "  \"cache_hit_rate\": {hit_rate:.4},");
     let _ = writeln!(out, "  \"cache_bytes\": {},", stat("cache_bytes"));
     let _ = writeln!(out, "  \"cache_entries\": {},", stat("cache_entries"));
+    let _ = writeln!(out, "  \"cache_evictions\": {},", stat("cache_evictions"));
     let _ = writeln!(out, "  \"rejected\": {},", stat("rejected"));
     let _ = writeln!(
         out,
@@ -226,30 +278,51 @@ fn main() {
     out.push_str("}\n");
     std::fs::write(&out_path, &out).expect("write bench json");
 
+    let cold_server = hist_of(cold.iter().map(|s| s.server_us));
+    let warm_client = hist_of(warm.iter().map(|s| s.client_us));
+    let warm_server = hist_of(warm.iter().map(|s| s.server_us));
     eprintln!(
         "serve_bench: cold p50 {}us, warm p50 {}us, hit rate {:.0}%, connectbot {cb_cold}us -> {cb_warm}us ({speedup:.0}x)",
-        percentile(
-            &{
-                let mut v: Vec<u64> = cold.iter().map(|s| s.server_us).collect();
-                v.sort_unstable();
-                v
-            },
-            0.5
-        ),
-        percentile(
-            &{
-                let mut v: Vec<u64> = warm.iter().map(|s| s.server_us).collect();
-                v.sort_unstable();
-                v
-            },
-            0.5
-        ),
+        cold_server.percentile(0.5),
+        warm_server.percentile(0.5),
         hit_rate * 100.0
     );
     println!("wrote {out_path}");
 
+    let mut failed = false;
     if speedup < 20.0 {
         eprintln!("serve_bench: FAIL — warm ConnectBot only {speedup:.1}x faster than cold (< 20x)");
+        failed = true;
+    }
+
+    // Self-check 1: a round trip contains the handling time it reports.
+    let (cp50, sp50) = (warm_client.percentile(0.5), warm_server.percentile(0.5));
+    if cp50 < sp50 {
+        eprintln!("serve_bench: FAIL — warm client_p50 {cp50}us < server_p50 {sp50}us");
+        failed = true;
+    }
+
+    // Self-check 2: the server's own `serve.latency.analyze.miss`
+    // histogram must agree exactly with one rebuilt from the cold
+    // responses — same samples, same histogram implementation.
+    let (count, p50, p95, p99, max) = series_stats(&metrics, "serve.latency.analyze.miss")
+        .expect("metrics exposes serve.latency.analyze.miss");
+    let want = (
+        cold_server.count(),
+        cold_server.percentile(0.50),
+        cold_server.percentile(0.95),
+        cold_server.percentile(0.99),
+        cold_server.max(),
+    );
+    if (count, p50, p95, p99, max) != want {
+        eprintln!(
+            "serve_bench: FAIL — metrics analyze.miss (count {count}, p50 {p50}, p95 {p95}, p99 {p99}, max {max}) \
+             != bench-side {want:?}"
+        );
+        failed = true;
+    }
+
+    if failed {
         std::process::exit(1);
     }
 }

@@ -98,6 +98,14 @@ pub enum Command {
         cache_bytes: usize,
         /// Default per-request deadline (`None` = unlimited).
         deadline_ms: Option<u64>,
+        /// JSONL access-log path (`None` = no access log).
+        access_log: Option<String>,
+        /// Slow-request capture threshold in microseconds; requests at
+        /// or above it get their span tree serialized next to the
+        /// access log (`None` = capture off).
+        slow_us: Option<u64>,
+        /// Log every n-th request to the access log (1 = all).
+        log_sample: u64,
     },
     /// Send one request to a running service.
     Request {
@@ -115,8 +123,22 @@ pub enum Command {
         deadline_ms: Option<u64>,
         /// Fetch the server's counters instead of analyzing.
         stats: bool,
+        /// Fetch the `nadroid-serve-metrics/1` document as raw JSON.
+        metrics: bool,
+        /// Fetch the metrics document and render it as Prometheus-style
+        /// exposition text.
+        metrics_text: bool,
         /// Ask the server to shut down gracefully.
         shutdown: bool,
+    },
+    /// Validate that a file is well-formed JSON (or JSONL with
+    /// `--lines`), using the same parser the pipeline ships. Lets CI
+    /// gate access logs and trace files without external tooling.
+    CheckJson {
+        /// File to validate.
+        path: String,
+        /// Treat the file as JSONL: one JSON value per non-empty line.
+        lines: bool,
     },
     /// Print usage.
     Help,
@@ -156,9 +178,11 @@ USAGE:
     nadroid dot     <app.dsl>
     nadroid serve   [--addr <host:port>] [--workers <N>] [--threads <N>]
                     [--cache-bytes <B>] [--deadline-ms <D>]
+                    [--access-log <file>] [--slow-us <T>] [--log-sample <N>]
     nadroid request [<app.dsl>] [--addr <host:port>] [--explain]
                     [--id <warning-id>] [--k <N>] [--deadline-ms <D>]
-                    [--stats] [--shutdown]
+                    [--stats] [--metrics] [--metrics-text] [--shutdown]
+    nadroid check-json <file> [--lines]
 
 `analyze` may be omitted when the first argument is a flag or a .dsl
 file: `nadroid --trace out.json app.dsl`.
@@ -168,7 +192,24 @@ SERVING (see docs/serving.md):
     with admission control, a content-addressed result cache (warm
     requests are a lookup, not a re-solve), and per-request deadlines.
     `request` is the matching client; repeated requests for the same
-    app and options report `cached: true`.
+    app and options report `cached: true`. Every response carries a
+    server-minted `request id` (also printed by `request`) that links
+    it to the server's access log and slow-request traces.
+
+SERVE TELEMETRY (see docs/observability.md):
+    --access-log <f>  JSONL access log: one line per request with id,
+                      endpoint, outcome, queue/service micros, cache
+                      key, and thread count (sample with --log-sample)
+    --slow-us <T>     capture the full span tree of any request whose
+                      service time is >= T microseconds, written as
+                      slow-<id>.trace.json next to the access log
+    --metrics         (on `request`) fetch the nadroid-serve-metrics/1
+                      JSON document: counters, rolling 1s/10s/60s rps
+                      and error-rate windows, per-endpoint latency and
+                      queue-wait histograms with percentile readouts
+    --metrics-text    same data, rendered Prometheus-style
+    check-json <f>    validate JSON (or JSONL with --lines) with the
+                      in-repo parser — CI gates logs/traces with it
 
 OBSERVABILITY (see docs/observability.md):
     --trace <file>    Chrome trace_event JSON — open in chrome://tracing
@@ -228,6 +269,21 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Cl
         }
         "serve" => parse_serve(args),
         "request" => parse_request(args),
+        "check-json" => {
+            let mut path = None;
+            let mut lines = false;
+            for a in args {
+                match a.as_str() {
+                    "--lines" => lines = true,
+                    other if !other.starts_with('-') && path.is_none() => {
+                        path = Some(other.to_owned());
+                    }
+                    other => return Err(CliError(format!("unexpected argument `{other}`"))),
+                }
+            }
+            let path = path.ok_or_else(|| CliError("check-json needs a file".into()))?;
+            Ok(Command::CheckJson { path, lines })
+        }
         "nosleep" | "deva" | "dot" => {
             let path = args
                 .next()
@@ -346,6 +402,9 @@ fn parse_serve(args: impl Iterator<Item = String>) -> Result<Command, CliError> 
     let mut threads = 1usize;
     let mut cache_bytes = 64usize << 20;
     let mut deadline_ms = None;
+    let mut access_log = None;
+    let mut slow_us = None;
+    let mut log_sample = 1u64;
     while let Some(a) = args.next() {
         let mut value = |flag: &str| {
             args.next()
@@ -353,6 +412,23 @@ fn parse_serve(args: impl Iterator<Item = String>) -> Result<Command, CliError> 
         };
         match a.as_str() {
             "--addr" => addr = value("--addr")?,
+            "--access-log" => access_log = Some(value("--access-log")?),
+            "--slow-us" => {
+                let v = value("--slow-us")?;
+                slow_us = Some(
+                    v.parse()
+                        .map_err(|_| CliError(format!("bad slow threshold `{v}`")))?,
+                );
+            }
+            "--log-sample" => {
+                let v = value("--log-sample")?;
+                log_sample = v
+                    .parse()
+                    .map_err(|_| CliError(format!("bad sample rate `{v}`")))?;
+                if log_sample == 0 {
+                    return Err(CliError("--log-sample must be at least 1".into()));
+                }
+            }
             "--workers" => {
                 let v = value("--workers")?;
                 workers = v
@@ -390,6 +466,9 @@ fn parse_serve(args: impl Iterator<Item = String>) -> Result<Command, CliError> 
         threads,
         cache_bytes,
         deadline_ms,
+        access_log,
+        slow_us,
+        log_sample,
     })
 }
 
@@ -402,6 +481,8 @@ fn parse_request(args: impl Iterator<Item = String>) -> Result<Command, CliError
     let mut k = 2u32;
     let mut deadline_ms = None;
     let mut stats = false;
+    let mut metrics = false;
+    let mut metrics_text = false;
     let mut shutdown = false;
     while let Some(a) = args.next() {
         let mut value = |flag: &str| {
@@ -412,6 +493,8 @@ fn parse_request(args: impl Iterator<Item = String>) -> Result<Command, CliError
             "--addr" => addr = value("--addr")?,
             "--explain" => explain = true,
             "--stats" => stats = true,
+            "--metrics" => metrics = true,
+            "--metrics-text" => metrics_text = true,
             "--shutdown" => shutdown = true,
             "--id" => {
                 id = Some(value("--id")?);
@@ -436,9 +519,9 @@ fn parse_request(args: impl Iterator<Item = String>) -> Result<Command, CliError
             other => return Err(CliError(format!("unexpected argument `{other}`"))),
         }
     }
-    if path.is_none() && !stats && !shutdown {
+    if path.is_none() && !stats && !metrics && !metrics_text && !shutdown {
         return Err(CliError(
-            "request needs a file (or --stats / --shutdown)".into(),
+            "request needs a file (or --stats / --metrics / --shutdown)".into(),
         ));
     }
     Ok(Command::Request {
@@ -449,6 +532,8 @@ fn parse_request(args: impl Iterator<Item = String>) -> Result<Command, CliError
         k,
         deadline_ms,
         stats,
+        metrics,
+        metrics_text,
         shutdown,
     })
 }
@@ -650,6 +735,9 @@ baseline: {suppressed} suppressed, {} new
             threads,
             cache_bytes,
             deadline_ms,
+            access_log,
+            slow_us,
+            log_sample,
         } => {
             let mut server = Server::start(ServeConfig {
                 addr: addr.clone(),
@@ -658,9 +746,14 @@ baseline: {suppressed} suppressed, {} new
                 cache_bytes: *cache_bytes,
                 queue_cap: workers.saturating_mul(4).max(4),
                 default_deadline_ms: *deadline_ms,
+                telemetry: nadroid_serve::TelemetryConfig {
+                    access_log: access_log.clone(),
+                    slow_us: *slow_us,
+                    log_sample: *log_sample,
+                },
                 ..ServeConfig::default()
             })
-            .map_err(|e| CliError(format!("cannot bind {addr}: {e}")))?;
+            .map_err(|e| CliError(format!("cannot start server on {addr}: {e}")))?;
             // Announce readiness before blocking; scripts poll for this
             // line, and stdout is block-buffered when redirected.
             println!("nadroid-serve listening on {}", server.local_addr());
@@ -673,6 +766,25 @@ baseline: {suppressed} suppressed, {} new
             }
             Ok(out)
         }
+        Command::CheckJson { path, lines } => {
+            let content = std::fs::read_to_string(path)
+                .map_err(|e| CliError(format!("cannot read {path}: {e}")))?;
+            let mut checked = 0usize;
+            if *lines {
+                for (i, line) in content.lines().enumerate() {
+                    if line.trim().is_empty() {
+                        continue;
+                    }
+                    nadroid_core::parse_json(line)
+                        .map_err(|e| CliError(format!("{path}:{}: {e}", i + 1)))?;
+                    checked += 1;
+                }
+            } else {
+                nadroid_core::parse_json(&content).map_err(|e| CliError(format!("{path}: {e}")))?;
+                checked = 1;
+            }
+            Ok(format!("{path}: OK ({checked} JSON value(s))\n"))
+        }
         Command::Request {
             path,
             addr,
@@ -681,12 +793,16 @@ baseline: {suppressed} suppressed, {} new
             k,
             deadline_ms,
             stats,
+            metrics,
+            metrics_text,
             shutdown,
         } => {
             let mut client = Client::connect(addr)
                 .map_err(|e| CliError(format!("cannot connect to {addr}: {e}")))?;
             let response = if *stats {
                 client.stats()
+            } else if *metrics || *metrics_text {
+                client.metrics()
             } else if *shutdown {
                 client.shutdown()
             } else {
@@ -707,7 +823,18 @@ baseline: {suppressed} suppressed, {} new
                 }
             }
             .map_err(CliError)?;
-            render_response(&response)
+            let mut out = if *metrics_text {
+                match &response {
+                    Response::Metrics { json } => render_metrics_text(json)?,
+                    other => render_response(other)?,
+                }
+            } else {
+                render_response(&response)?
+            };
+            if let Some(rid) = client.last_request_id() {
+                out.push_str(&format!("request id: {rid}\n"));
+            }
+            Ok(out)
         }
     }
 }
@@ -750,6 +877,7 @@ fn render_response(response: &Response) -> Result<String, CliError> {
             }
             Ok(out)
         }
+        Response::Metrics { json } => Ok(format!("{json}\n")),
         Response::Shutdown => Ok("shutdown acknowledged\n".to_owned()),
         Response::Rejected { retry_after_ms } => {
             Ok(format!("rejected (retry after {retry_after_ms} ms)\n"))
@@ -759,6 +887,68 @@ fn render_response(response: &Response) -> Result<String, CliError> {
         }
         Response::Error { message } => Err(CliError(format!("server error: {message}"))),
     }
+}
+
+/// Render a `nadroid-serve-metrics/1` document as Prometheus-style
+/// exposition text: one `name{labels} value` line per counter, window,
+/// and histogram quantile.
+fn render_metrics_text(json: &str) -> Result<String, CliError> {
+    let doc = nadroid_core::parse_json(json)
+        .map_err(|e| CliError(format!("malformed metrics document: {e}")))?;
+    let num = |v: &nadroid_core::JsonValue| v.as_f64().unwrap_or(0.0);
+    let mut out = String::from("# nadroid-serve-metrics/1\n");
+    if let Some(v) = doc.get("uptime_secs") {
+        out.push_str(&format!("nadroid_serve_uptime_seconds {}\n", num(v)));
+    }
+    if let Some(v) = doc.get("requests_total") {
+        out.push_str(&format!("nadroid_serve_requests_total {}\n", num(v)));
+    }
+    if let Some(nadroid_core::JsonValue::Obj(members)) = doc.get("counters") {
+        for (name, v) in members {
+            out.push_str(&format!(
+                "nadroid_serve_counter{{name=\"{name}\"}} {}\n",
+                num(v)
+            ));
+        }
+    }
+    if let Some(nadroid_core::JsonValue::Obj(members)) = doc.get("windows") {
+        for (name, v) in members {
+            out.push_str(&format!(
+                "nadroid_serve_window{{name=\"{name}\"}} {}\n",
+                num(v)
+            ));
+        }
+    }
+    if let Some(nadroid_core::JsonValue::Obj(hists)) = doc.get("histograms") {
+        for (series, h) in hists {
+            for (field, quantile) in [
+                ("p50_us", "0.50"),
+                ("p90_us", "0.90"),
+                ("p95_us", "0.95"),
+                ("p99_us", "0.99"),
+            ] {
+                if let Some(v) = h.get(field) {
+                    out.push_str(&format!(
+                        "nadroid_serve_latency_us{{series=\"{series}\",quantile=\"{quantile}\"}} {}\n",
+                        num(v)
+                    ));
+                }
+            }
+            if let Some(v) = h.get("count") {
+                out.push_str(&format!(
+                    "nadroid_serve_latency_us_count{{series=\"{series}\"}} {}\n",
+                    num(v)
+                ));
+            }
+            if let Some(v) = h.get("max_us") {
+                out.push_str(&format!(
+                    "nadroid_serve_latency_us_max{{series=\"{series}\"}} {}\n",
+                    num(v)
+                ));
+            }
+        }
+    }
+    Ok(out)
 }
 
 /// The `<app>.provenance.json` sibling of `path`, when it exists and
@@ -1076,6 +1266,9 @@ activity M { cb onClick { } }",
                 threads: 1,
                 cache_bytes: 64 << 20,
                 deadline_ms: None,
+                access_log: None,
+                slow_us: None,
+                log_sample: 1,
             }
         );
         assert_eq!(
@@ -1089,6 +1282,12 @@ activity M { cb onClick { } }",
                 "1024",
                 "--deadline-ms",
                 "500",
+                "--access-log",
+                "access.jsonl",
+                "--slow-us",
+                "250000",
+                "--log-sample",
+                "10",
             ]))
             .unwrap(),
             Command::Serve {
@@ -1097,10 +1296,15 @@ activity M { cb onClick { } }",
                 threads: 1,
                 cache_bytes: 1024,
                 deadline_ms: Some(500),
+                access_log: Some("access.jsonl".into()),
+                slow_us: Some(250_000),
+                log_sample: 10,
             }
         );
         assert!(parse_args(args(&["serve", "--workers"])).is_err());
         assert!(parse_args(args(&["serve", "app.dsl"])).is_err());
+        assert!(parse_args(args(&["serve", "--log-sample", "0"])).is_err());
+        assert!(parse_args(args(&["serve", "--slow-us", "soon"])).is_err());
 
         assert_eq!(
             parse_args(args(&["request", "app.dsl", "--addr", "127.0.0.1:9", "--k", "3"]))
@@ -1113,6 +1317,8 @@ activity M { cb onClick { } }",
                 k: 3,
                 deadline_ms: None,
                 stats: false,
+                metrics: false,
+                metrics_text: false,
                 shutdown: false,
             }
         );
@@ -1132,7 +1338,60 @@ activity M { cb onClick { } }",
             parse_args(args(&["request", "--shutdown"])).unwrap(),
             Command::Request { shutdown: true, .. }
         ));
+        // --metrics/--metrics-text need no file either.
+        assert!(matches!(
+            parse_args(args(&["request", "--metrics"])).unwrap(),
+            Command::Request { metrics: true, .. }
+        ));
+        assert!(matches!(
+            parse_args(args(&["request", "--metrics-text"])).unwrap(),
+            Command::Request {
+                metrics_text: true,
+                ..
+            }
+        ));
         assert!(parse_args(args(&["request"])).is_err(), "needs a file");
+
+        assert_eq!(
+            parse_args(args(&["check-json", "f.json", "--lines"])).unwrap(),
+            Command::CheckJson {
+                path: "f.json".into(),
+                lines: true,
+            }
+        );
+        assert!(parse_args(args(&["check-json"])).is_err(), "needs a file");
+    }
+
+    #[test]
+    fn check_json_validates_documents_and_jsonl() {
+        let dir = std::env::temp_dir().join("nadroid_cli_checkjson");
+        std::fs::create_dir_all(&dir).unwrap();
+        let good = dir.join("good.json");
+        std::fs::write(&good, "{\"a\": [1, 2, 3]}\n").unwrap();
+        let out = run(&Command::CheckJson {
+            path: good.to_string_lossy().into_owned(),
+            lines: false,
+        })
+        .unwrap();
+        assert!(out.contains("OK (1 JSON value(s))"), "{out}");
+
+        let jsonl = dir.join("log.jsonl");
+        std::fs::write(&jsonl, "{\"id\":\"r1\"}\n\n{\"id\":\"r2\"}\n").unwrap();
+        let out = run(&Command::CheckJson {
+            path: jsonl.to_string_lossy().into_owned(),
+            lines: true,
+        })
+        .unwrap();
+        assert!(out.contains("OK (2 JSON value(s))"), "{out}");
+
+        let bad = dir.join("bad.jsonl");
+        std::fs::write(&bad, "{\"ok\":1}\nnot json\n").unwrap();
+        let err = run(&Command::CheckJson {
+            path: bad.to_string_lossy().into_owned(),
+            lines: true,
+        })
+        .unwrap_err();
+        assert!(err.to_string().contains(":2:"), "line number in: {err}");
     }
 
     #[test]
@@ -1173,6 +1432,7 @@ activity M { cb onClick { } }",
         let cold = request(&[]);
         assert!(cold.contains("app: Req"), "{cold}");
         assert!(cold.contains("cached: false"), "{cold}");
+        assert!(cold.contains("request id: r"), "id echoed:\n{cold}");
         let warm = request(&[]);
         assert!(warm.contains("cached: true"), "{warm}");
 
@@ -1188,6 +1448,34 @@ activity M { cb onClick { } }",
         assert!(stats.contains("\"cache_hits\": 2"), "{stats}");
         assert!(stats.contains("\"cache_misses\": 2"), "{stats}");
         assert!(stats.contains("\"deadline_exceeded\": 1"), "{stats}");
+
+        let metrics =
+            run(&parse_args(args(&["request", "--metrics", "--addr", &addr])).unwrap()).unwrap();
+        assert!(
+            metrics.contains("\"schema\":\"nadroid-serve-metrics/1\""),
+            "{metrics}"
+        );
+        let raw = metrics
+            .lines()
+            .next()
+            .expect("metrics document on the first line");
+        assert!(nadroid_core::parse_json(raw).is_ok(), "{raw}");
+
+        let text = run(
+            &parse_args(args(&["request", "--metrics-text", "--addr", &addr])).unwrap(),
+        )
+        .unwrap();
+        assert!(text.contains("nadroid_serve_requests_total"), "{text}");
+        assert!(
+            text.contains("nadroid_serve_window{name=\"rps_1s\"}"),
+            "{text}"
+        );
+        assert!(
+            text.contains(
+                "nadroid_serve_latency_us{series=\"serve.latency.analyze.miss\",quantile=\"0.99\"}"
+            ),
+            "{text}"
+        );
 
         let bye = run(&parse_args(args(&["request", "--shutdown", "--addr", &addr])).unwrap())
             .unwrap();

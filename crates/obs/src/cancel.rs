@@ -48,6 +48,10 @@ impl std::fmt::Display for Cancelled {
 struct TokenInner {
     flag: AtomicBool,
     deadline: Option<Instant>,
+    // An opaque caller label (the serving layer threads its request id
+    // through here) so a cancellation observed deep in a solver loop
+    // can be attributed to the request that carried the deadline.
+    tag: Option<String>,
 }
 
 /// A cancellation token: a manual flag plus an optional wall-clock
@@ -67,23 +71,42 @@ impl CancelToken {
     /// A token with no deadline; fires only via [`CancelToken::cancel`].
     #[must_use]
     pub fn new() -> Self {
-        CancelToken {
-            inner: Arc::new(TokenInner {
-                flag: AtomicBool::new(false),
-                deadline: None,
-            }),
-        }
+        Self::build(None, None)
     }
 
     /// A token that additionally fires once `budget` has elapsed.
     #[must_use]
     pub fn with_deadline(budget: Duration) -> Self {
+        Self::build(Some(Instant::now() + budget), None)
+    }
+
+    /// [`CancelToken::new`], carrying a caller label (e.g. a request
+    /// id) readable via [`CancelToken::tag`].
+    #[must_use]
+    pub fn tagged(tag: &str) -> Self {
+        Self::build(None, Some(tag.to_owned()))
+    }
+
+    /// [`CancelToken::with_deadline`], carrying a caller label.
+    #[must_use]
+    pub fn with_deadline_tagged(budget: Duration, tag: &str) -> Self {
+        Self::build(Some(Instant::now() + budget), Some(tag.to_owned()))
+    }
+
+    fn build(deadline: Option<Instant>, tag: Option<String>) -> Self {
         CancelToken {
             inner: Arc::new(TokenInner {
                 flag: AtomicBool::new(false),
-                deadline: Some(Instant::now() + budget),
+                deadline,
+                tag,
             }),
         }
+    }
+
+    /// The caller label this token carries, if any. Clones share it.
+    #[must_use]
+    pub fn tag(&self) -> Option<&str> {
+        self.inner.tag.as_deref()
     }
 
     /// Request cancellation (thread-safe; from any clone).
@@ -230,6 +253,18 @@ mod tests {
         let _scope = token.install();
         assert!(!should_stop());
         checkpoint();
+    }
+
+    #[test]
+    fn tags_ride_the_token_through_install_and_clone() {
+        let token = CancelToken::with_deadline_tagged(Duration::from_secs(3600), "r0000002a");
+        assert_eq!(token.tag(), Some("r0000002a"));
+        assert_eq!(token.clone().tag(), Some("r0000002a"));
+        let _scope = token.install();
+        let seen = current_token().expect("installed token visible");
+        assert_eq!(seen.tag(), Some("r0000002a"));
+        assert!(CancelToken::tagged("x").tag() == Some("x"));
+        assert!(CancelToken::new().tag().is_none());
     }
 
     #[test]

@@ -145,6 +145,30 @@ impl Recorder {
         } else {
             let _ = write!(out, "\n{indent}}},\n");
         }
+        let _ = write!(out, "{indent}\"histograms\": {{");
+        let hists = self.histograms();
+        for (i, (k, h)) in hists.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n{indent}  \"{}\": {{\"count\": {}, \"p50_us\": {}, \"p90_us\": {}, \
+                 \"p95_us\": {}, \"p99_us\": {}, \"max_us\": {}}}",
+                esc(k),
+                h.count(),
+                h.percentile(0.50),
+                h.percentile(0.90),
+                h.percentile(0.95),
+                h.percentile(0.99),
+                h.max()
+            );
+        }
+        if hists.is_empty() {
+            out.push_str("},\n");
+        } else {
+            let _ = write!(out, "\n{indent}}},\n");
+        }
         let _ = write!(out, "{indent}\"spans\": [");
         let aggs = self.span_aggregates();
         for (i, a) in aggs.iter().enumerate() {
@@ -220,6 +244,20 @@ impl Recorder {
                 let _ = writeln!(out, "  {k:<40} {v:>12}");
             }
         }
+        let hists = self.histograms();
+        if !hists.is_empty() {
+            let _ = writeln!(out, "histograms:");
+            for (k, h) in &hists {
+                let _ = writeln!(
+                    out,
+                    "  {k:<40} n={} p50={}us p99={}us max={}us",
+                    h.count(),
+                    h.percentile(0.50),
+                    h.percentile(0.99),
+                    h.max()
+                );
+            }
+        }
         out
     }
 }
@@ -227,8 +265,10 @@ impl Recorder {
 #[cfg(test)]
 mod tests {
     use super::*;
+    #[cfg(feature = "enabled")]
     use crate::{counter, gauge, span};
 
+    #[cfg(feature = "enabled")]
     fn sample() -> Recorder {
         let rec = Recorder::new();
         {
@@ -283,6 +323,29 @@ mod tests {
         assert!(trace.contains("\"traceEvents\": []"), "{trace}");
         let json = rec.report_json();
         assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert!(json.contains("\"histograms\": {}"), "{json}");
         assert!(rec.span_aggregates().is_empty());
+        assert!(rec.histograms().is_empty());
+        assert!(rec.stats_tree().contains("run stats:"));
+    }
+
+    #[cfg(feature = "enabled")]
+    #[test]
+    fn histograms_appear_in_report_and_stats_tree() {
+        let rec = Recorder::new();
+        {
+            let _g = rec.install();
+            for v in [100u64, 200, 300] {
+                crate::hist("serve.latency.analyze.miss", v);
+            }
+        }
+        let json = rec.report_json();
+        assert!(json.contains("\"serve.latency.analyze.miss\""), "{json}");
+        assert!(json.contains("\"p99_us\""), "{json}");
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        let tree = rec.stats_tree();
+        assert!(tree.contains("histograms:"), "{tree}");
+        assert!(tree.contains("n=3"), "{tree}");
     }
 }

@@ -1,0 +1,286 @@
+//! A dependency-free log-bucketed online histogram.
+//!
+//! HDR-style log-linear bucketing: values below 2^[`SUB_BITS`] get an
+//! exact bucket each; above that, every power-of-two octave is split
+//! into 2^[`SUB_BITS`] equal sub-buckets, so the relative quantization
+//! error is bounded by `1 / 2^SUB_BITS` (~3.1%, comfortably inside the
+//! ~5% the serving layer budgets for). Memory is constant — one `u64`
+//! per bucket, [`BUCKETS`] total (~15 KiB) — regardless of how many
+//! values are recorded, which is what lets `nadroid-serve` keep one
+//! histogram per (endpoint, outcome) pair for the lifetime of the
+//! process.
+//!
+//! Merging is an element-wise add and therefore exact, associative, and
+//! commutative (the proptest suite pins this): per-thread or
+//! per-request histograms can be combined into a process-wide one
+//! without losing anything but the sub-bucket resolution already paid
+//! at record time.
+
+/// Sub-bucket resolution: each octave is split into `2^SUB_BITS`
+/// linear buckets, bounding relative error at `1 / 2^SUB_BITS`.
+pub const SUB_BITS: u32 = 5;
+
+const SUB_COUNT: u64 = 1 << SUB_BITS; // 32 sub-buckets per octave
+
+/// Total bucket count: 32 exact low buckets plus 59 octaves x 32.
+pub const BUCKETS: usize = (64 - SUB_BITS as usize + 1) * SUB_COUNT as usize;
+
+/// The bucket index for a value.
+fn index_of(v: u64) -> usize {
+    if v < SUB_COUNT {
+        return usize::try_from(v).expect("v < 32 fits usize");
+    }
+    let msb = 63 - u64::from(v.leading_zeros()); // >= SUB_BITS
+    let shift = msb - u64::from(SUB_BITS);
+    let sub = (v >> shift) & (SUB_COUNT - 1);
+    let group = msb - u64::from(SUB_BITS) + 1;
+    usize::try_from(group * SUB_COUNT + sub).expect("bucket index fits usize")
+}
+
+/// The `[lo, hi]` value range covered by bucket `i`.
+fn bounds_of(i: usize) -> (u64, u64) {
+    let i = i as u64;
+    if i < SUB_COUNT {
+        return (i, i);
+    }
+    let group = i / SUB_COUNT; // >= 1
+    let sub = i % SUB_COUNT;
+    let shift = group - 1;
+    let lo = (SUB_COUNT + sub) << shift;
+    // Parenthesized so the top bucket (`hi == u64::MAX`) cannot
+    // overflow on the way there.
+    let hi = lo + ((1u64 << shift) - 1);
+    (lo, hi)
+}
+
+/// An online log-linear histogram of `u64` samples (the serving layer
+/// records microseconds). Constant memory, exact merge, percentile
+/// readout with bounded relative error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    count: u64,
+    total: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Histogram {
+        Histogram {
+            counts: vec![0; BUCKETS],
+            count: 0,
+            total: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, v: u64) {
+        self.counts[index_of(v)] += 1;
+        self.count += 1;
+        self.total = self.total.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Fold another histogram in. Element-wise and therefore exact:
+    /// `merge` is associative and commutative, and merging histograms
+    /// of two sample sets equals the histogram of their union.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.total = self.total.saturating_add(other.total);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of recorded samples.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether nothing has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Sum of all samples (saturating).
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Largest recorded sample (0 when empty).
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Smallest recorded sample (0 when empty).
+    #[must_use]
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// The `p`-quantile (`p` in `[0, 1]`), read from the bucket holding
+    /// the `ceil(p * count)`-th smallest sample. Returns the bucket's
+    /// upper bound clamped into `[min, max]`, so the estimate never
+    /// undershoots the true order statistic and overshoots it by at
+    /// most `1/2^SUB_BITS` relative; `percentile` is monotone in `p`
+    /// and `percentile(1.0)` is exactly `max`. Empty histograms read 0.
+    #[must_use]
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        #[allow(clippy::cast_precision_loss, clippy::cast_sign_loss)]
+        #[allow(clippy::cast_possible_truncation)]
+        let target = ((p.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                let (_, hi) = bounds_of(i);
+                return hi.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Non-empty buckets as `(lo, hi, count)` triples in ascending
+    /// value order — the exposition format of `nadroid-serve-metrics/1`.
+    pub fn buckets(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| {
+                let (lo, hi) = bounds_of(i);
+                (lo, hi, c)
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn low_values_are_exact() {
+        let mut h = Histogram::new();
+        for v in 0..32 {
+            h.record(v);
+        }
+        let buckets: Vec<_> = h.buckets().collect();
+        assert_eq!(buckets.len(), 32);
+        for (i, (lo, hi, c)) in buckets.iter().enumerate() {
+            assert_eq!((*lo, *hi, *c), (i as u64, i as u64, 1));
+        }
+    }
+
+    #[test]
+    fn bucket_bounds_partition_the_domain() {
+        // Every bucket's lo is the previous bucket's hi + 1, and
+        // index_of maps both endpoints back to the bucket.
+        let mut expected_lo = 0u64;
+        for i in 0..BUCKETS {
+            let (lo, hi) = bounds_of(i);
+            assert_eq!(lo, expected_lo, "bucket {i} starts where {} ended", i - 1);
+            assert!(hi >= lo);
+            assert_eq!(index_of(lo), i);
+            assert_eq!(index_of(hi), i);
+            if hi == u64::MAX {
+                assert_eq!(i, BUCKETS - 1, "only the last bucket reaches u64::MAX");
+                return;
+            }
+            expected_lo = hi + 1;
+        }
+        panic!("last bucket must cover u64::MAX");
+    }
+
+    #[test]
+    fn relative_error_is_bounded() {
+        for v in [33u64, 100, 1000, 12_345, 1 << 20, u64::MAX / 3] {
+            let (lo, hi) = bounds_of(index_of(v));
+            assert!(lo <= v && v <= hi);
+            let err = hi - lo;
+            assert!(
+                err <= lo / 32,
+                "bucket width {err} exceeds lo/32 for v={v} (lo={lo})"
+            );
+        }
+    }
+
+    #[test]
+    fn percentiles_track_the_distribution() {
+        let mut h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 1000);
+        assert_eq!(h.max(), 1000);
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.percentile(1.0), 1000, "p100 is exactly max");
+        let p50 = h.percentile(0.5);
+        assert!((500..=516).contains(&p50), "p50 {p50} within bucket error");
+        let p99 = h.percentile(0.99);
+        assert!((990..=1000).contains(&p99), "p99 {p99} within bucket error");
+        assert!(h.percentile(0.5) <= h.percentile(0.9));
+        assert!(h.percentile(0.9) <= h.percentile(0.99));
+    }
+
+    #[test]
+    fn single_value_reads_back_exactly() {
+        let mut h = Histogram::new();
+        h.record(777);
+        for p in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(h.percentile(p), 777);
+        }
+        assert_eq!(h.total(), 777);
+    }
+
+    #[test]
+    fn merge_equals_recording_the_union() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut all = Histogram::new();
+        for v in [0u64, 1, 31, 32, 33, 100, 5000, 1 << 40] {
+            if v % 2 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+            all.record(v);
+        }
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged, all);
+    }
+
+    #[test]
+    fn empty_histogram_reads_zero() {
+        let h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.percentile(0.99), 0);
+        assert_eq!((h.min(), h.max(), h.total()), (0, 0, 0));
+        assert_eq!(h.buckets().count(), 0);
+    }
+}

@@ -8,8 +8,10 @@
 //! - **Spans** ([`span`]): RAII scopes with wall timing and thread-safe
 //!   nesting. Each thread that [`Recorder::install`]s a recorder gets
 //!   its own nesting stack, so parallel suite drivers trace cleanly.
-//! - **Metrics** ([`counter`], [`gauge`]): named monotonic counters and
-//!   last-write-wins gauges in a per-recorder registry.
+//! - **Metrics** ([`counter`], [`gauge`], [`hist`]): named monotonic
+//!   counters, last-write-wins gauges, and log-bucketed online
+//!   latency histograms ([`hist::Histogram`]) in a per-recorder
+//!   registry.
 //! - **Exporters** (on [`Recorder`]): Chrome `trace_event` JSON (load in
 //!   `chrome://tracing` or Perfetto), a flat JSON run-report, and a
 //!   human-readable `--stats` text tree.
@@ -54,8 +56,10 @@
 
 pub mod cancel;
 mod export;
+pub mod hist;
 
 pub use export::SpanAgg;
+pub use hist::Histogram;
 
 use std::collections::BTreeMap;
 use std::sync::atomic::AtomicU32;
@@ -85,6 +89,7 @@ struct Inner {
     spans: Mutex<Vec<SpanRecord>>,
     counters: Mutex<BTreeMap<String, u64>>,
     gauges: Mutex<BTreeMap<String, u64>>,
+    hists: Mutex<BTreeMap<String, Histogram>>,
     // Only consulted by `install`, which is a no-op when instrumentation
     // is compiled out.
     #[cfg_attr(not(feature = "enabled"), allow(dead_code))]
@@ -98,6 +103,7 @@ impl Inner {
             spans: Mutex::new(Vec::new()),
             counters: Mutex::new(BTreeMap::new()),
             gauges: Mutex::new(BTreeMap::new()),
+            hists: Mutex::new(BTreeMap::new()),
             next_tid: AtomicU32::new(0),
         }
     }
@@ -192,6 +198,55 @@ impl Recorder {
             .unwrap_or(0)
     }
 
+    /// All histograms, sorted by name (snapshots — cheap, constant
+    /// size per histogram).
+    #[must_use]
+    pub fn histograms(&self) -> Vec<(String, Histogram)> {
+        self.inner
+            .hists
+            .lock()
+            .expect("obs hists lock")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
+    }
+
+    /// A snapshot of one histogram, if any sample was recorded into it.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Option<Histogram> {
+        self.inner
+            .hists
+            .lock()
+            .expect("obs hists lock")
+            .get(name)
+            .cloned()
+    }
+
+    /// Fold another recorder's **metrics** into this one: counters add,
+    /// gauges keep the max, histograms merge exactly. Spans are *not*
+    /// transferred — they stay with the recorder that captured them
+    /// (the serving layer installs a per-request recorder to isolate a
+    /// slow request's span tree, then merges its metrics back so
+    /// process-wide counters and histograms stay complete).
+    pub fn merge_from(&self, other: &Recorder) {
+        {
+            let mut c = self.inner.counters.lock().expect("obs counters lock");
+            for (k, v) in other.counters() {
+                *c.entry(k).or_insert(0) += v;
+            }
+        }
+        {
+            let mut g = self.inner.gauges.lock().expect("obs gauges lock");
+            for (k, v) in other.gauges() {
+                let e = g.entry(k).or_insert(0);
+                *e = (*e).max(v);
+            }
+        }
+        let mut h = self.inner.hists.lock().expect("obs hists lock");
+        for (k, v) in other.histograms() {
+            h.entry(k).or_default().merge(&v);
+        }
+    }
 }
 
 /// The recorder installed on the current thread, if any. Scoped worker
@@ -349,6 +404,25 @@ pub fn gauge(name: &str, value: u64) {
     }
 }
 
+/// Record one sample into the named histogram of the current thread's
+/// recorder (no-op when none is installed). The serving layer feeds
+/// request latencies and phase times in microseconds through this.
+pub fn hist(name: &str, value: u64) {
+    #[cfg(feature = "enabled")]
+    {
+        if let Some(inner) = enabled::current() {
+            let mut h = inner.hists.lock().expect("obs hists lock");
+            h.entry(name.to_owned())
+                .or_default()
+                .record(value);
+        }
+    }
+    #[cfg(not(feature = "enabled"))]
+    {
+        let _ = (name, value);
+    }
+}
+
 /// Raise the named gauge to at least `value` (no-op when no recorder is
 /// installed). Useful for high-water marks fed from several scopes.
 pub fn gauge_max(name: &str, value: u64) {
@@ -433,10 +507,58 @@ mod tests {
         {
             let _s = span("orphan");
             counter("orphan.count", 3);
+            hist("orphan.h", 7);
         }
         assert!(rec.spans().is_empty());
         assert!(rec.counters().is_empty());
+        assert!(rec.histograms().is_empty());
         assert!(!recording());
+    }
+
+    #[cfg(feature = "enabled")]
+    #[test]
+    fn hist_records_into_the_installed_recorder() {
+        let rec = Recorder::new();
+        {
+            let _g = rec.install();
+            for v in [10u64, 20, 30] {
+                hist("lat", v);
+            }
+        }
+        let h = rec.histogram("lat").expect("histogram recorded");
+        assert_eq!((h.count(), h.max(), h.total()), (3, 30, 60));
+        assert!(rec.histogram("other").is_none());
+    }
+
+    #[cfg(feature = "enabled")]
+    #[test]
+    fn merge_from_folds_metrics_but_not_spans() {
+        let shared = Recorder::new();
+        let per_request = Recorder::new();
+        {
+            let _g = shared.install();
+            counter("c", 1);
+            gauge_max("g", 5);
+            hist("h", 100);
+        }
+        {
+            let _g = per_request.install();
+            let _s = span("request");
+            counter("c", 2);
+            gauge_max("g", 3);
+            hist("h", 200);
+        }
+        shared.merge_from(&per_request);
+        assert_eq!(shared.counter_value("c"), 3);
+        let gauges: std::collections::HashMap<String, u64> =
+            shared.gauges().into_iter().collect();
+        assert_eq!(gauges["g"], 5, "gauge merge keeps the max");
+        let h = shared.histogram("h").unwrap();
+        assert_eq!((h.count(), h.min(), h.max()), (2, 100, 200));
+        assert!(shared.spans().is_empty(), "spans stay with their recorder");
+        assert_eq!(per_request.spans().len(), 1);
+        // The donor is untouched.
+        assert_eq!(per_request.counter_value("c"), 2);
     }
 
     #[cfg(feature = "enabled")]
@@ -557,8 +679,10 @@ mod tests {
         let _s = span("x");
         counter("c", 1);
         gauge("g", 1);
+        hist("h", 1);
         assert!(!recording());
         assert!(rec.spans().is_empty());
         assert!(rec.counters().is_empty());
+        assert!(rec.histograms().is_empty());
     }
 }

@@ -1,7 +1,7 @@
 //! A small blocking client for the `nadroid-serve/1` protocol — used by
 //! the CLI's `request` subcommand, the load-gen bench, and the tests.
 
-use crate::protocol::{AnalyzeOpts, Request, Response};
+use crate::protocol::{self, AnalyzeOpts, Request, Response};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
@@ -9,6 +9,7 @@ use std::time::Duration;
 /// One connection to a running server; requests are serial per client.
 pub struct Client {
     reader: BufReader<TcpStream>,
+    last_request_id: Option<String>,
 }
 
 impl Client {
@@ -24,7 +25,16 @@ impl Client {
         stream.set_read_timeout(Some(Duration::from_secs(120)))?;
         Ok(Client {
             reader: BufReader::new(stream),
+            last_request_id: None,
         })
+    }
+
+    /// The `request_id` carried by the most recent response, if any —
+    /// the handle to quote when filing a slow request against the
+    /// server's access log or slow-trace capture.
+    #[must_use]
+    pub fn last_request_id(&self) -> Option<&str> {
+        self.last_request_id.as_deref()
     }
 
     /// Send one request and read its response line.
@@ -43,7 +53,10 @@ impl Client {
         let mut reply = String::new();
         match self.reader.read_line(&mut reply) {
             Ok(0) => Err("server closed the connection".to_owned()),
-            Ok(_) => Response::decode(reply.trim_end()),
+            Ok(_) => {
+                self.last_request_id = protocol::request_id_of(reply.trim_end());
+                Response::decode(reply.trim_end())
+            }
             Err(e) => Err(format!("receive failed: {e}")),
         }
     }
@@ -85,6 +98,15 @@ impl Client {
     /// See [`Client::request`].
     pub fn stats(&mut self) -> Result<Response, String> {
         self.request(&Request::Stats)
+    }
+
+    /// Fetch the server's `nadroid-serve-metrics/1` document.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`].
+    pub fn metrics(&mut self) -> Result<Response, String> {
+        self.request(&Request::Metrics)
     }
 
     /// Ask the server to shut down gracefully.

@@ -59,8 +59,10 @@ pub mod client;
 pub mod pool;
 pub mod protocol;
 pub mod server;
+pub mod telemetry;
 
 pub use cache::{CacheKey, CacheStats, CachedResult, ResultCache};
 pub use client::Client;
 pub use protocol::{AnalyzeOpts, Request, Response, SCHEMA};
 pub use server::{ServeConfig, Server};
+pub use telemetry::{Telemetry, TelemetryConfig};

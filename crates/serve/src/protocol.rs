@@ -55,6 +55,10 @@ pub enum Request {
     },
     /// Server counters snapshot.
     Stats,
+    /// Machine-readable metrics document (`nadroid-serve-metrics/1`):
+    /// counters, rolling rps/error-rate windows, and per-endpoint
+    /// latency histograms with bucket detail.
+    Metrics,
     /// Graceful shutdown: drain the queue, then exit.
     Shutdown,
 }
@@ -88,6 +92,14 @@ pub enum Response {
     Stats {
         /// `(name, value)` pairs.
         fields: Vec<(String, u64)>,
+    },
+    /// Metrics exposition: a complete `nadroid-serve-metrics/1` JSON
+    /// document, transported as a string field (the in-repo JSON layer
+    /// has no generic renderer, so the server builds the document and
+    /// the envelope carries it opaquely).
+    Metrics {
+        /// The `nadroid-serve-metrics/1` document.
+        json: String,
     },
     /// Shutdown acknowledged.
     Shutdown,
@@ -137,6 +149,7 @@ impl Request {
                 let _ = write!(out, ",\"program\":\"{}\"", esc(program));
             }
             Request::Stats => out.push_str("\"op\":\"stats\""),
+            Request::Metrics => out.push_str("\"op\":\"metrics\""),
             Request::Shutdown => out.push_str("\"op\":\"shutdown\""),
         }
         out.push('}');
@@ -182,10 +195,22 @@ impl Request {
                 opts: opts(),
             }),
             "stats" => Ok(Request::Stats),
+            "metrics" => Ok(Request::Metrics),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(format!("unknown op `{other}`")),
         }
     }
+}
+
+/// The `request_id` a response line carries, if any. Every response
+/// from a `nadroid-serve` daemon carries one (minted at accept time);
+/// responses encoded by other tooling may not.
+#[must_use]
+pub fn request_id_of(line: &str) -> Option<String> {
+    let v = parse_json(line).ok()?;
+    v.get("request_id")
+        .and_then(JsonValue::as_str)
+        .map(str::to_owned)
 }
 
 fn check_schema(v: &JsonValue) -> Result<(), String> {
@@ -266,6 +291,13 @@ impl Response {
                 }
                 out.push('}');
             }
+            Response::Metrics { json } => {
+                let _ = write!(
+                    out,
+                    "\"status\":\"ok\",\"op\":\"metrics\",\"metrics_json\":\"{}\"",
+                    esc(json)
+                );
+            }
             Response::Shutdown => out.push_str("\"status\":\"ok\",\"op\":\"shutdown\""),
             Response::Rejected { retry_after_ms } => {
                 let _ = write!(
@@ -284,6 +316,19 @@ impl Response {
             }
         }
         out.push('}');
+        out
+    }
+
+    /// [`Response::encode`], with the server-minted request id spliced
+    /// in as a trailing `"request_id"` member. Decoding ignores the
+    /// field (it is attribution metadata, not payload); clients read it
+    /// via [`request_id_of`].
+    #[must_use]
+    pub fn encode_with_request_id(&self, request_id: &str) -> String {
+        let mut out = self.encode();
+        debug_assert!(out.ends_with('}'));
+        out.pop();
+        let _ = write!(out, ",\"request_id\":\"{}\"}}", esc(request_id));
         out
     }
 
@@ -370,6 +415,13 @@ impl Response {
                             _ => Vec::new(),
                         },
                     }),
+                    "metrics" => Ok(Response::Metrics {
+                        json: v
+                            .get("metrics_json")
+                            .and_then(JsonValue::as_str)
+                            .unwrap_or("")
+                            .to_owned(),
+                    }),
                     "shutdown" => Ok(Response::Shutdown),
                     other => Err(format!("unknown response op `{other}`")),
                 }
@@ -420,6 +472,7 @@ mod tests {
             opts: AnalyzeOpts::default(),
         });
         round_trip_request(&Request::Stats);
+        round_trip_request(&Request::Metrics);
         round_trip_request(&Request::Shutdown);
     }
 
@@ -448,12 +501,36 @@ mod tests {
         round_trip_response(&Response::Stats {
             fields: vec![("cache_hits".into(), 3), ("requests".into(), 4)],
         });
+        round_trip_response(&Response::Metrics {
+            json: "{\"schema\":\"nadroid-serve-metrics/1\",\"counters\":{}}".into(),
+        });
         round_trip_response(&Response::Shutdown);
         round_trip_response(&Response::Rejected { retry_after_ms: 50 });
         round_trip_response(&Response::DeadlineExceeded { deadline_ms: 100 });
         round_trip_response(&Response::Error {
             message: "parse error: line 3".into(),
         });
+    }
+
+    #[test]
+    fn request_ids_ride_the_envelope_without_breaking_decode() {
+        let resp = Response::Shutdown;
+        let line = resp.encode_with_request_id("r0000002a");
+        assert!(!line.contains('\n'), "{line}");
+        assert_eq!(request_id_of(&line).as_deref(), Some("r0000002a"));
+        assert_eq!(Response::decode(&line).unwrap(), resp, "id is metadata");
+        assert_eq!(request_id_of(&resp.encode()), None);
+        // The embedded metrics document survives the splice intact.
+        let m = Response::Metrics {
+            json: "{\"schema\":\"nadroid-serve-metrics/1\"}".into(),
+        };
+        let line = m.encode_with_request_id("r00000001");
+        match Response::decode(&line).unwrap() {
+            Response::Metrics { json } => {
+                assert!(nadroid_core::parse_json(&json).is_ok(), "{json}");
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
     }
 
     #[test]

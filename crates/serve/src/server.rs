@@ -21,12 +21,14 @@
 use crate::cache::{CacheKey, CachedResult, ResultCache};
 use crate::pool::{Pool, Submit};
 use crate::protocol::{AnalyzeOpts, Request, Response};
+use crate::telemetry::{RequestEvent, Telemetry, TelemetryConfig};
 use nadroid_core::{
     analyze, render_explain_from_json, render_provenance_json_with, AnalysisConfig,
 };
 use nadroid_detector::warning_id;
 use nadroid_ir::parse_program;
 use nadroid_obs::{self as obs, cancel::CancelToken, Recorder};
+use std::fmt::Write as _;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -55,6 +57,8 @@ pub struct ServeConfig {
     pub default_deadline_ms: Option<u64>,
     /// Backoff suggested to rejected clients.
     pub retry_after_ms: u64,
+    /// Access log / slow capture / sampling knobs.
+    pub telemetry: TelemetryConfig,
 }
 
 impl Default for ServeConfig {
@@ -67,6 +71,7 @@ impl Default for ServeConfig {
             queue_cap: 16,
             default_deadline_ms: None,
             retry_after_ms: 50,
+            telemetry: TelemetryConfig::default(),
         }
     }
 }
@@ -90,11 +95,20 @@ struct Shared {
     cache: Mutex<ResultCache>,
     recorder: Recorder,
     pool: Pool,
+    telemetry: Telemetry,
     stopping: Arc<AtomicBool>,
     requests: AtomicU64,
     completed: AtomicU64,
     rejected: AtomicU64,
     deadline_exceeded: AtomicU64,
+}
+
+/// Per-request context minted on the connection thread and carried into
+/// the worker: the request id and (once a worker picks the job up) the
+/// time the job spent queued.
+struct ReqCtx {
+    id: String,
+    queue_us: u64,
 }
 
 /// A running analysis service. Dropping it shuts the service down.
@@ -120,23 +134,59 @@ fn config_for(opts: &AnalyzeOpts, threads: usize) -> AnalysisConfig {
     cfg
 }
 
+/// Record per-phase latency histograms from one analysis's phase
+/// timings (`serve.phase.*`, microseconds), into whatever recorder the
+/// calling thread has installed.
+fn record_phase_hists(timings: &nadroid_core::PhaseTimings) {
+    #[cfg(feature = "telemetry")]
+    {
+        let us = |d: Duration| u64::try_from(d.as_micros()).unwrap_or(u64::MAX);
+        obs::hist("serve.phase.hb", us(timings.hb));
+        obs::hist("serve.phase.pointsto", us(timings.pointsto));
+        obs::hist("serve.phase.escape", us(timings.escape));
+        obs::hist("serve.phase.detect", us(timings.detect));
+        obs::hist("serve.phase.filter", us(timings.filtering));
+    }
+    #[cfg(not(feature = "telemetry"))]
+    let _ = timings;
+}
+
+/// The telemetry outcome label for a response.
+fn outcome_of(resp: &Response) -> &'static str {
+    match resp {
+        Response::Analyze { cached, .. } | Response::Explain { cached, .. } => {
+            if *cached {
+                "hit"
+            } else {
+                "miss"
+            }
+        }
+        Response::Stats { .. } | Response::Metrics { .. } | Response::Shutdown => "ok",
+        Response::Rejected { .. } => "rejected",
+        Response::DeadlineExceeded { .. } => "deadline",
+        Response::Error { .. } => "error",
+    }
+}
+
 impl Shared {
-    /// Fetch-or-compute the cached result for `(source, opts)`. `Ok`
-    /// carries `(result, came_from_cache)`; `Err` is a ready-to-send
-    /// failure response.
+    /// Fetch-or-compute the cached result for `(source, opts)` under a
+    /// precomputed `(config, key)` pair. `Ok` carries
+    /// `(result, came_from_cache)`; `Err` is a ready-to-send failure
+    /// response.
     fn cached_result(
         &self,
         source: &str,
         opts: &AnalyzeOpts,
+        config: &AnalysisConfig,
+        key: CacheKey,
+        rid: &str,
     ) -> Result<(CachedResult, bool), Response> {
-        let config = config_for(opts, self.cfg.effective_threads());
-        let key = CacheKey::of(source, &config);
         if let Some(hit) = self.cache.lock().expect("cache lock").get(&key) {
             obs::counter("serve.cache.hits", 1);
             return Ok((hit, true));
         }
         obs::counter("serve.cache.misses", 1);
-        let result = self.compute(source, opts, &config)?;
+        let result = self.compute(source, opts, config, rid)?;
         {
             let mut cache = self.cache.lock().expect("cache lock");
             let before = cache.stats().evictions;
@@ -158,11 +208,14 @@ impl Shared {
         source: &str,
         opts: &AnalyzeOpts,
         config: &AnalysisConfig,
+        rid: &str,
     ) -> Result<CachedResult, Response> {
         let deadline_ms = opts.deadline_ms.or(self.cfg.default_deadline_ms);
+        // The request id rides the token: a cancellation observed deep
+        // in a solver loop stays attributable to this request.
         let token = match deadline_ms {
-            Some(ms) => CancelToken::with_deadline(Duration::from_millis(ms)),
-            None => CancelToken::new(),
+            Some(ms) => CancelToken::with_deadline_tagged(Duration::from_millis(ms), rid),
+            None => CancelToken::tagged(rid),
         };
         let program = parse_program(source)
             .map_err(|e| Response::Error {
@@ -180,6 +233,7 @@ impl Shared {
             let _scope = token.install();
             let _span = obs::span("serve.analyze");
             let analysis = analyze(&program, config);
+            record_phase_hists(analysis.timings());
             let provenances = analysis.warning_provenances();
             let provenance_json = render_provenance_json_with(&analysis, &provenances);
             let warning_ids = analysis
@@ -214,32 +268,63 @@ impl Shared {
         }
     }
 
-    fn handle_analyze(&self, source: &str, opts: &AnalyzeOpts) -> Response {
+    fn handle_analyze(&self, source: &str, opts: &AnalyzeOpts, ctx: &ReqCtx) -> Response {
         let t = Instant::now();
-        let _span = obs::span("serve.request");
-        let resp = match self.cached_result(source, opts) {
+        let config = config_for(opts, self.cfg.effective_threads());
+        let key = CacheKey::of(source, &config);
+        // When slow capture is armed, the whole computation records into
+        // a per-request recorder so a slow request's span tree can be
+        // serialized on its own; the metrics fold back into the shared
+        // recorder afterwards (`merge_from` — spans stay per-request).
+        let capture = self.telemetry.capture_enabled().then(Recorder::new);
+        let outcome = {
+            let _guard = capture.as_ref().map(Recorder::install);
+            let _span = obs::span("serve.request");
+            self.cached_result(source, opts, &config, key, &ctx.id)
+        };
+        // One clock read feeds both the response's `micros` and the
+        // telemetry `service_us`, so client- and server-side latency
+        // distributions are comparable sample for sample.
+        let micros = micros_since(t);
+        let resp = match outcome {
             Ok((result, cached)) => Response::Analyze {
                 app: result.app,
                 cached,
-                micros: micros_since(t),
+                micros,
                 summary: result.summary,
                 warnings: result.warning_ids,
             },
             Err(resp) => resp,
         };
         self.account(&resp);
+        self.observe(ctx, "analyze", &resp, micros, Some(key));
+        self.finish_capture(ctx, capture.as_ref(), micros);
         resp
     }
 
-    fn handle_explain(&self, source: &str, id: Option<&str>, opts: &AnalyzeOpts) -> Response {
+    fn handle_explain(
+        &self,
+        source: &str,
+        id: Option<&str>,
+        opts: &AnalyzeOpts,
+        ctx: &ReqCtx,
+    ) -> Response {
         let t = Instant::now();
-        let _span = obs::span("serve.request");
-        let resp = match self.cached_result(source, opts) {
+        let config = config_for(opts, self.cfg.effective_threads());
+        let key = CacheKey::of(source, &config);
+        let capture = self.telemetry.capture_enabled().then(Recorder::new);
+        let outcome = {
+            let _guard = capture.as_ref().map(Recorder::install);
+            let _span = obs::span("serve.request");
+            self.cached_result(source, opts, &config, key, &ctx.id)
+        };
+        let micros = micros_since(t);
+        let resp = match outcome {
             Ok((result, cached)) => {
                 match render_explain_from_json(&result.provenance_json, id) {
                     Ok(text) => Response::Explain {
                         cached,
-                        micros: micros_since(t),
+                        micros,
                         text,
                     },
                     Err(message) => Response::Error { message },
@@ -248,7 +333,41 @@ impl Shared {
             Err(resp) => resp,
         };
         self.account(&resp);
+        self.observe(ctx, "explain", &resp, micros, Some(key));
+        self.finish_capture(ctx, capture.as_ref(), micros);
         resp
+    }
+
+    /// Record one finished request into the telemetry hub.
+    fn observe(
+        &self,
+        ctx: &ReqCtx,
+        endpoint: &str,
+        resp: &Response,
+        service_us: u64,
+        cache_key: Option<CacheKey>,
+    ) {
+        self.telemetry.observe(&RequestEvent {
+            id: &ctx.id,
+            endpoint,
+            outcome: outcome_of(resp),
+            queue_us: ctx.queue_us,
+            service_us,
+            cache_key,
+            threads: self.cfg.effective_threads(),
+        });
+    }
+
+    /// Fold a per-request capture recorder back into the shared one and
+    /// serialize its span tree when the request crossed the slow
+    /// threshold.
+    fn finish_capture(&self, ctx: &ReqCtx, capture: Option<&Recorder>, service_us: u64) {
+        if let Some(rec) = capture {
+            self.recorder.merge_from(rec);
+            if self.telemetry.is_slow(service_us) {
+                let _ = self.telemetry.write_slow_trace(&ctx.id, &rec.chrome_trace());
+            }
+        }
     }
 
     fn account(&self, resp: &Response) {
@@ -275,6 +394,11 @@ impl Shared {
         let f = |name: &str, value: u64| (name.to_owned(), value);
         vec![
             f("requests", self.requests.load(Ordering::Relaxed)),
+            // `requests` and `requests_total` agree today; `requests_total`
+            // is pinned monotonic (it is the id mint), so two snapshots
+            // stay orderable even if `requests` ever becomes resettable.
+            f("requests_total", self.telemetry.requests_total()),
+            f("uptime_secs", self.telemetry.uptime_secs()),
             f("completed", self.completed.load(Ordering::Relaxed)),
             f("rejected", self.rejected.load(Ordering::Relaxed)),
             f(
@@ -308,6 +432,63 @@ impl Shared {
             ),
         ]
     }
+
+    /// Render the `nadroid-serve-metrics/1` document: the stats
+    /// counters, rolling rps / error-rate windows, and every histogram
+    /// on the shared recorder (per-endpoint latency, queue wait, solver
+    /// phases) with percentile readouts and full bucket detail.
+    fn metrics_json(&self) -> String {
+        let mut out = format!(
+            "{{\"schema\":\"nadroid-serve-metrics/1\",\"uptime_secs\":{},\"requests_total\":{}",
+            self.telemetry.uptime_secs(),
+            self.telemetry.requests_total()
+        );
+        out.push_str(",\"counters\":{");
+        for (i, (k, v)) in self.stats_fields().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":{v}", nadroid_core::esc(k));
+        }
+        out.push_str("},\"windows\":{");
+        for (i, (secs, rps, error_rate)) in self.telemetry.window_rates().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\"rps_{secs}s\":{rps:.3},\"error_rate_{secs}s\":{error_rate:.4}"
+            );
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (name, h)) in self.recorder.histograms().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\"{}\":{{\"count\":{},\"total_us\":{},\"p50_us\":{},\"p90_us\":{},\
+                 \"p95_us\":{},\"p99_us\":{},\"max_us\":{},\"buckets\":[",
+                nadroid_core::esc(name),
+                h.count(),
+                h.total(),
+                h.percentile(0.50),
+                h.percentile(0.90),
+                h.percentile(0.95),
+                h.percentile(0.99),
+                h.max()
+            );
+            for (j, (lo, hi, c)) in h.buckets().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "[{lo},{hi},{c}]");
+            }
+            out.push_str("]}");
+        }
+        out.push_str("}}");
+        out
+    }
 }
 
 impl Server {
@@ -315,10 +496,12 @@ impl Server {
     ///
     /// # Errors
     ///
-    /// Returns the bind error when the address is unavailable.
+    /// Returns the bind error when the address is unavailable, or the
+    /// open error for a configured access log.
     pub fn start(cfg: ServeConfig) -> std::io::Result<Server> {
         // Cancellation unwinds are routine here; keep them off stderr.
         obs::cancel::install_quiet_hook();
+        let telemetry = Telemetry::new(&cfg.telemetry)?;
         let listener = TcpListener::bind(&cfg.addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
@@ -335,6 +518,7 @@ impl Server {
             cache: Mutex::new(ResultCache::new(cfg.cache_bytes)),
             recorder,
             pool,
+            telemetry,
             stopping: Arc::clone(&stopping),
             requests: AtomicU64::new(0),
             completed: AtomicU64::new(0),
@@ -372,6 +556,13 @@ impl Server {
     #[must_use]
     pub fn stats_fields(&self) -> Vec<(String, u64)> {
         self.shared.stats_fields()
+    }
+
+    /// The `nadroid-serve-metrics/1` document, as served by the
+    /// `metrics` op.
+    #[must_use]
+    pub fn metrics_json(&self) -> String {
+        self.shared.metrics_json()
     }
 
     /// Request a graceful shutdown: stop accepting, drain queued work.
@@ -442,39 +633,78 @@ fn serve_connection(stream: TcpStream, shared: &Arc<Shared>) {
         }
         shared.requests.fetch_add(1, Ordering::Relaxed);
         obs::counter("serve.requests", 1);
+        // Mint the request id at accept time; every path below echoes
+        // it back in the response envelope.
+        let rid = shared.telemetry.next_id();
+        let t = Instant::now();
+        let inline = |sh: &Shared, endpoint: &str, resp: Response| {
+            sh.observe(
+                &ReqCtx {
+                    id: rid.clone(),
+                    queue_us: 0,
+                },
+                endpoint,
+                &resp,
+                micros_since(t),
+                None,
+            );
+            resp
+        };
         let response = match Request::decode(line.trim_end()) {
-            Err(message) => Response::Error { message },
-            Ok(Request::Stats) => Response::Stats {
-                fields: shared.stats_fields(),
-            },
+            Err(message) => inline(shared, "unknown", Response::Error { message }),
+            Ok(Request::Stats) => {
+                let resp = Response::Stats {
+                    fields: shared.stats_fields(),
+                };
+                inline(shared, "stats", resp)
+            }
+            Ok(Request::Metrics) => {
+                let resp = Response::Metrics {
+                    json: shared.metrics_json(),
+                };
+                inline(shared, "metrics", resp)
+            }
             Ok(Request::Shutdown) => {
-                let _ = write_response(reader.get_mut(), &Response::Shutdown);
+                let resp = inline(shared, "shutdown", Response::Shutdown);
+                let _ = write_response(reader.get_mut(), &resp, &rid);
                 shared.stopping.store(true, Ordering::SeqCst);
                 return;
             }
             Ok(Request::Analyze { program, opts }) => {
-                dispatch(shared, move |sh| sh.handle_analyze(&program, &opts))
+                dispatch(shared, "analyze", rid.clone(), move |sh, ctx| {
+                    sh.handle_analyze(&program, &opts, &ctx)
+                })
             }
-            Ok(Request::Explain { program, id, opts }) => dispatch(shared, move |sh| {
-                sh.handle_explain(&program, id.as_deref(), &opts)
-            }),
+            Ok(Request::Explain { program, id, opts }) => {
+                dispatch(shared, "explain", rid.clone(), move |sh, ctx| {
+                    sh.handle_explain(&program, id.as_deref(), &opts, &ctx)
+                })
+            }
         };
-        if write_response(reader.get_mut(), &response).is_err() {
+        if write_response(reader.get_mut(), &response, &rid).is_err() {
             return;
         }
     }
 }
 
 /// Offer a compute job to the pool and wait for its reply; a full queue
-/// becomes an immediate `rejected` without blocking the connection.
-fn dispatch<F>(shared: &Arc<Shared>, work: F) -> Response
+/// becomes an immediate `rejected` without blocking the connection. The
+/// job clocks its own queue wait: the gap between submission here and a
+/// worker actually picking it up.
+fn dispatch<F>(shared: &Arc<Shared>, endpoint: &'static str, rid: String, work: F) -> Response
 where
-    F: FnOnce(&Shared) -> Response + Send + 'static,
+    F: FnOnce(&Shared, ReqCtx) -> Response + Send + 'static,
 {
     let (tx, rx) = mpsc::channel::<Response>();
     let job_shared = Arc::clone(shared);
+    let job_rid = rid.clone();
+    let submitted_at = Instant::now();
     let job = Box::new(move || {
-        let _ = tx.send(work(&job_shared));
+        let ctx = ReqCtx {
+            id: job_rid,
+            queue_us: micros_since(submitted_at),
+        };
+        let _ = tx.send(work(&job_shared, ctx));
     });
     let submitted = shared.pool.try_submit(job);
     obs::gauge("serve.queue_depth", shared.pool.queue_depth());
@@ -486,15 +716,23 @@ where
         Submit::Full(_) => {
             shared.rejected.fetch_add(1, Ordering::Relaxed);
             obs::counter("serve.rejected", 1);
-            Response::Rejected {
+            let resp = Response::Rejected {
                 retry_after_ms: shared.cfg.retry_after_ms,
-            }
+            };
+            shared.observe(
+                &ReqCtx { id: rid, queue_us: 0 },
+                endpoint,
+                &resp,
+                micros_since(submitted_at),
+                None,
+            );
+            resp
         }
     }
 }
 
-fn write_response(stream: &mut TcpStream, response: &Response) -> std::io::Result<()> {
-    let mut line = response.encode();
+fn write_response(stream: &mut TcpStream, response: &Response, rid: &str) -> std::io::Result<()> {
+    let mut line = response.encode_with_request_id(rid);
     line.push('\n');
     stream.write_all(line.as_bytes())?;
     stream.flush()

@@ -1,0 +1,170 @@
+//! End-to-end telemetry tests over a real TCP connection: request-id
+//! echo, the `metrics` exposition document, the JSONL access log, and
+//! forced slow-request capture (`slow_us = 0`).
+
+use nadroid_core::{parse_json, JsonValue};
+use nadroid_serve::client::Client;
+use nadroid_serve::protocol::{AnalyzeOpts, Response};
+use nadroid_serve::server::{ServeConfig, Server};
+use nadroid_serve::telemetry::TelemetryConfig;
+
+const CONNECTBOT: &str = include_str!("../../../apps/connectbot.dsl");
+
+fn test_server(telemetry: TelemetryConfig) -> Server {
+    Server::start(ServeConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        workers: 2,
+        telemetry,
+        ..ServeConfig::default()
+    })
+    .expect("bind ephemeral port")
+}
+
+fn temp_dir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("nadroid_{}_{}", name, std::process::id()));
+    if dir.exists() {
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+#[test]
+fn every_response_echoes_a_monotonic_request_id() {
+    let server = test_server(TelemetryConfig::default());
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    assert_eq!(client.last_request_id(), None, "no response yet");
+
+    client.analyze(CONNECTBOT, AnalyzeOpts::default()).unwrap();
+    let first = client.last_request_id().expect("id echoed").to_owned();
+    assert!(first.starts_with('r'), "{first}");
+
+    client.stats().unwrap();
+    let second = client.last_request_id().expect("id echoed").to_owned();
+    assert!(second > first, "ids are monotonic: {first} then {second}");
+
+    client.metrics().unwrap();
+    assert!(client.last_request_id().expect("id echoed") > second.as_str());
+}
+
+#[cfg(feature = "telemetry")]
+#[test]
+fn metrics_op_exposes_per_endpoint_histograms_and_windows() {
+    let server = test_server(TelemetryConfig::default());
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+
+    client.analyze(CONNECTBOT, AnalyzeOpts::default()).unwrap(); // miss
+    client.analyze(CONNECTBOT, AnalyzeOpts::default()).unwrap(); // hit
+    client
+        .explain(CONNECTBOT, None, AnalyzeOpts::default())
+        .unwrap(); // hit
+
+    let Response::Metrics { json } = client.metrics().unwrap() else {
+        panic!("expected metrics response");
+    };
+    let doc = parse_json(&json).expect("metrics document parses");
+    assert_eq!(
+        doc.get("schema").and_then(JsonValue::as_str),
+        Some("nadroid-serve-metrics/1")
+    );
+    assert_eq!(
+        doc.get("requests_total").and_then(JsonValue::as_u64),
+        Some(4),
+        "3 analyses/explains + this metrics request"
+    );
+    let counters = doc.get("counters").expect("counters section");
+    assert_eq!(counters.get("cache_hits").and_then(JsonValue::as_u64), Some(2));
+
+    let windows = doc.get("windows").expect("windows section");
+    for key in ["rps_1s", "rps_10s", "rps_60s", "error_rate_1s", "error_rate_60s"] {
+        assert!(windows.get(key).is_some(), "window `{key}` missing: {json}");
+    }
+    // All four requests landed within the last minute.
+    let rps_60 = windows.get("rps_60s").and_then(JsonValue::as_f64).unwrap();
+    assert!(rps_60 > 0.0, "rps_60s must see the traffic: {rps_60}");
+
+    let hists = doc.get("histograms").expect("histograms section");
+    for name in [
+        "serve.latency.analyze.miss",
+        "serve.latency.analyze.hit",
+        "serve.latency.explain.hit",
+        "serve.queue_wait.analyze",
+        "serve.phase.hb",
+        "serve.phase.pointsto",
+        "serve.phase.detect",
+    ] {
+        let h = hists
+            .get(name)
+            .unwrap_or_else(|| panic!("histogram `{name}` missing: {json}"));
+        assert!(h.get("count").and_then(JsonValue::as_u64).unwrap() >= 1);
+        for field in ["p50_us", "p90_us", "p95_us", "p99_us", "max_us", "buckets"] {
+            assert!(h.get(field).is_some(), "`{name}` lacks `{field}`");
+        }
+    }
+    // The miss histogram holds exactly the one cold analysis, so its
+    // percentiles collapse onto that sample's bucket.
+    let miss = hists.get("serve.latency.analyze.miss").unwrap();
+    assert_eq!(miss.get("count").and_then(JsonValue::as_u64), Some(1));
+    assert_eq!(
+        miss.get("p50_us").and_then(JsonValue::as_u64),
+        miss.get("p99_us").and_then(JsonValue::as_u64)
+    );
+}
+
+#[cfg(feature = "telemetry")]
+#[test]
+fn access_log_and_forced_slow_capture_produce_parseable_artifacts() {
+    let dir = temp_dir("telemetry_e2e");
+    let log = dir.join("access.jsonl");
+    let server = test_server(TelemetryConfig {
+        access_log: Some(log.to_string_lossy().into_owned()),
+        slow_us: Some(0), // every computed request counts as slow
+        log_sample: 1,
+    });
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+
+    client.analyze(CONNECTBOT, AnalyzeOpts::default()).unwrap();
+    let slow_id = client.last_request_id().expect("id echoed").to_owned();
+    client.analyze(CONNECTBOT, AnalyzeOpts::default()).unwrap();
+    client.stats().unwrap();
+
+    // Three JSONL lines, every one parseable, ids matching the echoes.
+    let text = std::fs::read_to_string(&log).expect("access log exists");
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 3, "one line per request:\n{text}");
+    for line in &lines {
+        let v = parse_json(line).expect("access log line parses");
+        for key in ["id", "endpoint", "outcome", "queue_us", "service_us", "threads"] {
+            assert!(v.get(key).is_some(), "access line lacks `{key}`: {line}");
+        }
+    }
+    let outcomes: Vec<String> = lines
+        .iter()
+        .map(|l| {
+            parse_json(l)
+                .unwrap()
+                .get("outcome")
+                .and_then(JsonValue::as_str)
+                .unwrap()
+                .to_owned()
+        })
+        .collect();
+    assert_eq!(outcomes, ["miss", "hit", "ok"], "{text}");
+
+    // slow_us = 0 forces capture: the cold request's span tree landed
+    // next to the access log and is valid trace JSON.
+    let trace = dir.join(format!("slow-{slow_id}.trace.json"));
+    let body = std::fs::read_to_string(&trace)
+        .unwrap_or_else(|e| panic!("slow trace {} missing: {e}", trace.display()));
+    let doc = parse_json(&body).expect("slow trace parses");
+    assert!(doc.get("traceEvents").is_some(), "{body}");
+    assert!(body.contains("serve.analyze"), "span tree captured: {body}");
+
+    // Capture isolates spans per request, but the shared recorder still
+    // aggregates the metrics (merge_from folds them back).
+    assert!(server.recorder().counter_value("serve.cache.misses") >= 1);
+    assert!(server
+        .recorder()
+        .histogram("serve.latency.analyze.miss")
+        .is_some());
+}

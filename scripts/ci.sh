@@ -10,9 +10,10 @@
 #    determinism suites assert it),
 # 3. clippy with warnings promoted to errors,
 # 4. the observability crate builds (and its tests run) with
-#    instrumentation compiled out (--no-default-features), the Datalog
-#    engine builds with provenance recording compiled out, the HB
-#    graph builds with metrics compiled out, and the work-pool crate
+#    instrumentation compiled out (--no-default-features), the serve
+#    crate builds (and its tests run) with telemetry compiled out, the
+#    Datalog engine builds with provenance recording compiled out, the
+#    HB graph builds with metrics compiled out, and the work-pool crate
 #    builds (and its tests run) with its obs integration compiled out;
 #    the HB parity gate then checks graph-backed filters against the
 #    legacy logic on all 27 apps,
@@ -25,12 +26,17 @@
 #    identical across the curve) — a perf cliff (or a change to the
 #    deterministic Datalog closure workload) fails the gate loudly,
 # 7. serve smoke gate: start the daemon with --threads 2 (inner
-#    parallelism under admission control), cold request, warm request
-#    (must hit the cache), deadline-exceeded request (structured
-#    timeout, worker survives), stats consistency incl. the exported
-#    thread config, clean shutdown — then the serve load bench
-#    refreshes BENCH_serve.json and enforces the 20x warm-vs-cold
-#    ConnectBot speedup.
+#    parallelism under admission control) plus an access log and a
+#    zero slow-capture threshold, cold request, warm request (must hit
+#    the cache), deadline-exceeded request (structured timeout, worker
+#    survives), stats consistency incl. the exported thread config, a
+#    `metrics` request (per-endpoint percentiles, rolling rps windows,
+#    Prometheus text rendering), clean shutdown — then the JSONL
+#    access log and a slow-request trace must validate under
+#    `nadroid check-json`, and the serve load bench refreshes
+#    BENCH_serve.json (schema nadroid-serve-bench/2) and enforces the
+#    20x warm-vs-cold ConnectBot speedup plus its telemetry-agreement
+#    self-checks.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -40,6 +46,8 @@ cargo clippy --workspace --all-targets -- -D warnings
 
 cargo build -p nadroid-obs --no-default-features
 cargo test -q -p nadroid-obs --no-default-features
+cargo build -p nadroid-serve --no-default-features
+cargo test -q -p nadroid-serve --no-default-features
 cargo build -p nadroid-datalog --no-default-features
 cargo build -p nadroid-hb --no-default-features
 cargo build -p nadroid-par --no-default-features
@@ -62,9 +70,11 @@ cargo run --release -p nadroid-bench --bin timing -- --check 3
 # --- serve smoke gate ---
 bin=target/release/nadroid
 serve_out=$(mktemp)
-"$bin" serve --addr 127.0.0.1:0 --workers 2 --threads 2 > "$serve_out" &
+telem_dir=$(mktemp -d)
+"$bin" serve --addr 127.0.0.1:0 --workers 2 --threads 2 \
+    --access-log "$telem_dir/access.jsonl" --slow-us 0 > "$serve_out" &
 serve_pid=$!
-trap 'kill "$serve_pid" 2>/dev/null || true; rm -f "$serve_out"' EXIT
+trap 'kill "$serve_pid" 2>/dev/null || true; rm -f "$serve_out"; rm -rf "$telem_dir"' EXIT
 for _ in $(seq 1 100); do
     grep -q 'listening on' "$serve_out" && break
     sleep 0.1
@@ -96,13 +106,49 @@ echo "$stats_out" | grep -q '"threads_requested": 2' || {
     echo "ci.sh: serve stats missing threads_requested:"; echo "$stats_out"; exit 1; }
 echo "$stats_out" | grep -q '"threads": ' || {
     echo "ci.sh: serve stats missing effective threads:"; echo "$stats_out"; exit 1; }
+# Telemetry gate: the metrics op must expose per-endpoint latency
+# percentiles, queue-wait, and rolling rps windows — and the document
+# must validate under the in-repo JSON parser.
+metrics_out=$("$bin" request --metrics --addr "$serve_addr")
+for key in '"serve.latency.analyze.miss"' '"serve.queue_wait.analyze"' \
+           '"p99_us"' '"rps_1s"' '"error_rate_60s"'; do
+    echo "$metrics_out" | grep -qF "$key" || {
+        echo "ci.sh: metrics response missing $key:"; echo "$metrics_out"; exit 1; }
+done
+echo "$metrics_out" | grep -q '^request id: r' || {
+    echo "ci.sh: metrics response carried no request id:"; echo "$metrics_out"; exit 1; }
+echo "$metrics_out" | head -n 1 > "$telem_dir/metrics.json"
+"$bin" check-json "$telem_dir/metrics.json" || {
+    echo "ci.sh: metrics document is not valid JSON" >&2; exit 1; }
+text_out=$("$bin" request --metrics-text --addr "$serve_addr")
+echo "$text_out" | grep -q 'nadroid_serve_requests_total' || {
+    echo "ci.sh: metrics text missing requests_total:"; echo "$text_out"; exit 1; }
+echo "$text_out" | grep -qF 'series="serve.latency.analyze.miss",quantile="0.99"' || {
+    echo "ci.sh: metrics text missing analyze.miss p99:"; echo "$text_out"; exit 1; }
+
 "$bin" request --shutdown --addr "$serve_addr" | grep -q 'shutdown acknowledged' || {
     echo "ci.sh: serve shutdown not acknowledged" >&2; exit 1; }
 wait "$serve_pid" || { echo "ci.sh: serve exited nonzero" >&2; exit 1; }
-grep -q '"requests": 6' "$serve_out" || {
+grep -q '"requests": 8' "$serve_out" || {
     echo "ci.sh: serve final stats missing/inconsistent:"; cat "$serve_out"; exit 1; }
+
+# The access log must hold one parseable JSONL record per request, and
+# `--slow-us 0` must have captured a span-tree trace for every
+# computed request, both valid under the in-repo parser.
+"$bin" check-json "$telem_dir/access.jsonl" --lines || {
+    echo "ci.sh: access log failed JSONL validation" >&2; exit 1; }
+[ "$(wc -l < "$telem_dir/access.jsonl")" -eq 8 ] || {
+    echo "ci.sh: access log line count != 8:"; cat "$telem_dir/access.jsonl"; exit 1; }
+slow_trace=$(ls "$telem_dir"/slow-r*.trace.json 2>/dev/null | head -n 1 || true)
+[ -n "$slow_trace" ] || {
+    echo "ci.sh: --slow-us 0 produced no slow traces" >&2; exit 1; }
+"$bin" check-json "$slow_trace" || {
+    echo "ci.sh: slow trace failed JSON validation" >&2; exit 1; }
+grep -q 'serve.analyze' "$slow_trace" || {
+    echo "ci.sh: slow trace has no serve.analyze span:"; cat "$slow_trace"; exit 1; }
 trap - EXIT
 rm -f "$serve_out"
+rm -rf "$telem_dir"
 
 cargo run --release -p nadroid-bench --bin serve_bench -- --concurrency 2
 
