@@ -119,4 +119,24 @@ fn main() {
             );
         }
     }
+
+    // Per-app population digests — the same order-invariant hash the
+    // run ledger records, so a `perf gate` population-drift verdict can
+    // be matched against this driver's output by eye.
+    println!();
+    println!("per-app population digests (as recorded in Result/ledger.jsonl):");
+    for (app, analysis) in apps.iter().zip(&analyses) {
+        let mut ids: Vec<String> = analysis
+            .survivors()
+            .iter()
+            .map(|w| warning_id(&app.program, analysis.threads(), w))
+            .collect();
+        ids.sort_unstable();
+        println!(
+            "  {}  {} ({} warning(s))",
+            nadroid_core::warning_population_digest(&ids),
+            app.program.name(),
+            ids.len()
+        );
+    }
 }

@@ -27,8 +27,11 @@
 //!    same value it echoes, into the same histogram implementation, so
 //!    any drift means the telemetry plumbing is lying.
 //!
-//! `BENCH_serve.json` schema (`nadroid-serve-bench/2`): see the fields
-//! written below; all times are microseconds.
+//! `BENCH_serve.json` schema (`nadroid-serve-bench/3`): see the fields
+//! written below; all times are microseconds. Schema /3 added the host
+//! fingerprint (`cores`, `threads`, `workers`) so serve numbers are
+//! comparable across machines, and every run also appends a
+//! `serve_bench` record to the `Result/ledger.jsonl` run ledger.
 //!
 //! Run with `cargo run --release -p nadroid-bench --bin serve_bench`
 //! (`--concurrency <N>`, `--out <file>`).
@@ -259,10 +262,19 @@ fn main() {
         .server_us;
     let speedup = cb_cold as f64 / (cb_warm.max(1)) as f64;
 
+    // Host fingerprint (new in /3): serve latencies are only comparable
+    // across runs when the hardware and thread config are on record.
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+    let threads = stat("threads");
+    let workers = stat("workers");
+
     let mut out = String::from("{\n");
-    let _ = writeln!(out, "  \"schema\": \"nadroid-serve-bench/2\",");
+    let _ = writeln!(out, "  \"schema\": \"nadroid-serve-bench/3\",");
     let _ = writeln!(out, "  \"apps\": {},", programs.len());
     let _ = writeln!(out, "  \"concurrency\": {concurrency},");
+    let _ = writeln!(out, "  \"cores\": {cores},");
+    let _ = writeln!(out, "  \"threads\": {threads},");
+    let _ = writeln!(out, "  \"workers\": {workers},");
     pass_json(&mut out, "cold", &cold, cold_wall);
     pass_json(&mut out, "warm", &warm, warm_wall);
     server_block(&mut out, &metrics);
@@ -277,6 +289,22 @@ fn main() {
     );
     out.push_str("}\n");
     std::fs::write(&out_path, &out).expect("write bench json");
+
+    // One step: regenerate the BENCH document *and* append the run to
+    // the longitudinal ledger.
+    match parse_json(&out).and_then(|v| nadroid_ledger::record_from_bench_serve(&v)) {
+        Ok(mut rec) => {
+            rec.note = format!("serve_bench --concurrency {concurrency}");
+            let ledger_path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+                .join("../..")
+                .join(nadroid_ledger::DEFAULT_PATH);
+            match nadroid_ledger::append(&ledger_path, &rec) {
+                Ok(()) => eprintln!("appended serve_bench record to {}", ledger_path.display()),
+                Err(e) => eprintln!("could not append ledger record: {e}"),
+            }
+        }
+        Err(e) => eprintln!("could not build ledger record: {e}"),
+    }
 
     let cold_server = hist_of(cold.iter().map(|s| s.server_us));
     let warm_client = hist_of(warm.iter().map(|s| s.client_us));

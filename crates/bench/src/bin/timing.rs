@@ -42,44 +42,8 @@
 //! slack for scheduler jitter) or a deterministic invariant changed —
 //! the CI bench-regression guard.
 
-use nadroid_bench::{render_table, run_rows_parallel_timed, AppRun};
-use nadroid_core::{phase_timings_json, PhaseTimings};
-use nadroid_corpus::table1_rows;
-use nadroid_datalog::{Database, RuleSet, Term};
-use std::time::{Duration, Instant};
-
-/// A fixed Datalog closure workload (chain + shortcut edges, n = 200)
-/// measuring the engine in isolation; tuples/sec comes straight from the
-/// engine's own run counters.
-fn datalog_throughput() -> (u64, f64, Duration) {
-    let mut db = Database::new();
-    let edge = db.relation("edge", 2);
-    let path = db.relation("path", 2);
-    let n = 200u32;
-    for i in 0..n {
-        db.insert(edge, &[i, (i + 1) % n]);
-        db.insert(edge, &[i, (i + 7) % n]);
-    }
-    let v = Term::var;
-    let mut rules = RuleSet::new();
-    rules
-        .add(path, vec![v(0), v(1)])
-        .when(edge, vec![v(0), v(1)]);
-    rules
-        .add(path, vec![v(0), v(2)])
-        .when(path, vec![v(0), v(1)])
-        .when(edge, vec![v(1), v(2)]);
-    db.run(&rules);
-    let stats = db.stats();
-    (stats.derived, stats.tuples_per_sec(), stats.duration)
-}
-
-/// Sum a recorder counter across all app runs.
-fn counter_sum(runs: &[AppRun], name: &str) -> u64 {
-    runs.iter()
-        .map(|r| r.recorder.counter_value(name))
-        .sum()
-}
+use nadroid_bench::measure::measure_suite;
+use nadroid_ledger as ledger;
 
 /// Extract the first `"key": <number>` value from a JSON document.
 fn extract_num(json: &str, key: &str) -> Option<f64> {
@@ -90,165 +54,6 @@ fn extract_num(json: &str, key: &str) -> Option<f64> {
         .find(|c: char| !(c.is_ascii_digit() || "+-.eE".contains(c)))
         .unwrap_or(rest.len());
     rest[..end].parse().ok()
-}
-
-struct SuiteMeasurement {
-    json: String,
-    table: String,
-    breakdown: String,
-}
-
-fn measure() -> SuiteMeasurement {
-    let suite_start = Instant::now();
-    // The timed variant skips provenance capture: wall_secs guards the
-    // analysis pipeline, not the post-run debugging exporter.
-    let runs = run_rows_parallel_timed(&table1_rows());
-    let suite_wall = suite_start.elapsed();
-
-    let mut sum = PhaseTimings::default();
-    let mut rows = Vec::new();
-    for run in &runs {
-        sum.modeling += run.timings.modeling;
-        sum.hb += run.timings.hb;
-        sum.detection += run.timings.detection;
-        sum.filtering += run.timings.filtering;
-        sum.pointsto += run.timings.pointsto;
-        sum.escape += run.timings.escape;
-        sum.detect += run.timings.detect;
-        rows.push(vec![
-            run.row.name.to_owned(),
-            format!("{:?}", run.timings.modeling),
-            format!("{:?}", run.timings.hb),
-            format!("{:?}", run.timings.detection),
-            format!("{:?}", run.timings.pointsto),
-            format!("{:?}", run.timings.escape),
-            format!("{:?}", run.timings.detect),
-            format!("{:?}", run.timings.filtering),
-        ]);
-    }
-    let table = render_table(
-        &[
-            "app",
-            "modeling",
-            "hb",
-            "detection",
-            "pointsto",
-            "escape",
-            "detect",
-            "filtering",
-        ],
-        &rows,
-    );
-
-    let total = sum.total();
-    let pct = |d: Duration| d.as_secs_f64() / total.as_secs_f64() * 100.0;
-    let mut breakdown = String::new();
-    use std::fmt::Write as _;
-    let _ = writeln!(
-        breakdown,
-        "§8.8 breakdown over the {}-app suite (paper: 1.19% / 95.73% / 3.08%):",
-        runs.len()
-    );
-    let _ = writeln!(
-        breakdown,
-        "  modeling  : {:>12?}  {:5.2}%",
-        sum.modeling,
-        pct(sum.modeling)
-    );
-    let _ = writeln!(
-        breakdown,
-        "  hb        : {:>12?}  {:5.2}%",
-        sum.hb,
-        pct(sum.hb)
-    );
-    let _ = writeln!(
-        breakdown,
-        "  detection : {:>12?}  {:5.2}%",
-        sum.detection,
-        pct(sum.detection)
-    );
-    let _ = writeln!(
-        breakdown,
-        "    pointsto: {:>12?}  {:5.2}%",
-        sum.pointsto,
-        pct(sum.pointsto)
-    );
-    let _ = writeln!(
-        breakdown,
-        "    escape  : {:>12?}  {:5.2}%",
-        sum.escape,
-        pct(sum.escape)
-    );
-    let _ = writeln!(
-        breakdown,
-        "    detect  : {:>12?}  {:5.2}%",
-        sum.detect,
-        pct(sum.detect)
-    );
-    let _ = writeln!(
-        breakdown,
-        "  filtering : {:>12?}  {:5.2}%",
-        sum.filtering,
-        pct(sum.filtering)
-    );
-    let _ = writeln!(
-        breakdown,
-        "  total(cpu): {total:>12?}  (suite wall-clock {suite_wall:?}, parallel)"
-    );
-
-    let (derived, tps, engine_time) = datalog_throughput();
-    let _ = writeln!(
-        breakdown,
-        "datalog closure workload (n=200): {derived} tuples in {engine_time:?} = {tps:.0} tuples/sec"
-    );
-
-    let json = format!(
-        concat!(
-            "{{\n",
-            "  \"schema\": \"nadroid-timing/4\",\n",
-            "  \"apps\": {},\n",
-            "  \"suite\": {{\n",
-            "    \"wall_secs\": {:.6},\n",
-            "    \"cpu_secs\": {:.6}\n",
-            "  }},\n",
-            "  \"phase_cpu_secs\": {},\n",
-            "  \"counters\": {{\n",
-            "    \"pointsto.queue_pops\": {},\n",
-            "    \"detector.pairs_examined\": {},\n",
-            "    \"detector.racy_pairs\": {},\n",
-            "    \"detector.mhp_prepruned\": {},\n",
-            "    \"hb.edges\": {}\n",
-            "  }},\n",
-            "  \"hb\": {{\n",
-            "    \"closure_secs\": {:.6}\n",
-            "  }},\n",
-            "  \"datalog_closure\": {{\n",
-            "    \"n\": 200,\n",
-            "    \"derived_tuples\": {},\n",
-            "    \"run_secs\": {:.6},\n",
-            "    \"tuples_per_sec\": {:.0}\n",
-            "  }}\n",
-            "}}\n"
-        ),
-        runs.len(),
-        suite_wall.as_secs_f64(),
-        total.as_secs_f64(),
-        phase_timings_json(&sum, "  "),
-        counter_sum(&runs, "pointsto.queue_pops"),
-        counter_sum(&runs, "detector.pairs_examined"),
-        counter_sum(&runs, "detector.racy_pairs"),
-        counter_sum(&runs, "detector.mhp_prepruned"),
-        counter_sum(&runs, "hb.edges"),
-        counter_sum(&runs, "hb.closure_micros") as f64 / 1e6,
-        derived,
-        engine_time.as_secs_f64(),
-        tps,
-    );
-    SuiteMeasurement {
-        json,
-        table,
-        breakdown,
-    }
 }
 
 /// The inner-thread counts the scaling curve covers. Thread counts
@@ -459,7 +264,7 @@ fn main() {
         std::process::exit(2);
     }
 
-    let m = measure();
+    let m = measure_suite();
 
     if let Some(tol) = check_tol {
         let path = baseline_path();
@@ -502,5 +307,22 @@ fn main() {
     match std::fs::write(&out, &json) {
         Ok(()) => println!("wrote {}", out.display()),
         Err(e) => eprintln!("could not write {}: {e}", out.display()),
+    }
+
+    // Regenerating the BENCH document and appending the run to the
+    // ledger are one step: the longitudinal history never misses a
+    // baseline refresh.
+    match nadroid_core::parse_json(&json).and_then(|v| ledger::record_from_bench_timing(&v)) {
+        Ok((mut rec, _violations)) => {
+            rec.note = "timing driver".to_string();
+            let ledger_path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+                .join("../..")
+                .join(ledger::DEFAULT_PATH);
+            match ledger::append(&ledger_path, &rec) {
+                Ok(()) => println!("appended {} record to {}", rec.kind.as_str(), ledger_path.display()),
+                Err(e) => eprintln!("could not append ledger record: {e}"),
+            }
+        }
+        Err(e) => eprintln!("could not build ledger record: {e}"),
     }
 }

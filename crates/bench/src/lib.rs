@@ -5,6 +5,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod measure;
+
 use nadroid_core::{analyze, Analysis, AnalysisConfig, FpCause, PairType, Summary};
 use nadroid_corpus::{generate, spec_for, Expectation, GeneratedApp, PaperRow, PatternKind};
 use nadroid_detector::UafWarning;

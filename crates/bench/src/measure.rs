@@ -1,0 +1,308 @@
+//! Suite measurement shared by the `timing` driver and the `nadroid
+//! perf` family: the §8.8 phase-time breakdown as a `nadroid-timing/4`
+//! document, and full ledger records for the run ledger.
+
+use crate::{run_rows_parallel, run_rows_parallel_timed, render_table, AppRun};
+use nadroid_core::{phase_timings_json, PhaseTimings};
+use nadroid_corpus::table1_rows;
+use nadroid_datalog::{Database, RuleSet, Term};
+use nadroid_ledger as ledger;
+use nadroid_obs::Histogram;
+use std::time::{Duration, Instant};
+
+/// A fixed Datalog closure workload (chain + shortcut edges, n = 200)
+/// measuring the engine in isolation; tuples/sec comes straight from
+/// the engine's own run counters.
+#[must_use]
+pub fn datalog_throughput() -> (u64, f64, Duration) {
+    let mut db = Database::new();
+    let edge = db.relation("edge", 2);
+    let path = db.relation("path", 2);
+    let n = 200u32;
+    for i in 0..n {
+        db.insert(edge, &[i, (i + 1) % n]);
+        db.insert(edge, &[i, (i + 7) % n]);
+    }
+    let v = Term::var;
+    let mut rules = RuleSet::new();
+    rules
+        .add(path, vec![v(0), v(1)])
+        .when(edge, vec![v(0), v(1)]);
+    rules
+        .add(path, vec![v(0), v(2)])
+        .when(path, vec![v(0), v(1)])
+        .when(edge, vec![v(1), v(2)]);
+    db.run(&rules);
+    let stats = db.stats();
+    (stats.derived, stats.tuples_per_sec(), stats.duration)
+}
+
+/// Sum a recorder counter across all app runs.
+fn counter_sum(runs: &[AppRun], name: &str) -> u64 {
+    runs.iter().map(|r| r.recorder.counter_value(name)).sum()
+}
+
+fn sum_timings(runs: &[AppRun]) -> PhaseTimings {
+    let mut sum = PhaseTimings::default();
+    for run in runs {
+        sum.modeling += run.timings.modeling;
+        sum.hb += run.timings.hb;
+        sum.detection += run.timings.detection;
+        sum.filtering += run.timings.filtering;
+        sum.pointsto += run.timings.pointsto;
+        sum.escape += run.timings.escape;
+        sum.detect += run.timings.detect;
+    }
+    sum
+}
+
+/// The result of one timed suite run: the `nadroid-timing/4` JSON
+/// document (without a `scale` block) plus human-readable renderings.
+pub struct SuiteMeasurement {
+    /// The machine-readable document.
+    pub json: String,
+    /// Per-app phase-time table.
+    pub table: String,
+    /// The §8.8 percentage breakdown plus the Datalog workload line.
+    pub breakdown: String,
+}
+
+/// Run the timed suite (provenance off, MHP pre-prune on — the §8.8
+/// baseline workload) and render the `nadroid-timing/4` document the
+/// `timing` driver commits as `BENCH_timing.json`. The gate's fresh
+/// measurements use this too, so current and baseline always describe
+/// the same workload.
+#[must_use]
+pub fn measure_suite() -> SuiteMeasurement {
+    let suite_start = Instant::now();
+    // The timed variant skips provenance capture: wall_secs guards the
+    // analysis pipeline, not the post-run debugging exporter.
+    let runs = run_rows_parallel_timed(&table1_rows());
+    let suite_wall = suite_start.elapsed();
+
+    let sum = sum_timings(&runs);
+    let mut rows = Vec::new();
+    for run in &runs {
+        rows.push(vec![
+            run.row.name.to_owned(),
+            format!("{:?}", run.timings.modeling),
+            format!("{:?}", run.timings.hb),
+            format!("{:?}", run.timings.detection),
+            format!("{:?}", run.timings.pointsto),
+            format!("{:?}", run.timings.escape),
+            format!("{:?}", run.timings.detect),
+            format!("{:?}", run.timings.filtering),
+        ]);
+    }
+    let table = render_table(
+        &[
+            "app",
+            "modeling",
+            "hb",
+            "detection",
+            "pointsto",
+            "escape",
+            "detect",
+            "filtering",
+        ],
+        &rows,
+    );
+
+    let total = sum.total();
+    let pct = |d: Duration| d.as_secs_f64() / total.as_secs_f64() * 100.0;
+    let mut breakdown = String::new();
+    use std::fmt::Write as _;
+    let _ = writeln!(
+        breakdown,
+        "§8.8 breakdown over the {}-app suite (paper: 1.19% / 95.73% / 3.08%):",
+        runs.len()
+    );
+    let _ = writeln!(
+        breakdown,
+        "  modeling  : {:>12?}  {:5.2}%",
+        sum.modeling,
+        pct(sum.modeling)
+    );
+    let _ = writeln!(breakdown, "  hb        : {:>12?}  {:5.2}%", sum.hb, pct(sum.hb));
+    let _ = writeln!(
+        breakdown,
+        "  detection : {:>12?}  {:5.2}%",
+        sum.detection,
+        pct(sum.detection)
+    );
+    let _ = writeln!(
+        breakdown,
+        "    pointsto: {:>12?}  {:5.2}%",
+        sum.pointsto,
+        pct(sum.pointsto)
+    );
+    let _ = writeln!(
+        breakdown,
+        "    escape  : {:>12?}  {:5.2}%",
+        sum.escape,
+        pct(sum.escape)
+    );
+    let _ = writeln!(
+        breakdown,
+        "    detect  : {:>12?}  {:5.2}%",
+        sum.detect,
+        pct(sum.detect)
+    );
+    let _ = writeln!(
+        breakdown,
+        "  filtering : {:>12?}  {:5.2}%",
+        sum.filtering,
+        pct(sum.filtering)
+    );
+    let _ = writeln!(
+        breakdown,
+        "  total(cpu): {total:>12?}  (suite wall-clock {suite_wall:?}, parallel)"
+    );
+
+    let (derived, tps, engine_time) = datalog_throughput();
+    let _ = writeln!(
+        breakdown,
+        "datalog closure workload (n=200): {derived} tuples in {engine_time:?} = {tps:.0} tuples/sec"
+    );
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"schema\": \"nadroid-timing/4\",\n",
+            "  \"apps\": {},\n",
+            "  \"suite\": {{\n",
+            "    \"wall_secs\": {:.6},\n",
+            "    \"cpu_secs\": {:.6}\n",
+            "  }},\n",
+            "  \"phase_cpu_secs\": {},\n",
+            "  \"counters\": {{\n",
+            "    \"pointsto.queue_pops\": {},\n",
+            "    \"detector.pairs_examined\": {},\n",
+            "    \"detector.racy_pairs\": {},\n",
+            "    \"detector.mhp_prepruned\": {},\n",
+            "    \"hb.edges\": {}\n",
+            "  }},\n",
+            "  \"hb\": {{\n",
+            "    \"closure_secs\": {:.6}\n",
+            "  }},\n",
+            "  \"datalog_closure\": {{\n",
+            "    \"n\": 200,\n",
+            "    \"derived_tuples\": {},\n",
+            "    \"run_secs\": {:.6},\n",
+            "    \"tuples_per_sec\": {:.0}\n",
+            "  }}\n",
+            "}}\n"
+        ),
+        runs.len(),
+        suite_wall.as_secs_f64(),
+        total.as_secs_f64(),
+        phase_timings_json(&sum, "  "),
+        counter_sum(&runs, "pointsto.queue_pops"),
+        counter_sum(&runs, "detector.pairs_examined"),
+        counter_sum(&runs, "detector.racy_pairs"),
+        counter_sum(&runs, "detector.mhp_prepruned"),
+        counter_sum(&runs, "hb.edges"),
+        counter_sum(&runs, "hb.closure_micros") as f64 / 1e6,
+        derived,
+        engine_time.as_secs_f64(),
+        tps,
+    );
+    SuiteMeasurement {
+        json,
+        table,
+        breakdown,
+    }
+}
+
+/// Run the full suite (provenance *on*, so surviving warning ids are
+/// available) and build a complete ledger record: per-phase times,
+/// every deterministic counter, per-phase latency histograms across the
+/// 27 apps, and the warning population with per-app digests and the
+/// Figure-5 tallies. Time-valued `*_micros` counters are folded into
+/// `times` so the counter section stays exactly comparable.
+#[must_use]
+pub fn suite_ledger_record(kind: ledger::Kind) -> ledger::Record {
+    let start = Instant::now();
+    let runs = run_rows_parallel(&table1_rows());
+    let wall = start.elapsed();
+    let sum = sum_timings(&runs);
+
+    let mut rec = ledger::Record::new(kind);
+    rec.times.insert("suite.wall_secs".into(), wall.as_secs_f64());
+    rec.times
+        .insert("suite.cpu_secs".into(), sum.total().as_secs_f64());
+    for (name, d) in [
+        ("modeling", sum.modeling),
+        ("hb", sum.hb),
+        ("detection", sum.detection),
+        ("pointsto", sum.pointsto),
+        ("escape", sum.escape),
+        ("detect", sum.detect),
+        ("filtering", sum.filtering),
+    ] {
+        rec.times.insert(format!("phase.{name}"), d.as_secs_f64());
+    }
+
+    rec.counters.insert("apps".into(), runs.len() as u64);
+    let mut counter_totals: std::collections::BTreeMap<String, u64> = Default::default();
+    for run in &runs {
+        for (name, v) in run.recorder.counters() {
+            *counter_totals.entry(name).or_insert(0) += v;
+        }
+    }
+    for (name, v) in counter_totals {
+        if let Some(stem) = name.strip_suffix("_micros") {
+            // Time-valued counters are times, not deterministic counts.
+            rec.times.insert(format!("{stem}_secs"), v as f64 / 1e6);
+        } else {
+            rec.counters.insert(name, v);
+        }
+    }
+
+    for (name, pick) in [
+        ("modeling", (|t: &PhaseTimings| t.modeling) as fn(&PhaseTimings) -> Duration),
+        ("hb", |t| t.hb),
+        ("detection", |t| t.detection),
+        ("pointsto", |t| t.pointsto),
+        ("escape", |t| t.escape),
+        ("detect", |t| t.detect),
+        ("filtering", |t| t.filtering),
+    ] {
+        let mut h = Histogram::new();
+        for run in &runs {
+            h.record(u64::try_from(pick(&run.timings).as_micros()).unwrap_or(u64::MAX));
+        }
+        rec.hists.insert(format!("phase_us.{name}"), h);
+    }
+
+    let mut tallies = std::collections::BTreeMap::new();
+    for (name, pick) in [
+        ("potential", (|r: &AppRun| r.summary.potential) as fn(&AppRun) -> usize),
+        ("after_sound", |r| r.summary.after_sound),
+        ("after_unsound", |r| r.summary.after_unsound),
+    ] {
+        tallies.insert(
+            name.to_string(),
+            runs.iter().map(|r| pick(r) as u64).sum(),
+        );
+    }
+    for (name, v) in &rec.counters {
+        if name.starts_with("filter.") && name.ends_with(".killed") {
+            tallies.insert(name.clone(), *v);
+        }
+    }
+    let apps = runs
+        .iter()
+        .map(|run| {
+            let mut ids = run.surviving_ids.clone();
+            ids.sort_unstable();
+            ledger::AppPopulation {
+                app: run.row.name.to_string(),
+                digest: nadroid_core::warning_population_digest(&ids),
+                ids,
+            }
+        })
+        .collect();
+    rec.population = Some(ledger::Population { apps, tallies });
+    rec
+}

@@ -17,6 +17,7 @@
 
 use nadroid_core::{analyze, render_report, AnalysisConfig};
 use nadroid_dynamic::ExploreConfig;
+use nadroid_ledger as ledger;
 use nadroid_filters::FilterKind;
 use nadroid_ir::{parse_program, Program};
 use nadroid_serve::{AnalyzeOpts, Client, Response, ServeConfig, Server};
@@ -139,9 +140,72 @@ pub enum Command {
         path: String,
         /// Treat the file as JSONL: one JSON value per non-empty line.
         lines: bool,
+        /// Require the top-level `schema` member to equal this exact
+        /// string — on every line when `lines` is set. CI pins BENCH
+        /// documents and the run ledger to their schemas with this.
+        expect_schema: Option<String>,
     },
+    /// Run-ledger operations (`nadroid-ledger/1`): record runs, list
+    /// them, diff two of them under the noise model, gate regressions.
+    Perf(PerfCommand),
     /// Print usage.
     Help,
+}
+
+/// A `nadroid perf` subcommand. All variants read or write the run
+/// ledger, `Result/ledger.jsonl` unless `--ledger` overrides it; see
+/// docs/observability.md for the record schema and diff semantics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PerfCommand {
+    /// Append one record: a fresh 27-app suite measurement, or a
+    /// conversion of an existing `BENCH_*.json` document.
+    Record {
+        /// BENCH file to convert (`nadroid-timing/*` or
+        /// `nadroid-serve-bench/*`); `None` measures the suite afresh.
+        from: Option<String>,
+        /// Override the record kind (`timing`, `serve_bench`, `suite`,
+        /// `ci`). Defaults to `suite` for fresh measurements and to the
+        /// source driver's kind for conversions.
+        kind: Option<String>,
+        /// Free-form annotation stored on the record.
+        note: Option<String>,
+        /// Ledger path override.
+        ledger: Option<String>,
+    },
+    /// Print one summary line per ledger record.
+    List {
+        /// Ledger path override.
+        ledger: Option<String>,
+    },
+    /// Noise-aware comparison of two ledger records.
+    Diff {
+        /// Baseline selector: `last`, `prev`, 1-based index, or `-N`.
+        base: String,
+        /// Current-record selector, same syntax.
+        current: String,
+        /// Extra relative effect size required of latency moves, on
+        /// top of the histogram quantization bound (raw user string,
+        /// validated at parse time; default 0.05).
+        min_effect: Option<String>,
+        /// Ledger path override.
+        ledger: Option<String>,
+    },
+    /// Regression gate: nonzero exit on any timing regression beyond
+    /// the noise model or any unacknowledged counter/population drift.
+    Gate {
+        /// Baseline: a `BENCH_*.json` path or a ledger selector.
+        against: String,
+        /// Current-record ledger selector; `None` measures the suite
+        /// afresh (the same workload `BENCH_timing.json` records).
+        current: Option<String>,
+        /// Also append the current record to the ledger.
+        record: bool,
+        /// Extra relative effect size for latency moves, as in
+        /// `perf diff` (raw user string, validated at parse time).
+        min_effect: Option<String>,
+        /// Ledger path override.
+        ledger: Option<String>,
+    },
 }
 
 /// A CLI error with a user-facing message.
@@ -182,7 +246,12 @@ USAGE:
     nadroid request [<app.dsl>] [--addr <host:port>] [--explain]
                     [--id <warning-id>] [--k <N>] [--deadline-ms <D>]
                     [--stats] [--metrics] [--metrics-text] [--shutdown]
-    nadroid check-json <file> [--lines]
+    nadroid check-json <file> [--lines] [--expect-schema <name>]
+    nadroid perf record [--from <BENCH.json>] [--kind <k>] [--note <s>]
+    nadroid perf list
+    nadroid perf diff <a> <b> [--min-effect <frac>]
+    nadroid perf gate --against <ref> [--current <sel>] [--record]
+                      [--min-effect <frac>]
 
 `analyze` may be omitted when the first argument is a flag or a .dsl
 file: `nadroid --trace out.json app.dsl`.
@@ -209,7 +278,30 @@ SERVE TELEMETRY (see docs/observability.md):
                       queue-wait histograms with percentile readouts
     --metrics-text    same data, rendered Prometheus-style
     check-json <f>    validate JSON (or JSONL with --lines) with the
-                      in-repo parser — CI gates logs/traces with it
+                      in-repo parser — CI gates logs/traces with it;
+                      --expect-schema <name> additionally pins the
+                      top-level `schema` member (every line in JSONL)
+
+RUN LEDGER (see docs/observability.md):
+    `perf` manages the append-only run ledger (nadroid-ledger/1 JSONL,
+    default Result/ledger.jsonl; override with --ledger <file>). Each
+    record carries an environment fingerprint, wall/CPU and per-phase
+    timings, the deterministic counters, histogram snapshots, and the
+    per-app warning-population digests. Record selectors are `last`,
+    `prev`, a 1-based index from the oldest, or `-N` from the newest.
+    perf record       append a record: a fresh 27-app suite
+                      measurement, or --from <BENCH.json> to convert a
+                      committed BENCH_timing/BENCH_serve document
+    perf list         one summary line per ledger record
+    perf diff <a> <b> compare two records: counters and populations
+                      exactly, timings/latencies under the noise model
+                      (histogram quantization bound + --min-effect)
+    perf gate         diff --against <ref> (a BENCH_*.json path or a
+                      selector) vs --current <sel> (default: a fresh
+                      suite measurement); exits nonzero on regression
+                      or unacknowledged drift, naming the exact
+                      counter, percentile, or warning ids that moved;
+                      --record also appends the current record
 
 OBSERVABILITY (see docs/observability.md):
     --trace <file>    Chrome trace_event JSON — open in chrome://tracing
@@ -272,9 +364,17 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Cl
         "check-json" => {
             let mut path = None;
             let mut lines = false;
-            for a in args {
+            let mut expect_schema = None;
+            let mut args = args;
+            while let Some(a) = args.next() {
                 match a.as_str() {
                     "--lines" => lines = true,
+                    "--expect-schema" => {
+                        expect_schema = Some(
+                            args.next()
+                                .ok_or_else(|| CliError("--expect-schema needs a name".into()))?,
+                        );
+                    }
                     other if !other.starts_with('-') && path.is_none() => {
                         path = Some(other.to_owned());
                     }
@@ -282,8 +382,13 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Cl
                 }
             }
             let path = path.ok_or_else(|| CliError("check-json needs a file".into()))?;
-            Ok(Command::CheckJson { path, lines })
+            Ok(Command::CheckJson {
+                path,
+                lines,
+                expect_schema,
+            })
         }
+        "perf" => parse_perf(args),
         "nosleep" | "deva" | "dot" => {
             let path = args
                 .next()
@@ -538,6 +643,119 @@ fn parse_request(args: impl Iterator<Item = String>) -> Result<Command, CliError
     })
 }
 
+fn parse_perf(args: impl Iterator<Item = String>) -> Result<Command, CliError> {
+    const PERF_USAGE: &str =
+        "perf needs a subcommand: record | list | diff <a> <b> | gate --against <ref>";
+    let mut args = args;
+    let Some(sub) = args.next() else {
+        return Err(CliError(PERF_USAGE.into()));
+    };
+    let allowed: &[&str] = match sub.as_str() {
+        "record" => &["--from", "--kind", "--note", "--ledger"],
+        "list" => &["--ledger"],
+        "diff" => &["--min-effect", "--ledger"],
+        "gate" => &["--against", "--current", "--record", "--min-effect", "--ledger"],
+        other => {
+            return Err(CliError(format!(
+                "unknown perf subcommand `{other}`\n{PERF_USAGE}"
+            )))
+        }
+    };
+    let mut positionals: Vec<String> = Vec::new();
+    let mut from = None;
+    let mut kind = None;
+    let mut note = None;
+    let mut ledger_over = None;
+    let mut against = None;
+    let mut current = None;
+    let mut record = false;
+    let mut min_effect = None;
+    while let Some(a) = args.next() {
+        let mut value = |flag: &str| {
+            args.next()
+                .ok_or_else(|| CliError(format!("{flag} needs a value")))
+        };
+        if a.starts_with('-') && !allowed.contains(&a.as_str()) {
+            return Err(CliError(format!(
+                "unexpected argument `{a}` for `perf {sub}`"
+            )));
+        }
+        match a.as_str() {
+            "--from" => from = Some(value("--from")?),
+            "--kind" => {
+                let v = value("--kind")?;
+                ledger::Kind::from_str(&v).map_err(CliError::from)?;
+                kind = Some(v);
+            }
+            "--note" => note = Some(value("--note")?),
+            "--ledger" => ledger_over = Some(value("--ledger")?),
+            "--against" => against = Some(value("--against")?),
+            "--current" => current = Some(value("--current")?),
+            "--record" => record = true,
+            "--min-effect" => {
+                let v = value("--min-effect")?;
+                let parsed: f64 = v
+                    .parse()
+                    .map_err(|_| CliError(format!("bad min effect `{v}`")))?;
+                if !parsed.is_finite() || parsed < 0.0 {
+                    return Err(CliError(format!(
+                        "min effect must be a non-negative fraction, got `{v}`"
+                    )));
+                }
+                min_effect = Some(v);
+            }
+            other => positionals.push(other.to_owned()),
+        }
+    }
+    let no_positionals = |positionals: &[String]| -> Result<(), CliError> {
+        match positionals.first() {
+            Some(extra) => Err(CliError(format!("unexpected argument `{extra}`"))),
+            None => Ok(()),
+        }
+    };
+    match sub.as_str() {
+        "record" => {
+            no_positionals(&positionals)?;
+            Ok(Command::Perf(PerfCommand::Record {
+                from,
+                kind,
+                note,
+                ledger: ledger_over,
+            }))
+        }
+        "list" => {
+            no_positionals(&positionals)?;
+            Ok(Command::Perf(PerfCommand::List { ledger: ledger_over }))
+        }
+        "diff" => {
+            if positionals.len() != 2 {
+                return Err(CliError(
+                    "perf diff needs two selectors: perf diff <a> <b>".into(),
+                ));
+            }
+            let mut it = positionals.into_iter();
+            Ok(Command::Perf(PerfCommand::Diff {
+                base: it.next().expect("length checked"),
+                current: it.next().expect("length checked"),
+                min_effect,
+                ledger: ledger_over,
+            }))
+        }
+        _ => {
+            no_positionals(&positionals)?;
+            let against =
+                against.ok_or_else(|| CliError("perf gate needs --against <ref>".into()))?;
+            Ok(Command::Perf(PerfCommand::Gate {
+                against,
+                current,
+                record,
+                min_effect,
+                ledger: ledger_over,
+            }))
+        }
+    }
+}
+
 fn load(path: &str) -> Result<Program, CliError> {
     let src =
         std::fs::read_to_string(path).map_err(|e| CliError(format!("cannot read {path}: {e}")))?;
@@ -766,25 +984,50 @@ baseline: {suppressed} suppressed, {} new
             }
             Ok(out)
         }
-        Command::CheckJson { path, lines } => {
+        Command::CheckJson {
+            path,
+            lines,
+            expect_schema,
+        } => {
             let content = std::fs::read_to_string(path)
                 .map_err(|e| CliError(format!("cannot read {path}: {e}")))?;
+            let check_schema = |v: &nadroid_core::JsonValue, loc: &str| -> Result<(), CliError> {
+                let Some(want) = expect_schema else {
+                    return Ok(());
+                };
+                match v.get("schema").and_then(nadroid_core::JsonValue::as_str) {
+                    Some(got) if got == want => Ok(()),
+                    Some(got) => Err(CliError(format!(
+                        "{loc}: schema is `{got}`, expected `{want}`"
+                    ))),
+                    None => Err(CliError(format!(
+                        "{loc}: missing top-level `schema` member (expected `{want}`)"
+                    ))),
+                }
+            };
             let mut checked = 0usize;
             if *lines {
                 for (i, line) in content.lines().enumerate() {
                     if line.trim().is_empty() {
                         continue;
                     }
-                    nadroid_core::parse_json(line)
+                    let v = nadroid_core::parse_json(line)
                         .map_err(|e| CliError(format!("{path}:{}: {e}", i + 1)))?;
+                    check_schema(&v, &format!("{path}:{}", i + 1))?;
                     checked += 1;
                 }
             } else {
-                nadroid_core::parse_json(&content).map_err(|e| CliError(format!("{path}: {e}")))?;
+                let v = nadroid_core::parse_json(&content)
+                    .map_err(|e| CliError(format!("{path}: {e}")))?;
+                check_schema(&v, path)?;
                 checked = 1;
             }
-            Ok(format!("{path}: OK ({checked} JSON value(s))\n"))
+            let schema_note = expect_schema
+                .as_deref()
+                .map_or_else(String::new, |s| format!(", schema {s}"));
+            Ok(format!("{path}: OK ({checked} JSON value(s){schema_note})\n"))
         }
+        Command::Perf(perf) => run_perf(perf),
         Command::Request {
             path,
             addr,
@@ -835,6 +1078,179 @@ baseline: {suppressed} suppressed, {} new
                 out.push_str(&format!("request id: {rid}\n"));
             }
             Ok(out)
+        }
+    }
+}
+
+fn ledger_path(over: Option<&str>) -> std::path::PathBuf {
+    std::path::PathBuf::from(over.unwrap_or(ledger::DEFAULT_PATH))
+}
+
+fn diff_options(min_effect: Option<&str>) -> ledger::DiffOptions {
+    let mut opts = ledger::DiffOptions::default();
+    if let Some(parsed) = min_effect.and_then(|v| v.parse().ok()) {
+        opts.min_effect = parsed;
+    }
+    opts
+}
+
+/// Convert a BENCH document on disk into a ledger record, dispatching
+/// on its `schema`. Returns the record plus any structural violations
+/// the converter found (thread-variant counters in a timing scale
+/// curve) — `perf gate` treats those as failures in their own right.
+fn record_from_bench_file(path: &str) -> Result<(ledger::Record, Vec<String>), CliError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError(format!("cannot read {path}: {e}")))?;
+    let doc = nadroid_core::parse_json(&text).map_err(|e| CliError(format!("{path}: {e}")))?;
+    let schema = doc
+        .get("schema")
+        .and_then(nadroid_core::JsonValue::as_str)
+        .ok_or_else(|| CliError(format!("{path}: missing top-level `schema`")))?;
+    if schema.starts_with("nadroid-timing/") {
+        ledger::record_from_bench_timing(&doc).map_err(|e| CliError(format!("{path}: {e}")))
+    } else if schema.starts_with("nadroid-serve-bench/") {
+        ledger::record_from_bench_serve(&doc)
+            .map(|r| (r, Vec::new()))
+            .map_err(|e| CliError(format!("{path}: {e}")))
+    } else {
+        Err(CliError(format!(
+            "{path}: unsupported schema `{schema}` \
+             (expected nadroid-timing/* or nadroid-serve-bench/*)"
+        )))
+    }
+}
+
+fn run_perf(perf: &PerfCommand) -> Result<String, CliError> {
+    let label = |records: &[ledger::Record], i: usize| {
+        format!("#{} ({})", i + 1, records[i].kind.as_str())
+    };
+    match perf {
+        PerfCommand::Record {
+            from,
+            kind,
+            note,
+            ledger: over,
+        } => {
+            let (mut rec, violations) = match from {
+                Some(f) => {
+                    let (mut rec, violations) = record_from_bench_file(f)?;
+                    rec.note = format!("perf record --from {f}");
+                    (rec, violations)
+                }
+                None => {
+                    let mut rec = nadroid_bench::measure::suite_ledger_record(ledger::Kind::Suite);
+                    rec.note = "perf record (fresh suite measurement)".to_string();
+                    (rec, Vec::new())
+                }
+            };
+            if let Some(k) = kind {
+                rec.kind = ledger::Kind::from_str(k).map_err(CliError::from)?;
+            }
+            if let Some(n) = note {
+                rec.note.clone_from(n);
+            }
+            let path = ledger_path(over.as_deref());
+            ledger::append(&path, &rec).map_err(CliError::from)?;
+            let count = ledger::read(&path).map_err(CliError::from)?.len();
+            let mut out = format!(
+                "appended to {} ({count} record(s)):\n{}\n",
+                path.display(),
+                rec.summary_line(count)
+            );
+            for v in &violations {
+                out.push_str(&format!("  warning: {v}\n"));
+            }
+            Ok(out)
+        }
+        PerfCommand::List { ledger: over } => {
+            let path = ledger_path(over.as_deref());
+            let records = ledger::read(&path).map_err(CliError::from)?;
+            let mut out = format!("{}: {} record(s)\n", path.display(), records.len());
+            for (i, r) in records.iter().enumerate() {
+                out.push_str(&r.summary_line(i + 1));
+                out.push('\n');
+            }
+            Ok(out)
+        }
+        PerfCommand::Diff {
+            base,
+            current,
+            min_effect,
+            ledger: over,
+        } => {
+            let path = ledger_path(over.as_deref());
+            let records = ledger::read(&path).map_err(CliError::from)?;
+            let bi = ledger::select(records.len(), base).map_err(CliError::from)?;
+            let ci = ledger::select(records.len(), current).map_err(CliError::from)?;
+            let opts = diff_options(min_effect.as_deref());
+            let deltas = ledger::diff(&records[bi], &records[ci], &opts);
+            Ok(ledger::render_diff(
+                &label(&records, bi),
+                &label(&records, ci),
+                &deltas,
+            ))
+        }
+        PerfCommand::Gate {
+            against,
+            current,
+            record,
+            min_effect,
+            ledger: over,
+        } => {
+            let path = ledger_path(over.as_deref());
+            let opts = diff_options(min_effect.as_deref());
+            // The baseline: a committed BENCH document, or a prior
+            // ledger record. A baseline that is itself structurally
+            // violated (thread-variant scale counters) fails outright.
+            let (base, base_label) = if std::path::Path::new(against).is_file() {
+                let (rec, violations) = record_from_bench_file(against)?;
+                if !violations.is_empty() {
+                    return Err(CliError(format!(
+                        "FAIL: baseline {against} carries structural violation(s):\n  {}",
+                        violations.join("\n  ")
+                    )));
+                }
+                (rec, against.clone())
+            } else {
+                let records = ledger::read(&path).map_err(CliError::from)?;
+                let i = ledger::select(records.len(), against).map_err(CliError::from)?;
+                (records[i].clone(), label(&records, i))
+            };
+            // The current side: a chosen ledger record, or a fresh
+            // measurement of the same workload the timing driver
+            // records, so counters line up exactly with BENCH_timing.
+            let (cur, cur_label, cur_violations) = match current {
+                Some(sel) => {
+                    let records = ledger::read(&path).map_err(CliError::from)?;
+                    let i = ledger::select(records.len(), sel).map_err(CliError::from)?;
+                    (records[i].clone(), label(&records, i), Vec::new())
+                }
+                None => {
+                    let m = nadroid_bench::measure::measure_suite();
+                    let doc = nadroid_core::parse_json(&m.json)
+                        .map_err(|e| CliError(format!("fresh measurement JSON: {e}")))?;
+                    let (mut rec, violations) =
+                        ledger::record_from_bench_timing(&doc).map_err(CliError::from)?;
+                    rec.kind = ledger::Kind::Ci;
+                    rec.note = format!("perf gate --against {against}");
+                    (rec, "fresh suite measurement".to_string(), violations)
+                }
+            };
+            if *record {
+                ledger::append(&path, &cur).map_err(CliError::from)?;
+            }
+            let verdict = ledger::gate(&base, &cur, &opts);
+            let mut out = ledger::render_diff(&base_label, &cur_label, &verdict.deltas);
+            for v in &cur_violations {
+                out.push_str(&format!("  [violation  ] {v}\n"));
+            }
+            out.push_str(&verdict.summary());
+            out.push('\n');
+            if verdict.pass() && cur_violations.is_empty() {
+                Ok(out)
+            } else {
+                Err(CliError(out))
+            }
         }
     }
 }
@@ -1357,9 +1773,95 @@ activity M { cb onClick { } }",
             Command::CheckJson {
                 path: "f.json".into(),
                 lines: true,
+                expect_schema: None,
+            }
+        );
+        assert_eq!(
+            parse_args(args(&[
+                "check-json",
+                "ledger.jsonl",
+                "--lines",
+                "--expect-schema",
+                "nadroid-ledger/1",
+            ]))
+            .unwrap(),
+            Command::CheckJson {
+                path: "ledger.jsonl".into(),
+                lines: true,
+                expect_schema: Some("nadroid-ledger/1".into()),
             }
         );
         assert!(parse_args(args(&["check-json"])).is_err(), "needs a file");
+        assert!(
+            parse_args(args(&["check-json", "f.json", "--expect-schema"])).is_err(),
+            "--expect-schema needs a name"
+        );
+    }
+
+    #[test]
+    fn parses_perf_subcommands() {
+        assert_eq!(
+            parse_args(args(&["perf", "record", "--from", "BENCH_timing.json"])).unwrap(),
+            Command::Perf(PerfCommand::Record {
+                from: Some("BENCH_timing.json".into()),
+                kind: None,
+                note: None,
+                ledger: None,
+            })
+        );
+        assert_eq!(
+            parse_args(args(&[
+                "perf", "record", "--kind", "ci", "--note", "nightly", "--ledger", "l.jsonl",
+            ]))
+            .unwrap(),
+            Command::Perf(PerfCommand::Record {
+                from: None,
+                kind: Some("ci".into()),
+                note: Some("nightly".into()),
+                ledger: Some("l.jsonl".into()),
+            })
+        );
+        assert_eq!(
+            parse_args(args(&["perf", "list"])).unwrap(),
+            Command::Perf(PerfCommand::List { ledger: None })
+        );
+        assert_eq!(
+            parse_args(args(&["perf", "diff", "prev", "last", "--min-effect", "0.1"])).unwrap(),
+            Command::Perf(PerfCommand::Diff {
+                base: "prev".into(),
+                current: "last".into(),
+                min_effect: Some("0.1".into()),
+                ledger: None,
+            })
+        );
+        assert_eq!(
+            parse_args(args(&[
+                "perf",
+                "gate",
+                "--against",
+                "BENCH_timing.json",
+                "--record",
+            ]))
+            .unwrap(),
+            Command::Perf(PerfCommand::Gate {
+                against: "BENCH_timing.json".into(),
+                current: None,
+                record: true,
+                min_effect: None,
+                ledger: None,
+            })
+        );
+        // Malformed invocations are rejected at parse time.
+        assert!(parse_args(args(&["perf"])).is_err(), "needs a subcommand");
+        assert!(parse_args(args(&["perf", "frobnicate"])).is_err());
+        assert!(parse_args(args(&["perf", "diff", "last"])).is_err(), "two selectors");
+        assert!(parse_args(args(&["perf", "gate"])).is_err(), "needs --against");
+        assert!(parse_args(args(&["perf", "record", "--kind", "wat"])).is_err());
+        assert!(parse_args(args(&["perf", "diff", "a", "b", "--min-effect", "-1"])).is_err());
+        assert!(
+            parse_args(args(&["perf", "list", "--from", "x"])).is_err(),
+            "--from is not a list flag"
+        );
     }
 
     #[test]
@@ -1371,6 +1873,7 @@ activity M { cb onClick { } }",
         let out = run(&Command::CheckJson {
             path: good.to_string_lossy().into_owned(),
             lines: false,
+            expect_schema: None,
         })
         .unwrap();
         assert!(out.contains("OK (1 JSON value(s))"), "{out}");
@@ -1380,6 +1883,7 @@ activity M { cb onClick { } }",
         let out = run(&Command::CheckJson {
             path: jsonl.to_string_lossy().into_owned(),
             lines: true,
+            expect_schema: None,
         })
         .unwrap();
         assert!(out.contains("OK (2 JSON value(s))"), "{out}");
@@ -1389,9 +1893,102 @@ activity M { cb onClick { } }",
         let err = run(&Command::CheckJson {
             path: bad.to_string_lossy().into_owned(),
             lines: true,
+            expect_schema: None,
         })
         .unwrap_err();
         assert!(err.to_string().contains(":2:"), "line number in: {err}");
+    }
+
+    #[test]
+    fn check_json_pins_schemas() {
+        let dir = std::env::temp_dir().join("nadroid_cli_expect_schema");
+        std::fs::create_dir_all(&dir).unwrap();
+
+        // A whole-document schema match, mismatch, and absence.
+        let doc = dir.join("bench.json");
+        std::fs::write(&doc, "{\"schema\": \"nadroid-timing/4\", \"apps\": 27}\n").unwrap();
+        let check = |path: &std::path::Path, lines: bool, want: &str| {
+            run(&Command::CheckJson {
+                path: path.to_string_lossy().into_owned(),
+                lines,
+                expect_schema: Some(want.to_owned()),
+            })
+        };
+        let out = check(&doc, false, "nadroid-timing/4").unwrap();
+        assert!(out.contains("OK (1 JSON value(s), schema nadroid-timing/4)"), "{out}");
+        let err = check(&doc, false, "nadroid-timing/3").unwrap_err().to_string();
+        assert!(err.contains("schema is `nadroid-timing/4`"), "{err}");
+        assert!(err.contains("expected `nadroid-timing/3`"), "{err}");
+
+        let bare = dir.join("bare.json");
+        std::fs::write(&bare, "{\"apps\": 27}\n").unwrap();
+        let err = check(&bare, false, "nadroid-timing/4").unwrap_err().to_string();
+        assert!(err.contains("missing top-level `schema`"), "{err}");
+
+        // JSONL: every line is pinned, and the failing line is named.
+        let ledger = dir.join("ledger.jsonl");
+        std::fs::write(
+            &ledger,
+            "{\"schema\": \"nadroid-ledger/1\", \"kind\": \"ci\"}\n\
+             {\"schema\": \"nadroid-ledger/2\", \"kind\": \"ci\"}\n",
+        )
+        .unwrap();
+        let err = check(&ledger, true, "nadroid-ledger/1").unwrap_err().to_string();
+        assert!(err.contains(":2:"), "failing line named: {err}");
+        assert!(err.contains("schema is `nadroid-ledger/2`"), "{err}");
+    }
+
+    /// Golden rendering for `perf diff` on a canned two-record ledger:
+    /// a counter drift and a latency regression beyond the noise
+    /// budget, regressions sorted first, exact byte-for-byte output.
+    #[test]
+    fn perf_diff_renders_golden_output() {
+        let dir = std::env::temp_dir().join("nadroid_cli_perf_diff");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ledger.jsonl");
+        let _ = std::fs::remove_file(&path);
+
+        let mut base = ledger::Record::new(ledger::Kind::Timing);
+        base.ts = 1_754_000_000;
+        base.note = "baseline".into();
+        base.env = ledger::Env {
+            cores: 8,
+            threads: 1,
+            features: vec!["obs".into()],
+            profile: "release".into(),
+        };
+        base.counters.insert("detector.pairs_examined".into(), 666_419);
+        base.times.insert("suite.wall_secs".into(), 0.40);
+        base.percentiles.insert("warm.server_p99_us".into(), 1000);
+        let mut cur = base.clone();
+        cur.kind = ledger::Kind::Ci;
+        cur.ts = 1_754_000_100;
+        cur.counters.insert("detector.pairs_examined".into(), 666_500);
+        cur.percentiles.insert("warm.server_p99_us".into(), 1200);
+        ledger::append(&path, &base).unwrap();
+        ledger::append(&path, &cur).unwrap();
+
+        let diff_cmd = |base: &str, current: &str| {
+            run(&Command::Perf(PerfCommand::Diff {
+                base: base.into(),
+                current: current.into(),
+                min_effect: None,
+                ledger: Some(path.to_string_lossy().into_owned()),
+            }))
+            .unwrap()
+        };
+        assert_eq!(
+            diff_cmd("1", "2"),
+            "perf diff: #1 (timing) -> #2 (ci)\n\
+             \x20 [regression ] percentiles.warm.server_p99_us: \
+             1000us -> 1200us (beyond 6.3% noise + 5.0% min effect)\n\
+             \x20 [drift      ] counters.detector.pairs_examined: 666419 -> 666500 (+81)\n"
+        );
+        // Self-diff is empty, and selector sugar resolves.
+        assert_eq!(
+            diff_cmd("prev", "prev"),
+            "perf diff: #1 (timing) -> #1 (timing)\n  no differences beyond noise\n"
+        );
     }
 
     #[test]

@@ -1,0 +1,157 @@
+//! End-to-end `nadroid perf` gate through the real binary: a canned
+//! ledger with one injected counter change and one warning-population
+//! change must exit nonzero with a verdict naming the regressed
+//! counter and the exact warning ids that moved; identical records
+//! must pass; and a BENCH document gated against its own conversion
+//! must pass (the converter is deterministic).
+
+use nadroid_ledger::{AppPopulation, Env, Kind, Population, Record};
+use std::process::Command;
+
+fn temp_dir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("nadroid_{}_{}", name, std::process::id()));
+    if dir.exists() {
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+fn fixed_env() -> Env {
+    Env {
+        cores: 8,
+        threads: 1,
+        features: vec!["obs".to_string()],
+        profile: "release".to_string(),
+    }
+}
+
+fn population(ids: &[&str]) -> Population {
+    let mut ids: Vec<String> = ids.iter().map(|s| (*s).to_string()).collect();
+    ids.sort_unstable();
+    Population {
+        apps: vec![AppPopulation {
+            app: "connectbot".to_string(),
+            digest: nadroid_core::warning_population_digest(&ids),
+            ids,
+        }],
+        tallies: std::collections::BTreeMap::new(),
+    }
+}
+
+/// Two records: #1 the baseline, #2 with a counter change and one
+/// warning swapped for another in connectbot's population.
+fn seeded_ledger(dir: &std::path::Path) -> std::path::PathBuf {
+    let path = dir.join("ledger.jsonl");
+    let mut base = Record::new(Kind::Timing);
+    base.ts = 1_754_000_000;
+    base.env = fixed_env();
+    base.counters.insert("pointsto.queue_pops".to_string(), 12_677);
+    base.population = Some(population(&[
+        "w:00000000000000aa",
+        "w:00000000000000bb",
+    ]));
+    let mut cur = base.clone();
+    cur.kind = Kind::Ci;
+    cur.ts = 1_754_000_100;
+    cur.counters.insert("pointsto.queue_pops".to_string(), 13_000);
+    cur.population = Some(population(&[
+        "w:00000000000000aa",
+        "w:00000000000000cc",
+    ]));
+    nadroid_ledger::append(&path, &base).expect("append baseline");
+    nadroid_ledger::append(&path, &cur).expect("append drifted record");
+    path
+}
+
+fn gate(ledger: &std::path::Path, extra: &[&str]) -> std::process::Output {
+    let mut argv = vec!["perf", "gate", "--ledger", ledger.to_str().unwrap()];
+    argv.extend_from_slice(extra);
+    Command::new(env!("CARGO_BIN_EXE_nadroid"))
+        .args(&argv)
+        .output()
+        .expect("spawn nadroid")
+}
+
+#[test]
+fn seeded_drift_fails_the_gate_with_a_named_verdict() {
+    let dir = temp_dir("perf_gate_drift");
+    let ledger = seeded_ledger(&dir);
+    let out = gate(&ledger, &["--against", "1", "--current", "2"]);
+    assert!(
+        !out.status.success(),
+        "gate must exit nonzero on seeded drift:\n{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let err = String::from_utf8_lossy(&out.stderr);
+    // The verdict names the regressed counter with exact values...
+    assert!(err.contains("counters.pointsto.queue_pops"), "{err}");
+    assert!(err.contains("12677 -> 13000 (+323)"), "{err}");
+    // ...and the population drift down to the individual warning ids.
+    assert!(err.contains("population.connectbot"), "{err}");
+    assert!(err.contains("added [w:00000000000000cc]"), "{err}");
+    assert!(err.contains("removed [w:00000000000000bb]"), "{err}");
+    assert!(
+        err.contains("FAIL: 2 blocking difference(s) (0 regression(s), 2 drift(s))"),
+        "{err}"
+    );
+}
+
+#[test]
+fn identical_records_pass_the_gate() {
+    let dir = temp_dir("perf_gate_pass");
+    let ledger = seeded_ledger(&dir);
+    let out = gate(&ledger, &["--against", "1", "--current", "1"]);
+    assert!(
+        out.status.success(),
+        "self-gate must pass: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("no differences beyond noise"), "{text}");
+    assert!(text.contains("PASS: no regressions, no drift"), "{text}");
+}
+
+/// `perf record --from BENCH_timing.json` followed by
+/// `perf gate --against BENCH_timing.json --current last` must pass:
+/// both sides are conversions of the same committed document, so every
+/// counter and population entry matches exactly.
+#[test]
+fn bench_document_gates_cleanly_against_its_own_conversion() {
+    let dir = temp_dir("perf_gate_bench");
+    let ledger = dir.join("ledger.jsonl");
+    let bench = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_timing.json");
+
+    let rec = Command::new(env!("CARGO_BIN_EXE_nadroid"))
+        .args([
+            "perf",
+            "record",
+            "--from",
+            bench,
+            "--ledger",
+            ledger.to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn nadroid");
+    assert!(
+        rec.status.success(),
+        "record --from failed: {}",
+        String::from_utf8_lossy(&rec.stderr)
+    );
+    let listed = Command::new(env!("CARGO_BIN_EXE_nadroid"))
+        .args(["perf", "list", "--ledger", ledger.to_str().unwrap()])
+        .output()
+        .expect("spawn nadroid");
+    let listing = String::from_utf8_lossy(&listed.stdout);
+    assert!(listing.contains("1 record(s)"), "{listing}");
+    assert!(listing.contains("#1 timing"), "{listing}");
+
+    let out = gate(&ledger, &["--against", bench, "--current", "last"]);
+    assert!(
+        out.status.success(),
+        "gate against the source document must pass: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("PASS: no regressions, no drift"), "{text}");
+}

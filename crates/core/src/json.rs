@@ -306,6 +306,27 @@ pub fn program_hash(program: &nadroid_ir::Program) -> String {
     format!("p:{h:016x}")
 }
 
+/// Content hash of a warning population: `wp:` plus 16 hex digits of
+/// FNV-1a 64 over the *sorted* warning ids, newline-joined — so the
+/// digest is independent of report order, thread count, and rerun
+/// interleavings (warning ids already are). The figure5 driver prints
+/// one per app and the run ledger records them, which is what lets
+/// `nadroid perf gate` catch a silently changed warning population
+/// without storing every id forever.
+#[must_use]
+pub fn warning_population_digest<S: AsRef<str>>(ids: &[S]) -> String {
+    let mut sorted: Vec<&str> = ids.iter().map(AsRef::as_ref).collect();
+    sorted.sort_unstable();
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for id in sorted {
+        for b in id.bytes().chain(std::iter::once(b'\n')) {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    format!("wp:{h:016x}")
+}
+
 /// Render the analysis as a JSON document.
 #[must_use]
 pub fn render_json(analysis: &Analysis<'_>) -> String {
@@ -489,6 +510,23 @@ mod tests {
             Some(program_hash(&p).as_str())
         );
         assert!(!prov.get("warnings").unwrap().as_arr().unwrap().is_empty());
+    }
+
+    #[test]
+    fn population_digest_is_order_invariant_and_content_sensitive() {
+        let a = warning_population_digest(&["w:0000000000000001", "w:0000000000000002"]);
+        let b = warning_population_digest(&["w:0000000000000002", "w:0000000000000001"]);
+        assert_eq!(a, b, "sorted before hashing");
+        assert!(a.starts_with("wp:") && a.len() == 19, "{a}");
+        let c = warning_population_digest(&["w:0000000000000001", "w:0000000000000003"]);
+        assert_ne!(a, c, "a changed id changes the digest");
+        // The separator keeps concatenation ambiguity out: {"ab"} != {"a","b"}.
+        assert_ne!(
+            warning_population_digest(&["ab"]),
+            warning_population_digest(&["a", "b"])
+        );
+        let empty: [&str; 0] = [];
+        assert_eq!(warning_population_digest(&empty).len(), 19);
     }
 
     #[test]

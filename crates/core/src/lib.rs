@@ -42,7 +42,7 @@ pub mod report;
 pub use fpclass::{classify_fp, component_reachable, FpCause};
 pub use json::{
     esc, fingerprint, parse_json, phase_timings_json, program_hash, render_json,
-    render_run_report, JsonValue,
+    render_run_report, warning_population_digest, JsonValue,
 };
 pub use provenance::{
     render_explain, render_explain_from_json, render_provenance_json,

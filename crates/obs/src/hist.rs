@@ -166,7 +166,11 @@ impl Histogram {
     }
 
     /// Non-empty buckets as `(lo, hi, count)` triples in ascending
-    /// value order — the exposition format of `nadroid-serve-metrics/1`.
+    /// value order — the exposition format of `nadroid-serve-metrics/1`
+    /// and the `nadroid-ledger/1` histogram snapshots. Together with
+    /// [`Histogram::total`], [`Histogram::min`] and [`Histogram::max`]
+    /// this is a complete snapshot: [`Histogram::from_snapshot`]
+    /// rebuilds an identical histogram from it.
     pub fn buckets(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
         self.counts
             .iter()
@@ -176,6 +180,61 @@ impl Histogram {
                 let (lo, hi) = bounds_of(i);
                 (lo, hi, c)
             })
+    }
+
+    /// Rebuild a histogram from a snapshot: the `(lo, hi, count)`
+    /// triples of [`Histogram::buckets`] plus the `total`/`min`/`max`
+    /// scalars. The round trip is exact —
+    /// `Histogram::from_snapshot(h.total(), h.min(), h.max(), h.buckets())`
+    /// equals `h` for every histogram `h` — so percentile readouts
+    /// survive serialization bit-for-bit (the ledger's diff math
+    /// depends on this).
+    ///
+    /// # Errors
+    ///
+    /// Rejects triples whose `(lo, hi)` is not exactly one of this
+    /// encoder's bucket boundary pairs, zero counts, out-of-order
+    /// buckets, and scalars inconsistent with the buckets (an empty
+    /// bucket list requires `total == min == max == 0`; a non-empty one
+    /// requires `min <= max` with both inside the covered value range).
+    pub fn from_snapshot<I>(total: u64, min: u64, max: u64, buckets: I) -> Result<Histogram, String>
+    where
+        I: IntoIterator<Item = (u64, u64, u64)>,
+    {
+        let mut h = Histogram::new();
+        let mut last_index: Option<usize> = None;
+        for (lo, hi, c) in buckets {
+            let i = index_of(lo);
+            if bounds_of(i) != (lo, hi) {
+                return Err(format!("[{lo}, {hi}] is not a bucket of this encoder"));
+            }
+            if c == 0 {
+                return Err(format!("bucket [{lo}, {hi}] has zero count"));
+            }
+            if last_index.is_some_and(|prev| prev >= i) {
+                return Err(format!("bucket [{lo}, {hi}] out of ascending order"));
+            }
+            last_index = Some(i);
+            h.counts[i] = c;
+            h.count += c;
+        }
+        if h.count == 0 {
+            if (total, min, max) != (0, 0, 0) {
+                return Err("empty snapshot with nonzero total/min/max".into());
+            }
+            return Ok(h);
+        }
+        let first_index = h.counts.iter().position(|&c| c > 0).expect("non-empty");
+        let last_index = last_index.expect("non-empty");
+        if min > max || index_of(min) != first_index || index_of(max) != last_index {
+            return Err(format!(
+                "min/max [{min}, {max}] do not land in the first/last non-empty bucket"
+            ));
+        }
+        h.total = total;
+        h.min = min;
+        h.max = max;
+        Ok(h)
     }
 }
 
@@ -273,6 +332,36 @@ mod tests {
         let mut merged = a.clone();
         merged.merge(&b);
         assert_eq!(merged, all);
+    }
+
+    #[test]
+    fn snapshot_round_trips_exactly() {
+        let mut h = Histogram::new();
+        for v in [0u64, 1, 31, 32, 33, 777, 12_345, 1 << 40, u64::MAX / 3] {
+            h.record(v);
+        }
+        let back = Histogram::from_snapshot(h.total(), h.min(), h.max(), h.buckets()).unwrap();
+        assert_eq!(back, h, "decode(encode(h)) == h");
+        for p in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(back.percentile(p), h.percentile(p));
+        }
+
+        let empty = Histogram::from_snapshot(0, 0, 0, std::iter::empty()).unwrap();
+        assert_eq!(empty, Histogram::new());
+    }
+
+    #[test]
+    fn snapshot_rejects_malformed_input() {
+        // Not a bucket boundary pair.
+        assert!(Histogram::from_snapshot(5, 5, 5, [(5u64, 6u64, 1u64)]).is_err());
+        // Zero count.
+        assert!(Histogram::from_snapshot(5, 5, 5, [(5, 5, 0)]).is_err());
+        // Out of order.
+        assert!(Histogram::from_snapshot(12, 5, 7, [(7, 7, 1), (5, 5, 1)]).is_err());
+        // Scalars inconsistent with the buckets.
+        assert!(Histogram::from_snapshot(1, 0, 0, std::iter::empty()).is_err());
+        assert!(Histogram::from_snapshot(10, 9, 5, [(5, 5, 2)]).is_err());
+        assert!(Histogram::from_snapshot(10, 4, 5, [(5, 5, 2)]).is_err());
     }
 
     #[test]

@@ -61,6 +61,12 @@ pub mod hist;
 pub use export::SpanAgg;
 pub use hist::Histogram;
 
+/// Whether instrumentation was compiled in (the `enabled` cargo
+/// feature, on by default). Environment fingerprints — the run ledger's
+/// `env.features` — record it so runs with probes compiled out are
+/// never compared against instrumented ones.
+pub const ENABLED: bool = cfg!(feature = "enabled");
+
 use std::collections::BTreeMap;
 use std::sync::atomic::AtomicU32;
 #[cfg(feature = "enabled")]

@@ -439,7 +439,8 @@ impl Shared {
     /// phases) with percentile readouts and full bucket detail.
     fn metrics_json(&self) -> String {
         let mut out = format!(
-            "{{\"schema\":\"nadroid-serve-metrics/1\",\"uptime_secs\":{},\"requests_total\":{}",
+            "{{\"schema\":\"nadroid-serve-metrics/1\",\"ts\":{},\"uptime_secs\":{},\"requests_total\":{}",
+            Telemetry::epoch_secs(),
             self.telemetry.uptime_secs(),
             self.telemetry.requests_total()
         );

@@ -218,6 +218,18 @@ impl Telemetry {
         self.started.elapsed().as_secs()
     }
 
+    /// Current wall clock as epoch seconds — the `ts` field of
+    /// access-log lines and the `metrics` document, so serve telemetry
+    /// can be correlated with the run ledger and logs from other
+    /// processes (uptime alone cannot be).
+    #[must_use]
+    pub fn epoch_secs() -> u64 {
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0)
+    }
+
     /// Whether per-request span capture is on (`--slow-us` given).
     /// The server installs a per-request recorder only when this
     /// holds, so the feature costs nothing when unused.
@@ -264,9 +276,14 @@ impl Telemetry {
                 let n = self.log_seq.fetch_add(1, Ordering::Relaxed);
                 if n.is_multiple_of(self.log_sample) {
                     let mut line = format!(
-                        "{{\"id\":\"{}\",\"endpoint\":\"{}\",\"outcome\":\"{}\",\
+                        "{{\"id\":\"{}\",\"ts\":{},\"endpoint\":\"{}\",\"outcome\":\"{}\",\
                          \"queue_us\":{},\"service_us\":{}",
-                        ev.id, ev.endpoint, ev.outcome, ev.queue_us, ev.service_us
+                        ev.id,
+                        Telemetry::epoch_secs(),
+                        ev.endpoint,
+                        ev.outcome,
+                        ev.queue_us,
+                        ev.service_us
                     );
                     if let Some(key) = ev.cache_key {
                         use std::fmt::Write as _;
@@ -415,6 +432,13 @@ mod tests {
         for line in &lines {
             let v = nadroid_core::parse_json(line).expect("access log line parses");
             assert!(v.get("id").is_some());
+            // Wall-clock stamp, correlating the line with ledger
+            // records and other processes' logs.
+            let ts = v
+                .get("ts")
+                .and_then(nadroid_core::JsonValue::as_u64)
+                .expect("ts field");
+            assert!(ts > 1_500_000_000, "epoch seconds, not uptime: {ts}");
             assert_eq!(
                 v.get("endpoint").and_then(nadroid_core::JsonValue::as_str),
                 Some("analyze")

@@ -67,6 +67,8 @@ fn metrics_op_exposes_per_endpoint_histograms_and_windows() {
         doc.get("schema").and_then(JsonValue::as_str),
         Some("nadroid-serve-metrics/1")
     );
+    let ts = doc.get("ts").and_then(JsonValue::as_u64).expect("ts field");
+    assert!(ts > 1_500_000_000, "ts is wall-clock epoch seconds: {ts}");
     assert_eq!(
         doc.get("requests_total").and_then(JsonValue::as_u64),
         Some(4),

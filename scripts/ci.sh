@@ -19,12 +19,15 @@
 #    legacy logic on all 27 apps,
 # 5. provenance smoke test: `nadroid explain` on a corpus app must
 #    produce a non-empty derivation tree and a filter audit,
-# 6. bench-regression guard: re-measure the timing suite and compare
-#    against the committed BENCH_timing.json (nadroid-timing/4) with a
-#    3x tolerance, and validate the corpus-scale thread curve
-#    structurally (rows for threads 1/2/4/8; deterministic counters
-#    identical across the curve) — a perf cliff (or a change to the
-#    deterministic Datalog closure workload) fails the gate loudly,
+# 6. perf/drift gate: re-measure the timing suite and run
+#    `nadroid perf gate` against the committed BENCH_timing.json —
+#    deterministic counters and the warning population compare exactly,
+#    wall/CPU times under the documented noise budget (3x + 0.25s), and
+#    the scale curve's thread-invariant counters are validated
+#    structurally during conversion — with the fresh run appended to
+#    the run ledger (Result/ledger.jsonl, schema nadroid-ledger/1) as a
+#    `ci` record; the verdict names the exact counter, percentile, or
+#    warning ids that moved,
 # 7. serve smoke gate: start the daemon with --threads 2 (inner
 #    parallelism under admission control) plus an access log and a
 #    zero slow-capture threshold, cold request, warm request (must hit
@@ -34,9 +37,12 @@
 #    Prometheus text rendering), clean shutdown — then the JSONL
 #    access log and a slow-request trace must validate under
 #    `nadroid check-json`, and the serve load bench refreshes
-#    BENCH_serve.json (schema nadroid-serve-bench/2) and enforces the
-#    20x warm-vs-cold ConnectBot speedup plus its telemetry-agreement
-#    self-checks.
+#    BENCH_serve.json (schema nadroid-serve-bench/3, host fingerprint
+#    included) and enforces the 20x warm-vs-cold ConnectBot speedup
+#    plus its telemetry-agreement self-checks,
+# 8. schema pins: BENCH_timing.json, BENCH_serve.json, the metrics
+#    document, and every Result/ledger.jsonl line must carry their
+#    declared schemas (`check-json --expect-schema`).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -65,10 +71,17 @@ echo "$explain_out" | grep -q '(base fact)' || {
 echo "$explain_out" | grep -q 'filter audit:' || {
     echo "ci.sh: explain produced no filter audit" >&2; exit 1; }
 
-cargo run --release -p nadroid-bench --bin timing -- --check 3
+bin=target/release/nadroid
+
+# --- perf/drift gate (replaces the old `timing --check 3`) ---
+# Convert the committed BENCH_timing.json to a ledger record (failing
+# on structural violations in its scale curve), re-measure the suite,
+# and compare under the noise model; the fresh run lands in
+# Result/ledger.jsonl as a `ci` record either way.
+"$bin" check-json BENCH_timing.json --expect-schema nadroid-timing/4
+"$bin" perf gate --against BENCH_timing.json --record
 
 # --- serve smoke gate ---
-bin=target/release/nadroid
 serve_out=$(mktemp)
 telem_dir=$(mktemp -d)
 "$bin" serve --addr 127.0.0.1:0 --workers 2 --threads 2 \
@@ -118,7 +131,7 @@ done
 echo "$metrics_out" | grep -q '^request id: r' || {
     echo "ci.sh: metrics response carried no request id:"; echo "$metrics_out"; exit 1; }
 echo "$metrics_out" | head -n 1 > "$telem_dir/metrics.json"
-"$bin" check-json "$telem_dir/metrics.json" || {
+"$bin" check-json "$telem_dir/metrics.json" --expect-schema nadroid-serve-metrics/1 || {
     echo "ci.sh: metrics document is not valid JSON" >&2; exit 1; }
 text_out=$("$bin" request --metrics-text --addr "$serve_addr")
 echo "$text_out" | grep -q 'nadroid_serve_requests_total' || {
@@ -151,5 +164,12 @@ rm -f "$serve_out"
 rm -rf "$telem_dir"
 
 cargo run --release -p nadroid-bench --bin serve_bench -- --concurrency 2
+
+# Schema pins for the refreshed artifacts, and the run ledger — which
+# now holds at least the `ci` gate record and the serve_bench record
+# from this very run — must validate line by line.
+"$bin" check-json BENCH_serve.json --expect-schema nadroid-serve-bench/3
+"$bin" check-json Result/ledger.jsonl --lines --expect-schema nadroid-ledger/1
+"$bin" perf list
 
 echo "ci.sh: all gates passed"
