@@ -1,0 +1,270 @@
+//! Schedule-synthesis bench: confirm every surviving warning of the
+//! 27-app Table 1 corpus and write `BENCH_confirm.json` (schema
+//! `nadroid-confirm-bench/1`).
+//!
+//! The document records the corpus-wide verdict tally, total explored
+//! states, wall clock, and one row per app with its verdict counts and
+//! the `wp:`-digested population of *confirmed* warning ids — all
+//! deterministic, so the perf gate compares them exactly. The run is
+//! also appended to `Result/ledger.jsonl` as a `confirm` record.
+//!
+//! Self-checks (exit nonzero on violation):
+//! - at least one warning corpus-wide is `confirmed`,
+//! - at least one warning corpus-wide is `infeasible`,
+//! - every confirmed witness schedule, replayed from scratch on a
+//!   freshly generated program, reproduces an NPE whose null load and
+//!   null store are exactly the warning's use and free instructions.
+//!
+//! Usage: `confirm_bench [--threads <N>] [--out <file>] [--only <substr>]`
+//! (`--only` restricts the sweep to matching app names for debugging;
+//! restricted runs skip the corpus-wide self-checks and the ledger.)
+
+use nadroid_bench::analyze_program;
+use nadroid_confirm::{confirm_survivors, ConfirmConfig, ConfirmOutcome};
+use nadroid_core::warning_population_digest;
+use nadroid_corpus::{generate, spec_for, table1_rows, PaperRow};
+use nadroid_detector::warning_id;
+use nadroid_dynamic::{decode_schedule, replay};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// One app's confirmation sweep.
+struct AppRow {
+    name: &'static str,
+    survivors: usize,
+    confirmed: usize,
+    unconfirmed: usize,
+    infeasible: usize,
+    states: u64,
+    micros: u128,
+    /// Sorted confirmed warning ids and their order-invariant digest.
+    confirmed_ids: Vec<String>,
+    digest: String,
+}
+
+/// Confirm one corpus row and replay-verify every confirmed witness.
+/// Returns the row plus any replay failures (empty on a clean run).
+fn run_app(row: &PaperRow, cfg: &ConfirmConfig) -> (AppRow, Vec<String>) {
+    let app = generate(&spec_for(row));
+    let start = Instant::now();
+    let analysis = analyze_program(&app.program);
+    let outcome: ConfirmOutcome = confirm_survivors(&analysis, cfg);
+    let micros = start.elapsed().as_micros();
+
+    let mut failures = Vec::new();
+    let mut confirmed_ids = Vec::new();
+    let (mut confirmed, mut unconfirmed, mut infeasible) = (0usize, 0usize, 0usize);
+    let mut states = 0u64;
+    for r in &outcome.results {
+        states += r.confirmation.states_explored;
+        match r.confirmation.verdict {
+            nadroid_core::ConfirmVerdict::Confirmed => {
+                confirmed += 1;
+                confirmed_ids.push(r.id.clone());
+                // Cross-check the witness: the attached schedule must
+                // replay to the exact (use, free) pair it claims.
+                if let Err(e) = verify_replay(&analysis, r) {
+                    failures.push(format!("{}/{}: {e}", row.name, r.id));
+                }
+            }
+            nadroid_core::ConfirmVerdict::Unconfirmed => unconfirmed += 1,
+            nadroid_core::ConfirmVerdict::Infeasible => infeasible += 1,
+        }
+    }
+    confirmed_ids.sort_unstable();
+    let digest = warning_population_digest(&confirmed_ids);
+    (
+        AppRow {
+            name: row.name,
+            survivors: outcome.results.len(),
+            confirmed,
+            unconfirmed,
+            infeasible,
+            states,
+            micros,
+            confirmed_ids,
+            digest,
+        },
+        failures,
+    )
+}
+
+/// Replay one confirmed witness schedule and check the manifested NPE
+/// against the warning's static use/free sites.
+fn verify_replay(
+    analysis: &nadroid_core::Analysis<'_>,
+    r: &nadroid_confirm::WarningConfirmation,
+) -> Result<(), String> {
+    let program = analysis.program();
+    let threads = analysis.threads();
+    let w = analysis
+        .warnings()
+        .iter()
+        .find(|w| warning_id(program, threads, w) == r.id)
+        .ok_or("confirmed id not among the analysis warnings")?;
+    let text = r
+        .confirmation
+        .schedule
+        .as_deref()
+        .ok_or("confirmed verdict without a schedule")?;
+    let steps = decode_schedule(text).map_err(|e| format!("schedule does not decode: {e}"))?;
+    let world = replay(program, &steps);
+    let npe = world
+        .npe
+        .ok_or_else(|| format!("schedule replayed {} step(s) without an NPE", steps.len()))?;
+    if npe.loaded_from != Some(w.use_access.instr) || npe.freed_by != Some(w.free_access.instr) {
+        return Err(format!(
+            "NPE does not match the warning: loaded_from {:?} freed_by {:?}, \
+             expected use {:?} / free {:?}",
+            npe.loaded_from, npe.freed_by, w.use_access.instr, w.free_access.instr
+        ));
+    }
+    Ok(())
+}
+
+fn main() {
+    let mut threads = 1usize;
+    let mut out_path = "BENCH_confirm.json".to_owned();
+    let mut only: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--threads" => {
+                threads = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--threads <N>");
+            }
+            "--out" => out_path = args.next().expect("--out <file>"),
+            "--only" => only = Some(args.next().expect("--only <substr>")),
+            other => panic!("unknown argument `{other}`"),
+        }
+    }
+
+    let mut rows = table1_rows();
+    if let Some(pat) = &only {
+        rows.retain(|r| r.name.to_ascii_lowercase().contains(&pat.to_ascii_lowercase()));
+        assert!(!rows.is_empty(), "--only {pat:?} matched no corpus app");
+    }
+    let cfg = ConfirmConfig::default();
+    eprintln!(
+        "confirm_bench: {} apps, threads {threads}",
+        rows.len()
+    );
+
+    let wall_start = Instant::now();
+    let (apps, failures): (Vec<AppRow>, Vec<Vec<String>>) = nadroid_par::with_threads(threads, || {
+        rows.iter()
+            .map(|row| {
+                let (a, f) = run_app(row, &cfg);
+                eprintln!(
+                    "  {}: {} survivor(s) -> {}/{}/{} c/u/i, {} state(s), {}ms",
+                    a.name,
+                    a.survivors,
+                    a.confirmed,
+                    a.unconfirmed,
+                    a.infeasible,
+                    a.states,
+                    a.micros / 1000
+                );
+                (a, f)
+            })
+            .unzip()
+    });
+    let wall_secs = wall_start.elapsed().as_secs_f64();
+    let failures: Vec<String> = failures.into_iter().flatten().collect();
+
+    let confirmed: usize = apps.iter().map(|a| a.confirmed).sum();
+    let unconfirmed: usize = apps.iter().map(|a| a.unconfirmed).sum();
+    let infeasible: usize = apps.iter().map(|a| a.infeasible).sum();
+    let survivors: usize = apps.iter().map(|a| a.survivors).sum();
+    let states: u64 = apps.iter().map(|a| a.states).sum();
+    let replays_verified = confirmed - failures.len();
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+    let throughput = if wall_secs > 0.0 {
+        survivors as f64 / wall_secs
+    } else {
+        0.0
+    };
+
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"schema\": \"nadroid-confirm-bench/1\",");
+    let _ = writeln!(out, "  \"apps\": {},", apps.len());
+    let _ = writeln!(out, "  \"cores\": {cores},");
+    let _ = writeln!(out, "  \"threads\": {threads},");
+    let _ = writeln!(out, "  \"wall_secs\": {wall_secs:.6},");
+    let _ = writeln!(out, "  \"throughput_warnings_per_sec\": {throughput:.2},");
+    let _ = writeln!(out, "  \"survivors\": {survivors},");
+    let _ = writeln!(
+        out,
+        "  \"tally\": {{ \"confirmed\": {confirmed}, \"unconfirmed\": {unconfirmed}, \"infeasible\": {infeasible} }},"
+    );
+    let _ = writeln!(out, "  \"states\": {states},");
+    let _ = writeln!(out, "  \"replays_verified\": {replays_verified},");
+    let _ = writeln!(out, "  \"per_app\": [");
+    for (i, a) in apps.iter().enumerate() {
+        let ids = a
+            .confirmed_ids
+            .iter()
+            .map(|id| format!("\"{id}\""))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let comma = if i + 1 < apps.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{ \"app\": \"{}\", \"survivors\": {}, \"confirmed\": {}, \"unconfirmed\": {}, \
+             \"infeasible\": {}, \"states\": {}, \"micros\": {}, \"digest\": \"{}\", \
+             \"confirmed_ids\": [{ids}] }}{comma}",
+            a.name, a.survivors, a.confirmed, a.unconfirmed, a.infeasible, a.states, a.micros,
+            a.digest
+        );
+    }
+    let _ = writeln!(out, "  ]");
+    out.push_str("}\n");
+    std::fs::write(&out_path, &out).expect("write bench json");
+
+    // One step: regenerate the BENCH document *and* append the run to
+    // the longitudinal ledger. Restricted (`--only`) runs never land in
+    // the ledger — their tallies are not comparable to full sweeps.
+    match only.is_some() {
+        true => eprintln!("confirm_bench: --only run, skipping the ledger"),
+        false => match nadroid_core::parse_json(&out)
+            .and_then(|v| nadroid_ledger::record_from_bench_confirm(&v))
+        {
+            Ok(mut rec) => {
+                rec.note = format!("confirm_bench --threads {threads}");
+                let ledger_path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+                    .join("../..")
+                    .join(nadroid_ledger::DEFAULT_PATH);
+                match nadroid_ledger::append(&ledger_path, &rec) {
+                    Ok(()) => eprintln!("appended confirm record to {}", ledger_path.display()),
+                    Err(e) => eprintln!("could not append ledger record: {e}"),
+                }
+            }
+            Err(e) => eprintln!("could not build ledger record: {e}"),
+        },
+    }
+
+    eprintln!(
+        "confirm_bench: {confirmed} confirmed / {unconfirmed} unconfirmed / {infeasible} infeasible \
+         over {survivors} survivor(s), {states} state(s), {wall_secs:.2}s"
+    );
+    println!("wrote {out_path}");
+
+    let mut failed = false;
+    for f in &failures {
+        eprintln!("confirm_bench: FAIL — replay mismatch: {f}");
+        failed = true;
+    }
+    if only.is_none() && confirmed == 0 {
+        eprintln!("confirm_bench: FAIL — no warning confirmed anywhere in the corpus");
+        failed = true;
+    }
+    if only.is_none() && infeasible == 0 {
+        eprintln!("confirm_bench: FAIL — no warning proven infeasible anywhere in the corpus");
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

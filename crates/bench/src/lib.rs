@@ -37,7 +37,7 @@ pub struct AppRun {
     pub recorder: obs::Recorder,
     /// The rendered JSON run report for this app.
     pub report: String,
-    /// The `nadroid-provenance/2` JSON document: stable warning ids,
+    /// The `nadroid-provenance/3` JSON document: stable warning ids,
     /// derivation trees, per-filter audit trail, and HB evidence.
     pub provenance: String,
     /// Stable ids of the warnings surviving all filters, in report order.
@@ -494,7 +494,7 @@ mod tests {
         assert!(text.contains("\"filter.MHB.examined\""), "{text}");
         assert!(text.contains("\"phase_secs\""), "{text}");
         let prov = std::fs::read_to_string(dir.join("Dns66.provenance.json")).unwrap();
-        assert!(prov.contains("\"schema\": \"nadroid-provenance/2\""), "{prov}");
+        assert!(prov.contains("\"schema\": \"nadroid-provenance/3\""), "{prov}");
         assert!(prov.contains("racyPair"), "{prov}");
     }
 

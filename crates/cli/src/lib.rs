@@ -50,7 +50,7 @@ pub enum Command {
         /// Write a flat JSON run-report (timings, counters, span
         /// aggregates) to this file.
         report: Option<String>,
-        /// Write the `nadroid-provenance/2` JSON document (stable warning
+        /// Write the `nadroid-provenance/3` JSON document (stable warning
         /// ids, derivation trees, filter audit, HB evidence) to this file.
         provenance: Option<String>,
         /// Append the human-readable span/metric tree to the output.
@@ -69,6 +69,36 @@ pub enum Command {
         /// Path to the DSL file.
         path: String,
         /// Stable warning id (`w:` + 16 hex digits); `None` explains all.
+        warning_id: Option<String>,
+    },
+    /// Dynamically confirm surviving warnings: directed schedule
+    /// synthesis that manifests each one as a concrete NPE (or proves
+    /// it infeasible within the model's bounds).
+    Confirm {
+        /// Path to the DSL file.
+        path: String,
+        /// Stable warning id (`w:` + 16 hex digits); `None` confirms
+        /// every surviving warning.
+        warning_id: Option<String>,
+        /// Emit the `nadroid-confirm/1` JSON document instead of text.
+        json: bool,
+        /// Worker threads for the analysis and the batch confirmation;
+        /// verdicts are byte-identical at every thread count.
+        threads: Option<usize>,
+        /// Also write the `nadroid-provenance/3` document with the
+        /// confirmation verdicts attached to this file.
+        provenance: Option<String>,
+    },
+    /// Replay an encoded witness schedule against an app model and
+    /// verify it reproduces an NPE (the cross-process check behind a
+    /// `confirmed` verdict).
+    Replay {
+        /// Path to the DSL file.
+        path: String,
+        /// The encoded schedule (the `schedule` field of a confirm
+        /// row), e.g. `"a2.1 l0.onCreate q0"`.
+        schedule: String,
+        /// Require the NPE to match this warning's use and free sites.
         warning_id: Option<String>,
     },
     /// Run the no-sleep energy-bug client.
@@ -116,6 +146,10 @@ pub enum Command {
         addr: String,
         /// Explain instead of analyze; `--id` selects one warning.
         explain: bool,
+        /// Dynamically confirm the surviving warnings instead of
+        /// analyzing; the response carries the `nadroid-confirm/1`
+        /// document.
+        confirm: bool,
         /// Stable warning id for `--explain`.
         id: Option<String>,
         /// Points-to sensitivity.
@@ -160,12 +194,13 @@ pub enum PerfCommand {
     /// Append one record: a fresh 27-app suite measurement, or a
     /// conversion of an existing `BENCH_*.json` document.
     Record {
-        /// BENCH file to convert (`nadroid-timing/*` or
-        /// `nadroid-serve-bench/*`); `None` measures the suite afresh.
+        /// BENCH file to convert (`nadroid-timing/*`,
+        /// `nadroid-serve-bench/*`, or `nadroid-confirm-bench/*`);
+        /// `None` measures the suite afresh.
         from: Option<String>,
         /// Override the record kind (`timing`, `serve_bench`, `suite`,
-        /// `ci`). Defaults to `suite` for fresh measurements and to the
-        /// source driver's kind for conversions.
+        /// `ci`, `confirm`). Defaults to `suite` for fresh measurements
+        /// and to the source driver's kind for conversions.
         kind: Option<String>,
         /// Free-form annotation stored on the record.
         note: Option<String>,
@@ -237,6 +272,9 @@ USAGE:
                               [--provenance <file>] [--stats]
                               [--mhp-preprune] [--threads <N>]
     nadroid explain <app.dsl> [<warning-id>]
+    nadroid confirm <app.dsl> [<warning-id>] [--all] [--json]
+                    [--threads <N>] [--provenance <file>]
+    nadroid replay  <app.dsl> <schedule> [--id <warning-id>]
     nadroid nosleep <app.dsl>
     nadroid deva    <app.dsl>
     nadroid dot     <app.dsl>
@@ -244,8 +282,9 @@ USAGE:
                     [--cache-bytes <B>] [--deadline-ms <D>]
                     [--access-log <file>] [--slow-us <T>] [--log-sample <N>]
     nadroid request [<app.dsl>] [--addr <host:port>] [--explain]
-                    [--id <warning-id>] [--k <N>] [--deadline-ms <D>]
-                    [--stats] [--metrics] [--metrics-text] [--shutdown]
+                    [--confirm] [--id <warning-id>] [--k <N>]
+                    [--deadline-ms <D>] [--stats] [--metrics]
+                    [--metrics-text] [--shutdown]
     nadroid check-json <file> [--lines] [--expect-schema <name>]
     nadroid perf record [--from <BENCH.json>] [--kind <k>] [--note <s>]
     nadroid perf list
@@ -308,7 +347,7 @@ OBSERVABILITY (see docs/observability.md):
                       or https://ui.perfetto.dev
     --report <file>   flat JSON run-report: phase timings, counters
                       (incl. per-filter examined/killed), span aggregates
-    --provenance <f>  nadroid-provenance/2 JSON: stable warning ids,
+    --provenance <f>  nadroid-provenance/3 JSON: stable warning ids,
                       Datalog derivation trees, per-filter audit trail,
                       happens-before evidence, and the program hash
     --stats           append the span/metric tree to the text report
@@ -319,6 +358,21 @@ OBSERVABILITY (see docs/observability.md):
                       filtering, points-to planning, Datalog rules);
                       output is byte-identical at every N. Defaults to
                       the NADROID_THREADS environment variable, then 1
+
+CONFIRMATION (see docs/confirm.md):
+    `confirm` closes the static→dynamic loop: for each surviving
+    warning it synthesizes schedules from the warning's evidence
+    (directed, evidence-pruned search first; bounded full exploration
+    as fallback) and classifies it `confirmed` (a minimized witness
+    schedule is attached, replayable with `nadroid replay`),
+    `infeasible` (proof that no interleaving within the model's bounds
+    manifests the pair), or `unconfirmed` (budget exhausted). With a
+    <warning-id> it probes that one warning (pruned ones included);
+    --all / no id confirms every survivor. --json emits the
+    nadroid-confirm/1 document; --provenance <f> writes the
+    nadroid-provenance/3 document with verdicts attached. `replay`
+    re-executes an emitted schedule in a fresh process and fails unless
+    the NPE reproduces (and, with --id, matches that warning's sites).
 
 `explain` prints each warning's racy-pair derivation tree, the verdict
 and evidence of every filter that examined it, and the use/free thread
@@ -358,6 +412,38 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command, Cl
                 return Err(CliError(format!("unexpected argument `{extra}`")));
             }
             Ok(Command::Explain { path, warning_id })
+        }
+        "confirm" => parse_confirm(args),
+        "replay" => {
+            let mut path = None;
+            let mut schedule = None;
+            let mut warning_id = None;
+            let mut args = args;
+            while let Some(a) = args.next() {
+                match a.as_str() {
+                    "--id" => {
+                        warning_id = Some(
+                            args.next()
+                                .ok_or_else(|| CliError("--id needs a warning id".into()))?,
+                        );
+                    }
+                    other if !other.starts_with("--") && path.is_none() => {
+                        path = Some(other.to_owned());
+                    }
+                    other if !other.starts_with("--") && schedule.is_none() => {
+                        schedule = Some(other.to_owned());
+                    }
+                    other => return Err(CliError(format!("unexpected argument `{other}`"))),
+                }
+            }
+            let path = path.ok_or_else(|| CliError("replay needs a file".into()))?;
+            let schedule = schedule
+                .ok_or_else(|| CliError("replay needs a schedule (quote the token string)".into()))?;
+            Ok(Command::Replay {
+                path,
+                schedule,
+                warning_id,
+            })
         }
         "serve" => parse_serve(args),
         "request" => parse_request(args),
@@ -582,6 +668,7 @@ fn parse_request(args: impl Iterator<Item = String>) -> Result<Command, CliError
     let mut path = None;
     let mut addr = "127.0.0.1:7911".to_owned();
     let mut explain = false;
+    let mut confirm = false;
     let mut id = None;
     let mut k = 2u32;
     let mut deadline_ms = None;
@@ -597,6 +684,7 @@ fn parse_request(args: impl Iterator<Item = String>) -> Result<Command, CliError
         match a.as_str() {
             "--addr" => addr = value("--addr")?,
             "--explain" => explain = true,
+            "--confirm" => confirm = true,
             "--stats" => stats = true,
             "--metrics" => metrics = true,
             "--metrics-text" => metrics_text = true,
@@ -629,10 +717,14 @@ fn parse_request(args: impl Iterator<Item = String>) -> Result<Command, CliError
             "request needs a file (or --stats / --metrics / --shutdown)".into(),
         ));
     }
+    if confirm && explain {
+        return Err(CliError("--confirm conflicts with --explain/--id".into()));
+    }
     Ok(Command::Request {
         path,
         addr,
         explain,
+        confirm,
         id,
         k,
         deadline_ms,
@@ -754,6 +846,61 @@ fn parse_perf(args: impl Iterator<Item = String>) -> Result<Command, CliError> {
             }))
         }
     }
+}
+
+fn parse_confirm(args: impl Iterator<Item = String>) -> Result<Command, CliError> {
+    let mut args = args;
+    let mut path = None;
+    let mut warning_id = None;
+    let mut all = false;
+    let mut json = false;
+    let mut threads = None;
+    let mut provenance = None;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--all" => all = true,
+            "--json" => json = true,
+            "--threads" => {
+                threads = Some(
+                    args.next()
+                        .ok_or_else(|| CliError("--threads needs a count".into()))?
+                        .parse()
+                        .map_err(|e| CliError(format!("bad --threads value: {e}")))?,
+                );
+            }
+            "--provenance" => {
+                provenance = Some(
+                    args.next()
+                        .ok_or_else(|| CliError("--provenance needs a file".into()))?,
+                );
+            }
+            other if !other.starts_with('-') && path.is_none() => {
+                path = Some(other.to_owned());
+            }
+            other if !other.starts_with('-') && warning_id.is_none() => {
+                warning_id = Some(other.to_owned());
+            }
+            other => return Err(CliError(format!("unexpected argument `{other}`"))),
+        }
+    }
+    let path = path.ok_or_else(|| CliError("confirm needs a file".into()))?;
+    if all && warning_id.is_some() {
+        return Err(CliError(
+            "--all conflicts with an explicit warning id".into(),
+        ));
+    }
+    if provenance.is_some() && warning_id.is_some() {
+        return Err(CliError(
+            "--provenance needs the full batch (drop the warning id)".into(),
+        ));
+    }
+    Ok(Command::Confirm {
+        path,
+        warning_id,
+        json,
+        threads,
+        provenance,
+    })
 }
 
 fn load(path: &str) -> Result<Program, CliError> {
@@ -903,6 +1050,118 @@ baseline: {suppressed} suppressed, {} new
                 warning_id.as_deref(),
             ))
         }
+        Command::Confirm {
+            path,
+            warning_id,
+            json,
+            threads,
+            provenance,
+        } => {
+            let program = load(path)?;
+            let config = match threads {
+                Some(n) => AnalysisConfig {
+                    threads: *n,
+                    ..AnalysisConfig::default()
+                },
+                None => AnalysisConfig::default(),
+            };
+            let analysis = analyze(&program, &config);
+            let cfg = nadroid_confirm::ConfirmConfig::default();
+            if let Some(id) = warning_id {
+                let one = match threads {
+                    Some(n) => nadroid_par::with_threads(*n, || {
+                        nadroid_confirm::confirm_by_id(&analysis, id, &cfg)
+                    }),
+                    None => nadroid_confirm::confirm_by_id(&analysis, id, &cfg),
+                };
+                let Some(r) = one else {
+                    let mut out = format!("no warning with id {id}; known ids:\n");
+                    for w in analysis.warnings() {
+                        out.push_str(&format!(
+                            "  {}\n",
+                            nadroid_detector::warning_id(&program, analysis.threads(), w)
+                        ));
+                    }
+                    return Ok(out);
+                };
+                if *json {
+                    let mut tally = nadroid_confirm::Tally::default();
+                    tally.add(r.confirmation.verdict);
+                    let outcome = nadroid_confirm::ConfirmOutcome {
+                        results: vec![r],
+                        tally,
+                    };
+                    return Ok(nadroid_confirm::render_confirm_json(&analysis, &outcome));
+                }
+                return Ok(render_confirm_text(std::slice::from_ref(&r), None));
+            }
+            let outcome = match threads {
+                Some(n) => nadroid_par::with_threads(*n, || {
+                    nadroid_confirm::confirm_survivors(&analysis, &cfg)
+                }),
+                None => nadroid_confirm::confirm_survivors(&analysis, &cfg),
+            };
+            if let Some(prov_path) = provenance {
+                let mut provs = analysis.warning_provenances();
+                nadroid_confirm::attach_confirmations(&mut provs, &outcome);
+                std::fs::write(
+                    prov_path,
+                    nadroid_core::render_provenance_json_with(&analysis, &provs),
+                )
+                .map_err(|e| CliError(format!("cannot write {prov_path}: {e}")))?;
+            }
+            if *json {
+                return Ok(nadroid_confirm::render_confirm_json(&analysis, &outcome));
+            }
+            Ok(render_confirm_text(&outcome.results, Some(&outcome.tally)))
+        }
+        Command::Replay {
+            path,
+            schedule,
+            warning_id,
+        } => {
+            let program = load(path)?;
+            let steps = nadroid_dynamic::decode_schedule(schedule)
+                .map_err(|e| CliError(format!("bad schedule: {e}")))?;
+            let world = nadroid_dynamic::replay(&program, &steps);
+            let Some(npe) = &world.npe else {
+                return Err(CliError(format!(
+                    "schedule replayed {} step(s) without an NPE",
+                    steps.len()
+                )));
+            };
+            let mut out = format!(
+                "NPE reproduced at {} ({} step(s))\n",
+                program.describe_instr(npe.at),
+                steps.len()
+            );
+            if let Some(u) = npe.loaded_from {
+                out.push_str(&format!("  null loaded at  {}\n", program.describe_instr(u)));
+            }
+            if let Some(f) = npe.freed_by {
+                out.push_str(&format!("  null written at {}\n", program.describe_instr(f)));
+            }
+            if let Some(id) = warning_id {
+                let analysis = analyze(&program, &AnalysisConfig::default());
+                let w = analysis
+                    .warnings()
+                    .iter()
+                    .find(|w| &nadroid_detector::warning_id(&program, analysis.threads(), w) == id)
+                    .cloned()
+                    .ok_or_else(|| CliError(format!("no warning with id {id}")))?;
+                if npe.loaded_from != Some(w.use_access.instr)
+                    || npe.freed_by != Some(w.free_access.instr)
+                {
+                    return Err(CliError(format!(
+                        "NPE does not match warning {id}: expected use {} / free {}",
+                        program.describe_instr(w.use_access.instr),
+                        program.describe_instr(w.free_access.instr)
+                    )));
+                }
+                out.push_str(&format!("  matches warning {id}\n"));
+            }
+            Ok(out)
+        }
         Command::NoSleep { path } => {
             let program = load(path)?;
             let analysis = analyze(&program, &AnalysisConfig::default());
@@ -1032,6 +1291,7 @@ baseline: {suppressed} suppressed, {} new
             path,
             addr,
             explain,
+            confirm,
             id,
             k,
             deadline_ms,
@@ -1059,7 +1319,9 @@ baseline: {suppressed} suppressed, {} new
                     sound_only: false,
                     deadline_ms: *deadline_ms,
                 };
-                if *explain {
+                if *confirm {
+                    client.confirm(&program, opts)
+                } else if *explain {
                     client.explain(&program, id.as_deref(), opts)
                 } else {
                     client.analyze(&program, opts)
@@ -1112,10 +1374,14 @@ fn record_from_bench_file(path: &str) -> Result<(ledger::Record, Vec<String>), C
         ledger::record_from_bench_serve(&doc)
             .map(|r| (r, Vec::new()))
             .map_err(|e| CliError(format!("{path}: {e}")))
+    } else if schema.starts_with("nadroid-confirm-bench/") {
+        ledger::record_from_bench_confirm(&doc)
+            .map(|r| (r, Vec::new()))
+            .map_err(|e| CliError(format!("{path}: {e}")))
     } else {
         Err(CliError(format!(
             "{path}: unsupported schema `{schema}` \
-             (expected nadroid-timing/* or nadroid-serve-bench/*)"
+             (expected nadroid-timing/*, nadroid-serve-bench/*, or nadroid-confirm-bench/*)"
         )))
     }
 }
@@ -1255,6 +1521,38 @@ fn run_perf(perf: &PerfCommand) -> Result<String, CliError> {
     }
 }
 
+/// Render confirmation results for the terminal, mirroring the
+/// confirmation section `explain` prints.
+fn render_confirm_text(
+    results: &[nadroid_confirm::WarningConfirmation],
+    tally: Option<&nadroid_confirm::Tally>,
+) -> String {
+    let mut out = String::new();
+    if let Some(t) = tally {
+        out.push_str(&format!(
+            "confirmed {}, unconfirmed {}, infeasible {} ({} warning(s))\n",
+            t.confirmed,
+            t.unconfirmed,
+            t.infeasible,
+            t.total()
+        ));
+    }
+    for r in results {
+        let c = &r.confirmation;
+        out.push_str(&format!(
+            "\nwarning {}\n  field:   {}\n  use at:  {}\n  free at: {}\n  verdict: {}\n  reason:  {}\n  states:  {}\n",
+            r.id, r.field, r.use_site, r.free_site, c.verdict, c.reason, c.states_explored
+        ));
+        if let Some(at) = &c.npe_at {
+            out.push_str(&format!("  npe at:  {at}\n"));
+        }
+        if let Some(s) = &c.schedule {
+            out.push_str(&format!("  witness schedule:\n    {s}\n"));
+        }
+    }
+    out
+}
+
 /// Render a server response for the terminal. Protocol-level outcomes
 /// (`rejected`, `deadline exceeded`) are ordinary output; only server
 /// errors and transport failures become a non-zero exit.
@@ -1286,6 +1584,11 @@ fn render_response(response: &Response) -> Result<String, CliError> {
             micros,
             text,
         } => Ok(format!("cached: {cached}\nmicros: {micros}\n{text}")),
+        Response::Confirm {
+            cached,
+            micros,
+            json,
+        } => Ok(format!("cached: {cached}\nmicros: {micros}\n{json}")),
         Response::Stats { fields } => {
             let mut out = String::from("server stats:\n");
             for (name, value) in fields {
@@ -1451,6 +1754,146 @@ mod tests {
             other => panic!("expected Analyze, got {other:?}"),
         }
         assert!(parse_args(args(&["analyze", "a.dsl", "--provenance"])).is_err());
+    }
+
+    #[test]
+    fn parses_confirm_and_replay() {
+        assert_eq!(
+            parse_args(args(&["confirm", "app.dsl"])).unwrap(),
+            Command::Confirm {
+                path: "app.dsl".into(),
+                warning_id: None,
+                json: false,
+                threads: None,
+                provenance: None,
+            }
+        );
+        assert_eq!(
+            parse_args(args(&[
+                "confirm",
+                "app.dsl",
+                "w:0011223344556677",
+                "--json",
+                "--threads",
+                "2",
+            ]))
+            .unwrap(),
+            Command::Confirm {
+                path: "app.dsl".into(),
+                warning_id: Some("w:0011223344556677".into()),
+                json: true,
+                threads: Some(2),
+                provenance: None,
+            }
+        );
+        assert!(parse_args(args(&["confirm"])).is_err());
+        assert!(parse_args(args(&["confirm", "a.dsl", "w:1", "--all"])).is_err());
+        assert!(parse_args(args(&["confirm", "a.dsl", "w:1", "--provenance", "p"])).is_err());
+        assert!(parse_args(args(&["confirm", "a.dsl", "--threads", "zero"])).is_err());
+
+        assert_eq!(
+            parse_args(args(&["replay", "app.dsl", "l0.onCreate a0.0", "--id", "w:1"])).unwrap(),
+            Command::Replay {
+                path: "app.dsl".into(),
+                schedule: "l0.onCreate a0.0".into(),
+                warning_id: Some("w:1".into()),
+            }
+        );
+        assert!(parse_args(args(&["replay", "app.dsl"])).is_err());
+        assert!(parse_args(args(&["replay"])).is_err());
+    }
+
+    #[test]
+    fn confirm_and_replay_round_trip() {
+        let dir = std::env::temp_dir().join("nadroid_cli_confirm_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("app.dsl");
+        std::fs::write(
+            &path,
+            r#"
+            app CliConfirm
+            activity Console {
+                field bound: Console
+                cb onCreate { bind this }
+                cb onServiceConnected { bound = new Console }
+                cb onServiceDisconnected { bound = null }
+                cb onCreateContextMenu { use bound }
+            }
+            "#,
+        )
+        .unwrap();
+        let p = path.to_string_lossy().to_string();
+
+        let text = run(&Command::Confirm {
+            path: p.clone(),
+            warning_id: None,
+            json: false,
+            threads: None,
+            provenance: None,
+        })
+        .unwrap();
+        assert!(text.contains("verdict: confirmed"), "{text}");
+        assert!(text.contains("witness schedule:"), "{text}");
+
+        // The printed schedule replays to the NPE in a fresh command,
+        // and matches the warning it confirms.
+        let schedule = text
+            .lines()
+            .skip_while(|l| !l.contains("witness schedule:"))
+            .nth(1)
+            .unwrap()
+            .trim()
+            .to_owned();
+        let id = text
+            .lines()
+            .find_map(|l| l.strip_prefix("warning "))
+            .unwrap()
+            .to_owned();
+        let replayed = run(&Command::Replay {
+            path: p.clone(),
+            schedule: schedule.clone(),
+            warning_id: Some(id.clone()),
+        })
+        .unwrap();
+        assert!(replayed.contains("NPE reproduced"), "{replayed}");
+        assert!(replayed.contains(&format!("matches warning {id}")), "{replayed}");
+
+        // A truncated schedule fails replay instead of passing silently.
+        let first = schedule.split_whitespace().next().unwrap().to_owned();
+        assert!(run(&Command::Replay {
+            path: p.clone(),
+            schedule: first,
+            warning_id: None,
+        })
+        .is_err());
+
+        // JSON mode emits the nadroid-confirm/1 document; the attached
+        // provenance export carries the verdicts.
+        let prov_path = dir.join("confirm.provenance.json");
+        let json = run(&Command::Confirm {
+            path: p.clone(),
+            warning_id: None,
+            json: true,
+            threads: Some(2),
+            provenance: Some(prov_path.to_string_lossy().into_owned()),
+        })
+        .unwrap();
+        assert!(json.contains("\"schema\": \"nadroid-confirm/1\""), "{json}");
+        let prov = std::fs::read_to_string(&prov_path).unwrap();
+        assert!(prov.contains("\"schema\": \"nadroid-provenance/3\""), "{prov}");
+        assert!(prov.contains("\"verdict\": \"confirmed\""), "{prov}");
+
+        // Unknown ids list the known ones instead of erroring.
+        let miss = run(&Command::Confirm {
+            path: p,
+            warning_id: Some("w:0000000000000000".into()),
+            json: false,
+            threads: None,
+            provenance: None,
+        })
+        .unwrap();
+        assert!(miss.contains("no warning with id"), "{miss}");
+        assert!(miss.contains(&id), "{miss}");
     }
 
     #[test]
@@ -1729,6 +2172,7 @@ activity M { cb onClick { } }",
                 path: Some("app.dsl".into()),
                 addr: "127.0.0.1:9".into(),
                 explain: false,
+                confirm: false,
                 id: None,
                 k: 3,
                 deadline_ms: None,
@@ -1766,6 +2210,14 @@ activity M { cb onClick { } }",
                 ..
             }
         ));
+        assert!(matches!(
+            parse_args(args(&["request", "app.dsl", "--confirm"])).unwrap(),
+            Command::Request { confirm: true, .. }
+        ));
+        assert!(
+            parse_args(args(&["request", "app.dsl", "--confirm", "--explain"])).is_err(),
+            "--confirm conflicts with --explain"
+        );
         assert!(parse_args(args(&["request"])).is_err(), "needs a file");
 
         assert_eq!(

@@ -289,7 +289,7 @@ fn provenance_json_golden_shape_on_connectbot() {
     let doc = parse(&std::fs::read_to_string(&prov_path).unwrap());
     assert_eq!(
         doc.get("schema").and_then(Json::as_str),
-        Some("nadroid-provenance/2")
+        Some("nadroid-provenance/3")
     );
     assert_eq!(doc.get("app").and_then(Json::as_str), Some("ConnectBot"));
     let warnings = match doc.get("warnings") {
@@ -336,6 +336,83 @@ fn provenance_json_golden_shape_on_connectbot() {
     assert!(fields.contains("ConsoleActivity.bound"), "{fields:?}");
     assert!(fields.contains("ConsoleActivity.hostBridge"), "{fields:?}");
     assert!(survived >= 1);
+}
+
+/// Golden shape for the confirmation surface: `nadroid confirm
+/// --provenance` must write a `nadroid-provenance/3` document whose
+/// surviving warnings carry verdict blocks with replayable witness
+/// schedules, and the explain rendering of that document must show the
+/// confirmation section verbatim.
+#[test]
+fn confirmation_golden_on_connectbot() {
+    let dir = std::env::temp_dir().join("nadroid_confirm_golden");
+    std::fs::create_dir_all(&dir).unwrap();
+    let prov_path = dir.join("provenance.json");
+    run(&Command::Confirm {
+        path: corpus_app(),
+        warning_id: None,
+        json: false,
+        threads: None,
+        provenance: Some(prov_path.to_string_lossy().into_owned()),
+    })
+    .unwrap();
+
+    let text = std::fs::read_to_string(&prov_path).unwrap();
+    let doc = parse(&text);
+    assert_eq!(
+        doc.get("schema").and_then(Json::as_str),
+        Some("nadroid-provenance/3")
+    );
+    let warnings = match doc.get("warnings") {
+        Some(Json::Arr(w)) => w,
+        other => panic!("warnings missing: {other:?}"),
+    };
+    let mut confirmed = 0usize;
+    for w in warnings {
+        let survived = w.get("survived").and_then(Json::as_bool).unwrap();
+        let confirmation = w.get("confirmation").expect("confirmation key present");
+        if !survived {
+            // Pruned warnings are never searched.
+            assert_eq!(confirmation, &Json::Null);
+            continue;
+        }
+        let verdict = confirmation
+            .get("verdict")
+            .and_then(Json::as_str)
+            .expect("survivors carry a verdict");
+        assert!(
+            matches!(verdict, "confirmed" | "unconfirmed" | "infeasible"),
+            "bad verdict {verdict}"
+        );
+        if verdict == "confirmed" {
+            confirmed += 1;
+            let schedule = confirmation
+                .get("schedule")
+                .and_then(Json::as_str)
+                .expect("confirmed verdicts attach a schedule");
+            assert!(!schedule.is_empty());
+            assert!(
+                confirmation
+                    .get("npe_at")
+                    .and_then(Json::as_str)
+                    .is_some(),
+                "confirmed verdicts name the NPE site"
+            );
+        }
+    }
+    assert!(confirmed >= 1, "ConnectBot confirms at least one warning");
+
+    // The explain renderer shows the verdict block for the same doc.
+    let rendered = nadroid_core::render_explain_from_json(&text, None).unwrap();
+    for needle in [
+        "confirmation:",
+        "verdict: confirmed",
+        "states:  ",
+        "npe at:  ",
+        "witness schedule:",
+    ] {
+        assert!(rendered.contains(needle), "missing {needle:?} in:\n{rendered}");
+    }
 }
 
 #[test]

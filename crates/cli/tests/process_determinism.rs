@@ -70,6 +70,31 @@ fn thread_count_is_byte_invisible_across_processes() {
     }
 }
 
+/// Confirmation output — verdicts, minimized witness schedules, state
+/// counts, and the tally header — must be byte-identical across
+/// processes and at every `--threads` value, in both the text and JSON
+/// renderings. This is what lets the serve cache store a confirm
+/// document computed once.
+#[test]
+fn confirm_is_byte_identical_across_processes_and_threads() {
+    let app = connectbot();
+    let json_base = run_once(&["confirm", &app, "--json", "--threads", "1"]);
+    let text_base = run_once(&["confirm", &app, "--threads", "1"]);
+    let text = String::from_utf8(text_base.clone()).expect("utf8");
+    assert!(text.contains("verdict: confirmed"), "{text}");
+    assert!(text.contains("witness schedule:"), "{text}");
+    for t in ["2", "4"] {
+        let json = run_once(&["confirm", &app, "--json", "--threads", t]);
+        assert_eq!(json_base, json, "confirm --json drifts at --threads {t}");
+        let out = run_once(&["confirm", &app, "--threads", t]);
+        assert_eq!(text_base, out, "confirm text drifts at --threads {t}");
+    }
+    // A fresh process at the baseline thread count reproduces the
+    // document byte for byte.
+    let rerun = run_once(&["confirm", &app, "--json", "--threads", "1"]);
+    assert_eq!(json_base, rerun, "confirm --json drifts across processes");
+}
+
 /// The `NADROID_THREADS` environment default must behave exactly like
 /// the flag — this is how CI runs the whole tier-1 suite at 4 threads.
 #[test]

@@ -503,7 +503,7 @@ mod tests {
         let prov = parse_json(&crate::render_provenance_json(&a)).unwrap();
         assert_eq!(
             prov.get("schema").unwrap().as_str(),
-            Some("nadroid-provenance/2")
+            Some("nadroid-provenance/3")
         );
         assert_eq!(
             prov.get("program_hash").unwrap().as_str(),

@@ -46,7 +46,7 @@ pub use json::{
 };
 pub use provenance::{
     render_explain, render_explain_from_json, render_provenance_json,
-    render_provenance_json_with, DerivationNode, WarningProvenance,
+    render_provenance_json_with, ConfirmVerdict, Confirmation, DerivationNode, WarningProvenance,
 };
 pub use render::render_report;
 pub use report::{classify_pair, rank_key, render_warning, Endpoint, PairType, RenderedWarning};

@@ -13,9 +13,11 @@
 //! The audit is built from [`Filters::verdict`], whose `pruned` bit *is*
 //! [`Filters::prunes`], so it can never disagree with the Figure 5
 //! tallies the drivers report. [`render_provenance_json`] serializes
-//! everything under the `nadroid-provenance/2` schema (v2 added the
-//! document-level `program_hash` and the per-warning `hb` evidence);
-//! [`render_explain`] is the human-readable form behind
+//! everything under the `nadroid-provenance/3` schema (v2 added the
+//! document-level `program_hash` and the per-warning `hb` evidence; v3
+//! added the optional per-warning `confirmation` block written by
+//! `nadroid-confirm` — verdict, replayable witness schedule, search
+//! statistics); [`render_explain`] is the human-readable form behind
 //! `nadroid explain`.
 //!
 //! [`Filters::verdict`]: nadroid_filters::Filters::verdict
@@ -54,6 +56,76 @@ impl DerivationNode {
     }
 }
 
+/// Dynamic-confirmation verdict for one warning (the `nadroid-confirm`
+/// classification; see `docs/confirm.md`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ConfirmVerdict {
+    /// A schedule was found that manifests the NPE at the warning's use
+    /// instruction with the warning's free as the killing store; the
+    /// minimized, replay-verified schedule is attached.
+    Confirmed,
+    /// The search budget was exhausted without a witness and without a
+    /// completeness proof — the warning stays a static hypothesis.
+    Unconfirmed,
+    /// The bounded exploration drained the *entire* reachable state
+    /// space (no budget truncation) without manifesting the pair, or a
+    /// sound `mustHb` ordering between the two threads rules the
+    /// interleaving out — no HB-consistent schedule reaches the use
+    /// after the free within the model's bounds.
+    Infeasible,
+}
+
+impl ConfirmVerdict {
+    /// The stable lowercase wire name.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Self::Confirmed => "confirmed",
+            Self::Unconfirmed => "unconfirmed",
+            Self::Infeasible => "infeasible",
+        }
+    }
+
+    /// Parse a wire name back; `None` for anything else.
+    #[must_use]
+    #[allow(clippy::should_implement_trait)]
+    pub fn from_str(s: &str) -> Option<Self> {
+        match s {
+            "confirmed" => Some(Self::Confirmed),
+            "unconfirmed" => Some(Self::Unconfirmed),
+            "infeasible" => Some(Self::Infeasible),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for ConfirmVerdict {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// The dynamic-confirmation record attached to a warning's provenance
+/// (the v3 `confirmation` block). Produced by `nadroid-confirm`;
+/// [`Analysis::warning_provenances`] always leaves it `None` — static
+/// results never depend on confirmation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Confirmation {
+    /// The classification.
+    pub verdict: ConfirmVerdict,
+    /// One line of evidence: which search phase decided, and why.
+    pub reason: String,
+    /// Interpreter states explored across all search phases.
+    pub states_explored: u64,
+    /// The minimized witness schedule in the `nadroid-dynamic` schedule
+    /// codec, present iff `verdict == Confirmed`. Replaying it on the
+    /// same program reproduces the NPE at the warning's use site.
+    pub schedule: Option<String>,
+    /// The NPE site in source terms (`Class.method#idx`), present iff
+    /// `verdict == Confirmed`.
+    pub npe_at: Option<String>,
+}
+
 /// The complete provenance of one warning.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WarningProvenance {
@@ -77,6 +149,10 @@ pub struct WarningProvenance {
     pub hb: Vec<String>,
     /// Derivation tree of the warning's `racyPair` fact.
     pub derivation: Option<DerivationNode>,
+    /// Dynamic-confirmation verdict, once `nadroid-confirm` has run.
+    /// `None` from a fresh [`Analysis::warning_provenances`] — static
+    /// analysis never fills it in.
+    pub confirmation: Option<Confirmation>,
 }
 
 /// Render a rule as `head :- body.` text with relation names and `vN`
@@ -150,6 +226,7 @@ impl Analysis<'_> {
                     audit,
                     hb: hb_evidence(self, w),
                     derivation,
+                    confirmation: None,
                 }
             })
             .collect()
@@ -214,7 +291,7 @@ fn hb_evidence(analysis: &Analysis<'_>, w: &UafWarning) -> Vec<String> {
 }
 
 /// Serialize the provenance of every warning as JSON under the
-/// `nadroid-provenance/2` schema.
+/// `nadroid-provenance/3` schema.
 #[must_use]
 pub fn render_provenance_json(analysis: &Analysis<'_>) -> String {
     render_provenance_json_with(analysis, &analysis.warning_provenances())
@@ -230,7 +307,7 @@ pub fn render_provenance_json_with(
     provenances: &[WarningProvenance],
 ) -> String {
     let mut out = String::from("{\n");
-    let _ = writeln!(out, "  \"schema\": \"nadroid-provenance/2\",");
+    let _ = writeln!(out, "  \"schema\": \"nadroid-provenance/3\",");
     let _ = writeln!(out, "  \"app\": \"{}\",", esc(analysis.program().name()));
     let _ = writeln!(
         out,
@@ -301,6 +378,28 @@ pub fn render_provenance_json_with(
         } else {
             out.push_str("\n      ],\n");
         }
+        match &p.confirmation {
+            Some(c) => {
+                out.push_str("      \"confirmation\": {\n");
+                let _ = writeln!(out, "        \"verdict\": \"{}\",", c.verdict);
+                let _ = writeln!(out, "        \"reason\": \"{}\",", esc(&c.reason));
+                let _ = writeln!(out, "        \"states_explored\": {},", c.states_explored);
+                match &c.schedule {
+                    Some(s) => {
+                        let _ = writeln!(out, "        \"schedule\": \"{}\",", esc(s));
+                    }
+                    None => out.push_str("        \"schedule\": null,\n"),
+                }
+                match &c.npe_at {
+                    Some(s) => {
+                        let _ = writeln!(out, "        \"npe_at\": \"{}\"", esc(s));
+                    }
+                    None => out.push_str("        \"npe_at\": null\n"),
+                }
+                out.push_str("      },\n");
+            }
+            None => out.push_str("      \"confirmation\": null,\n"),
+        }
         match &p.derivation {
             Some(d) => {
                 out.push_str("      \"derivation\": ");
@@ -353,8 +452,8 @@ fn write_derivation_json(out: &mut String, d: &DerivationNode, indent: usize) {
 
 /// The provenance fields `nadroid explain` renders, decoupled from the
 /// live [`Analysis`] so the same rendering serves both a fresh run and a
-/// previously-exported `nadroid-provenance/2` document (the serve
-/// result cache and the CLI's provenance-file fast path).
+/// previously-exported `nadroid-provenance/2` or `/3` document (the
+/// serve result cache and the CLI's provenance-file fast path).
 #[derive(Debug, Clone, PartialEq, Eq)]
 struct ExplainEntry {
     id: String,
@@ -369,6 +468,7 @@ struct ExplainEntry {
     audit: Vec<(String, bool, String)>,
     hb: Vec<String>,
     derivation: Option<DerivationNode>,
+    confirmation: Option<Confirmation>,
 }
 
 fn entry_of(p: &WarningProvenance) -> ExplainEntry {
@@ -388,6 +488,7 @@ fn entry_of(p: &WarningProvenance) -> ExplainEntry {
             .collect(),
         hb: p.hb.clone(),
         derivation: p.derivation.clone(),
+        confirmation: p.confirmation.clone(),
     }
 }
 
@@ -433,6 +534,19 @@ fn render_entries(entries: &[ExplainEntry], id: Option<&str>) -> String {
                 let _ = writeln!(out, "  status: survived all filters");
             }
         }
+        if let Some(c) = &e.confirmation {
+            out.push_str("\n  confirmation:\n");
+            let _ = writeln!(out, "    verdict: {}", c.verdict);
+            let _ = writeln!(out, "    reason:  {}", c.reason);
+            let _ = writeln!(out, "    states:  {}", c.states_explored);
+            if let Some(at) = &c.npe_at {
+                let _ = writeln!(out, "    npe at:  {at}");
+            }
+            if let Some(s) = &c.schedule {
+                out.push_str("    witness schedule:\n");
+                let _ = writeln!(out, "      {s}");
+            }
+        }
         out.push_str("\n  derivation:\n");
         match &e.derivation {
             Some(d) => write_derivation_text(&mut out, d, 4),
@@ -461,18 +575,20 @@ pub fn render_explain(analysis: &Analysis<'_>, id: Option<&str>) -> String {
 }
 
 /// Render the `nadroid explain` text from a serialized
-/// `nadroid-provenance/2` document instead of a live analysis — the
-/// fast path when the provenance was already computed (by `analyze
-/// --provenance`, the table1 driver, or the serve result cache).
+/// `nadroid-provenance/3` (or legacy `/2`) document instead of a live
+/// analysis — the fast path when the provenance was already computed
+/// (by `analyze --provenance`, the table1 driver, `nadroid confirm`, or
+/// the serve result cache).
 ///
 /// # Errors
 ///
 /// Returns a message when the document is not parseable JSON or does not
-/// carry the `nadroid-provenance/2` schema.
+/// carry the `nadroid-provenance/2` or `/3` schema.
 pub fn render_explain_from_json(doc: &str, id: Option<&str>) -> Result<String, String> {
     let v = crate::json::parse_json(doc)?;
-    if v.get("schema").and_then(JsonValue::as_str) != Some("nadroid-provenance/2") {
-        return Err("not a nadroid-provenance/2 document".into());
+    let schema = v.get("schema").and_then(JsonValue::as_str);
+    if !matches!(schema, Some("nadroid-provenance/2" | "nadroid-provenance/3")) {
+        return Err("not a nadroid-provenance/2 or /3 document".into());
     }
     let warnings = v
         .get("warnings")
@@ -518,6 +634,10 @@ fn entry_from_json(v: &JsonValue) -> Result<ExplainEntry, String> {
         None | Some(JsonValue::Null) => None,
         Some(d) => Some(derivation_from_json(d)?),
     };
+    let confirmation = match v.get("confirmation") {
+        None | Some(JsonValue::Null) => None,
+        Some(c) => Some(confirmation_from_json(c)?),
+    };
     Ok(ExplainEntry {
         id: json_str(v, "id")?,
         field: json_str(v, "field")?,
@@ -533,6 +653,28 @@ fn entry_from_json(v: &JsonValue) -> Result<ExplainEntry, String> {
         audit,
         hb,
         derivation,
+        confirmation,
+    })
+}
+
+fn confirmation_from_json(v: &JsonValue) -> Result<Confirmation, String> {
+    let verdict = json_str(v, "verdict")?;
+    Ok(Confirmation {
+        verdict: ConfirmVerdict::from_str(&verdict)
+            .ok_or_else(|| format!("unknown confirmation verdict {verdict:?}"))?,
+        reason: json_str(v, "reason")?,
+        states_explored: v
+            .get("states_explored")
+            .and_then(JsonValue::as_u64)
+            .unwrap_or(0),
+        schedule: v
+            .get("schedule")
+            .and_then(JsonValue::as_str)
+            .map(str::to_owned),
+        npe_at: v
+            .get("npe_at")
+            .and_then(JsonValue::as_str)
+            .map(str::to_owned),
     })
 }
 
@@ -644,9 +786,10 @@ mod tests {
         let p = parse_program(FIG1A).unwrap();
         let a = analyze(&p, &AnalysisConfig::default());
         let json = render_provenance_json(&a);
-        assert!(json.contains("\"schema\": \"nadroid-provenance/2\""), "{json}");
+        assert!(json.contains("\"schema\": \"nadroid-provenance/3\""), "{json}");
         assert!(json.contains("\"program_hash\": \"p:"), "{json}");
         assert!(json.contains("\"hb\": ["), "{json}");
+        assert!(json.contains("\"confirmation\": null"), "{json}");
         assert!(json.contains("\"derivation\": {"), "{json}");
         assert!(json.contains("racyPair"), "{json}");
         assert_eq!(json.matches('{').count(), json.matches('}').count());
@@ -683,6 +826,52 @@ mod tests {
         );
         assert!(render_explain_from_json("{}", None).is_err());
         assert!(render_explain_from_json("not json", None).is_err());
+        // Legacy /2 documents (no confirmation field) still render.
+        let legacy = doc.replace("nadroid-provenance/3", "nadroid-provenance/2");
+        assert!(render_explain_from_json(&legacy, None).is_ok());
+    }
+
+    #[test]
+    fn confirmation_round_trips_through_json_and_explain() {
+        let p = parse_program(FIG1A).unwrap();
+        let a = analyze(&p, &AnalysisConfig::default());
+        let mut provs = a.warning_provenances();
+        provs[0].confirmation = Some(Confirmation {
+            verdict: ConfirmVerdict::Confirmed,
+            reason: "directed search manifested the pair".into(),
+            states_explored: 42,
+            schedule: Some("l0.onCreate c1 d1 l0.onCreateContextMenu".into()),
+            npe_at: Some("Console.onCreateContextMenu#0".into()),
+        });
+        let doc = render_provenance_json_with(&a, &provs);
+        assert!(doc.contains("\"verdict\": \"confirmed\""), "{doc}");
+        assert_eq!(doc.matches('{').count(), doc.matches('}').count());
+        let text = render_explain_from_json(&doc, None).unwrap();
+        assert!(text.contains("verdict: confirmed"), "{text}");
+        assert!(text.contains("witness schedule:"), "{text}");
+        assert!(text.contains("l0.onCreate c1 d1"), "{text}");
+        assert!(text.contains("npe at:  Console.onCreateContextMenu#0"), "{text}");
+        // An infeasible verdict renders without schedule lines.
+        provs[0].confirmation = Some(Confirmation {
+            verdict: ConfirmVerdict::Infeasible,
+            reason: "state space drained without the pair".into(),
+            states_explored: 7,
+            schedule: None,
+            npe_at: None,
+        });
+        let doc = render_provenance_json_with(&a, &provs);
+        let text = render_explain_from_json(&doc, None).unwrap();
+        assert!(text.contains("verdict: infeasible"), "{text}");
+        assert!(!text.contains("witness schedule:"), "{text}");
+        // Verdict names round-trip.
+        for v in [
+            ConfirmVerdict::Confirmed,
+            ConfirmVerdict::Unconfirmed,
+            ConfirmVerdict::Infeasible,
+        ] {
+            assert_eq!(ConfirmVerdict::from_str(v.as_str()), Some(v));
+        }
+        assert_eq!(ConfirmVerdict::from_str("maybe"), None);
     }
 
     #[test]

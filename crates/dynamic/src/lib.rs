@@ -39,12 +39,14 @@
 pub mod cafa;
 mod explore;
 mod machine;
+mod schedule;
 mod world;
 
 pub use explore::{
-    explore, explore_no_sleep, find_any_npe, find_npe_at_use, minimize_schedule, replay,
-    ExploreConfig, Goal, Witness,
+    explore, explore_guided, explore_no_sleep, find_any_npe, find_npe_at_use, fingerprint,
+    minimize_schedule, replay, Exploration, ExploreConfig, Goal, Guide, Witness,
 };
+pub use schedule::{decode_schedule, describe_schedule, encode_schedule};
 pub use machine::{
     flatten, CodeCache, FlatBody, FlatOp, Frame, Heap, HeapObj, HeapRef, Prov, Value,
 };
@@ -511,6 +513,106 @@ mod tests {
         // The minimal schedule must keep the essentials: create (to
         // bind), disconnect (to free), and the context-menu use.
         assert!(min.iter().any(|s| matches!(s, Step::Dispatch(_))));
+    }
+
+    #[test]
+    fn minimization_is_idempotent() {
+        // Shrink-idempotence: minimizing an already-minimal schedule
+        // changes nothing, and the pass structure (block deletions,
+        // single-step fixpoint) converges to the same result when run
+        // again. A second app with a posted free exercises schedules
+        // whose steps are pairwise dependent (post + dequeue).
+        for src in [
+            r#"
+            app Idem1
+            activity Console {
+                field bound: Console
+                cb onCreate { bind this }
+                cb onServiceConnected { bound = new Console }
+                cb onServiceDisconnected { bound = null }
+                cb onCreateContextMenu { use bound }
+            }
+            "#,
+            r#"
+            app Idem2
+            activity Main {
+                field data: Obj
+                cb onCreate { data = new Obj  post Killer }
+                cb onClick { use data }
+            }
+            runnable Killer in Main {
+                cb run { outer.data = null }
+            }
+            class Obj { }
+            "#,
+        ] {
+            let p = parse(src);
+            let w = find_any_npe(&p).expect("witness");
+            let once = minimize_schedule(&p, &w.schedule, &w.npe);
+            let twice = minimize_schedule(&p, &once, &w.npe);
+            assert_eq!(once, twice, "minimize(minimize(s)) == minimize(s)");
+            assert_eq!(replay(&p, &once).npe.as_ref(), Some(&w.npe));
+        }
+    }
+
+    #[test]
+    fn guided_exploration_matches_plain_exploration_when_unguided() {
+        let p = parse(
+            r#"
+            app G
+            activity Console {
+                field bound: Console
+                cb onCreate { bind this }
+                cb onServiceConnected { bound = new Console }
+                cb onServiceDisconnected { bound = null }
+                cb onCreateContextMenu { use bound }
+            }
+            "#,
+        );
+        let cfg = ExploreConfig::default();
+        let plain = explore(&p, Goal::AnyNpe, cfg).expect("witness");
+        match explore_guided(&p, Goal::AnyNpe, cfg, None) {
+            Exploration::Witness(w) => {
+                assert_eq!(w.schedule, plain.schedule, "identical search order");
+                assert_eq!(w.states_explored, plain.states_explored);
+            }
+            other => panic!("expected a witness, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn exhausted_search_reports_completeness() {
+        // An app with no free at all: the explorer drains the entire
+        // bounded state space and proves it (complete = true).
+        let p = parse(
+            r#"
+            app NoBug
+            activity Main {
+                field data: Obj
+                cb onCreate { data = new Obj }
+                cb onClick { use data }
+            }
+            class Obj { }
+            "#,
+        );
+        match explore_guided(&p, Goal::AnyNpe, ExploreConfig::default(), None) {
+            Exploration::Exhausted { states, complete } => {
+                assert!(complete, "small state space fully enumerated");
+                assert!(states > 0);
+            }
+            Exploration::Witness(w) => panic!("no NPE exists: {w:?}"),
+        }
+        // The same search under a starved state budget is inconclusive.
+        let starved = ExploreConfig {
+            max_states: 2,
+            ..ExploreConfig::default()
+        };
+        match explore_guided(&p, Goal::AnyNpe, starved, None) {
+            Exploration::Exhausted { complete, .. } => {
+                assert!(!complete, "budget cut must void the proof");
+            }
+            Exploration::Witness(w) => panic!("no NPE exists: {w:?}"),
+        }
     }
 
     #[test]

@@ -63,6 +63,8 @@ pub enum Kind {
     Suite,
     /// A CI gate run.
     Ci,
+    /// The `confirm_bench` schedule-synthesis driver.
+    Confirm,
 }
 
 impl Kind {
@@ -74,6 +76,7 @@ impl Kind {
             Kind::ServeBench => "serve_bench",
             Kind::Suite => "suite",
             Kind::Ci => "ci",
+            Kind::Confirm => "confirm",
         }
     }
 
@@ -91,6 +94,7 @@ impl Kind {
             "serve_bench" => Ok(Kind::ServeBench),
             "suite" => Ok(Kind::Suite),
             "ci" => Ok(Kind::Ci),
+            "confirm" => Ok(Kind::Confirm),
             other => Err(format!("unknown run kind {other:?}")),
         }
     }
@@ -1119,6 +1123,79 @@ pub fn record_from_bench_serve(v: &JsonValue) -> Result<Record, String> {
     Ok(rec)
 }
 
+/// Convert a `nadroid-confirm-bench/*` BENCH document into a ledger
+/// record. Verdict tallies, explored-state counts, and the per-app
+/// confirmed-warning populations are all deterministic, so they land
+/// as drift-exact counters and a [`Population`]; only `wall_secs`
+/// rides the noise-tolerant timing lane.
+///
+/// # Errors
+///
+/// Rejects documents without a `nadroid-confirm-bench/` schema or with
+/// required sections missing.
+pub fn record_from_bench_confirm(v: &JsonValue) -> Result<Record, String> {
+    let schema = v
+        .get("schema")
+        .and_then(JsonValue::as_str)
+        .ok_or("missing schema")?;
+    if !schema.starts_with("nadroid-confirm-bench/") {
+        return Err(format!(
+            "schema {schema:?} is not a nadroid-confirm-bench document"
+        ));
+    }
+    let mut rec = Record::new(Kind::Confirm);
+    rec.counters.insert("apps".into(), unum(v, &["apps"])?);
+    rec.times
+        .insert("confirm.wall_secs".into(), num(v, &["wall_secs"])?);
+    let mut tallies = BTreeMap::new();
+    for k in ["confirmed", "unconfirmed", "infeasible"] {
+        let n = unum(v, &["tally", k])?;
+        rec.counters.insert(format!("confirm.{k}"), n);
+        tallies.insert(k.to_string(), n);
+    }
+    rec.counters
+        .insert("confirm.states".into(), unum(v, &["states"])?);
+    rec.counters.insert(
+        "confirm.replays_verified".into(),
+        unum(v, &["replays_verified"])?,
+    );
+    let per_app = v
+        .get("per_app")
+        .and_then(JsonValue::as_arr)
+        .ok_or("missing per_app")?;
+    let mut apps = Vec::new();
+    for row in per_app {
+        let app = row
+            .get("app")
+            .and_then(JsonValue::as_str)
+            .ok_or("per_app row missing app")?
+            .to_string();
+        let digest = row
+            .get("digest")
+            .and_then(JsonValue::as_str)
+            .ok_or("per_app row missing digest")?
+            .to_string();
+        let ids = row
+            .get("confirmed_ids")
+            .and_then(JsonValue::as_arr)
+            .ok_or("per_app row missing confirmed_ids")?
+            .iter()
+            .filter_map(JsonValue::as_str)
+            .map(str::to_string)
+            .collect();
+        apps.push(AppPopulation { app, digest, ids });
+    }
+    apps.sort_by(|a, b| a.app.cmp(&b.app));
+    rec.population = Some(Population { apps, tallies });
+    if let Some(cores) = v.get("cores").and_then(JsonValue::as_u64) {
+        rec.env.cores = cores;
+    }
+    if let Some(threads) = v.get("threads").and_then(JsonValue::as_u64) {
+        rec.env.threads = threads;
+    }
+    Ok(rec)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1389,6 +1466,50 @@ mod tests {
         assert_eq!(rec.percentiles["connectbot.warm_us"], 321);
         assert_eq!(rec.counters["serve.latency.analyze.hit.count"], 27);
         assert!(!rec.counters.contains_key("cache_hit_rate"));
+    }
+
+    #[test]
+    fn bench_confirm_conversion_extracts_tally_and_population() {
+        let doc = r#"{
+          "schema": "nadroid-confirm-bench/1", "apps": 27,
+          "cores": 8, "threads": 2, "wall_secs": 1.25,
+          "tally": {"confirmed": 30, "unconfirmed": 4, "infeasible": 3},
+          "states": 812345, "replays_verified": 30,
+          "per_app": [
+            {"app": "ConnectBot", "survivors": 2, "confirmed": 2, "unconfirmed": 0,
+             "infeasible": 0, "states": 86, "micros": 1200, "digest": "wp:00000000deadbeef",
+             "confirmed_ids": ["w:48869f4494d10ec9", "w:7e171093770b937d"]},
+            {"app": "Aard", "survivors": 1, "confirmed": 1, "unconfirmed": 0,
+             "infeasible": 0, "states": 40, "micros": 800, "digest": "wp:0000000000c0ffee",
+             "confirmed_ids": ["w:0000000000000001"]}
+          ]
+        }"#;
+        let v = parse_json(doc).unwrap();
+        let rec = record_from_bench_confirm(&v).unwrap();
+        assert_eq!(rec.kind, Kind::Confirm);
+        assert_eq!(rec.counters["apps"], 27);
+        assert_eq!(rec.counters["confirm.confirmed"], 30);
+        assert_eq!(rec.counters["confirm.infeasible"], 3);
+        assert_eq!(rec.counters["confirm.states"], 812_345);
+        assert_eq!(rec.counters["confirm.replays_verified"], 30);
+        assert_eq!(rec.env.cores, 8);
+        assert_eq!(rec.env.threads, 2);
+        assert!((rec.times["confirm.wall_secs"] - 1.25).abs() < 1e-12);
+        let pop = rec.population.as_ref().expect("population recorded");
+        assert_eq!(pop.tallies["confirmed"], 30);
+        // Apps come back sorted regardless of document order.
+        assert_eq!(pop.apps[0].app, "Aard");
+        assert_eq!(pop.apps[1].ids.len(), 2);
+        // The record survives a JSONL round trip.
+        let line = rec.to_json_line();
+        let back = Record::from_json(&parse_json(&line).unwrap()).unwrap();
+        assert_eq!(back, rec);
+        // A verdict flip is drift, not noise.
+        let mut moved = rec.clone();
+        *moved.counters.get_mut("confirm.confirmed").unwrap() -= 1;
+        let verdict = gate(&rec, &moved, &DiffOptions::default());
+        assert!(!verdict.pass());
+        assert!(verdict.deltas.iter().any(|d| d.key == "counters.confirm.confirmed"));
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! this), so a result is fully identified by *what* was analyzed and
 //! *how*: the key is `(fnv64(program source), fnv64(config))`. Values
 //! carry everything a response needs — the summary counts, the stable
-//! warning ids, and the rendered `nadroid-provenance/2` document — so a
+//! warning ids, and the rendered `nadroid-provenance/3` document — so a
 //! warm request (including `explain` queries) is a lookup plus a string
 //! copy, never a re-solve.
 //!
@@ -67,9 +67,14 @@ pub struct CachedResult {
     pub summary: Summary,
     /// Stable ids (`w:` + 16 hex) of the warnings surviving all filters.
     pub warning_ids: Vec<String>,
-    /// The full `nadroid-provenance/2` document — `explain` queries are
+    /// The full `nadroid-provenance/3` document — `explain` queries are
     /// answered from this without re-solving.
     pub provenance_json: String,
+    /// The `nadroid-confirm/1` document, filled in (and the provenance
+    /// above upgraded with verdicts) the first time a `confirm` request
+    /// lands for this entry. `None` until then: confirmation is far
+    /// more expensive than analysis, so `analyze` never pays for it.
+    pub confirm_json: Option<String>,
     /// Wall micros the cold computation took.
     pub compute_micros: u64,
 }
@@ -79,7 +84,8 @@ impl CachedResult {
     #[must_use]
     pub fn cost_bytes(&self) -> usize {
         let ids: usize = self.warning_ids.iter().map(|s| s.len() + 24).sum();
-        self.app.len() + self.provenance_json.len() + ids + 128
+        let confirm = self.confirm_json.as_ref().map_or(0, String::len);
+        self.app.len() + self.provenance_json.len() + confirm + ids + 128
     }
 }
 
@@ -217,6 +223,7 @@ mod tests {
             },
             warning_ids: vec!["w:0011223344556677".into()],
             provenance_json: "x".repeat(pad),
+            confirm_json: None,
             compute_micros: 7,
         }
     }

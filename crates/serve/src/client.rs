@@ -91,6 +91,20 @@ impl Client {
         })
     }
 
+    /// `confirm` every surviving warning of a DSL program (dynamic
+    /// schedule synthesis); the response carries the `nadroid-confirm/1`
+    /// document.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`].
+    pub fn confirm(&mut self, program: &str, opts: AnalyzeOpts) -> Result<Response, String> {
+        self.request(&Request::Confirm {
+            program: program.to_owned(),
+            opts,
+        })
+    }
+
     /// Fetch the server's counters.
     ///
     /// # Errors

@@ -53,6 +53,16 @@ pub enum Request {
         /// Analysis options (part of the cache key).
         opts: AnalyzeOpts,
     },
+    /// Dynamically confirm every surviving warning of a DSL program
+    /// (schedule synthesis; see `docs/confirm.md`). The rendered
+    /// `nadroid-confirm/1` document is cached alongside the provenance,
+    /// so repeat confirmations are a lookup.
+    Confirm {
+        /// DSL source text.
+        program: String,
+        /// Analysis options (part of the cache key).
+        opts: AnalyzeOpts,
+    },
     /// Server counters snapshot.
     Stats,
     /// Machine-readable metrics document (`nadroid-serve-metrics/1`):
@@ -87,6 +97,16 @@ pub enum Response {
         micros: u64,
         /// The `nadroid explain` text.
         text: String,
+    },
+    /// Successful confirmation: the `nadroid-confirm/1` document,
+    /// transported as a string field (like `Metrics`).
+    Confirm {
+        /// Whether the document came from the cache.
+        cached: bool,
+        /// Server-side handling time.
+        micros: u64,
+        /// The `nadroid-confirm/1` document.
+        json: String,
     },
     /// Counters snapshot, in stable name order.
     Stats {
@@ -148,6 +168,11 @@ impl Request {
                 }
                 let _ = write!(out, ",\"program\":\"{}\"", esc(program));
             }
+            Request::Confirm { program, opts } => {
+                out.push_str("\"op\":\"confirm\",");
+                push_opts(&mut out, opts);
+                let _ = write!(out, ",\"program\":\"{}\"", esc(program));
+            }
             Request::Stats => out.push_str("\"op\":\"stats\""),
             Request::Metrics => out.push_str("\"op\":\"metrics\""),
             Request::Shutdown => out.push_str("\"op\":\"shutdown\""),
@@ -192,6 +217,10 @@ impl Request {
             "explain" => Ok(Request::Explain {
                 program: program()?,
                 id: v.get("id").and_then(JsonValue::as_str).map(str::to_owned),
+                opts: opts(),
+            }),
+            "confirm" => Ok(Request::Confirm {
+                program: program()?,
                 opts: opts(),
             }),
             "stats" => Ok(Request::Stats),
@@ -279,6 +308,18 @@ impl Response {
                     "\"status\":\"ok\",\"op\":\"explain\",\"cached\":{cached},\
                      \"micros\":{micros},\"text\":\"{}\"",
                     esc(text)
+                );
+            }
+            Response::Confirm {
+                cached,
+                micros,
+                json,
+            } => {
+                let _ = write!(
+                    out,
+                    "\"status\":\"ok\",\"op\":\"confirm\",\"cached\":{cached},\
+                     \"micros\":{micros},\"confirm_json\":\"{}\"",
+                    esc(json)
                 );
             }
             Response::Stats { fields } => {
@@ -406,6 +447,15 @@ impl Response {
                             .unwrap_or("")
                             .to_owned(),
                     }),
+                    "confirm" => Ok(Response::Confirm {
+                        cached,
+                        micros,
+                        json: v
+                            .get("confirm_json")
+                            .and_then(JsonValue::as_str)
+                            .unwrap_or("")
+                            .to_owned(),
+                    }),
                     "stats" => Ok(Response::Stats {
                         fields: match v.get("stats") {
                             Some(JsonValue::Obj(members)) => members
@@ -471,6 +521,14 @@ mod tests {
             id: None,
             opts: AnalyzeOpts::default(),
         });
+        round_trip_request(&Request::Confirm {
+            program: "app Z\nactivity M {\n  cb onClick { }\n}\n".into(),
+            opts: AnalyzeOpts {
+                k: 2,
+                sound_only: false,
+                deadline_ms: Some(5000),
+            },
+        });
         round_trip_request(&Request::Stats);
         round_trip_request(&Request::Metrics);
         round_trip_request(&Request::Shutdown);
@@ -497,6 +555,11 @@ mod tests {
             cached: false,
             micros: 9,
             text: "warning w:..\n  field: x\n".into(),
+        });
+        round_trip_response(&Response::Confirm {
+            cached: true,
+            micros: 77,
+            json: "{\"schema\":\"nadroid-confirm/1\",\"tally\":{\"confirmed\":1}}".into(),
         });
         round_trip_response(&Response::Stats {
             fields: vec![("cache_hits".into(), 3), ("requests".into(), 4)],

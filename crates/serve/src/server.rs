@@ -154,7 +154,9 @@ fn record_phase_hists(timings: &nadroid_core::PhaseTimings) {
 /// The telemetry outcome label for a response.
 fn outcome_of(resp: &Response) -> &'static str {
     match resp {
-        Response::Analyze { cached, .. } | Response::Explain { cached, .. } => {
+        Response::Analyze { cached, .. }
+        | Response::Explain { cached, .. }
+        | Response::Confirm { cached, .. } => {
             if *cached {
                 "hit"
             } else {
@@ -246,6 +248,7 @@ impl Shared {
                 summary: analysis.summary(),
                 warning_ids,
                 provenance_json,
+                confirm_json: None,
                 compute_micros: 0,
             }
         }));
@@ -298,6 +301,146 @@ impl Shared {
         };
         self.account(&resp);
         self.observe(ctx, "analyze", &resp, micros, Some(key));
+        self.finish_capture(ctx, capture.as_ref(), micros);
+        resp
+    }
+
+    /// Fetch-or-compute the confirmation document for `(source, opts)`.
+    /// The entry shares the analyze/explain cache key: a prior analyze
+    /// hit is *upgraded* in place (confirmation filled in, provenance
+    /// re-rendered with verdicts), and later explain queries see the
+    /// verdict-carrying provenance for free.
+    fn cached_confirm(
+        &self,
+        source: &str,
+        opts: &AnalyzeOpts,
+        config: &AnalysisConfig,
+        key: CacheKey,
+        rid: &str,
+    ) -> Result<(String, bool), Response> {
+        if let Some(hit) = self.cache.lock().expect("cache lock").get(&key) {
+            if let Some(json) = hit.confirm_json {
+                obs::counter("serve.cache.hits", 1);
+                return Ok((json, true));
+            }
+        }
+        obs::counter("serve.cache.misses", 1);
+        let result = self.compute_confirm(source, opts, config, rid)?;
+        let json = result
+            .confirm_json
+            .clone()
+            .expect("compute_confirm fills confirm_json");
+        {
+            let mut cache = self.cache.lock().expect("cache lock");
+            let before = cache.stats().evictions;
+            cache.insert(key, result);
+            let evicted = cache.stats().evictions - before;
+            if evicted > 0 {
+                obs::counter("serve.cache.evictions", evicted);
+            }
+            obs::gauge("serve.cache.bytes", cache.bytes() as u64);
+        }
+        Ok((json, false))
+    }
+
+    /// The cold confirmation path: run the pipeline, then the schedule
+    /// synthesis over every survivor, all under the request's cancel
+    /// token. A deadline firing mid-search is *not* cached — partial
+    /// verdicts ("cancelled before the search ran") must never be
+    /// served as the app's confirmation.
+    fn compute_confirm(
+        &self,
+        source: &str,
+        opts: &AnalyzeOpts,
+        config: &AnalysisConfig,
+        rid: &str,
+    ) -> Result<CachedResult, Response> {
+        let deadline_ms = opts.deadline_ms.or(self.cfg.default_deadline_ms);
+        let token = match deadline_ms {
+            Some(ms) => CancelToken::with_deadline_tagged(Duration::from_millis(ms), rid),
+            None => CancelToken::tagged(rid),
+        };
+        let program = parse_program(source)
+            .map_err(|e| Response::Error {
+                message: format!("parse error: {e}"),
+            })?;
+        if token.is_cancelled() {
+            return Err(Response::DeadlineExceeded {
+                deadline_ms: deadline_ms.unwrap_or(0),
+            });
+        }
+        let t = Instant::now();
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let _scope = token.install();
+            let _span = obs::span("serve.confirm");
+            let analysis = analyze(&program, config);
+            record_phase_hists(analysis.timings());
+            let confirm_outcome =
+                nadroid_confirm::confirm_survivors(&analysis, &nadroid_confirm::ConfirmConfig::default());
+            let confirm_json = nadroid_confirm::render_confirm_json(&analysis, &confirm_outcome);
+            let mut provenances = analysis.warning_provenances();
+            nadroid_confirm::attach_confirmations(&mut provenances, &confirm_outcome);
+            let provenance_json = render_provenance_json_with(&analysis, &provenances);
+            let warning_ids = analysis
+                .survivors()
+                .iter()
+                .map(|w| warning_id(&program, analysis.threads(), w))
+                .collect();
+            CachedResult {
+                app: program.name().to_owned(),
+                summary: analysis.summary(),
+                warning_ids,
+                provenance_json,
+                confirm_json: Some(confirm_json),
+                compute_micros: 0,
+            }
+        }));
+        match outcome {
+            // A should_stop() observed between per-warning searches
+            // returns normally with placeholder verdicts; surface the
+            // deadline instead of caching them.
+            Ok(_) if token.is_cancelled() => Err(Response::DeadlineExceeded {
+                deadline_ms: deadline_ms.unwrap_or(0),
+            }),
+            Ok(mut result) => {
+                result.compute_micros = micros_since(t);
+                Ok(result)
+            }
+            Err(payload) => {
+                if obs::cancel::was_cancelled(&*payload) {
+                    Err(Response::DeadlineExceeded {
+                        deadline_ms: deadline_ms.unwrap_or(0),
+                    })
+                } else {
+                    Err(Response::Error {
+                        message: "confirmation panicked".to_owned(),
+                    })
+                }
+            }
+        }
+    }
+
+    fn handle_confirm(&self, source: &str, opts: &AnalyzeOpts, ctx: &ReqCtx) -> Response {
+        let t = Instant::now();
+        let config = config_for(opts, self.cfg.effective_threads());
+        let key = CacheKey::of(source, &config);
+        let capture = self.telemetry.capture_enabled().then(Recorder::new);
+        let outcome = {
+            let _guard = capture.as_ref().map(Recorder::install);
+            let _span = obs::span("serve.request");
+            self.cached_confirm(source, opts, &config, key, &ctx.id)
+        };
+        let micros = micros_since(t);
+        let resp = match outcome {
+            Ok((json, cached)) => Response::Confirm {
+                cached,
+                micros,
+                json,
+            },
+            Err(resp) => resp,
+        };
+        self.account(&resp);
+        self.observe(ctx, "confirm", &resp, micros, Some(key));
         self.finish_capture(ctx, capture.as_ref(), micros);
         resp
     }
@@ -429,6 +572,24 @@ impl Shared {
             f(
                 "detector.mhp_prepruned",
                 self.recorder.counter_value("detector.mhp_prepruned"),
+            ),
+            // Confirmation verdict counters, accumulated across every
+            // confirm request the workers ran (shared recorder again).
+            f(
+                "confirm.confirmed",
+                self.recorder.counter_value("confirm.confirmed"),
+            ),
+            f(
+                "confirm.unconfirmed",
+                self.recorder.counter_value("confirm.unconfirmed"),
+            ),
+            f(
+                "confirm.infeasible",
+                self.recorder.counter_value("confirm.infeasible"),
+            ),
+            f(
+                "confirm.states",
+                self.recorder.counter_value("confirm.states"),
             ),
         ]
     }
@@ -679,6 +840,11 @@ fn serve_connection(stream: TcpStream, shared: &Arc<Shared>) {
             Ok(Request::Explain { program, id, opts }) => {
                 dispatch(shared, "explain", rid.clone(), move |sh, ctx| {
                     sh.handle_explain(&program, id.as_deref(), &opts, &ctx)
+                })
+            }
+            Ok(Request::Confirm { program, opts }) => {
+                dispatch(shared, "confirm", rid.clone(), move |sh, ctx| {
+                    sh.handle_confirm(&program, &opts, &ctx)
                 })
             }
         };

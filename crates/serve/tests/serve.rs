@@ -110,6 +110,73 @@ fn explain_is_served_from_cached_provenance() {
 }
 
 #[test]
+fn confirm_op_round_trips_caches_and_upgrades_provenance() {
+    let server = test_server(1);
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+
+    // Prime the cache with a plain analysis: the later confirm must
+    // upgrade this entry rather than duplicate it.
+    client.analyze(CONNECTBOT, AnalyzeOpts::default()).unwrap();
+
+    let cold = client.confirm(CONNECTBOT, AnalyzeOpts::default()).unwrap();
+    let Response::Confirm { cached, json, .. } = cold else {
+        panic!("expected confirm response, got {cold:?}");
+    };
+    assert!(!cached, "first confirm must run the searches");
+    assert!(json.contains("\"schema\": \"nadroid-confirm/1\""), "{json}");
+    assert!(json.contains("\"verdict\": \"confirmed\""), "{json}");
+    assert!(json.contains("\"schedule\": \""), "{json}");
+
+    let warm = client.confirm(CONNECTBOT, AnalyzeOpts::default()).unwrap();
+    let Response::Confirm {
+        cached: warm_cached,
+        json: warm_json,
+        ..
+    } = warm
+    else {
+        panic!("expected confirm response");
+    };
+    assert!(warm_cached, "second identical confirm must hit the cache");
+    assert_eq!(json, warm_json, "cache returns the same document");
+
+    // The upgraded entry now answers explain with verdicts attached.
+    let explained = client
+        .explain(CONNECTBOT, None, AnalyzeOpts::default())
+        .unwrap();
+    let Response::Explain { cached, text, .. } = explained else {
+        panic!("expected explain response, got {explained:?}");
+    };
+    assert!(cached, "explain reuses the upgraded cache entry");
+    assert!(text.contains("confirmation:"), "{text}");
+    assert!(text.contains("witness schedule:"), "{text}");
+
+    // One upgraded entry, not an analyze entry plus a confirm entry.
+    let fields = server.stats_fields();
+    assert_eq!(stat(&fields, "cache_entries"), 1);
+    assert!(stat(&fields, "confirm.confirmed") >= 1);
+
+    // A zero deadline times out structurally instead of caching a
+    // partial document, and the worker stays healthy. (`sound_only`
+    // changes the cache key, so this one is a genuine cold path.)
+    let timed_out = client
+        .confirm(
+            CONNECTBOT,
+            AnalyzeOpts {
+                sound_only: true,
+                deadline_ms: Some(0),
+                ..AnalyzeOpts::default()
+            },
+        )
+        .unwrap();
+    assert!(
+        matches!(timed_out, Response::DeadlineExceeded { deadline_ms: 0 }),
+        "zero deadline must time out, got {timed_out:?}"
+    );
+    let after = client.confirm(CONNECTBOT, AnalyzeOpts::default()).unwrap();
+    assert!(matches!(after, Response::Confirm { cached: true, .. }));
+}
+
+#[test]
 fn deadline_exceeded_is_structured_and_does_not_poison_the_worker() {
     // One worker: if the timed-out job broke it, the follow-up would
     // hang instead of answering.

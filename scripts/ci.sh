@@ -13,12 +13,18 @@
 #    instrumentation compiled out (--no-default-features), the serve
 #    crate builds (and its tests run) with telemetry compiled out, the
 #    Datalog engine builds with provenance recording compiled out, the
-#    HB graph builds with metrics compiled out, and the work-pool crate
-#    builds (and its tests run) with its obs integration compiled out;
+#    HB graph builds with metrics compiled out, the work-pool crate
+#    builds (and its tests run) with its obs integration compiled out,
+#    and the confirmation crate builds (and its tests run) with its
+#    metrics/cancellation hooks compiled out;
 #    the HB parity gate then checks graph-backed filters against the
 #    legacy logic on all 27 apps,
 # 5. provenance smoke test: `nadroid explain` on a corpus app must
-#    produce a non-empty derivation tree and a filter audit,
+#    produce a non-empty derivation tree and a filter audit; the
+#    confirmation smoke then runs `nadroid confirm` on the same app,
+#    extracts the first confirmed warning's minimized witness schedule,
+#    and replays it in a fresh `nadroid replay` process — the NPE must
+#    reproduce and match the warning's use/free sites,
 # 6. perf/drift gate: re-measure the timing suite and run
 #    `nadroid perf gate` against the committed BENCH_timing.json —
 #    deterministic counters and the warning population compare exactly,
@@ -40,9 +46,17 @@
 #    BENCH_serve.json (schema nadroid-serve-bench/3, host fingerprint
 #    included) and enforces the 20x warm-vs-cold ConnectBot speedup
 #    plus its telemetry-agreement self-checks,
-# 8. schema pins: BENCH_timing.json, BENCH_serve.json, the metrics
-#    document, and every Result/ledger.jsonl line must carry their
-#    declared schemas (`check-json --expect-schema`).
+# 8. confirmation drift gate: confirm_bench re-runs dynamic
+#    confirmation over the whole corpus (its own self-checks require
+#    >=1 confirmed, >=1 infeasible, and every confirmed schedule to
+#    replay-verify), refreshes BENCH_confirm.json, appends a `confirm`
+#    ledger record, and `nadroid perf gate` compares that record
+#    against the committed baseline — verdict tallies, explored-state
+#    counts, and per-app confirmed-warning populations are drift-exact,
+# 9. schema pins: BENCH_timing.json, BENCH_serve.json,
+#    BENCH_confirm.json, the metrics document, and every
+#    Result/ledger.jsonl line must carry their declared schemas
+#    (`check-json --expect-schema`).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -58,6 +72,8 @@ cargo build -p nadroid-datalog --no-default-features
 cargo build -p nadroid-hb --no-default-features
 cargo build -p nadroid-par --no-default-features
 cargo test -q -p nadroid-par --no-default-features
+cargo build -p nadroid-confirm --no-default-features
+cargo test -q -p nadroid-confirm --no-default-features
 
 # HB parity gate: the graph-backed filters must reproduce the legacy
 # filter logic byte-for-byte across the whole 27-app corpus.
@@ -72,6 +88,24 @@ echo "$explain_out" | grep -q 'filter audit:' || {
     echo "ci.sh: explain produced no filter audit" >&2; exit 1; }
 
 bin=target/release/nadroid
+
+# --- confirmation smoke gate ---
+# `confirm` must manifest at least one ConnectBot warning, and the
+# minimized witness schedule it prints must reproduce the NPE in a
+# separate `replay` process, matched back to the warning's sites.
+confirm_out=$("$bin" confirm apps/connectbot.dsl)
+echo "$confirm_out" | grep -q 'verdict: confirmed' || {
+    echo "ci.sh: confirm produced no confirmed verdict:"; echo "$confirm_out"; exit 1; }
+confirm_id=$(echo "$confirm_out" | sed -n 's/^warning //p' | head -n 1)
+confirm_sched=$(echo "$confirm_out" \
+    | awk '/witness schedule:/{getline; sub(/^ +/, ""); print; exit}')
+[ -n "$confirm_id" ] && [ -n "$confirm_sched" ] || {
+    echo "ci.sh: confirm output had no id/schedule to replay:"; echo "$confirm_out"; exit 1; }
+replay_out=$("$bin" replay apps/connectbot.dsl "$confirm_sched" --id "$confirm_id")
+echo "$replay_out" | grep -q 'NPE reproduced' || {
+    echo "ci.sh: witness schedule did not reproduce the NPE:"; echo "$replay_out"; exit 1; }
+echo "$replay_out" | grep -q "matches warning $confirm_id" || {
+    echo "ci.sh: replayed NPE does not match the warning:"; echo "$replay_out"; exit 1; }
 
 # --- perf/drift gate (replaces the old `timing --check 3`) ---
 # Convert the committed BENCH_timing.json to a ledger record (failing
@@ -165,10 +199,24 @@ rm -rf "$telem_dir"
 
 cargo run --release -p nadroid-bench --bin serve_bench -- --concurrency 2
 
+# --- confirmation drift gate ---
+# Snapshot the committed baseline before confirm_bench refreshes the
+# artifact in place, re-run the corpus sweep (its self-checks enforce
+# >=1 confirmed, >=1 infeasible, and replay-verification of every
+# confirmed schedule), then compare the fresh `confirm` ledger record
+# against the snapshot: tallies, states, and per-app confirmed
+# populations are deterministic, so any delta is drift, not noise.
+confirm_baseline=$(mktemp)
+cp BENCH_confirm.json "$confirm_baseline"
+cargo run --release -p nadroid-bench --bin confirm_bench -- --threads 2
+"$bin" perf gate --against "$confirm_baseline" --current last
+rm -f "$confirm_baseline"
+
 # Schema pins for the refreshed artifacts, and the run ledger — which
-# now holds at least the `ci` gate record and the serve_bench record
-# from this very run — must validate line by line.
+# now holds at least the `ci` gate record plus the serve_bench and
+# confirm_bench records from this very run — must validate line by line.
 "$bin" check-json BENCH_serve.json --expect-schema nadroid-serve-bench/3
+"$bin" check-json BENCH_confirm.json --expect-schema nadroid-confirm-bench/1
 "$bin" check-json Result/ledger.jsonl --lines --expect-schema nadroid-ledger/1
 "$bin" perf list
 

@@ -8,6 +8,7 @@
 
 pub use nadroid_android as android;
 pub use nadroid_cli as cli;
+pub use nadroid_confirm as confirm;
 pub use nadroid_core as core;
 pub use nadroid_corpus as corpus;
 pub use nadroid_datalog as datalog;

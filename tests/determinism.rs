@@ -144,6 +144,66 @@ fn cache_keys_ignore_the_thread_count() {
     );
 }
 
+/// Confirmation rides the same cacheable surface as provenance: the
+/// verdicts, minimized witness schedules, explored-state counts, and
+/// tallies must be byte-identical across reruns and at every inner
+/// thread count. Two subjects: ConnectBot (confirmed verdicts with
+/// witness schedules) and the corpus KissLauncher row (unconfirmed
+/// verdicts, so the budget-exhaustion path is swept too).
+#[test]
+fn confirmation_verdicts_and_schedules_are_thread_invariant() {
+    use nadroid::confirm::{confirm_survivors, render_confirm_json, ConfirmConfig};
+
+    let connectbot = parse_program(CONNECTBOT).expect("parse connectbot");
+    let rows = nadroid::corpus::table1_rows();
+    let kiss = rows
+        .iter()
+        .find(|r| r.name == "KissLauncher")
+        .expect("KissLauncher row");
+    let kiss_app = nadroid::corpus::generate(&nadroid::corpus::spec_for(kiss));
+    let cfg = ConfirmConfig::default();
+
+    let run = |program: &nadroid::ir::Program, threads: usize| {
+        nadroid::par::with_threads(threads, || {
+            let config = AnalysisConfig {
+                threads,
+                ..AnalysisConfig::default()
+            };
+            let analysis = analyze(program, &config);
+            let outcome = confirm_survivors(&analysis, &cfg);
+            let tally = (
+                outcome.tally.confirmed,
+                outcome.tally.unconfirmed,
+                outcome.tally.infeasible,
+            );
+            (tally, render_confirm_json(&analysis, &outcome))
+        })
+    };
+
+    let cb_base = run(&connectbot, 1);
+    assert!(cb_base.0 .0 >= 1, "connectbot confirms at least one warning");
+    assert!(cb_base.1.contains("\"schedule\": \""), "witness attached");
+    let kiss_base = run(&kiss_app.program, 1);
+    assert!(
+        kiss_base.0 .1 >= 1,
+        "kisslauncher exercises the unconfirmed path"
+    );
+    for threads in [2usize, 4] {
+        assert_eq!(
+            cb_base,
+            run(&connectbot, threads),
+            "connectbot confirmation drifts at threads={threads}"
+        );
+        assert_eq!(
+            kiss_base,
+            run(&kiss_app.program, threads),
+            "kisslauncher confirmation drifts at threads={threads}"
+        );
+    }
+    // And a plain rerun at the baseline thread count.
+    assert_eq!(cb_base, run(&connectbot, 1), "confirmation drifts on rerun");
+}
+
 #[test]
 fn summaries_and_survivors_are_stable_across_configs() {
     let program = parse_program(CONNECTBOT).expect("parse connectbot");
