@@ -1,0 +1,60 @@
+// Model of a photo-gallery app exercising the predicate-aware ordering
+// layer: the upload progress dialog is dismissed in onStop, which
+// disables the Dialog family before the onDestroy free on every
+// lifecycle path (refuted: disabled); the album fragment's view
+// callback is ordered before the hosting activity ever detaches it
+// (refuted: extended-order); and the preview dialog is dismissed only
+// in the skippable onPause, so that warning rightly survives.
+app Gallery
+
+activity GalleryActivity {
+    cb onCreate {
+        t1 = static UploadActivity
+        t2 = static AlbumActivity
+        t3 = static PreviewActivity
+    }
+}
+
+activity UploadActivity {
+    field progress: UploadDialog
+    field session: UploadActivity
+    cb onCreate {
+        progress = new UploadDialog
+        show progress
+        session = new UploadActivity
+    }
+    cb onStop { dismiss progress }
+    cb onDestroy { session = null }
+}
+
+dialog UploadDialog in UploadActivity {
+    cb onShow { use outer.session }
+}
+
+activity AlbumActivity {
+    field cache: AlbumActivity
+    cb onCreate { cache = new AlbumActivity }
+}
+
+fragment AlbumFragment in AlbumActivity {
+    cb onCreateView { use AlbumActivity.cache }
+    cb onDetach { AlbumActivity.cache = null }
+}
+
+activity PreviewActivity {
+    field preview: PreviewDialog
+    field bitmap: PreviewActivity
+    cb onCreate {
+        preview = new PreviewDialog
+        show preview
+        bitmap = new PreviewActivity
+    }
+    cb onPause { dismiss preview }
+    cb onDestroy { bitmap = null }
+}
+
+dialog PreviewDialog in PreviewActivity {
+    cb onShow { use outer.bitmap }
+}
+
+manifest { main GalleryActivity }

@@ -99,6 +99,16 @@ pub enum CallbackKind {
     /// `Service.onStartCommand`.
     OnStartCommand,
 
+    // --- Fragment lifecycle (Entry, Dexteroid-style extended model) ---
+    /// `Fragment.onAttach`: first fragment lifecycle callback.
+    OnAttach,
+    /// `Fragment.onCreateView`.
+    OnCreateView,
+    /// `Fragment.onDestroyView`.
+    OnDestroyView,
+    /// `Fragment.onDetach`: final fragment lifecycle callback.
+    OnDetach,
+
     // --- Service / Receiver posted callbacks (Posted) ---
     /// `ServiceConnection.onServiceConnected`.
     OnServiceConnected,
@@ -106,6 +116,16 @@ pub enum CallbackKind {
     OnServiceDisconnected,
     /// `BroadcastReceiver.onReceive`.
     OnReceive,
+    /// `DialogInterface.OnShowListener.onShow`: delivered while the
+    /// owning dialog is shown (enabled by `show()`, disabled by
+    /// `dismiss()`).
+    OnShow,
+    /// `DialogInterface.OnDismissListener.onDismiss`.
+    OnDismiss,
+    /// Alarm delivery (`AlarmManager` firing a scheduled receiver):
+    /// enabled by `AlarmManager.set…()`, disabled by
+    /// `AlarmManager.cancel()`.
+    OnAlarm,
 
     // --- Handler posted callbacks (Posted) ---
     /// `Handler.handleMessage`: target of `sendMessage`.
@@ -156,9 +176,16 @@ impl CallbackKind {
             OnSensorChanged,
             OnBind,
             OnStartCommand,
+            OnAttach,
+            OnCreateView,
+            OnDestroyView,
+            OnDetach,
             OnServiceConnected,
             OnServiceDisconnected,
             OnReceive,
+            OnShow,
+            OnDismiss,
+            OnAlarm,
             HandleMessage,
             PostedRun,
             OnPreExecute,
@@ -208,6 +235,17 @@ impl CallbackKind {
         )
     }
 
+    /// Whether this is a Fragment lifecycle callback of the extended
+    /// (Dexteroid-style) model. Deliberately *not* part of
+    /// [`CallbackKind::is_lifecycle`]: the paper-pinned MHB-Lifecycle
+    /// relation is untouched, and fragment ordering flows through the
+    /// predicate-extended edge relations instead.
+    #[must_use]
+    pub fn is_fragment_lifecycle(self) -> bool {
+        use CallbackKind::*;
+        matches!(self, OnAttach | OnCreateView | OnDestroyView | OnDetach)
+    }
+
     /// Whether this is one of the AsyncTask looper-side callbacks.
     #[must_use]
     pub fn is_asynctask_looper(self) -> bool {
@@ -234,6 +272,9 @@ impl CallbackKind {
             OnServiceConnected
             | OnServiceDisconnected
             | OnReceive
+            | OnShow
+            | OnDismiss
+            | OnAlarm
             | HandleMessage
             | PostedRun
             | OnPreExecute
@@ -270,9 +311,16 @@ impl CallbackKind {
             OnSensorChanged => "onSensorChanged",
             OnBind => "onBind",
             OnStartCommand => "onStartCommand",
+            OnAttach => "onAttach",
+            OnCreateView => "onCreateView",
+            OnDestroyView => "onDestroyView",
+            OnDetach => "onDetach",
             OnServiceConnected => "onServiceConnected",
             OnServiceDisconnected => "onServiceDisconnected",
             OnReceive => "onReceive",
+            OnShow => "onShow",
+            OnDismiss => "onDismiss",
+            OnAlarm => "onAlarm",
             HandleMessage => "handleMessage",
             PostedRun => "run",
             OnPreExecute => "onPreExecute",
@@ -371,6 +419,30 @@ mod tests {
                 CallbackKind::from_method_name(k.method_name(), role),
                 Some(k)
             );
+        }
+    }
+
+    #[test]
+    fn fragment_kinds_are_entry_but_not_activity_lifecycle() {
+        for &k in CallbackKind::all() {
+            if k.is_fragment_lifecycle() {
+                assert_eq!(k.class(), Some(CallbackClass::Entry), "{k}");
+                assert!(!k.is_lifecycle(), "{k} must not join MHB-Lifecycle");
+                assert!(!k.is_ui(), "{k}");
+                assert!(!k.is_system(), "{k}");
+            }
+        }
+    }
+
+    #[test]
+    fn predicate_kinds_are_posted() {
+        for k in [
+            CallbackKind::OnShow,
+            CallbackKind::OnDismiss,
+            CallbackKind::OnAlarm,
+        ] {
+            assert_eq!(k.class(), Some(CallbackClass::Posted), "{k}");
+            assert!(!k.is_ui() && !k.is_system() && !k.is_lifecycle(), "{k}");
         }
     }
 

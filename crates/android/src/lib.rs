@@ -15,6 +15,11 @@
 //!   cancel-happens-before (CHB) filter of §6.2.
 //! - [`listeners`]: the FlowDroid-style registration-API table used to
 //!   discover imperatively registered entry callbacks.
+//! - [`fragment`]: the extended (Dexteroid-style) Fragment lifecycle
+//!   automaton, feeding the predicate-extended HB relations.
+//! - [`predicates`]: the Perez-&-Le-style summary table of
+//!   enabling/disabling API pairs behind the `enables`/`disables`
+//!   relations and the sound refutation filter.
 //!
 //! Nothing in this crate depends on the program IR; it is pure framework
 //! modelling, mirroring how nAdroid encodes Android rules separately from
@@ -35,12 +40,15 @@
 #![warn(missing_docs)]
 
 pub mod cancel;
+pub mod fragment;
 pub mod lifecycle;
 pub mod listeners;
+pub mod predicates;
 
 mod callback;
 mod role;
 
 pub use callback::{CallbackClass, CallbackKind};
 pub use cancel::{CancelApi, CancelScope};
+pub use predicates::PredicateFamily;
 pub use role::ClassRole;

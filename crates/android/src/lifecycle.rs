@@ -209,6 +209,45 @@ pub fn any_mhb(first: CallbackKind, second: CallbackKind) -> bool {
     lifecycle_mhb(first, second) || service_mhb(first, second) || asynctask_mhb(first, second)
 }
 
+/// The lifecycle *dominator* relation: `first` must already have executed
+/// (at least once) on every automaton path that reaches a delivery of
+/// `second`. Strictly stronger than [`lifecycle_mhb`] for the pairs it
+/// claims, and the soundness backbone of the predicate refutation filter:
+/// a disabling API call sitting unconditionally in `first` is guaranteed
+/// to have run by the time `second` runs.
+///
+/// Derived from the automaton and pinned by an exhaustive
+/// path-enumeration test. Notably `onPause` does *not* dominate
+/// `onDestroy` (the legal path `onCreate → onStart → onStop → onDestroy`
+/// skips it), while `onStop` does: `Stopped` is the only state from
+/// which `onDestroy` is legal, and `onStop` is its only entry.
+#[must_use]
+pub fn must_precede_execution(first: CallbackKind, second: CallbackKind) -> bool {
+    use CallbackKind::*;
+    let dominators: &[CallbackKind] = match second {
+        OnStart => &[OnCreate],
+        OnResume | OnStop => &[OnCreate, OnStart],
+        OnPause => &[OnCreate, OnStart, OnResume],
+        OnRestart | OnDestroy => &[OnCreate, OnStart, OnStop],
+        _ => return false,
+    };
+    dominators.contains(&first)
+}
+
+/// Whether a callback kind is delivered *at most once* per component
+/// instance under its automaton: `onCreate` for activities (the `Fresh`
+/// state is never re-entered), `onAttach`/`onDetach` for fragments.
+/// Once-only enablers cannot re-arm a family after its disabler has run,
+/// which is what lets the refutation filter treat a dominated disabler as
+/// final.
+#[must_use]
+pub fn once_only(kind: CallbackKind) -> bool {
+    matches!(
+        kind,
+        CallbackKind::OnCreate | CallbackKind::OnAttach | CallbackKind::OnDetach
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -290,6 +329,78 @@ mod tests {
         assert!(lc.is_destroyed());
         assert!(lc.legal_events().is_empty());
         assert!(!lc.accepts_ui_events());
+    }
+
+    /// Exhaustively verify [`must_precede_execution`] against the
+    /// automaton: `first` dominates `second` iff no state where `second`
+    /// is legal is reachable from `Fresh` without ever firing `first`.
+    #[test]
+    fn dominators_match_the_automaton() {
+        let lifecycle_kinds: Vec<CallbackKind> = CallbackKind::all()
+            .iter()
+            .copied()
+            .filter(|k| k.is_lifecycle())
+            .collect();
+        for &first in &lifecycle_kinds {
+            // BFS over states reachable while refusing to fire `first`.
+            let mut seen = vec![LifecycleState::Fresh];
+            let mut queue = vec![Lifecycle::new()];
+            let mut deliverable_without_first = Vec::new();
+            while let Some(lc) = queue.pop() {
+                for e in lc.legal_events() {
+                    if e == first {
+                        continue;
+                    }
+                    deliverable_without_first.push(e);
+                    let mut next = lc.clone();
+                    next.fire(e).unwrap();
+                    if !seen.contains(&next.state()) {
+                        seen.push(next.state());
+                        queue.push(next);
+                    }
+                }
+            }
+            for &second in &lifecycle_kinds {
+                let dominated = !deliverable_without_first.contains(&second);
+                assert_eq!(
+                    must_precede_execution(first, second),
+                    dominated && first != second,
+                    "{first} must-precede {second}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dominators_imply_lifecycle_mhb_only_for_oncreate_pairs() {
+        // must_precede_execution is a different (stronger, execution-
+        // counting) relation: onStop dominates onDestroy yet carries no
+        // paper MHB edge. Only the onCreate-first facts overlap.
+        assert!(must_precede_execution(OnStop, OnDestroy));
+        assert!(lifecycle_mhb(OnStop, OnDestroy), "onDestroy-last overlaps");
+        assert!(must_precede_execution(OnStart, OnStop));
+        assert!(!lifecycle_mhb(OnStart, OnStop), "no paper edge here");
+        assert!(
+            !must_precede_execution(OnPause, OnDestroy),
+            "the skip path onCreate→onStart→onStop→onDestroy never pauses"
+        );
+    }
+
+    #[test]
+    fn once_only_kinds() {
+        assert!(once_only(OnCreate));
+        assert!(once_only(OnAttach));
+        assert!(once_only(OnDetach));
+        for k in [OnStart, OnResume, OnPause, OnStop, OnRestart, OnDestroy] {
+            // OnDestroy *is* once-only dynamically, but nothing runs
+            // after it anyway; the refutation filter only relies on the
+            // kinds listed true above, so keep the claim minimal.
+            if k == OnDestroy {
+                continue;
+            }
+            assert!(!once_only(k), "{k}");
+        }
+        assert!(!once_only(OnCreateView), "back stack recreates views");
     }
 
     #[test]

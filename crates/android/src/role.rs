@@ -54,6 +54,11 @@ pub enum ClassRole {
     /// A UI or system listener interface implementation (e.g.
     /// `View.OnClickListener`, `LocationListener`).
     Listener,
+    /// `android.app.Dialog`: a transient UI surface whose callbacks are
+    /// armed by `show()` and silenced by `dismiss()` — the canonical
+    /// enabling/disabling predicate pair of the Perez & Le callback
+    /// summaries.
+    Dialog,
     /// Any other application class with no framework role.
     Plain,
 }
@@ -96,6 +101,7 @@ impl ClassRole {
                 | ClassRole::Thread
                 | ClassRole::ServiceConnection
                 | ClassRole::Listener
+                | ClassRole::Dialog
         )
     }
 
@@ -115,6 +121,7 @@ impl ClassRole {
             ClassRole::LooperThread,
             ClassRole::Fragment,
             ClassRole::Listener,
+            ClassRole::Dialog,
             ClassRole::Plain,
         ]
     }
@@ -135,6 +142,7 @@ impl ClassRole {
             ClassRole::LooperThread => "looperthread",
             ClassRole::Fragment => "fragment",
             ClassRole::Listener => "listener",
+            ClassRole::Dialog => "dialog",
             ClassRole::Plain => "class",
         }
     }
@@ -174,7 +182,14 @@ mod tests {
 
     #[test]
     fn unknown_keyword_is_none() {
-        assert_eq!(ClassRole::from_keyword("dialog"), None);
+        assert_eq!(ClassRole::from_keyword("menu"), None);
+    }
+
+    #[test]
+    fn dialog_is_a_wired_helper() {
+        assert!(ClassRole::Dialog.is_framework_helper());
+        assert!(!ClassRole::Dialog.is_component());
+        assert_eq!(ClassRole::from_keyword("dialog"), Some(ClassRole::Dialog));
     }
 
     #[test]

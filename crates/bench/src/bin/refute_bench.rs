@@ -1,0 +1,281 @@
+//! Refutation-study bench: analyze the dedicated refutation corpus
+//! ([`nadroid_corpus::refute_specs`]) and write `BENCH_refute.json`
+//! (schema `nadroid-refute-bench/1`).
+//!
+//! The document records a Figure-5-style stage tally extended by the
+//! refutation stage (potential → after sound → after unsound →
+//! refuted → after refutation), the per-reason refutation counts, and
+//! one row per app with its post-refutation surviving warning ids and
+//! their `wp:` digest — all deterministic, so the perf gate compares
+//! them exactly. The run is also appended to `Result/ledger.jsonl` as
+//! a `refute` record.
+//!
+//! Self-checks (exit nonzero on violation):
+//! - every planted `Refute*` cluster is refuted, with exactly the
+//!   reason its certified expectation declares,
+//! - every kept control and harmful cluster survives refutation,
+//! - all six refutable pattern kinds are exercised corpus-wide.
+//!
+//! Usage: `refute_bench [--threads <N>] [--out <file>]`
+
+use nadroid_bench::analyze_program;
+use nadroid_core::warning_population_digest;
+use nadroid_corpus::{generate, refute_specs, AppSpec, Expectation, PatternKind};
+use nadroid_detector::warning_id;
+use nadroid_filters::refute::RefutationReason;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// One app's refutation sweep.
+struct AppRow {
+    name: String,
+    potential: usize,
+    after_sound: usize,
+    after_unsound: usize,
+    refuted: usize,
+    after_refutation: usize,
+    reasons: BTreeMap<&'static str, usize>,
+    micros: u128,
+    /// Sorted post-refutation surviving ids and their digest.
+    surviving_ids: Vec<String>,
+    digest: String,
+}
+
+/// What a spec's certified expectations predict for its sweep.
+struct Expected {
+    refuted: usize,
+    survivors: usize,
+    reasons: BTreeMap<&'static str, usize>,
+    refute_kinds: Vec<PatternKind>,
+}
+
+fn expected_of(spec: &AppSpec) -> Expected {
+    let mut e = Expected {
+        refuted: 0,
+        survivors: 0,
+        reasons: BTreeMap::new(),
+        refute_kinds: Vec::new(),
+    };
+    for &(kind, n) in &spec.counts {
+        match kind.expectation() {
+            Expectation::Refuted(reason) => {
+                e.refuted += n;
+                *e.reasons.entry(reason.name()).or_insert(0) += n;
+                e.refute_kinds.push(kind);
+            }
+            Expectation::Harmful(_) | Expectation::FalsePositive(_) => e.survivors += n,
+            _ => {}
+        }
+    }
+    e
+}
+
+/// Analyze one refutation-corpus app and check it against its spec's
+/// certified expectations. Returns the row plus any violations.
+fn run_app(spec: &AppSpec) -> (AppRow, Vec<String>) {
+    let app = generate(spec);
+    let start = Instant::now();
+    let analysis = analyze_program(&app.program);
+    let micros = start.elapsed().as_micros();
+    let s = analysis.summary();
+
+    let mut reasons: BTreeMap<&'static str, usize> = BTreeMap::new();
+    for (_, r) in analysis.refutations() {
+        *reasons.entry(r.reason.name()).or_insert(0) += 1;
+    }
+    let program = analysis.program();
+    let threads = analysis.threads();
+    let mut surviving_ids: Vec<String> = analysis
+        .survivors()
+        .iter()
+        .map(|w| warning_id(program, threads, w))
+        .collect();
+    surviving_ids.sort_unstable();
+    let digest = warning_population_digest(&surviving_ids);
+
+    let expected = expected_of(spec);
+    let mut violations = Vec::new();
+    if s.refuted != expected.refuted {
+        violations.push(format!(
+            "{}: {} warning(s) refuted, expected {} (one per planted Refute* cluster)",
+            spec.name, s.refuted, expected.refuted
+        ));
+    }
+    if s.after_refutation != expected.survivors {
+        violations.push(format!(
+            "{}: {} survivor(s) after refutation, expected {} (kept controls must stand)",
+            spec.name, s.after_refutation, expected.survivors
+        ));
+    }
+    if reasons != expected.reasons {
+        violations.push(format!(
+            "{}: refutation reasons {reasons:?}, expected {:?}",
+            spec.name, expected.reasons
+        ));
+    }
+
+    (
+        AppRow {
+            name: spec.name.clone(),
+            potential: s.potential,
+            after_sound: s.after_sound,
+            after_unsound: s.after_unsound,
+            refuted: s.refuted,
+            after_refutation: s.after_refutation,
+            reasons,
+            micros,
+            surviving_ids,
+            digest,
+        },
+        violations,
+    )
+}
+
+fn main() {
+    let mut threads = 1usize;
+    let mut out_path = "BENCH_refute.json".to_owned();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--threads" => {
+                threads = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--threads <N>");
+            }
+            "--out" => out_path = args.next().expect("--out <file>"),
+            other => panic!("unknown argument `{other}`"),
+        }
+    }
+
+    let specs = refute_specs();
+    eprintln!("refute_bench: {} apps, threads {threads}", specs.len());
+
+    let wall_start = Instant::now();
+    let (apps, violations): (Vec<AppRow>, Vec<Vec<String>>) =
+        nadroid_par::with_threads(threads, || {
+            specs
+                .iter()
+                .map(|spec| {
+                    let (a, v) = run_app(spec);
+                    eprintln!(
+                        "  {}: {} potential -> {} after unsound -> {} refuted -> {} reported, {}ms",
+                        a.name,
+                        a.potential,
+                        a.after_unsound,
+                        a.refuted,
+                        a.after_refutation,
+                        a.micros / 1000
+                    );
+                    (a, v)
+                })
+                .unzip()
+        });
+    let wall_secs = wall_start.elapsed().as_secs_f64();
+    let mut violations: Vec<String> = violations.into_iter().flatten().collect();
+
+    // Corpus-wide coverage: every refutable pattern kind must actually
+    // be exercised, or the study quantifies less than it claims.
+    let exercised: Vec<PatternKind> = specs
+        .iter()
+        .flat_map(|s| expected_of(s).refute_kinds)
+        .collect();
+    for &kind in PatternKind::all() {
+        if matches!(kind.expectation(), Expectation::Refuted(_)) && !exercised.contains(&kind) {
+            violations.push(format!("pattern {kind:?} is never planted in refute_specs()"));
+        }
+    }
+
+    let potential: usize = apps.iter().map(|a| a.potential).sum();
+    let after_sound: usize = apps.iter().map(|a| a.after_sound).sum();
+    let after_unsound: usize = apps.iter().map(|a| a.after_unsound).sum();
+    let refuted: usize = apps.iter().map(|a| a.refuted).sum();
+    let after_refutation: usize = apps.iter().map(|a| a.after_refutation).sum();
+    let mut reasons: BTreeMap<&'static str, usize> = BTreeMap::new();
+    for r in RefutationReason::ALL {
+        reasons.insert(r.name(), 0);
+    }
+    for a in &apps {
+        for (k, n) in &a.reasons {
+            *reasons.entry(k).or_insert(0) += n;
+        }
+    }
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"schema\": \"nadroid-refute-bench/1\",");
+    let _ = writeln!(out, "  \"apps\": {},", apps.len());
+    let _ = writeln!(out, "  \"cores\": {cores},");
+    let _ = writeln!(out, "  \"threads\": {threads},");
+    let _ = writeln!(out, "  \"wall_secs\": {wall_secs:.6},");
+    let _ = writeln!(
+        out,
+        "  \"tally\": {{ \"potential\": {potential}, \"after_sound\": {after_sound}, \
+         \"after_unsound\": {after_unsound}, \"refuted\": {refuted}, \
+         \"after_refutation\": {after_refutation} }},"
+    );
+    let reason_fields = reasons
+        .iter()
+        .map(|(k, n)| format!("\"{k}\": {n}"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let _ = writeln!(out, "  \"reasons\": {{ {reason_fields} }},");
+    let _ = writeln!(out, "  \"per_app\": [");
+    for (i, a) in apps.iter().enumerate() {
+        let ids = a
+            .surviving_ids
+            .iter()
+            .map(|id| format!("\"{id}\""))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let comma = if i + 1 < apps.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{ \"app\": \"{}\", \"potential\": {}, \"after_sound\": {}, \
+             \"after_unsound\": {}, \"refuted\": {}, \"after_refutation\": {}, \
+             \"micros\": {}, \"digest\": \"{}\", \"surviving_ids\": [{ids}] }}{comma}",
+            a.name,
+            a.potential,
+            a.after_sound,
+            a.after_unsound,
+            a.refuted,
+            a.after_refutation,
+            a.micros,
+            a.digest
+        );
+    }
+    let _ = writeln!(out, "  ]");
+    out.push_str("}\n");
+    std::fs::write(&out_path, &out).expect("write bench json");
+
+    // One step: regenerate the BENCH document *and* append the run to
+    // the longitudinal ledger.
+    match nadroid_core::parse_json(&out).and_then(|v| nadroid_ledger::record_from_bench_refute(&v))
+    {
+        Ok(mut rec) => {
+            rec.note = format!("refute_bench --threads {threads}");
+            let ledger_path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+                .join("../..")
+                .join(nadroid_ledger::DEFAULT_PATH);
+            match nadroid_ledger::append(&ledger_path, &rec) {
+                Ok(()) => eprintln!("appended refute record to {}", ledger_path.display()),
+                Err(e) => eprintln!("could not append ledger record: {e}"),
+            }
+        }
+        Err(e) => eprintln!("could not build ledger record: {e}"),
+    }
+
+    eprintln!(
+        "refute_bench: {potential} potential -> {after_sound} after sound -> {after_unsound} \
+         after unsound -> {refuted} refuted -> {after_refutation} reported, {wall_secs:.2}s"
+    );
+    println!("wrote {out_path}");
+
+    if !violations.is_empty() {
+        for v in &violations {
+            eprintln!("refute_bench: FAIL — {v}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -494,7 +494,7 @@ mod tests {
         assert!(text.contains("\"filter.MHB.examined\""), "{text}");
         assert!(text.contains("\"phase_secs\""), "{text}");
         let prov = std::fs::read_to_string(dir.join("Dns66.provenance.json")).unwrap();
-        assert!(prov.contains("\"schema\": \"nadroid-provenance/3\""), "{prov}");
+        assert!(prov.contains("\"schema\": \"nadroid-provenance/4\""), "{prov}");
         assert!(prov.contains("racyPair"), "{prov}");
     }
 

@@ -50,7 +50,7 @@ pub enum Command {
         /// Write a flat JSON run-report (timings, counters, span
         /// aggregates) to this file.
         report: Option<String>,
-        /// Write the `nadroid-provenance/3` JSON document (stable warning
+        /// Write the `nadroid-provenance/4` JSON document (stable warning
         /// ids, derivation trees, filter audit, HB evidence) to this file.
         provenance: Option<String>,
         /// Append the human-readable span/metric tree to the output.
@@ -85,7 +85,7 @@ pub enum Command {
         /// Worker threads for the analysis and the batch confirmation;
         /// verdicts are byte-identical at every thread count.
         threads: Option<usize>,
-        /// Also write the `nadroid-provenance/3` document with the
+        /// Also write the `nadroid-provenance/4` document with the
         /// confirmation verdicts attached to this file.
         provenance: Option<String>,
     },
@@ -347,7 +347,7 @@ OBSERVABILITY (see docs/observability.md):
                       or https://ui.perfetto.dev
     --report <file>   flat JSON run-report: phase timings, counters
                       (incl. per-filter examined/killed), span aggregates
-    --provenance <f>  nadroid-provenance/3 JSON: stable warning ids,
+    --provenance <f>  nadroid-provenance/4 JSON: stable warning ids,
                       Datalog derivation trees, per-filter audit trail,
                       happens-before evidence, and the program hash
     --stats           append the span/metric tree to the text report
@@ -370,7 +370,7 @@ CONFIRMATION (see docs/confirm.md):
     <warning-id> it probes that one warning (pruned ones included);
     --all / no id confirms every survivor. --json emits the
     nadroid-confirm/1 document; --provenance <f> writes the
-    nadroid-provenance/3 document with verdicts attached. `replay`
+    nadroid-provenance/4 document with verdicts attached. `replay`
     re-executes an emitted schedule in a fresh process and fails unless
     the NPE reproduces (and, with --id, matches that warning's sites).
 
@@ -1037,11 +1037,25 @@ baseline: {suppressed} suppressed, {} new
             // corrupt document falls through to a live solve.
             let program = load(path)?;
             let want_hash = nadroid_core::program_hash(&program);
-            if let Some((prov_path, doc)) = fresh_provenance_sibling(path, &want_hash) {
+            if let Some((prov_path, doc, schema)) = fresh_provenance_sibling(path, &want_hash) {
                 if let Ok(text) =
                     nadroid_core::render_explain_from_json(&doc, warning_id.as_deref())
                 {
-                    return Ok(format!("(from cached provenance: {prov_path})\n{text}"));
+                    // An older (still readable) document renders fine but
+                    // predates newer sections — say so in one line rather
+                    // than silently omitting them.
+                    let stale = if schema == nadroid_core::PROVENANCE_SCHEMA {
+                        String::new()
+                    } else {
+                        format!(
+                            "note: {prov_path} uses schema {schema}; current is {}. \
+                             Re-run `nadroid analyze --provenance` to refresh it.\n",
+                            nadroid_core::PROVENANCE_SCHEMA
+                        )
+                    };
+                    return Ok(format!(
+                        "(from cached provenance: {prov_path})\n{stale}{text}"
+                    ));
                 }
             }
             let analysis = analyze(&program, &AnalysisConfig::default());
@@ -1378,10 +1392,15 @@ fn record_from_bench_file(path: &str) -> Result<(ledger::Record, Vec<String>), C
         ledger::record_from_bench_confirm(&doc)
             .map(|r| (r, Vec::new()))
             .map_err(|e| CliError(format!("{path}: {e}")))
+    } else if schema.starts_with("nadroid-refute-bench/") {
+        ledger::record_from_bench_refute(&doc)
+            .map(|r| (r, Vec::new()))
+            .map_err(|e| CliError(format!("{path}: {e}")))
     } else {
         Err(CliError(format!(
             "{path}: unsupported schema `{schema}` \
-             (expected nadroid-timing/*, nadroid-serve-bench/*, or nadroid-confirm-bench/*)"
+             (expected nadroid-timing/*, nadroid-serve-bench/*, nadroid-confirm-bench/*, \
+             or nadroid-refute-bench/*)"
         )))
     }
 }
@@ -1673,8 +1692,10 @@ fn render_metrics_text(json: &str) -> Result<String, CliError> {
 /// The `<app>.provenance.json` sibling of `path`, when it exists and
 /// records `want_hash` as its `program_hash` — validation by content,
 /// not mtime, so a document that merely *looks* newer than the DSL file
-/// can never answer for a program whose text changed.
-fn fresh_provenance_sibling(path: &str, want_hash: &str) -> Option<(String, String)> {
+/// can never answer for a program whose text changed. The third element
+/// is the document's recorded schema, so `explain` can note when the
+/// sibling predates the current [`nadroid_core::PROVENANCE_SCHEMA`].
+fn fresh_provenance_sibling(path: &str, want_hash: &str) -> Option<(String, String, String)> {
     let prov = std::path::Path::new(path).with_extension("provenance.json");
     let doc = std::fs::read_to_string(&prov).ok()?;
     let recorded = nadroid_core::parse_json(&doc).ok()?;
@@ -1685,7 +1706,12 @@ fn fresh_provenance_sibling(path: &str, want_hash: &str) -> Option<(String, Stri
     {
         return None;
     }
-    Some((prov.to_string_lossy().into_owned(), doc))
+    let schema = recorded
+        .get("schema")
+        .and_then(nadroid_core::JsonValue::as_str)
+        .unwrap_or("")
+        .to_owned();
+    Some((prov.to_string_lossy().into_owned(), doc, schema))
 }
 
 #[cfg(test)]
@@ -1880,7 +1906,7 @@ mod tests {
         .unwrap();
         assert!(json.contains("\"schema\": \"nadroid-confirm/1\""), "{json}");
         let prov = std::fs::read_to_string(&prov_path).unwrap();
-        assert!(prov.contains("\"schema\": \"nadroid-provenance/3\""), "{prov}");
+        assert!(prov.contains("\"schema\": \"nadroid-provenance/4\""), "{prov}");
         assert!(prov.contains("\"verdict\": \"confirmed\""), "{prov}");
 
         // Unknown ids list the known ones instead of erroring.
@@ -2600,6 +2626,70 @@ activity M { cb onClick { } }",
         let fallback = run(&explain_cmd).unwrap();
         assert!(!fallback.contains("from cached provenance"), "{fallback}");
         assert_eq!(fallback, live);
+    }
+
+    #[test]
+    fn explain_notes_a_stale_provenance_schema() {
+        let dir = std::env::temp_dir().join("nadroid_cli_prov_stale_schema");
+        std::fs::create_dir_all(&dir).unwrap();
+        let app = dir.join("app.dsl");
+        std::fs::write(
+            &app,
+            r#"
+            app Stale
+            activity M {
+                field f: M
+                cb onCreate { f = new M }
+                cb onClick { use f }
+                cb onPause { f = null }
+            }
+            "#,
+        )
+        .unwrap();
+        let prov = dir.join("app.provenance.json");
+        let path = app.to_string_lossy().into_owned();
+        run(&Command::Analyze {
+            path: path.clone(),
+            validate: false,
+            sound_only: false,
+            k: 2,
+            json: false,
+            baseline: None,
+            update_baseline: false,
+            trace: None,
+            report: None,
+            provenance: Some(prov.to_string_lossy().into_owned()),
+            stats: false,
+            mhp_preprune: false,
+            threads: None,
+        })
+        .unwrap();
+        let explain_cmd = Command::Explain {
+            path,
+            warning_id: None,
+        };
+
+        // Current schema: cached path, no staleness notice.
+        let fresh = run(&explain_cmd).unwrap();
+        assert!(fresh.contains("from cached provenance"), "{fresh}");
+        assert!(!fresh.contains("note: "), "{fresh}");
+
+        // Rewrite the sibling as the previous (still readable) schema:
+        // the same rendering, prefixed by exactly one staleness line.
+        let doc = std::fs::read_to_string(&prov)
+            .unwrap()
+            .replace("nadroid-provenance/4", "nadroid-provenance/3");
+        std::fs::write(&prov, doc).unwrap();
+        let stale = run(&explain_cmd).unwrap();
+        assert!(stale.contains("from cached provenance"), "{stale}");
+        assert!(
+            stale.contains("uses schema nadroid-provenance/3; current is nadroid-provenance/4"),
+            "{stale}"
+        );
+        assert!(
+            stale.contains("Re-run `nadroid analyze --provenance`"),
+            "{stale}"
+        );
     }
 
     #[test]

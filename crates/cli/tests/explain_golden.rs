@@ -289,7 +289,7 @@ fn provenance_json_golden_shape_on_connectbot() {
     let doc = parse(&std::fs::read_to_string(&prov_path).unwrap());
     assert_eq!(
         doc.get("schema").and_then(Json::as_str),
-        Some("nadroid-provenance/3")
+        Some("nadroid-provenance/4")
     );
     assert_eq!(doc.get("app").and_then(Json::as_str), Some("ConnectBot"));
     let warnings = match doc.get("warnings") {
@@ -339,7 +339,7 @@ fn provenance_json_golden_shape_on_connectbot() {
 }
 
 /// Golden shape for the confirmation surface: `nadroid confirm
-/// --provenance` must write a `nadroid-provenance/3` document whose
+/// --provenance` must write a `nadroid-provenance/4` document whose
 /// surviving warnings carry verdict blocks with replayable witness
 /// schedules, and the explain rendering of that document must show the
 /// confirmation section verbatim.
@@ -361,7 +361,7 @@ fn confirmation_golden_on_connectbot() {
     let doc = parse(&text);
     assert_eq!(
         doc.get("schema").and_then(Json::as_str),
-        Some("nadroid-provenance/3")
+        Some("nadroid-provenance/4")
     );
     let warnings = match doc.get("warnings") {
         Some(Json::Arr(w)) => w,
@@ -413,6 +413,98 @@ fn confirmation_golden_on_connectbot() {
     ] {
         assert!(rendered.contains(needle), "missing {needle:?} in:\n{rendered}");
     }
+}
+
+/// Golden shape for the refutation surface on the Gallery corpus app:
+/// two of its three warnings are soundly refuted (one per reason kind
+/// the app plants — family-disabled dialog, fragment extended order)
+/// and `nadroid explain` renders each `refutation:` block with its
+/// full contradiction chain, while the skippable-onPause dialog
+/// rightly survives. The `--provenance` JSON carries the same blocks
+/// under the `nadroid-provenance/4` schema.
+#[test]
+fn refutation_golden_on_gallery() {
+    let app = format!("{}/../../apps/gallery.dsl", env!("CARGO_MANIFEST_DIR"));
+    let all = run(&Command::Explain {
+        path: app.clone(),
+        warning_id: None,
+    })
+    .unwrap();
+    for needle in [
+        "field:  UploadActivity.session",
+        "status: refuted (disabled)",
+        "field:  AlbumActivity.cache",
+        "status: refuted (extended-order)",
+        "field:  PreviewActivity.bitmap",
+        "status: survived all filters",
+        "refutation:",
+        "reason: disabled",
+        "reason: extended-order",
+        "is gated by the dialog family",
+        "every dialog enabler sits in a once-only onCreate",
+        "fragment automaton: onAttach first, onDetach last",
+        "no witness exists",
+    ] {
+        assert!(all.contains(needle), "missing {needle:?} in:\n{all}");
+    }
+    // Exactly the two refutable warnings carry a refutation block.
+    assert_eq!(all.matches("\n  refutation:\n").count(), 2, "{all}");
+
+    // The JSON document round-trips the same blocks.
+    let dir = std::env::temp_dir().join("nadroid_refute_golden");
+    std::fs::create_dir_all(&dir).unwrap();
+    let prov_path = dir.join("provenance.json");
+    run(&Command::Analyze {
+        path: app,
+        validate: false,
+        sound_only: false,
+        k: 2,
+        json: false,
+        baseline: None,
+        update_baseline: false,
+        trace: None,
+        report: None,
+        provenance: Some(prov_path.to_string_lossy().into_owned()),
+        stats: false,
+        mhp_preprune: false,
+        threads: None,
+    })
+    .unwrap();
+    let doc = parse(&std::fs::read_to_string(&prov_path).unwrap());
+    assert_eq!(
+        doc.get("schema").and_then(Json::as_str),
+        Some("nadroid-provenance/4")
+    );
+    let warnings = match doc.get("warnings") {
+        Some(Json::Arr(w)) => w,
+        other => panic!("warnings missing: {other:?}"),
+    };
+    assert_eq!(warnings.len(), 3, "Gallery has three potential pairs");
+    let mut reasons = Vec::new();
+    for w in warnings {
+        let refutation = w.get("refutation").expect("refutation key present");
+        if refutation == &Json::Null {
+            continue;
+        }
+        // Refutation only applies to warnings every filter passed.
+        assert_eq!(w.get("survived"), Some(&Json::Bool(true)));
+        reasons.push(
+            refutation
+                .get("reason")
+                .and_then(Json::as_str)
+                .unwrap()
+                .to_owned(),
+        );
+        let chain = match refutation.get("chain") {
+            Some(Json::Arr(c)) => c,
+            other => panic!("chain missing: {other:?}"),
+        };
+        assert!(chain.len() >= 2, "chains state premise and contradiction");
+        let last = chain.last().unwrap().as_str().unwrap();
+        assert!(last.contains("no witness exists"), "{last}");
+    }
+    reasons.sort();
+    assert_eq!(reasons, ["disabled", "extended-order"]);
 }
 
 #[test]

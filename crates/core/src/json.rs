@@ -336,8 +336,17 @@ pub fn render_json(analysis: &Analysis<'_>) -> String {
     let _ = writeln!(
         out,
         "  \"summary\": {{ \"loc\": {}, \"ec\": {}, \"pc\": {}, \"threads\": {}, \
-         \"potential\": {}, \"after_sound\": {}, \"after_unsound\": {} }},",
-        s.loc, s.ec, s.pc, s.threads, s.potential, s.after_sound, s.after_unsound
+         \"potential\": {}, \"after_sound\": {}, \"after_unsound\": {}, \
+         \"refuted\": {}, \"after_refutation\": {} }},",
+        s.loc,
+        s.ec,
+        s.pc,
+        s.threads,
+        s.potential,
+        s.after_sound,
+        s.after_unsound,
+        s.refuted,
+        s.after_refutation
     );
     out.push_str("  \"warnings\": [");
     let warnings = analysis.rendered_survivors();
@@ -401,8 +410,17 @@ pub fn render_run_report(analysis: &Analysis<'_>, recorder: &nadroid_obs::Record
     let _ = writeln!(
         out,
         "  \"summary\": {{ \"loc\": {}, \"ec\": {}, \"pc\": {}, \"threads\": {}, \
-         \"potential\": {}, \"after_sound\": {}, \"after_unsound\": {} }},",
-        s.loc, s.ec, s.pc, s.threads, s.potential, s.after_sound, s.after_unsound
+         \"potential\": {}, \"after_sound\": {}, \"after_unsound\": {}, \
+         \"refuted\": {}, \"after_refutation\": {} }},",
+        s.loc,
+        s.ec,
+        s.pc,
+        s.threads,
+        s.potential,
+        s.after_sound,
+        s.after_unsound,
+        s.refuted,
+        s.after_refutation
     );
     let _ = writeln!(
         out,
@@ -503,7 +521,7 @@ mod tests {
         let prov = parse_json(&crate::render_provenance_json(&a)).unwrap();
         assert_eq!(
             prov.get("schema").unwrap().as_str(),
-            Some("nadroid-provenance/3")
+            Some("nadroid-provenance/4")
         );
         assert_eq!(
             prov.get("program_hash").unwrap().as_str(),

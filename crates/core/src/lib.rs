@@ -47,12 +47,14 @@ pub use json::{
 pub use provenance::{
     render_explain, render_explain_from_json, render_provenance_json,
     render_provenance_json_with, ConfirmVerdict, Confirmation, DerivationNode, WarningProvenance,
+    PROVENANCE_SCHEMA,
 };
 pub use render::render_report;
 pub use report::{classify_pair, rank_key, render_warning, Endpoint, PairType, RenderedWarning};
 
 use nadroid_detector::{detect_with, distinct_pairs, DetectorOptions, UafWarning};
 use nadroid_dynamic::{explore, ExploreConfig, Goal, Witness};
+use nadroid_filters::refute::{Refutation, Refuter};
 use nadroid_filters::{FilterKind, FilterOutcome, Filters};
 use nadroid_hb::HbGraph;
 use nadroid_ir::{InstrId, Program};
@@ -86,6 +88,13 @@ pub struct AnalysisConfig {
     /// shrink — the timing driver opts in to measure the saved work.
     /// Free-before-use orderings are never pruned (they are the bugs).
     pub mhp_preprune: bool,
+    /// Run the sound reachability-refutation pass over the unsound
+    /// survivors (`nadroid_filters::refute`). On by default: the
+    /// refuter only acts on predicate-extended facts (enabling/disabling
+    /// summaries, fragment and task-stack automata), so programs that
+    /// use none of the summarized APIs — including the whole 27-app
+    /// paper corpus — are byte-identical with it on or off.
+    pub refutation: bool,
     /// Worker threads for the parallel phases (detection, filtering,
     /// points-to planning, Datalog rule evaluation). `1` (the default)
     /// keeps every phase on the calling thread; any value produces
@@ -108,6 +117,7 @@ impl Default for AnalysisConfig {
             unsound_filters: FilterKind::unsound().to_vec(),
             datalog_crosscheck: false,
             mhp_preprune: false,
+            refutation: true,
             threads,
         }
     }
@@ -170,6 +180,13 @@ pub struct Summary {
     pub after_sound: usize,
     /// Pairs remaining after sound + unsound filters.
     pub after_unsound: usize,
+    /// Unsound-pass survivors the sound reachability refuter refuted
+    /// (distinct pairs; zero whenever the program uses no summarized
+    /// enable/disable API).
+    pub refuted: usize,
+    /// Pairs remaining after the refutation pass — what the report
+    /// actually shows. Equals `after_unsound - refuted`.
+    pub after_refutation: usize,
 }
 
 /// The result of running the pipeline on one program.
@@ -186,6 +203,10 @@ pub struct Analysis<'p> {
     sound_outcomes: Vec<FilterOutcome>,
     /// Outcome of the unsound-filter pass over the sound survivors.
     unsound_outcomes: Vec<FilterOutcome>,
+    /// Refutations of unsound-pass survivors, aligned with the
+    /// surviving subset of `unsound_outcomes` (empty when
+    /// `config.refutation` is off or nothing refutes).
+    refutations: Vec<(UafWarning, Refutation)>,
     /// The materialized happens-before relation every HB-family filter
     /// query was answered from.
     hb: HbGraph,
@@ -267,6 +288,23 @@ fn analyze_inner<'p>(program: &'p Program, config: &AnalysisConfig) -> Analysis<
     let unsound_outcomes = filters.pipeline(survivors, &config.unsound_filters);
     nadroid_filters::record_tallies(&sound_outcomes, &config.sound_filters);
     nadroid_filters::record_tallies(&unsound_outcomes, &config.unsound_filters);
+    // The sound refutation pass (predicate-extended ordering) runs last,
+    // over the unsound survivors only — mirroring where a human would
+    // triage. It is a no-op unless the program uses a summarized
+    // enable/disable API, so the §6 populations above are untouched.
+    let mut refutations = Vec::new();
+    if config.refutation {
+        let _s = obs::span("refute");
+        let refuter = Refuter::new(program, &threads, &hb);
+        for o in unsound_outcomes.iter().filter(|o| o.survives()) {
+            if let Some(r) = refuter.refute(&o.warning) {
+                refutations.push((o.warning.clone(), r));
+            }
+        }
+        if obs::recording() {
+            obs::counter("filters.refuted", refutations.len() as u64);
+        }
+    }
     drop(_filtering_span);
     let filtering = t2.elapsed();
 
@@ -283,6 +321,7 @@ fn analyze_inner<'p>(program: &'p Program, config: &AnalysisConfig) -> Analysis<
         warnings,
         sound_outcomes,
         unsound_outcomes,
+        refutations,
         hb,
         timings: PhaseTimings {
             modeling,
@@ -364,14 +403,32 @@ impl<'p> Analysis<'p> {
         &self.unsound_outcomes
     }
 
-    /// Warnings surviving both filter stages.
+    /// Warnings surviving both filter stages and the refutation pass —
+    /// the reported set.
     #[must_use]
     pub fn survivors(&self) -> Vec<&UafWarning> {
         self.unsound_outcomes
             .iter()
             .filter(|o| o.survives())
             .map(|o| &o.warning)
+            .filter(|w| self.refutation_of(w).is_none())
             .collect()
+    }
+
+    /// Unsound-pass survivors the refuter refuted, with the
+    /// contradiction evidence.
+    #[must_use]
+    pub fn refutations(&self) -> &[(UafWarning, Refutation)] {
+        &self.refutations
+    }
+
+    /// The refutation of one warning, if the refuter refuted it.
+    #[must_use]
+    pub fn refutation_of(&self, w: &UafWarning) -> Option<&Refutation> {
+        self.refutations
+            .iter()
+            .find(|(rw, _)| rw == w)
+            .map(|(_, r)| r)
     }
 
     /// Phase timings (§8.8).
@@ -403,7 +460,15 @@ impl<'p> Analysis<'p> {
             .filter(|o| o.survives())
             .map(|o| o.warning.clone())
             .collect();
+        let survivors_unsound: Vec<UafWarning> = self
+            .unsound_outcomes
+            .iter()
+            .filter(|o| o.survives())
+            .map(|o| o.warning.clone())
+            .collect();
         let survivors_all: Vec<UafWarning> = self.survivors().into_iter().cloned().collect();
+        let after_unsound = distinct_pairs(&survivors_unsound);
+        let after_refutation = distinct_pairs(&survivors_all);
         Summary {
             loc: self.program.loc(),
             ec: self.threads.entry_callback_count(),
@@ -411,7 +476,9 @@ impl<'p> Analysis<'p> {
             threads: self.threads.thread_count(),
             potential: distinct_pairs(&self.warnings),
             after_sound: distinct_pairs(&survivors_sound),
-            after_unsound: distinct_pairs(&survivors_all),
+            after_unsound,
+            refuted: after_unsound - after_refutation,
+            after_refutation,
         }
     }
 
@@ -641,6 +708,65 @@ mod tests {
             .false_positives
             .iter()
             .all(|(_, c)| *c == FpCause::PathInsensitivity));
+    }
+
+    // Figure 1a with a dialog listener gated by a show/dismiss pair:
+    // the warning survives every §6 filter, but the refuter proves the
+    // onShow callback can never be delivered after onStop's dismiss.
+    const DIALOG_DISMISS: &str = r#"
+        app Dlg
+        activity Main {
+            field f: Main
+            field dlg: Dlg
+            cb onCreate {
+                dlg = new Dlg
+                show dlg
+                f = new Main
+            }
+            cb onStop { dismiss dlg }
+            cb onDestroy { f = null }
+        }
+        dialog Dlg in Main {
+            cb onShow { use outer.f }
+        }
+    "#;
+
+    #[test]
+    fn refutation_prunes_the_disabled_dialog_warning() {
+        let p = parse_program(DIALOG_DISMISS).unwrap();
+        let a = analyze(&p, &AnalysisConfig::default());
+        let s = a.summary();
+        assert_eq!(s.after_unsound, 1, "every §6 filter keeps it");
+        assert_eq!(s.refuted, 1, "the refuter proves it infeasible");
+        assert_eq!(s.after_refutation, 0);
+        assert!(a.survivors().is_empty(), "reported set is post-refutation");
+        assert_eq!(a.refutations().len(), 1);
+        let (w, r) = &a.refutations()[0];
+        assert!(a.refutation_of(w).is_some());
+        assert!(!r.chain.is_empty(), "contradiction chain recorded");
+    }
+
+    #[test]
+    fn refutation_can_be_disabled() {
+        let p = parse_program(DIALOG_DISMISS).unwrap();
+        let cfg = AnalysisConfig {
+            refutation: false,
+            ..Default::default()
+        };
+        let a = analyze(&p, &cfg);
+        let s = a.summary();
+        assert_eq!(s.refuted, 0);
+        assert_eq!(s.after_refutation, s.after_unsound);
+        assert_eq!(a.survivors().len(), 1, "the warning stands unrefuted");
+    }
+
+    #[test]
+    fn refutation_never_touches_summarized_api_free_programs() {
+        let p = parse_program(FIG1A).unwrap();
+        let a = analyze(&p, &AnalysisConfig::default());
+        let s = a.summary();
+        assert_eq!(s.refuted, 0, "no summarized enable/disable API in play");
+        assert_eq!(s.after_refutation, s.after_unsound);
     }
 
     #[test]

@@ -13,11 +13,13 @@
 //! The audit is built from [`Filters::verdict`], whose `pruned` bit *is*
 //! [`Filters::prunes`], so it can never disagree with the Figure 5
 //! tallies the drivers report. [`render_provenance_json`] serializes
-//! everything under the `nadroid-provenance/3` schema (v2 added the
+//! everything under the `nadroid-provenance/4` schema (v2 added the
 //! document-level `program_hash` and the per-warning `hb` evidence; v3
 //! added the optional per-warning `confirmation` block written by
 //! `nadroid-confirm` — verdict, replayable witness schedule, search
-//! statistics); [`render_explain`] is the human-readable form behind
+//! statistics; v4 added the optional per-warning `refutation` block:
+//! the sound reachability refuter's reason and full contradiction
+//! chain); [`render_explain`] is the human-readable form behind
 //! `nadroid explain`.
 //!
 //! [`Filters::verdict`]: nadroid_filters::Filters::verdict
@@ -28,9 +30,16 @@ use crate::report::{render_warning, RenderedWarning};
 use crate::Analysis;
 use nadroid_datalog::{Database, Derivation, RuleSet, Term};
 use nadroid_detector::{derive_racy_pairs, describe_fact, warning_id, UafWarning};
+use nadroid_filters::refute::{Refutation, RefutationReason};
 use nadroid_filters::{FilterKind, FilterVerdict};
 use nadroid_hb::HbEdgeKind;
 use std::fmt::Write as _;
+
+/// The provenance schema the current build writes. `nadroid explain`
+/// prints a one-line staleness notice when a cached
+/// `<app>.provenance.json` sibling carries an older (still readable)
+/// schema.
+pub const PROVENANCE_SCHEMA: &str = "nadroid-provenance/4";
 
 /// One node of a derivation tree, pre-rendered in source terms (the
 /// solved database is dropped once the tree is built).
@@ -149,6 +158,10 @@ pub struct WarningProvenance {
     pub hb: Vec<String>,
     /// Derivation tree of the warning's `racyPair` fact.
     pub derivation: Option<DerivationNode>,
+    /// The sound reachability refuter's verdict, when it refuted this
+    /// warning after it survived every configured filter: the reason
+    /// plus the full contradiction chain (the v4 `refutation` block).
+    pub refutation: Option<Refutation>,
     /// Dynamic-confirmation verdict, once `nadroid-confirm` has run.
     /// `None` from a fresh [`Analysis::warning_provenances`] — static
     /// analysis never fills it in.
@@ -226,6 +239,7 @@ impl Analysis<'_> {
                     audit,
                     hb: hb_evidence(self, w),
                     derivation,
+                    refutation: self.refutation_of(w).cloned(),
                     confirmation: None,
                 }
             })
@@ -291,7 +305,7 @@ fn hb_evidence(analysis: &Analysis<'_>, w: &UafWarning) -> Vec<String> {
 }
 
 /// Serialize the provenance of every warning as JSON under the
-/// `nadroid-provenance/3` schema.
+/// [`PROVENANCE_SCHEMA`] (`nadroid-provenance/4`) schema.
 #[must_use]
 pub fn render_provenance_json(analysis: &Analysis<'_>) -> String {
     render_provenance_json_with(analysis, &analysis.warning_provenances())
@@ -307,7 +321,7 @@ pub fn render_provenance_json_with(
     provenances: &[WarningProvenance],
 ) -> String {
     let mut out = String::from("{\n");
-    let _ = writeln!(out, "  \"schema\": \"nadroid-provenance/3\",");
+    let _ = writeln!(out, "  \"schema\": \"{PROVENANCE_SCHEMA}\",");
     let _ = writeln!(out, "  \"app\": \"{}\",", esc(analysis.program().name()));
     let _ = writeln!(
         out,
@@ -377,6 +391,26 @@ pub fn render_provenance_json_with(
             out.push_str("],\n");
         } else {
             out.push_str("\n      ],\n");
+        }
+        match &p.refutation {
+            Some(r) => {
+                out.push_str("      \"refutation\": {\n");
+                let _ = writeln!(out, "        \"reason\": \"{}\",", r.reason.name());
+                out.push_str("        \"chain\": [");
+                for (j, step) in r.chain.iter().enumerate() {
+                    if j > 0 {
+                        out.push(',');
+                    }
+                    let _ = write!(out, "\n          \"{}\"", esc(step));
+                }
+                if r.chain.is_empty() {
+                    out.push_str("]\n");
+                } else {
+                    out.push_str("\n        ]\n");
+                }
+                out.push_str("      },\n");
+            }
+            None => out.push_str("      \"refutation\": null,\n"),
         }
         match &p.confirmation {
             Some(c) => {
@@ -468,6 +502,8 @@ struct ExplainEntry {
     audit: Vec<(String, bool, String)>,
     hb: Vec<String>,
     derivation: Option<DerivationNode>,
+    /// (reason wire name, contradiction chain).
+    refutation: Option<(String, Vec<String>)>,
     confirmation: Option<Confirmation>,
 }
 
@@ -488,6 +524,10 @@ fn entry_of(p: &WarningProvenance) -> ExplainEntry {
             .collect(),
         hb: p.hb.clone(),
         derivation: p.derivation.clone(),
+        refutation: p
+            .refutation
+            .as_ref()
+            .map(|r| (r.reason.name().to_owned(), r.chain.clone())),
         confirmation: p.confirmation.clone(),
     }
 }
@@ -526,12 +566,22 @@ fn render_entries(entries: &[ExplainEntry], id: Option<&str>) -> String {
                 let _ = writeln!(out, "    {line}");
             }
         }
-        match &e.pruned_by {
-            Some(k) => {
+        match (&e.pruned_by, &e.refutation) {
+            (Some(k), _) => {
                 let _ = writeln!(out, "  status: pruned by {k}");
             }
-            None => {
+            (None, Some((reason, _))) => {
+                let _ = writeln!(out, "  status: refuted ({reason})");
+            }
+            (None, None) => {
                 let _ = writeln!(out, "  status: survived all filters");
+            }
+        }
+        if let Some((reason, chain)) = &e.refutation {
+            out.push_str("\n  refutation:\n");
+            let _ = writeln!(out, "    reason: {reason}");
+            for step in chain {
+                let _ = writeln!(out, "    - {step}");
             }
         }
         if let Some(c) = &e.confirmation {
@@ -575,20 +625,23 @@ pub fn render_explain(analysis: &Analysis<'_>, id: Option<&str>) -> String {
 }
 
 /// Render the `nadroid explain` text from a serialized
-/// `nadroid-provenance/3` (or legacy `/2`) document instead of a live
-/// analysis — the fast path when the provenance was already computed
+/// `nadroid-provenance/4` (or legacy `/2` or `/3`) document instead of
+/// a live analysis — the fast path when the provenance was already computed
 /// (by `analyze --provenance`, the table1 driver, `nadroid confirm`, or
 /// the serve result cache).
 ///
 /// # Errors
 ///
 /// Returns a message when the document is not parseable JSON or does not
-/// carry the `nadroid-provenance/2` or `/3` schema.
+/// carry the `nadroid-provenance/2`, `/3`, or `/4` schema.
 pub fn render_explain_from_json(doc: &str, id: Option<&str>) -> Result<String, String> {
     let v = crate::json::parse_json(doc)?;
     let schema = v.get("schema").and_then(JsonValue::as_str);
-    if !matches!(schema, Some("nadroid-provenance/2" | "nadroid-provenance/3")) {
-        return Err("not a nadroid-provenance/2 or /3 document".into());
+    if !matches!(
+        schema,
+        Some("nadroid-provenance/2" | "nadroid-provenance/3" | "nadroid-provenance/4")
+    ) {
+        return Err("not a nadroid-provenance/2, /3, or /4 document".into());
     }
     let warnings = v
         .get("warnings")
@@ -634,6 +687,24 @@ fn entry_from_json(v: &JsonValue) -> Result<ExplainEntry, String> {
         None | Some(JsonValue::Null) => None,
         Some(d) => Some(derivation_from_json(d)?),
     };
+    let refutation = match v.get("refutation") {
+        None | Some(JsonValue::Null) => None,
+        Some(r) => {
+            let reason = json_str(r, "reason")?;
+            if RefutationReason::from_name(&reason).is_none() {
+                return Err(format!("unknown refutation reason {reason:?}"));
+            }
+            let chain = r
+                .get("chain")
+                .and_then(JsonValue::as_arr)
+                .unwrap_or(&[])
+                .iter()
+                .filter_map(JsonValue::as_str)
+                .map(str::to_owned)
+                .collect();
+            Some((reason, chain))
+        }
+    };
     let confirmation = match v.get("confirmation") {
         None | Some(JsonValue::Null) => None,
         Some(c) => Some(confirmation_from_json(c)?),
@@ -653,6 +724,7 @@ fn entry_from_json(v: &JsonValue) -> Result<ExplainEntry, String> {
         audit,
         hb,
         derivation,
+        refutation,
         confirmation,
     })
 }
@@ -786,7 +858,8 @@ mod tests {
         let p = parse_program(FIG1A).unwrap();
         let a = analyze(&p, &AnalysisConfig::default());
         let json = render_provenance_json(&a);
-        assert!(json.contains("\"schema\": \"nadroid-provenance/3\""), "{json}");
+        assert!(json.contains("\"schema\": \"nadroid-provenance/4\""), "{json}");
+        assert!(json.contains("\"refutation\": null"), "{json}");
         assert!(json.contains("\"program_hash\": \"p:"), "{json}");
         assert!(json.contains("\"hb\": ["), "{json}");
         assert!(json.contains("\"confirmation\": null"), "{json}");
@@ -827,7 +900,7 @@ mod tests {
         assert!(render_explain_from_json("{}", None).is_err());
         assert!(render_explain_from_json("not json", None).is_err());
         // Legacy /2 documents (no confirmation field) still render.
-        let legacy = doc.replace("nadroid-provenance/3", "nadroid-provenance/2");
+        let legacy = doc.replace("nadroid-provenance/4", "nadroid-provenance/2");
         assert!(render_explain_from_json(&legacy, None).is_ok());
     }
 
@@ -872,6 +945,54 @@ mod tests {
             assert_eq!(ConfirmVerdict::from_str(v.as_str()), Some(v));
         }
         assert_eq!(ConfirmVerdict::from_str("maybe"), None);
+    }
+
+    #[test]
+    fn refutation_round_trips_through_json_and_explain() {
+        // A dialog listener disabled by onStop's dismiss: the warning
+        // survives every filter, the refuter refutes it, and the v4
+        // refutation block carries the chain through JSON and explain.
+        let p = parse_program(
+            r#"
+            app Dlg
+            activity Main {
+                field f: Main
+                field dlg: Dlg
+                cb onCreate {
+                    dlg = new Dlg
+                    show dlg
+                    f = new Main
+                }
+                cb onStop { dismiss dlg }
+                cb onDestroy { f = null }
+            }
+            dialog Dlg in Main {
+                cb onShow { use outer.f }
+            }
+            "#,
+        )
+        .unwrap();
+        let a = analyze(&p, &AnalysisConfig::default());
+        assert_eq!(a.refutations().len(), 1, "the dialog warning refutes");
+        let provs = a.warning_provenances();
+        let refuted: Vec<&WarningProvenance> =
+            provs.iter().filter(|wp| wp.refutation.is_some()).collect();
+        assert_eq!(refuted.len(), 1);
+        assert!(refuted[0].survived, "refutation applies to filter survivors");
+        let doc = render_provenance_json_with(&a, &provs);
+        assert!(doc.contains("\"refutation\": {"), "{doc}");
+        assert!(doc.contains("\"reason\": \"disabled\""), "{doc}");
+        assert!(doc.contains("\"chain\": ["), "{doc}");
+        assert_eq!(doc.matches('{').count(), doc.matches('}').count());
+        let text = render_explain_from_json(&doc, None).unwrap();
+        assert!(text.contains("status: refuted (disabled)"), "{text}");
+        assert!(text.contains("refutation:"), "{text}");
+        assert!(text.contains("reason: disabled"), "{text}");
+        assert!(text.contains("once-only onCreate"), "{text}");
+        assert_eq!(text, render_explain(&a, None), "fast path matches live");
+        // A bogus reason is rejected rather than silently rendered.
+        let bad = doc.replace("\"reason\": \"disabled\"", "\"reason\": \"vibes\"");
+        assert!(render_explain_from_json(&bad, None).is_err());
     }
 
     #[test]

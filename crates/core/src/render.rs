@@ -19,11 +19,20 @@ pub fn render_report(analysis: &Analysis<'_>, validation: Option<&ValidationResu
         "  {} LOC | {} entry callbacks | {} posted callbacks | {} threads",
         s.loc, s.ec, s.pc, s.threads
     );
-    let _ = writeln!(
-        out,
-        "  {} potential UAF pairs -> {} after sound filters -> {} reported",
-        s.potential, s.after_sound, s.after_unsound
-    );
+    if s.refuted == 0 {
+        let _ = writeln!(
+            out,
+            "  {} potential UAF pairs -> {} after sound filters -> {} reported",
+            s.potential, s.after_sound, s.after_unsound
+        );
+    } else {
+        let _ = writeln!(
+            out,
+            "  {} potential UAF pairs -> {} after sound filters -> {} after unsound \
+             filters -> {} refuted -> {} reported",
+            s.potential, s.after_sound, s.after_unsound, s.refuted, s.after_refutation
+        );
+    }
     out.push('\n');
 
     // Filter attribution.

@@ -88,6 +88,14 @@ impl PatternKind {
             PatternKind::FpUnreachable => "FpU",
             PatternKind::FpMissingHb => "FpH",
             PatternKind::HarmfulMultiLooper => "Ml",
+            PatternKind::RefuteDialogDismiss => "Rdd",
+            PatternKind::RefuteAlarmCancel => "Rac",
+            PatternKind::RefuteReceiverUnregister => "Rru",
+            PatternKind::RefuteBindUnbind => "Rbu",
+            PatternKind::RefuteFragmentLifecycle => "Rfl",
+            PatternKind::RefuteTaskStack => "Rts",
+            PatternKind::PredicateKeptSkipPath => "Pks",
+            PatternKind::PredicateKeptLateDisable => "Pkl",
             PatternKind::MissedOpaque => "Mo",
             PatternKind::ChbFalseNegative => "Cf",
             PatternKind::Benign => "Noise",

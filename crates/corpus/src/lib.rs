@@ -29,7 +29,9 @@ pub mod suite;
 
 pub use generator::{distribute, generate, AppSpec, GeneratedApp};
 pub use patterns::{Expectation, PatternKind};
-pub use suite::{scale_specs, spec_for, table1_rows, table2_rows, AppGroup, InjectedRow, PaperRow};
+pub use suite::{
+    refute_specs, scale_specs, spec_for, table1_rows, table2_rows, AppGroup, InjectedRow, PaperRow,
+};
 
 #[cfg(test)]
 mod certification {
@@ -86,6 +88,16 @@ mod certification {
                         "{kind:?}: FP cause"
                     );
                 }
+                Expectation::Refuted(reason) => {
+                    assert_eq!(summary.potential, 1, "{kind:?}: one pair expected");
+                    assert_eq!(summary.after_unsound, 1, "{kind:?}: survives §6");
+                    assert_eq!(summary.refuted, 1, "{kind:?}: refuted");
+                    assert_eq!(summary.after_refutation, 0, "{kind:?}: not reported");
+                    assert!(analysis.survivors().is_empty(), "{kind:?}");
+                    let (_, refutation) = &analysis.refutations()[0];
+                    assert_eq!(refutation.reason, reason, "{kind:?}: reason");
+                    assert!(!refutation.chain.is_empty(), "{kind:?}: chain recorded");
+                }
             }
         }
     }
@@ -133,6 +145,53 @@ mod certification {
                 );
             }
         }
+    }
+
+    #[test]
+    fn refuted_patterns_have_no_pair_witness() {
+        // The refuter's soundness claim: a refutation means *no* witness
+        // exists, so the schedule explorer must agree.
+        for &kind in PatternKind::all() {
+            if !matches!(kind.expectation(), Expectation::Refuted(_)) {
+                continue;
+            }
+            let app = single(kind);
+            let analysis = analyze(&app.program, &AnalysisConfig::default());
+            let (w, _) = &analysis.refutations()[0];
+            let witness = explore(
+                &app.program,
+                Goal::Pair {
+                    use_instr: w.use_access.instr,
+                    free_instr: w.free_access.instr,
+                },
+                ExploreConfig::default(),
+            );
+            assert!(
+                witness.is_none(),
+                "{kind:?}: the refuter contradicted a feasible UAF"
+            );
+        }
+    }
+
+    #[test]
+    fn refuted_patterns_compose_with_the_rest_of_the_corpus() {
+        // Refutation stays cluster-local: planting refuted clusters next
+        // to harmful and pruned ones changes nothing but its own tally.
+        let spec = AppSpec::new("RefAdd", 13)
+            .with(PatternKind::RefuteDialogDismiss, 1)
+            .with(PatternKind::RefuteTaskStack, 2)
+            .with(PatternKind::PredicateKeptSkipPath, 1)
+            .with(PatternKind::HarmfulEcPc, 1)
+            .with(PatternKind::Ig, 2)
+            .with(PatternKind::Benign, 1);
+        let app = generate(&spec);
+        let analysis = analyze(&app.program, &AnalysisConfig::default());
+        let s = analysis.summary();
+        assert_eq!(s.potential, 7);
+        assert_eq!(s.after_sound, 5); // IG prunes its 2
+        assert_eq!(s.after_unsound, 5);
+        assert_eq!(s.refuted, 3); // the three Refute* clusters
+        assert_eq!(s.after_refutation, 2); // kept control + HarmfulEcPc
     }
 
     #[test]

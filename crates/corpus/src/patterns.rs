@@ -9,6 +9,7 @@
 //! harmfulness.
 
 use nadroid_core::{FpCause, PairType};
+use nadroid_filters::refute::RefutationReason;
 use nadroid_filters::FilterKind;
 
 /// What the pipeline is expected to do with a pattern's warning pair.
@@ -20,6 +21,9 @@ pub enum Expectation {
     Harmful(PairType),
     /// Survives all filters but is a false positive of the given cause.
     FalsePositive(FpCause),
+    /// Survives the §6 pipeline but the reachability-refutation filter
+    /// contradicts every witness for the given reason.
+    Refuted(RefutationReason),
     /// Not detected at all (the §8.6 unanalyzed-code false negative).
     Undetected,
     /// No warning pair (pure noise).
@@ -79,6 +83,33 @@ pub enum PatternKind {
     /// multi-looper refinement: the guard gives no atomicity across
     /// loopers, so IG must not prune).
     HarmfulMultiLooper,
+    // --- refuted by the predicate-aware reachability filter ---
+    /// Dialog shown in `onCreate`, dismissed in `onStop` before the
+    /// `onDestroy` free: the Dialog family is disabled (mustNotHb).
+    RefuteDialogDismiss,
+    /// Alarm scheduled in `onCreate`, cancelled in `onStop` before the
+    /// `onDestroy` free: the Alarm family is disabled.
+    RefuteAlarmCancel,
+    /// Receiver registered in `onCreate`, unregistered in `onStop`
+    /// before the `onDestroy` free: the Receiver family is disabled.
+    RefuteReceiverUnregister,
+    /// Service bound in `onCreate`, unbound in `onStop` before the
+    /// `onDestroy` free: the Connection family is disabled.
+    RefuteBindUnbind,
+    /// Fragment use in `onCreateView`, free in its own `onDetach`: the
+    /// fragment automaton orders use before free (predHb).
+    RefuteFragmentLifecycle,
+    /// Use before a unique `startActivity`; the launched target frees:
+    /// the task-stack model orders use before free (predHb).
+    RefuteTaskStack,
+    // --- predicate-near controls the refuter must keep ---
+    /// Dialog dismissed only in `onPause`: the skip path
+    /// (`onStop` -> `onDestroy` without `onPause`) leaves the family
+    /// armed, so the warning stands and is a real UAF.
+    PredicateKeptSkipPath,
+    /// Free in `onStop` but dismiss only in `onDestroy`: the disabler
+    /// does not precede the free, so the warning stands.
+    PredicateKeptLateDisable,
     // --- §8.6 false-negative shapes ---
     /// Object laundered through the framework (missed by detection).
     MissedOpaque,
@@ -117,6 +148,14 @@ impl PatternKind {
             FpUnreachable,
             FpMissingHb,
             HarmfulMultiLooper,
+            RefuteDialogDismiss,
+            RefuteAlarmCancel,
+            RefuteReceiverUnregister,
+            RefuteBindUnbind,
+            RefuteFragmentLifecycle,
+            RefuteTaskStack,
+            PredicateKeptSkipPath,
+            PredicateKeptLateDisable,
             MissedOpaque,
             ChbFalseNegative,
             Benign,
@@ -148,6 +187,12 @@ impl PatternKind {
             FpPointsTo => FalsePositive(FpCause::PointsTo),
             FpUnreachable => FalsePositive(FpCause::NotReachable),
             FpMissingHb => FalsePositive(FpCause::MissingHappensBefore),
+            RefuteDialogDismiss | RefuteAlarmCancel | RefuteReceiverUnregister
+            | RefuteBindUnbind => Refuted(RefutationReason::Disabled),
+            RefuteFragmentLifecycle | RefuteTaskStack => {
+                Refuted(RefutationReason::ExtendedOrder)
+            }
+            PredicateKeptSkipPath | PredicateKeptLateDisable => Harmful(PairType::EcPc),
             MissedOpaque => Undetected,
             PatternKind::Benign => Expectation::Benign,
         }
@@ -176,6 +221,8 @@ impl PatternKind {
                 | PatternKind::HarmfulCRt
                 | PatternKind::HarmfulCNt
                 | PatternKind::HarmfulMultiLooper
+                | PatternKind::PredicateKeptSkipPath
+                | PatternKind::PredicateKeptLateDisable
                 | PatternKind::ChbFalseNegative
         )
     }
@@ -432,6 +479,110 @@ impl PatternKind {
                 looperthread MlL{n} {{ }}
                 handler MlH{n} in Ml{n} on MlL{n} {{
                     cb handleMessage {{ outer.f{n} = null }}
+                }}
+                "
+            ),
+            PatternKind::RefuteDialogDismiss => format!(
+                r"
+                activity Rdd{n} {{
+                    field dlg{n}: RddD{n}
+                    field f{n}: Rdd{n}
+                    cb onCreate {{ dlg{n} = new RddD{n}  show dlg{n}  f{n} = new Rdd{n} }}
+                    cb onStop {{ dismiss dlg{n} }}
+                    cb onDestroy {{ f{n} = null }}
+                }}
+                dialog RddD{n} in Rdd{n} {{
+                    cb onShow {{ use outer.f{n} }}
+                }}
+                "
+            ),
+            PatternKind::RefuteAlarmCancel => format!(
+                r"
+                activity Rac{n} {{
+                    field rcv{n}: RacR{n}
+                    field f{n}: Rac{n}
+                    cb onCreate {{ rcv{n} = new RacR{n}  schedule rcv{n}  f{n} = new Rac{n} }}
+                    cb onStop {{ cancelalarm rcv{n} }}
+                    cb onDestroy {{ f{n} = null }}
+                }}
+                receiver RacR{n} {{
+                    cb onAlarm {{ use Rac{n}.f{n} }}
+                }}
+                "
+            ),
+            PatternKind::RefuteReceiverUnregister => format!(
+                r"
+                activity Rru{n} {{
+                    field rcv{n}: RruR{n}
+                    field f{n}: Rru{n}
+                    cb onCreate {{ rcv{n} = new RruR{n}  register rcv{n}  f{n} = new Rru{n} }}
+                    cb onStop {{ unregister rcv{n} }}
+                    cb onDestroy {{ f{n} = null }}
+                }}
+                receiver RruR{n} {{
+                    cb onReceive {{ use Rru{n}.f{n} }}
+                }}
+                "
+            ),
+            PatternKind::RefuteBindUnbind => format!(
+                r"
+                activity Rbu{n} {{
+                    field f{n}: Rbu{n}
+                    cb onCreate {{ bind this  f{n} = new Rbu{n} }}
+                    cb onServiceConnected {{ use f{n} }}
+                    cb onStop {{ unbind this }}
+                    cb onDestroy {{ f{n} = null }}
+                }}
+                "
+            ),
+            PatternKind::RefuteFragmentLifecycle => format!(
+                r"
+                activity Rfl{n} {{
+                    field f{n}: Rfl{n}
+                    cb onCreate {{ f{n} = new Rfl{n} }}
+                }}
+                fragment RflF{n} in Rfl{n} {{
+                    cb onCreateView {{ use Rfl{n}.f{n} }}
+                    cb onDetach {{ Rfl{n}.f{n} = null }}
+                }}
+                "
+            ),
+            PatternKind::RefuteTaskStack => format!(
+                r"
+                activity Rts{n} {{
+                    field f{n}: Rts{n}
+                    cb onCreate {{ if ? {{ f{n} = new Rts{n} }}  use f{n}  startactivity RtsT{n} }}
+                }}
+                activity RtsT{n} {{
+                    cb onCreate {{ Rts{n}.f{n} = null }}
+                }}
+                "
+            ),
+            PatternKind::PredicateKeptSkipPath => format!(
+                r"
+                activity Pks{n} {{
+                    field dlg{n}: PksD{n}
+                    field f{n}: Pks{n}
+                    cb onCreate {{ dlg{n} = new PksD{n}  show dlg{n}  f{n} = new Pks{n} }}
+                    cb onPause {{ dismiss dlg{n} }}
+                    cb onDestroy {{ f{n} = null }}
+                }}
+                dialog PksD{n} in Pks{n} {{
+                    cb onShow {{ use outer.f{n} }}
+                }}
+                "
+            ),
+            PatternKind::PredicateKeptLateDisable => format!(
+                r"
+                activity Pkl{n} {{
+                    field dlg{n}: PklD{n}
+                    field f{n}: Pkl{n}
+                    cb onCreate {{ dlg{n} = new PklD{n}  show dlg{n}  f{n} = new Pkl{n} }}
+                    cb onStop {{ f{n} = null }}
+                    cb onDestroy {{ dismiss dlg{n} }}
+                }}
+                dialog PklD{n} in Pkl{n} {{
+                    cb onShow {{ use outer.f{n} }}
                 }}
                 "
             ),

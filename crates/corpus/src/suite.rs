@@ -417,6 +417,51 @@ impl InjectedRow {
     }
 }
 
+/// The refutation study corpus: six apps exercising every predicate
+/// family the reachability-refutation filter can contradict, mixed
+/// with kept controls and classic patterns so a Figure-5-style tally
+/// shows exactly what the refutation stage prunes *beyond* the §6
+/// filters. Deliberately disjoint from [`table1_rows`] — the 27 paper
+/// apps contain no summarized-API calls and stay byte-identical.
+#[must_use]
+pub fn refute_specs() -> Vec<AppSpec> {
+    vec![
+        AppSpec::new("RefuteDialogs", 101)
+            .with(PatternKind::RefuteDialogDismiss, 3)
+            .with(PatternKind::PredicateKeptSkipPath, 1)
+            .with(PatternKind::Ig, 2)
+            .with(PatternKind::Benign, 1),
+        AppSpec::new("RefuteAlarms", 102)
+            .with(PatternKind::RefuteAlarmCancel, 2)
+            .with(PatternKind::RefuteReceiverUnregister, 2)
+            .with(PatternKind::Mhb, 1)
+            .with(PatternKind::Benign, 1),
+        AppSpec::new("RefuteServices", 103)
+            .with(PatternKind::RefuteBindUnbind, 2)
+            .with(PatternKind::HarmfulEcPc, 1)
+            .with(PatternKind::Benign, 1),
+        AppSpec::new("RefuteFragments", 104)
+            .with(PatternKind::RefuteFragmentLifecycle, 3)
+            .with(PatternKind::PredicateKeptLateDisable, 1)
+            .with(PatternKind::Benign, 1),
+        AppSpec::new("RefuteStacks", 105)
+            .with(PatternKind::RefuteTaskStack, 3)
+            .with(PatternKind::Ia, 1)
+            .with(PatternKind::Benign, 1),
+        AppSpec::new("RefuteMixed", 106)
+            .with(PatternKind::RefuteDialogDismiss, 1)
+            .with(PatternKind::RefuteAlarmCancel, 1)
+            .with(PatternKind::RefuteReceiverUnregister, 1)
+            .with(PatternKind::RefuteBindUnbind, 1)
+            .with(PatternKind::RefuteFragmentLifecycle, 1)
+            .with(PatternKind::RefuteTaskStack, 1)
+            .with(PatternKind::PredicateKeptSkipPath, 1)
+            .with(PatternKind::HarmfulEcEc, 1)
+            .with(PatternKind::Ig, 1)
+            .with(PatternKind::Benign, 1),
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

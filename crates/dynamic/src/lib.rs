@@ -389,6 +389,120 @@ mod tests {
     }
 
     #[test]
+    fn dismissed_dialog_cannot_fire_onshow_after_destroy() {
+        // onStop must execute before onDestroy (automaton dominator), and
+        // the unconditional dismiss there silences onShow before the free
+        // can run — the shape the predicate refutation filter certifies.
+        let p = parse(
+            r#"
+            app Dlg
+            activity M {
+                field f: M
+                field dlg: D
+                cb onCreate { f = new M  dlg = new D  show dlg }
+                cb onStop { dismiss dlg }
+                cb onDestroy { f = null }
+            }
+            dialog D in M { cb onShow { use outer.f } }
+            "#,
+        );
+        let use_i = use_site(&p, "D", "onShow", "f");
+        assert!(
+            find_npe_at_use(&p, use_i).is_none(),
+            "dismiss-by-onStop precedes every path to the free"
+        );
+    }
+
+    #[test]
+    fn pause_only_dismiss_leaks_the_dialog() {
+        // Control: onPause is NOT on every path to onDestroy (the
+        // automaton allows onCreate -> onStart -> onStop -> onDestroy),
+        // so a dismiss placed only there leaves a leaked shown dialog.
+        let p = parse(
+            r#"
+            app DlgK
+            activity M {
+                field f: M
+                field dlg: D
+                cb onCreate { f = new M  dlg = new D  show dlg }
+                cb onPause { dismiss dlg }
+                cb onDestroy { f = null }
+            }
+            dialog D in M { cb onShow { use outer.f } }
+            "#,
+        );
+        let use_i = use_site(&p, "D", "onShow", "f");
+        assert!(
+            find_npe_at_use(&p, use_i).is_some(),
+            "the skip path onStart -> onStop never dismisses"
+        );
+    }
+
+    #[test]
+    fn cancelled_alarm_cannot_fire() {
+        let p = parse(
+            r#"
+            app Alm
+            activity M {
+                field f: M
+                field r: R
+                cb onCreate { f = new M  r = new R  t3 = load this M.r  schedule t3 }
+                cb onStop { t1 = load this M.r  cancelalarm t1 }
+                cb onDestroy { f = null }
+            }
+            receiver R { cb onAlarm { use M.f } }
+            "#,
+        );
+        let use_i = use_site(&p, "R", "onAlarm", "f");
+        assert!(
+            find_npe_at_use(&p, use_i).is_none(),
+            "cancel-by-onStop precedes every path to the free"
+        );
+    }
+
+    #[test]
+    fn launch_gated_activity_waits_for_startactivity() {
+        // B's onCreate frees M.f, but B only starts after M.onCreate's
+        // launch site — which follows the use. Without the gate the free
+        // could preempt the use.
+        let p = parse(
+            r#"
+            app TS
+            activity M {
+                field f: M
+                cb onCreate { f = new M  use f  startactivity B }
+            }
+            activity B { cb onCreate { M.f = null } }
+            "#,
+        );
+        let use_i = use_site(&p, "M", "onCreate", "f");
+        assert!(
+            find_npe_at_use(&p, use_i).is_none(),
+            "B.onCreate cannot run before the launch"
+        );
+
+        // Control: with no launch site (and no manifest restricting
+        // reachability), B is not gated and its onCreate may run first
+        // (external intent), breaking a later use.
+        let p = parse(
+            r#"
+            app TSK
+            activity M {
+                field f: M
+                cb onCreate { f = new M }
+                cb onClick { use f }
+            }
+            activity B { cb onCreate { M.f = null } }
+            "#,
+        );
+        let use_i = use_site(&p, "M", "onClick", "f");
+        assert!(
+            find_npe_at_use(&p, use_i).is_some(),
+            "an unlaunched, ungated activity still receives lifecycle events"
+        );
+    }
+
+    #[test]
     fn cross_looper_handler_breaks_guard_atomicity() {
         // The §8.1 multi-looper refinement, dynamically: a handler on a
         // custom looper can free between the main-looper check and use.

@@ -271,6 +271,17 @@ pub struct World<'p> {
     pub services: HashMap<ClassId, ServiceState>,
     /// Registered broadcast receivers.
     pub receivers: Vec<HeapRef>,
+    /// Currently shown dialogs (`Dialog.show()` adds, `dismiss()` removes).
+    pub shown: Vec<HeapRef>,
+    /// Armed alarm targets (`AlarmManager.set` adds, `cancel` removes).
+    pub alarms: Vec<HeapRef>,
+    /// Activities that are only reachable through an explicit
+    /// `startActivity` launch (statically targeted by a launch site
+    /// somewhere in the program): their lifecycles stay dormant until a
+    /// launch actually executes.
+    pub launch_gated: Vec<ClassId>,
+    /// Launch-gated activities that have been started at runtime.
+    pub launched: Vec<ClassId>,
     /// Imperatively armed listeners: (object, callback).
     pub listeners: Vec<(HeapRef, MethodId)>,
     /// Executed AsyncTask instances.
@@ -352,6 +363,22 @@ impl<'p> World<'p> {
             .iter()
             .filter_map(|c| singletons.get(c).copied())
             .collect();
+        // Activities statically targeted by a launch site wait for the
+        // launch; all other activities behave as before (started by an
+        // external intent at any time). The main activity is never gated.
+        let mut launch_gated: Vec<ClassId> = Vec::new();
+        for m in program.method_ids() {
+            for site in nadroid_threadify::resolve::scan_method(program, m).sites {
+                if let nadroid_threadify::resolve::SiteAction::Launch(c) = site.action {
+                    if program.class(c).role() == ClassRole::Activity
+                        && program.manifest().main_activity() != Some(c)
+                        && !launch_gated.contains(&c)
+                    {
+                        launch_gated.push(c);
+                    }
+                }
+            }
+        }
         let mut tasks = vec![Task {
             frames: Vec::new(),
             done: false,
@@ -385,6 +412,10 @@ impl<'p> World<'p> {
             connections: Vec::new(),
             services,
             receivers,
+            shown: Vec::new(),
+            alarms: Vec::new(),
+            launch_gated,
+            launched: Vec::new(),
             listeners: Vec::new(),
             async_runs: Vec::new(),
             monitors: HashMap::new(),
@@ -584,6 +615,7 @@ impl<'p> World<'p> {
         for (&act, lc) in &self.lifecycles {
             if self.finished.contains(&act)
                 || self.finished.contains(&self.program.outermost_class(act))
+                || self.launch_dormant(act)
             {
                 continue;
             }
@@ -600,6 +632,7 @@ impl<'p> World<'p> {
         for (&act, lc) in &self.lifecycles {
             if self.finished.contains(&act)
                 || self.finished.contains(&self.program.outermost_class(act))
+                || self.launch_dormant(act)
                 || !matches!(
                     lc.state(),
                     nadroid_android::lifecycle::LifecycleState::Resumed
@@ -694,6 +727,22 @@ impl<'p> World<'p> {
                 out.push(Event::Broadcast { receiver: r });
             }
         }
+        // Shown dialogs deliver onShow while shown; dismissal silences
+        // them (onDismiss delivery is modeled statically only).
+        for &d in &self.shown {
+            if let Some(m) = callback_method(self.program, self.heap.class_of(d), CallbackKind::OnShow)
+            {
+                out.push(Event::Entry { target: d, method: m });
+            }
+        }
+        // Armed alarm targets deliver onAlarm until cancelled.
+        for &a in &self.alarms {
+            if let Some(m) =
+                callback_method(self.program, self.heap.class_of(a), CallbackKind::OnAlarm)
+            {
+                out.push(Event::Entry { target: a, method: m });
+            }
+        }
         // Finished AsyncTasks' onPostExecute.
         for (i, run) in self.async_runs.iter().enumerate() {
             if run.phase == TaskPhase::Post {
@@ -701,6 +750,13 @@ impl<'p> World<'p> {
             }
         }
         out
+    }
+
+    /// Whether an activity's (or hosted fragment's) lifecycle is dormant
+    /// pending an explicit `startActivity` launch.
+    fn launch_dormant(&self, act: ClassId) -> bool {
+        let host = self.program.outermost_class(act);
+        self.launch_gated.contains(&host) && !self.launched.contains(&host)
     }
 
     fn listener_enabled(&self, target: HeapRef) -> bool {
@@ -1400,6 +1456,43 @@ impl<'p> World<'p> {
                     if *n == 0 {
                         self.wakelocks.remove(&r);
                     }
+                }
+            }
+            AndroidOp::ShowDialog { dialog } => {
+                let Some(r) = self.operand_obj(tid, dialog) else {
+                    return;
+                };
+                if !self.shown.contains(&r) {
+                    self.shown.push(r);
+                }
+            }
+            AndroidOp::DismissDialog { dialog } => {
+                let Some(r) = self.operand_obj(tid, dialog) else {
+                    return;
+                };
+                self.shown.retain(|x| *x != r);
+            }
+            AndroidOp::ScheduleAlarm { target } => {
+                let Some(r) = self.operand_obj(tid, target) else {
+                    return;
+                };
+                if !self.alarms.contains(&r) {
+                    self.alarms.push(r);
+                }
+            }
+            AndroidOp::CancelAlarm { target } => {
+                let Some(r) = self.operand_obj(tid, target) else {
+                    return;
+                };
+                self.alarms.retain(|x| *x != r);
+            }
+            AndroidOp::StartActivity { activity } => {
+                let Some(r) = self.operand_obj(tid, activity) else {
+                    return;
+                };
+                let class = self.heap.class_of(r);
+                if self.launch_gated.contains(&class) && !self.launched.contains(&class) {
+                    self.launched.push(class);
                 }
             }
             AndroidOp::RegisterListener { listener, .. } => {

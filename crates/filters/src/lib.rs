@@ -31,6 +31,7 @@
 
 pub mod dataflow;
 pub mod nosleep;
+pub mod refute;
 
 use nadroid_android::lifecycle;
 use nadroid_android::{CallbackKind, CancelApi};

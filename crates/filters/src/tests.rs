@@ -780,3 +780,208 @@ fn crosscheck_mode_agrees_on_every_filter() {
         }
     }
 }
+
+// --- predicate refutation filter ------------------------------------------
+
+use refute::{RefutationReason, Refuter};
+
+impl Setup {
+    fn refuter_hb(&self) -> nadroid_hb::HbGraph {
+        nadroid_hb::HbGraph::build(&self.program, &self.threads)
+    }
+}
+
+const DIALOG_DISMISS: &str = r#"
+    app RDlg
+    activity Main {
+        field dlg: Dlg
+        field f: Main
+        cb onCreate { dlg = new Dlg  show dlg  f = new Main }
+        cb onStop { dismiss dlg }
+        cb onDestroy { f = null }
+    }
+    dialog Dlg in Main {
+        cb onShow { use outer.f }
+    }
+"#;
+
+#[test]
+fn dialog_dismiss_refutes_the_survivor() {
+    let s = setup(DIALOG_DISMISS);
+    let w = s.warning("onShow", "onDestroy");
+    let f = s.filters();
+    // The §6 pipeline keeps this warning (the whole point of the
+    // refutation layer)…
+    let outcomes = f.pipeline(vec![w.clone()], FilterKind::all());
+    assert!(outcomes[0].survives(), "pruned by {:?}", outcomes[0].pruned_by);
+    // …and the refuter kills it with a Disabled contradiction chain.
+    let hb = s.refuter_hb();
+    let r = Refuter::new(&s.program, &s.threads, &hb)
+        .refute(w)
+        .expect("refuted");
+    assert_eq!(r.reason, RefutationReason::Disabled);
+    let joined = r.chain.join("\n");
+    assert!(joined.contains("dialog"), "chain: {joined}");
+    assert!(joined.contains("Dialog.dismiss()"), "chain: {joined}");
+    assert!(joined.contains("once-only onCreate"), "chain: {joined}");
+}
+
+#[test]
+fn pause_only_dismiss_is_not_refuted() {
+    // The stop-skip path (onCreate → onStart → onStop → onDestroy) never
+    // pauses, so a dismiss in onPause proves nothing: the warning stands.
+    let s = setup(
+        r#"
+        app RDlg
+        activity Main {
+            field dlg: Dlg
+            field f: Main
+            cb onCreate { dlg = new Dlg  show dlg  f = new Main }
+            cb onPause { dismiss dlg }
+            cb onDestroy { f = null }
+        }
+        dialog Dlg in Main {
+            cb onShow { use outer.f }
+        }
+        "#,
+    );
+    let w = s.warning("onShow", "onDestroy");
+    let hb = s.refuter_hb();
+    assert!(Refuter::new(&s.program, &s.threads, &hb).refute(w).is_none());
+}
+
+#[test]
+fn late_disable_is_not_refuted() {
+    // Free in onStop, dismiss only in onDestroy: the automaton orders the
+    // free before the dismiss, so the dialog is still armed when the free
+    // runs — harmful, and the refuter must keep it.
+    let s = setup(
+        r#"
+        app RDlg
+        activity Main {
+            field dlg: Dlg
+            field f: Main
+            cb onCreate { dlg = new Dlg  show dlg  f = new Main }
+            cb onStop { f = null }
+            cb onDestroy { dismiss dlg }
+        }
+        dialog Dlg in Main {
+            cb onShow { use outer.f }
+        }
+        "#,
+    );
+    let w = s.warning("onShow", "onStop");
+    let hb = s.refuter_hb();
+    assert!(Refuter::new(&s.program, &s.threads, &hb).refute(w).is_none());
+}
+
+#[test]
+fn fragment_detach_free_is_refuted_by_extended_order() {
+    let s = setup(
+        r#"
+        app RFrag
+        manifest { main Main }
+        activity Main {
+            field f: Main
+            cb onCreate { f = new Main }
+        }
+        fragment Frag in Main {
+            cb onCreateView { use Main.f }
+            cb onDetach { Main.f = null }
+        }
+        "#,
+    );
+    let w = s.warning("onCreateView", "onDetach");
+    let f = s.filters();
+    let outcomes = f.pipeline(vec![w.clone()], FilterKind::all());
+    assert!(outcomes[0].survives(), "pruned by {:?}", outcomes[0].pruned_by);
+    let hb = s.refuter_hb();
+    let r = Refuter::new(&s.program, &s.threads, &hb)
+        .refute(w)
+        .expect("refuted");
+    assert_eq!(r.reason, RefutationReason::ExtendedOrder);
+    assert!(
+        r.chain.join("\n").contains("fragment automaton"),
+        "chain: {:?}",
+        r.chain
+    );
+}
+
+#[test]
+fn task_stack_launch_is_refuted_by_extended_order() {
+    let s = setup(
+        r#"
+        app RTask
+        manifest { main Main }
+        activity Main {
+            field f: Main
+            cb onCreate { f = new Main  use f  startactivity Second }
+        }
+        activity Second {
+            cb onCreate { Main.f = null }
+        }
+        "#,
+    );
+    let w = s.warning("onCreate", "onCreate");
+    let hb = s.refuter_hb();
+    let r = Refuter::new(&s.program, &s.threads, &hb)
+        .refute(w)
+        .expect("refuted");
+    assert_eq!(r.reason, RefutationReason::ExtendedOrder);
+    assert!(
+        r.chain.join("\n").contains("task stack"),
+        "chain: {:?}",
+        r.chain
+    );
+}
+
+#[test]
+fn alarm_cancel_refutes_the_survivor() {
+    let s = setup(
+        r#"
+        app RAlarm
+        activity Main {
+            field rcv: Rcv
+            field f: Main
+            cb onCreate { rcv = new Rcv  schedule rcv  f = new Main }
+            cb onStop { cancelalarm rcv }
+            cb onDestroy { f = null }
+        }
+        receiver Rcv {
+            cb onAlarm { use Main.f }
+        }
+        "#,
+    );
+    let w = s.warning("onAlarm", "onDestroy");
+    let hb = s.refuter_hb();
+    let r = Refuter::new(&s.program, &s.threads, &hb)
+        .refute(w)
+        .expect("refuted");
+    assert_eq!(r.reason, RefutationReason::Disabled);
+    assert!(
+        r.chain.join("\n").contains("AlarmManager.cancel()"),
+        "chain: {:?}",
+        r.chain
+    );
+}
+
+#[test]
+fn paper_survivors_are_never_refuted() {
+    // The refuter runs over §6 *survivors*; on the paper programs (which
+    // use no summarized enable/disable pair beyond what MHB already
+    // orders) it must be a strict no-op: every surviving warning stands.
+    for src in [FIG4A, FIG4B, FIG4C, FIG4D, FIG4E, FIG4F, FIG4G] {
+        let s = setup(src);
+        let f = s.filters();
+        let outcomes = f.pipeline(s.warnings.clone(), FilterKind::all());
+        let hb = s.refuter_hb();
+        let r = Refuter::new(&s.program, &s.threads, &hb);
+        for o in outcomes.iter().filter(|o| o.survives()) {
+            assert!(
+                r.refute(&o.warning).is_none(),
+                "refuted a surviving paper warning in {src}: {:?}",
+                o.warning.pair()
+            );
+        }
+    }
+}

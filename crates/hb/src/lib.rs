@@ -18,6 +18,12 @@
 //! | `mhbEdge(a, b)` | 2 | union of the three sound MHB relations |
 //! | `mustHb(a, b)` | 2 | transitive closure of `mhbEdge` |
 //! | `postHb(a, b)` | 2 | `postEdge` restricted to a shared looper |
+//! | `enables(e, c)` | 2 | `e` holds a summarized API call arming gated callback `c` |
+//! | `disables(d, c)` | 2 | `d` holds a summarized API call silencing gated callback `c` |
+//! | `predEdge(a, b)` | 2 | predicate-derived must edge (fragment order, task stack) |
+//! | `predHb(a, b)` | 2 | transitive closure of `mhbEdge ∪ predEdge` |
+//! | `mustNotHb(f, c)` | 2 | `c` is never delivered after `f` completes |
+//! | `unreachable(c)` | 1 | `c` can never be delivered at all (demoted `mustNotHb`) |
 //!
 //! The closure is computed once by the indexed-join engine
 //! (`nadroid-datalog`) and exposed through the compact [`HbGraph`] query
@@ -30,9 +36,21 @@
 //! exactly (the filter parity suite pins this); `mustHb` is their sound
 //! transitive extension, and is what MHP queries are defined over:
 //! `mhp(a, b) = a ≠ b ∧ ¬mustHb(a, b) ∧ ¬mustHb(b, a)`.
+//!
+//! The predicate relations (`enables`/`disables`/`predEdge`/`predHb`/
+//! `mustNotHb`) compile the [`nadroid_android::predicates`] summaries and
+//! the extended lifecycle automata into the same database (see
+//! [`predicate`]). They are consumed only by the sound refutation filter:
+//! `mustHb`, `mhp`, and every legacy query are computed exactly as
+//! before, and on programs that use none of the summarized APIs all five
+//! relations are empty (the 27-app parity gate pins this).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod predicate;
+
+pub use predicate::{MustNotProv, PredEdge, PredEdgeKind, PredicateSite};
 
 use nadroid_android::lifecycle;
 use nadroid_android::{CallbackKind, CancelApi};
@@ -122,6 +140,21 @@ pub struct HbGraph {
     reentry: BTreeMap<(u32, u32), BTreeSet<FieldId>>,
     edges: Vec<HbEdge>,
     closure: Duration,
+    /// Predicate-extended closure relation (`mhbEdge ∪ predEdge`)⁺.
+    pred_hb: RelId,
+    /// Per-pair provenance of the `enables` facts.
+    enables_prov: BTreeMap<(u32, u32), PredicateSite>,
+    /// Per-pair provenance of the `disables` facts.
+    disables_prov: BTreeMap<(u32, u32), PredicateSite>,
+    /// Predicate-derived direct must edges, in deterministic order.
+    pred_edges: Vec<PredEdge>,
+    /// Per-pair provenance of the `mustNotHb` facts (first derivation
+    /// wins — the evidence the refutation filter renders).
+    must_not: BTreeMap<(u32, u32), MustNotProv>,
+    /// Gated callbacks provably never delivered at all: a `mustNotHb`
+    /// candidate that would contradict `predHb` is demoted here, keeping
+    /// `mustNotHb` disjoint from every must relation.
+    unreachable_cbs: BTreeMap<u32, MustNotProv>,
 }
 
 impl HbGraph {
@@ -146,6 +179,12 @@ impl HbGraph {
         let mhb_edge = db.relation("mhbEdge", 2);
         let must_hb = db.relation("mustHb", 2);
         let post_hb = db.relation("postHb", 2);
+        let enables = db.relation("enables", 2);
+        let disables = db.relation("disables", 2);
+        let pred_edge = db.relation("predEdge", 2);
+        let pred_hb = db.relation("predHb", 2);
+        let must_not_hb = db.relation("mustNotHb", 2);
+        let unreachable = db.relation("unreachable", 1);
 
         let resume_fields = resume_alloc_fields(program, threads);
         let mut cancel = BTreeMap::new();
@@ -356,6 +395,30 @@ impl HbGraph {
             }
         }
 
+        // Predicate summaries and extended automata: compiled from the
+        // same thread model, fed into their own relations. The legacy
+        // facts above are byte-identical with or without them.
+        let must_direct: Vec<(ThreadId, ThreadId)> = edges
+            .iter()
+            .filter(|e| e.kind.is_must())
+            .map(|e| (e.src, e.dst))
+            .collect();
+        let facts = predicate::compute(program, threads, &must_direct);
+        let mut enables_prov = BTreeMap::new();
+        for &(e, c, site) in &facts.enables {
+            db.insert(enables, &[e.raw(), c.raw()]);
+            enables_prov.entry((e.raw(), c.raw())).or_insert(site);
+        }
+        let mut disables_prov = BTreeMap::new();
+        for &(d, c, site) in &facts.disables {
+            db.insert(disables, &[d.raw(), c.raw()]);
+            disables_prov.entry((d.raw(), c.raw())).or_insert(site);
+        }
+        for e in &facts.edges {
+            db.insert(pred_edge, &[e.src.raw(), e.dst.raw()]);
+        }
+        let pred_edges = facts.edges;
+
         let v = Term::var;
         let mut rules = RuleSet::new();
         for rel in [mhb_service, mhb_asynctask, mhb_lifecycle] {
@@ -370,11 +433,39 @@ impl HbGraph {
             .add(post_hb, vec![v(0), v(1)])
             .when(post_edge, vec![v(0), v(1)])
             .when(same_looper, vec![v(0), v(1)]);
+        // predHb: the predicate-extended sound closure. `predEdge` is
+        // cycle-guarded at construction, so this stays a strict partial
+        // order extending `mustHb`.
+        for rel in [mhb_edge, pred_edge] {
+            rules.add(pred_hb, vec![v(0), v(1)]).when(rel, vec![v(0), v(1)]);
+            rules
+                .add(pred_hb, vec![v(0), v(2)])
+                .when(pred_hb, vec![v(0), v(1)])
+                .when(rel, vec![v(1), v(2)]);
+        }
         let t0 = Instant::now();
         db.run(&rules);
         let closure = t0.elapsed();
 
-        emit_metrics(edges.len(), closure);
+        // mustNotHb needs the solved predHb for its disjointness guard,
+        // so its facts land after the solve (no rule consumes them).
+        let mut must_not: BTreeMap<(u32, u32), MustNotProv> = BTreeMap::new();
+        let mut unreachable_cbs: BTreeMap<u32, MustNotProv> = BTreeMap::new();
+        for (f, c, prov) in facts.must_not {
+            if db.contains(pred_hb, &[f.raw(), c.raw()]) {
+                // `c` only ever runs after `f`, yet never runs after `f`:
+                // it never runs at all. Demoting (instead of emitting
+                // both) keeps mustNotHb ∩ predHb = ∅.
+                db.insert(unreachable, &[c.raw()]);
+                unreachable_cbs.entry(c.raw()).or_insert(prov);
+            } else {
+                db.insert(must_not_hb, &[f.raw(), c.raw()]);
+                must_not.entry((f.raw(), c.raw())).or_insert(prov);
+            }
+        }
+
+        let predicate_facts = enables_prov.len() + disables_prov.len() + pred_edges.len();
+        emit_metrics(edges.len(), closure, predicate_facts);
 
         HbGraph {
             db,
@@ -387,6 +478,12 @@ impl HbGraph {
             reentry,
             edges,
             closure,
+            pred_hb,
+            enables_prov,
+            disables_prov,
+            pred_edges,
+            must_not,
+            unreachable_cbs,
         }
     }
 
@@ -511,6 +608,126 @@ impl HbGraph {
         None
     }
 
+    /// Whether the predicate-extended sound closure orders `a` strictly
+    /// before `b`: the transitive closure of `mhbEdge ∪ predEdge`. A
+    /// superset of [`HbGraph::must_hb`]; still a strict partial order
+    /// (the predicate edges are cycle-guarded at construction).
+    #[must_use]
+    pub fn pred_must_hb(&self, a: ThreadId, b: ThreadId) -> bool {
+        self.db.contains(self.pred_hb, &[a.raw(), b.raw()])
+    }
+
+    /// Whether `b` is provably *never* delivered after `a` completes —
+    /// the predicate summaries' negative ordering fact. Disjoint from
+    /// [`HbGraph::pred_must_hb`] (and hence [`HbGraph::must_hb`]) by
+    /// construction.
+    #[must_use]
+    pub fn must_not_hb(&self, a: ThreadId, b: ThreadId) -> bool {
+        self.must_not.contains_key(&(a.raw(), b.raw()))
+    }
+
+    /// The contradiction chain behind a `mustNotHb(a, b)` fact.
+    #[must_use]
+    pub fn must_not_prov(&self, a: ThreadId, b: ThreadId) -> Option<&MustNotProv> {
+        self.must_not.get(&(a.raw(), b.raw()))
+    }
+
+    /// The provenance of an `enables(a, b)` fact: the summarized API call
+    /// in `a` that arms gated callback `b`.
+    #[must_use]
+    pub fn enables(&self, a: ThreadId, b: ThreadId) -> Option<&PredicateSite> {
+        self.enables_prov.get(&(a.raw(), b.raw()))
+    }
+
+    /// The provenance of a `disables(a, b)` fact: the summarized API call
+    /// in `a` that silences gated callback `b`.
+    #[must_use]
+    pub fn disables(&self, a: ThreadId, b: ThreadId) -> Option<&PredicateSite> {
+        self.disables_prov.get(&(a.raw(), b.raw()))
+    }
+
+    /// All predicate-derived direct must edges, in deterministic order.
+    #[must_use]
+    pub fn pred_edges(&self) -> &[PredEdge] {
+        &self.pred_edges
+    }
+
+    /// All solved `enables` facts with provenance, in deterministic
+    /// order.
+    pub fn enables_facts(&self) -> impl Iterator<Item = (ThreadId, ThreadId, &PredicateSite)> {
+        self.enables_prov
+            .iter()
+            .map(|(&(e, c), site)| (ThreadId::from_raw(e), ThreadId::from_raw(c), site))
+    }
+
+    /// Number of solved `disables` facts.
+    #[must_use]
+    pub fn disables_count(&self) -> usize {
+        self.disables_prov.len()
+    }
+
+    /// Whether gated callback `c` is provably never delivered at all (a
+    /// `mustNotHb` candidate demoted by the disjointness guard).
+    #[must_use]
+    pub fn unreachable_cb(&self, c: ThreadId) -> bool {
+        self.unreachable_cbs.contains_key(&c.raw())
+    }
+
+    /// The contradiction chain behind an `unreachable(c)` fact.
+    #[must_use]
+    pub fn unreachable_prov(&self, c: ThreadId) -> Option<&MustNotProv> {
+        self.unreachable_cbs.get(&c.raw())
+    }
+
+    /// Total predicate fact count (`enables` + `disables` + `predEdge`)
+    /// — the `hb.predicate_edges` counter's value.
+    #[must_use]
+    pub fn predicate_fact_count(&self) -> usize {
+        self.enables_prov.len() + self.disables_prov.len() + self.pred_edges.len()
+    }
+
+    /// A shortest witness path through the direct sound MHB edges *plus*
+    /// the predicate-derived edges, when [`HbGraph::pred_must_hb`] holds
+    /// — the per-edge provenance behind a predicate-extended closure
+    /// fact.
+    #[must_use]
+    pub fn pred_must_hb_path(&self, a: ThreadId, b: ThreadId) -> Option<Vec<ThreadId>> {
+        if a == b {
+            return None;
+        }
+        let mut succ: BTreeMap<ThreadId, Vec<ThreadId>> = BTreeMap::new();
+        for e in &self.edges {
+            if e.kind.is_must() {
+                succ.entry(e.src).or_default().push(e.dst);
+            }
+        }
+        for e in &self.pred_edges {
+            succ.entry(e.src).or_default().push(e.dst);
+        }
+        let mut prev: BTreeMap<ThreadId, ThreadId> = BTreeMap::new();
+        let mut queue = VecDeque::from([a]);
+        let mut seen = HashSet::from([a]);
+        while let Some(t) = queue.pop_front() {
+            if t == b {
+                let mut path = vec![b];
+                let mut cur = b;
+                while let Some(&p) = prev.get(&cur) {
+                    path.push(p);
+                    cur = p;
+                }
+                path.reverse();
+                return Some(path);
+            }
+            for &next in succ.get(&t).into_iter().flatten() {
+                if seen.insert(next) {
+                    prev.insert(next, t);
+                    queue.push_back(next);
+                }
+            }
+        }
+        None
+    }
+
     /// Number of direct edges.
     #[must_use]
     pub fn edge_count(&self) -> usize {
@@ -531,20 +748,21 @@ impl HbGraph {
 }
 
 #[cfg(feature = "metrics")]
-fn emit_metrics(edge_count: usize, closure: Duration) {
+fn emit_metrics(edge_count: usize, closure: Duration, predicate_facts: usize) {
     if nadroid_obs::recording() {
         nadroid_obs::counter("hb.edges", edge_count as u64);
         #[allow(clippy::cast_possible_truncation)]
         nadroid_obs::counter("hb.closure_micros", closure.as_micros() as u64);
+        nadroid_obs::counter("hb.predicate_edges", predicate_facts as u64);
     }
 }
 
 #[cfg(not(feature = "metrics"))]
-fn emit_metrics(_edge_count: usize, _closure: Duration) {}
+fn emit_metrics(_edge_count: usize, _closure: Duration, _predicate_facts: usize) {}
 
 /// The callback kind a modeled thread behaves as for ordering purposes
 /// (`doInBackground` bodies participate in the AsyncTask order).
-fn effective_kind(threads: &ThreadModel, t: ThreadId) -> Option<CallbackKind> {
+pub(crate) fn effective_kind(threads: &ThreadModel, t: ThreadId) -> Option<CallbackKind> {
     match threads.thread(t).kind() {
         ThreadKind::Callback(k) => Some(k),
         ThreadKind::TaskBody => Some(CallbackKind::DoInBackground),
@@ -791,5 +1009,274 @@ mod tests {
         let (_p, _t, g) = build(LIFECYCLE);
         assert_eq!(g.edge_count(), g.edges().len());
         assert!(g.edge_count() > 0);
+    }
+
+    #[test]
+    fn predicate_relations_empty_without_summarized_apis() {
+        // The paper corpus uses none of the summarized enable/disable
+        // pairs; on such programs every predicate relation must be empty
+        // and predHb must coincide with mustHb (the parity gate depends
+        // on this).
+        let (_p, t, g) = build(LIFECYCLE);
+        assert_eq!(g.predicate_fact_count(), 0);
+        assert!(g.pred_edges().is_empty());
+        let ids: Vec<ThreadId> = t.threads().map(|(id, _)| id).collect();
+        for &a in &ids {
+            for &b in &ids {
+                assert_eq!(g.pred_must_hb(a, b), g.must_hb(a, b), "{a}->{b}");
+                assert!(!g.must_not_hb(a, b));
+            }
+            assert!(!g.unreachable_cb(a));
+        }
+    }
+
+    const DIALOG: &str = r#"
+        app D
+        activity Main {
+            field dlg: Dlg
+            field f: Main
+            cb onCreate { dlg = new Dlg  show dlg  f = new Main }
+            cb onStop { dismiss dlg }
+            cb onDestroy { f = null }
+        }
+        dialog Dlg in Main {
+            cb onShow { use outer.f }
+        }
+    "#;
+
+    #[test]
+    fn dialog_summary_yields_enables_disables_and_must_not() {
+        let (_p, t, g) = build(DIALOG);
+        let create = thread_of(&t, CallbackKind::OnCreate);
+        let stop = thread_of(&t, CallbackKind::OnStop);
+        let destroy = thread_of(&t, CallbackKind::OnDestroy);
+        let show = thread_of(&t, CallbackKind::OnShow);
+        let en = g.enables(create, show).expect("show arms onShow");
+        assert_eq!(en.api, "Dialog.show()");
+        let dis = g.disables(stop, show).expect("dismiss silences onShow");
+        assert_eq!(dis.api, "Dialog.dismiss()");
+        // onStop dominates onDestroy, the show sits once-only in
+        // onCreate: onShow can never run after onDestroy.
+        assert!(g.must_not_hb(destroy, show));
+        match g.must_not_prov(destroy, show) {
+            Some(MustNotProv::Disabled {
+                family, disabler, ..
+            }) => {
+                assert_eq!(family.name(), "dialog");
+                assert_eq!(*disabler, stop);
+            }
+            other => panic!("unexpected provenance {other:?}"),
+        }
+        // The negative fact stays disjoint from every must relation.
+        assert!(!g.pred_must_hb(destroy, show));
+        assert!(!g.must_hb(destroy, show));
+        // Legacy queries are untouched by the new facts.
+        assert!(g.must_hb(create, destroy));
+        assert!(!g.must_hb(destroy, show));
+    }
+
+    #[test]
+    fn conditional_disabler_yields_no_must_not() {
+        let (_p, t, g) = build(
+            r#"
+            app D
+            activity Main {
+                field dlg: Dlg
+                field f: Main
+                cb onCreate { dlg = new Dlg  show dlg  f = new Main }
+                cb onStop { if ? { dismiss dlg } }
+                cb onDestroy { f = null }
+            }
+            dialog Dlg in Main {
+                cb onShow { use outer.f }
+            }
+            "#,
+        );
+        let stop = thread_of(&t, CallbackKind::OnStop);
+        let destroy = thread_of(&t, CallbackKind::OnDestroy);
+        let show = thread_of(&t, CallbackKind::OnShow);
+        assert!(g.disables(stop, show).is_some(), "fact still recorded");
+        assert!(
+            !g.must_not_hb(destroy, show),
+            "a branch-guarded dismiss may never execute"
+        );
+    }
+
+    #[test]
+    fn pause_disabler_yields_no_must_not_for_destroy() {
+        // onPause does not dominate onDestroy (the stop-skip path), so a
+        // dismiss there proves nothing about post-destroy deliveries.
+        let (_p, t, g) = build(
+            r#"
+            app D
+            activity Main {
+                field dlg: Dlg
+                field f: Main
+                cb onCreate { dlg = new Dlg  show dlg  f = new Main }
+                cb onPause { dismiss dlg }
+                cb onDestroy { f = null }
+            }
+            dialog Dlg in Main {
+                cb onShow { use outer.f }
+            }
+            "#,
+        );
+        let destroy = thread_of(&t, CallbackKind::OnDestroy);
+        let show = thread_of(&t, CallbackKind::OnShow);
+        assert!(!g.must_not_hb(destroy, show));
+    }
+
+    #[test]
+    fn reenabling_callback_defeats_the_dominator_argument() {
+        // A second show in onClick means the family can be re-armed
+        // after onStop's dismiss: no mustNotHb.
+        let (_p, t, g) = build(
+            r#"
+            app D
+            activity Main {
+                field dlg: Dlg
+                field f: Main
+                cb onCreate { dlg = new Dlg  show dlg  f = new Main }
+                cb onClick { show dlg }
+                cb onStop { dismiss dlg }
+                cb onDestroy { f = null }
+            }
+            dialog Dlg in Main {
+                cb onShow { use outer.f }
+            }
+            "#,
+        );
+        let destroy = thread_of(&t, CallbackKind::OnDestroy);
+        let show = thread_of(&t, CallbackKind::OnShow);
+        assert!(!g.must_not_hb(destroy, show));
+    }
+
+    #[test]
+    fn fragment_edges_feed_pred_hb_but_not_must_hb() {
+        let (_p, t, g) = build(
+            r#"
+            app F
+            manifest { main Main }
+            activity Main {
+                field f: Main
+                cb onCreate { f = new Main }
+            }
+            fragment Frag in Main {
+                cb onAttach { use Main.f }
+                cb onCreateView { use Main.f }
+                cb onDetach { Main.f = null }
+            }
+            "#,
+        );
+        let attach = thread_of(&t, CallbackKind::OnAttach);
+        let view = thread_of(&t, CallbackKind::OnCreateView);
+        let detach = thread_of(&t, CallbackKind::OnDetach);
+        assert!(g.pred_must_hb(attach, view), "attach first");
+        assert!(g.pred_must_hb(view, detach), "detach last");
+        assert!(g.pred_must_hb(attach, detach), "closure");
+        assert!(!g.must_hb(attach, view), "legacy closure untouched");
+        assert!(
+            g.pred_edges()
+                .iter()
+                .all(|e| e.kind == PredEdgeKind::Fragment),
+            "only fragment edges here"
+        );
+        // Terminal detach: nothing of the instance runs after it.
+        assert!(g.must_not_hb(detach, view));
+        assert!(g.must_not_hb(detach, attach));
+        assert!(matches!(
+            g.must_not_prov(detach, view),
+            Some(MustNotProv::FragmentTerminal { .. })
+        ));
+        let path = g.pred_must_hb_path(attach, detach).expect("witness");
+        assert_eq!(path.first(), Some(&attach));
+        assert_eq!(path.last(), Some(&detach));
+    }
+
+    #[test]
+    fn unique_launch_from_oncreate_orders_the_task_stack() {
+        let (_p, t, g) = build(
+            r#"
+            app T
+            manifest { main Main }
+            activity Main {
+                field f: Main
+                cb onCreate { f = new Main  use f  startactivity Second }
+            }
+            activity Second {
+                cb onCreate { Main.f = null }
+            }
+            "#,
+        );
+        let launcher = thread_of(&t, CallbackKind::OnCreate);
+        let second = t
+            .threads()
+            .find(|(id, mt)| {
+                mt.kind().callback_kind() == Some(CallbackKind::OnCreate) && *id != launcher
+            })
+            .map(|(id, _)| id)
+            .expect("second onCreate");
+        assert!(g.pred_must_hb(launcher, second), "launcher before target");
+        assert!(!g.must_hb(launcher, second), "legacy closure untouched");
+        assert!(g
+            .pred_edges()
+            .iter()
+            .any(|e| matches!(e.kind, PredEdgeKind::TaskStack { .. })));
+        assert!(g.enables(launcher, second).is_some(), "launch arms target");
+    }
+
+    #[test]
+    fn repeatable_launcher_gets_no_task_edge() {
+        // A launch from onClick may run after the target's onCreate; only
+        // once-only launcher callbacks produce the edge.
+        let (_p, _t, g) = build(
+            r#"
+            app T
+            manifest { main Main }
+            activity Main {
+                cb onClick { startactivity Second }
+            }
+            activity Second {
+                field f: Second
+                cb onCreate { f = new Second }
+            }
+            "#,
+        );
+        assert!(g
+            .pred_edges()
+            .iter()
+            .all(|e| !matches!(e.kind, PredEdgeKind::TaskStack { .. })));
+    }
+
+    #[test]
+    fn mutual_launches_stay_acyclic() {
+        // Adversarial: two non-main activities launch each other from
+        // their onCreate. The cycle guard must drop one edge so predHb
+        // remains a strict partial order.
+        let (_p, t, g) = build(
+            r#"
+            app T
+            manifest { main Root }
+            activity Root {
+                cb onCreate { startactivity A }
+            }
+            activity A {
+                cb onCreate { startactivity B }
+            }
+            activity B {
+                cb onCreate { startactivity A }
+            }
+            "#,
+        );
+        let ids: Vec<ThreadId> = t.threads().map(|(id, _)| id).collect();
+        for &a in &ids {
+            assert!(!g.pred_must_hb(a, a), "predHb must stay irreflexive");
+            for &b in &ids {
+                assert!(
+                    !(g.pred_must_hb(a, b) && g.pred_must_hb(b, a)),
+                    "predHb must stay asymmetric"
+                );
+            }
+        }
     }
 }

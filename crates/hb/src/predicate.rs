@@ -1,0 +1,432 @@
+//! Predicate callback summaries compiled into happens-before facts.
+//!
+//! This module turns the [`PredicateFamily`] enabling/disabling API
+//! summaries and the extended lifecycle automata (fragment attach/detach,
+//! multi-activity task stack) into the raw facts behind four new Datalog
+//! relations:
+//!
+//! | relation | meaning |
+//! |---|---|
+//! | `enables(e, c)` | thread `e` contains an API call arming gated callback `c` |
+//! | `disables(d, c)` | thread `d` contains an API call silencing gated callback `c` |
+//! | `predEdge(a, b)` | a predicate-derived must-HB edge (fragment order, task stack) |
+//! | `mustNotHb(f, c)` | `c` is never delivered after `f` completes |
+//!
+//! `predEdge` feeds the predicate-extended closure `predHb` (a strict
+//! extension of `mustHb`; the legacy closure is untouched). `mustNotHb`
+//! is derived by a dominator argument over the activity automaton:
+//!
+//! 1. every enabler of the family sits in the component's `onCreate`
+//!    (once-only, and a dominator of every other lifecycle callback), and
+//! 2. some *unconditional* disabler sits in a callback `d` that the
+//!    automaton guarantees executes before `f` does
+//!    ([`lifecycle::must_precede_execution`]),
+//!
+//! so by the time `f` runs, the family has been disabled and — the
+//! enabler being once-only — can never be re-armed. Fragment `onDetach`
+//! is terminal in the fragment automaton, which yields the analogous
+//! fact without any disabler API.
+
+use crate::effective_kind;
+use nadroid_android::fragment::fragment_mhb;
+use nadroid_android::predicates::PredicateFamily;
+use nadroid_android::{lifecycle, CallbackKind, ClassRole};
+use nadroid_ir::{Block, ClassId, InstrId, MethodId, Program, Stmt};
+use nadroid_threadify::resolve::SiteAction;
+use nadroid_threadify::{ThreadId, ThreadModel};
+use std::collections::{BTreeMap, BTreeSet, HashSet, VecDeque};
+
+/// Provenance of one `enables`/`disables` fact: which summarized API,
+/// at which instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PredicateSite {
+    /// The summarized family the API belongs to.
+    pub family: PredicateFamily,
+    /// The framework API name (from the family summary).
+    pub api: &'static str,
+    /// The call instruction.
+    pub site: InstrId,
+}
+
+/// Why a `predEdge` holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PredEdgeKind {
+    /// Fragment automaton order: `onAttach` first / `onDetach` last on
+    /// the same fragment class.
+    Fragment,
+    /// Task-stack order: the launcher callback completes (looper
+    /// atomicity) before the launched activity's `onCreate` runs. Only
+    /// emitted for a launch-gated target with a unique launch site in a
+    /// once-only looper callback.
+    TaskStack {
+        /// The unique `startActivity` call.
+        launch_site: InstrId,
+    },
+}
+
+/// One predicate-derived must-HB edge with provenance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PredEdge {
+    /// The earlier thread.
+    pub src: ThreadId,
+    /// The later thread.
+    pub dst: ThreadId,
+    /// Why the edge exists.
+    pub kind: PredEdgeKind,
+}
+
+/// Why a `mustNotHb(f, c)` fact holds — the contradiction chain the
+/// refutation filter records as audit evidence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MustNotProv {
+    /// The family was disabled before `f` could run and can never be
+    /// re-armed (enablers are once-only and dominated by the disabler).
+    Disabled {
+        /// The summarized family.
+        family: PredicateFamily,
+        /// Every thread holding an enabler site (all in `onCreate`).
+        enablers: Vec<ThreadId>,
+        /// The thread holding the unconditional disabler.
+        disabler: ThreadId,
+        /// The disabling call instruction.
+        disable_site: InstrId,
+    },
+    /// `f` is a fragment `onDetach`, terminal in the fragment automaton:
+    /// no callback of the instance runs after it.
+    FragmentTerminal {
+        /// The detach thread itself.
+        detach: ThreadId,
+    },
+}
+
+/// The raw predicate facts of one threadified program, pre-closure.
+#[derive(Debug, Default)]
+pub(crate) struct PredicateFacts {
+    /// `(enabler thread, gated thread, provenance)`, deduped per pair.
+    pub enables: Vec<(ThreadId, ThreadId, PredicateSite)>,
+    /// `(disabler thread, gated thread, provenance)`, deduped per pair.
+    pub disables: Vec<(ThreadId, ThreadId, PredicateSite)>,
+    /// Predicate-derived must-HB edges, cycle-guarded.
+    pub edges: Vec<PredEdge>,
+    /// Candidate `mustNotHb(f, c)` facts with provenance. The builder
+    /// demotes a candidate to an `unreachable(c)` fact when `predHb(f, c)`
+    /// also holds (keeping `mustNotHb` disjoint from every must relation).
+    pub must_not: Vec<(ThreadId, ThreadId, MustNotProv)>,
+}
+
+/// One summarized API occurrence.
+struct ApiSite {
+    thread: ThreadId,
+    site: InstrId,
+    /// Site sits at the top level of the thread's root method body
+    /// (executes on every run of the callback).
+    unconditional: bool,
+}
+
+/// Compute all predicate facts. `must_edges` are the direct sound MHB
+/// edges, used by the task-stack cycle guard so `predHb` stays a strict
+/// partial order even for adversarial mutual-launch programs.
+pub(crate) fn compute(
+    program: &Program,
+    threads: &ThreadModel,
+    must_edges: &[(ThreadId, ThreadId)],
+) -> PredicateFacts {
+    let mut enabler_sites: BTreeMap<(PredicateFamily, ClassId), Vec<ApiSite>> = BTreeMap::new();
+    let mut disabler_sites: BTreeMap<(PredicateFamily, ClassId), Vec<ApiSite>> = BTreeMap::new();
+    let mut gated: BTreeMap<(PredicateFamily, ClassId), Vec<ThreadId>> = BTreeMap::new();
+    let mut fragment_members: BTreeMap<ClassId, Vec<(ThreadId, CallbackKind)>> = BTreeMap::new();
+    let mut lifecycle_members: BTreeMap<ClassId, Vec<(ThreadId, CallbackKind)>> = BTreeMap::new();
+    let mut launch_sites: BTreeMap<ClassId, Vec<ApiSite>> = BTreeMap::new();
+    let mut toplevel: BTreeMap<MethodId, BTreeSet<InstrId>> = BTreeMap::new();
+
+    for (t, mt) in threads.threads() {
+        let kind = effective_kind(threads, t);
+        if let (Some(k), Some(c)) = (kind, mt.class()) {
+            if k.is_fragment_lifecycle() {
+                fragment_members.entry(c).or_default().push((t, k));
+            }
+            if let Some(fam) = PredicateFamily::of_kind(k) {
+                gated.entry((fam, c)).or_default().push(t);
+            }
+        }
+        if let (Some(k), Some(comp)) = (kind, mt.component()) {
+            if k.is_lifecycle() {
+                lifecycle_members.entry(comp).or_default().push((t, k));
+            }
+        }
+        for site in threads.sites_of(t) {
+            let (fam, class, enabler) = match site.action {
+                SiteAction::Bind(c) => (PredicateFamily::Connection, c, true),
+                SiteAction::Unbind(c) => (PredicateFamily::Connection, c, false),
+                SiteAction::Register(c) => (PredicateFamily::Receiver, c, true),
+                SiteAction::Unregister(c) => (PredicateFamily::Receiver, c, false),
+                SiteAction::Show(c) => (PredicateFamily::Dialog, c, true),
+                SiteAction::Dismiss(c) => (PredicateFamily::Dialog, c, false),
+                SiteAction::Schedule(c) => (PredicateFamily::Alarm, c, true),
+                SiteAction::CancelAlarm(c) => (PredicateFamily::Alarm, c, false),
+                SiteAction::Launch(c) => (PredicateFamily::Task, c, true),
+                _ => continue,
+            };
+            let unconditional = mt.root() == Some(site.method)
+                && toplevel
+                    .entry(site.method)
+                    .or_insert_with(|| {
+                        let mut out = BTreeSet::new();
+                        toplevel_instrs(program.method(site.method).body(), &mut out);
+                        out
+                    })
+                    .contains(&site.instr);
+            let api = ApiSite {
+                thread: t,
+                site: site.instr,
+                unconditional,
+            };
+            if fam == PredicateFamily::Task {
+                launch_sites.entry(class).or_default().push(api);
+            } else if enabler {
+                enabler_sites.entry((fam, class)).or_default().push(api);
+            } else {
+                disabler_sites.entry((fam, class)).or_default().push(api);
+            }
+        }
+    }
+
+    let mut facts = PredicateFacts::default();
+
+    // enables / disables facts, deduped per (api thread, gated thread)
+    // pair — the first site in scan order is the provenance.
+    let fact_list = |sites: &BTreeMap<(PredicateFamily, ClassId), Vec<ApiSite>>,
+                         enabling: bool| {
+        let mut out: Vec<(ThreadId, ThreadId, PredicateSite)> = Vec::new();
+        let mut seen: BTreeSet<(ThreadId, ThreadId)> = BTreeSet::new();
+        for (&(fam, class), occurrences) in sites {
+            let Some(gs) = gated.get(&(fam, class)) else {
+                continue;
+            };
+            for occ in occurrences {
+                for &g in gs {
+                    if seen.insert((occ.thread, g)) {
+                        let api = if enabling {
+                            fam.enabler_api()
+                        } else {
+                            fam.disabler_api().unwrap_or(fam.enabler_api())
+                        };
+                        out.push((
+                            occ.thread,
+                            g,
+                            PredicateSite {
+                                family: fam,
+                                api,
+                                site: occ.site,
+                            },
+                        ));
+                    }
+                }
+            }
+        }
+        out
+    };
+    facts.enables = fact_list(&enabler_sites, true);
+    facts.disables = fact_list(&disabler_sites, false);
+
+    // Task enables: a launch arms the target activity's whole lifecycle
+    // family (enable-only; there is no "un-launch").
+    {
+        let mut seen: BTreeSet<(ThreadId, ThreadId)> = BTreeSet::new();
+        for (&target, occurrences) in &launch_sites {
+            if !launch_gated(program, target) {
+                continue;
+            }
+            let Some(members) = lifecycle_members.get(&target) else {
+                continue;
+            };
+            for occ in occurrences {
+                for &(g, _) in members {
+                    if seen.insert((occ.thread, g)) {
+                        facts.enables.push((
+                            occ.thread,
+                            g,
+                            PredicateSite {
+                                family: PredicateFamily::Task,
+                                api: PredicateFamily::Task.enabler_api(),
+                                site: occ.site,
+                            },
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    // predEdge (fragment order): onAttach-first / onDetach-last pairs on
+    // the same fragment class — the Dexteroid-style automaton's sound
+    // kind-level facts, kept out of the paper-pinned MHB-Lifecycle.
+    for members in fragment_members.values() {
+        for &(a, ak) in members {
+            for &(b, bk) in members {
+                if a != b && fragment_mhb(ak, bk) {
+                    facts.edges.push(PredEdge {
+                        src: a,
+                        dst: b,
+                        kind: PredEdgeKind::Fragment,
+                    });
+                }
+            }
+        }
+    }
+
+    // predEdge (task stack): the launcher callback atomically completes
+    // before the launched activity's onCreate. Sound only when the
+    // target cannot start any other way (launch-gated, unique site) and
+    // the launcher runs at most once on a looper (else a later launcher
+    // execution could follow the target's onCreate). A reachability
+    // guard keeps adversarial mutual-launch programs acyclic.
+    let mut succ: BTreeMap<ThreadId, Vec<ThreadId>> = BTreeMap::new();
+    for &(a, b) in must_edges {
+        succ.entry(a).or_default().push(b);
+    }
+    for e in &facts.edges {
+        succ.entry(e.src).or_default().push(e.dst);
+    }
+    for (&target, occurrences) in &launch_sites {
+        if occurrences.len() != 1 || !launch_gated(program, target) {
+            continue;
+        }
+        let occ = &occurrences[0];
+        let mt = threads.thread(occ.thread);
+        let once_looper = effective_kind(threads, occ.thread)
+            .is_some_and(lifecycle::once_only)
+            && mt.kind().on_looper();
+        if !once_looper {
+            continue;
+        }
+        let Some(members) = lifecycle_members.get(&target) else {
+            continue;
+        };
+        for &(dst, dk) in members {
+            if dk != CallbackKind::OnCreate || dst == occ.thread {
+                continue;
+            }
+            if reaches(&succ, dst, occ.thread) {
+                continue; // would close a cycle: skip, predHb stays strict
+            }
+            succ.entry(occ.thread).or_default().push(dst);
+            facts.edges.push(PredEdge {
+                src: occ.thread,
+                dst,
+                kind: PredEdgeKind::TaskStack {
+                    launch_site: occ.site,
+                },
+            });
+        }
+    }
+
+    // mustNotHb (family disabled): enablers all once-only in onCreate,
+    // some unconditional disabler in a callback the automaton proves
+    // executes before f does.
+    for (&(fam, class), dsites) in &disabler_sites {
+        let Some(gs) = gated.get(&(fam, class)) else {
+            continue;
+        };
+        let Some(ens) = enabler_sites.get(&(fam, class)) else {
+            continue;
+        };
+        if ens.is_empty() {
+            continue;
+        }
+        for d in dsites.iter().filter(|d| d.unconditional) {
+            let Some(dk) = effective_kind(threads, d.thread) else {
+                continue;
+            };
+            let Some(comp) = threads.thread(d.thread).component() else {
+                continue;
+            };
+            let all_enablers_dominated = ens.iter().all(|e| {
+                effective_kind(threads, e.thread) == Some(CallbackKind::OnCreate)
+                    && threads.thread(e.thread).component() == Some(comp)
+                    && lifecycle::must_precede_execution(CallbackKind::OnCreate, dk)
+            });
+            if !all_enablers_dominated {
+                continue;
+            }
+            let prov = || MustNotProv::Disabled {
+                family: fam,
+                enablers: ens.iter().map(|e| e.thread).collect(),
+                disabler: d.thread,
+                disable_site: d.site,
+            };
+            for &(f, fk) in lifecycle_members.get(&comp).into_iter().flatten() {
+                if !lifecycle::must_precede_execution(dk, fk) {
+                    continue;
+                }
+                for &g in gs {
+                    if g != f {
+                        facts.must_not.push((f, g, prov()));
+                    }
+                }
+            }
+        }
+    }
+
+    // mustNotHb (fragment terminal): nothing of the instance runs after
+    // onDetach.
+    for members in fragment_members.values() {
+        for &(f, fk) in members {
+            if fk != CallbackKind::OnDetach {
+                continue;
+            }
+            for &(g, _) in members {
+                if g != f {
+                    facts
+                        .must_not
+                        .push((f, g, MustNotProv::FragmentTerminal { detach: f }));
+                }
+            }
+        }
+    }
+
+    facts
+}
+
+/// Whether an activity can only start through an explicit launch: it is
+/// statically targeted by some `startActivity` site and is not the
+/// manifest main (mirrors the dynamic interpreter's launch gating).
+fn launch_gated(program: &Program, target: ClassId) -> bool {
+    program.class(target).role() == ClassRole::Activity
+        && program.manifest().main_activity() != Some(target)
+}
+
+/// Instructions that execute on *every* run of the body: top-level
+/// statements, descending through `sync` blocks (always entered) but not
+/// into conditionals or loops.
+fn toplevel_instrs(block: &Block, out: &mut BTreeSet<InstrId>) {
+    for stmt in block {
+        match stmt {
+            Stmt::Instr(i) => {
+                out.insert(i.id);
+            }
+            Stmt::Sync { body, .. } => toplevel_instrs(body, out),
+            Stmt::If { .. } | Stmt::Loop { .. } => {}
+        }
+    }
+}
+
+/// BFS reachability over the direct must-edge successor map.
+fn reaches(succ: &BTreeMap<ThreadId, Vec<ThreadId>>, from: ThreadId, to: ThreadId) -> bool {
+    if from == to {
+        return true;
+    }
+    let mut queue = VecDeque::from([from]);
+    let mut seen = HashSet::from([from]);
+    while let Some(t) = queue.pop_front() {
+        for &next in succ.get(&t).into_iter().flatten() {
+            if next == to {
+                return true;
+            }
+            if seen.insert(next) {
+                queue.push_back(next);
+            }
+        }
+    }
+    false
+}

@@ -734,6 +734,41 @@ impl<'p> MethodBuilder<'p> {
         t
     }
 
+    /// `new D().show()` for a dialog class, with `$outer` wiring.
+    pub fn show_new(&mut self, dialog: ClassId) -> Local {
+        let t = self.new_wired(dialog);
+        self.android(AndroidOp::ShowDialog { dialog: t });
+        t
+    }
+
+    /// `AlarmManager.set(...)` arming a fresh instance of `target`.
+    pub fn schedule_new(&mut self, target: ClassId) -> Local {
+        let t = self.new_wired(target);
+        self.android(AndroidOp::ScheduleAlarm { target: t });
+        t
+    }
+
+    /// `startActivity(new Intent(..., B.class))` — the launch site loads
+    /// the target component's static instance, matching how components are
+    /// addressed elsewhere in the IR.
+    pub fn launch(&mut self, activity: ClassId) -> Local {
+        let t = self.new_local();
+        self.load_static(t, activity);
+        self.android(AndroidOp::StartActivity { activity: t });
+        t
+    }
+
+    /// Load `this.field` and apply an Android intrinsic to the loaded
+    /// value. Enable/disable pairs (`show`/`dismiss`, `register`/
+    /// `unregister`, ...) must route both sites through the same field so
+    /// they act on the same runtime object.
+    pub fn android_field(&mut self, field: FieldId, op: impl FnOnce(Local) -> AndroidOp) -> Local {
+        let t = self.new_local();
+        self.load(t, Local::THIS, field);
+        self.android(op(t));
+        t
+    }
+
     // --- termination --------------------------------------------------------
 
     /// Finish the method as a plain (non-callback) method.

@@ -102,6 +102,38 @@ pub enum AndroidOp {
         /// Local holding the wake-lock object.
         lock: Local,
     },
+    /// `dialog.show()`: arms the dialog's callbacks (`onShow`, ...) —
+    /// the enabling half of the Dialog predicate pair.
+    ShowDialog {
+        /// Local holding the dialog instance.
+        dialog: Local,
+    },
+    /// `dialog.dismiss()`: silences the dialog's callbacks — the
+    /// disabling half of the Dialog predicate pair.
+    DismissDialog {
+        /// Local holding the dialog instance.
+        dialog: Local,
+    },
+    /// `AlarmManager.set(..., intent)`: arms the target's `onAlarm`
+    /// delivery — the enabling half of the Alarm predicate pair.
+    ScheduleAlarm {
+        /// Local holding the alarm-target instance.
+        target: Local,
+    },
+    /// `AlarmManager.cancel(intent)`: silences the target's `onAlarm`
+    /// delivery — the disabling half of the Alarm predicate pair.
+    CancelAlarm {
+        /// Local holding the alarm-target instance.
+        target: Local,
+    },
+    /// `Context.startActivity(intent)`: launches another activity,
+    /// enabling the target's lifecycle callback family (the
+    /// multi-activity task-stack model).
+    StartActivity {
+        /// Local holding an instance identifying the target activity
+        /// class.
+        activity: Local,
+    },
 }
 
 impl AndroidOp {
@@ -120,6 +152,9 @@ impl AndroidOp {
             AndroidOp::RemoveCallbacksAndMessages { handler } => Some(handler),
             AndroidOp::RegisterListener { listener, .. } => Some(listener),
             AndroidOp::AcquireWakeLock { lock } | AndroidOp::ReleaseWakeLock { lock } => Some(lock),
+            AndroidOp::ShowDialog { dialog } | AndroidOp::DismissDialog { dialog } => Some(dialog),
+            AndroidOp::ScheduleAlarm { target } | AndroidOp::CancelAlarm { target } => Some(target),
+            AndroidOp::StartActivity { activity } => Some(activity),
             AndroidOp::PublishProgress | AndroidOp::Finish => None,
         }
     }

@@ -767,6 +767,11 @@ impl Parser {
             "removeposts" => self.android_stmt("removeposts", true),
             "acquire" => self.android_stmt("acquire", true),
             "release" => self.android_stmt("release", true),
+            "show" => self.android_stmt("show", true),
+            "dismiss" => self.android_stmt("dismiss", true),
+            "schedule" => self.android_stmt("schedule", true),
+            "cancelalarm" => self.android_stmt("cancelalarm", true),
+            "startactivity" | "launch" => self.android_stmt("startactivity", true),
             "publish" => self.android_stmt("publish", false),
             "finish" => self.android_stmt("finish", false),
             "listen" => {
@@ -1350,6 +1355,21 @@ fn lower_stmt(
                 "release" => AndroidOp::ReleaseWakeLock {
                     lock: l.expect("release operand"),
                 },
+                "show" => AndroidOp::ShowDialog {
+                    dialog: l.expect("show operand"),
+                },
+                "dismiss" => AndroidOp::DismissDialog {
+                    dialog: l.expect("dismiss operand"),
+                },
+                "schedule" => AndroidOp::ScheduleAlarm {
+                    target: l.expect("schedule operand"),
+                },
+                "cancelalarm" => AndroidOp::CancelAlarm {
+                    target: l.expect("cancelalarm operand"),
+                },
+                "startactivity" => AndroidOp::StartActivity {
+                    activity: l.expect("startactivity operand"),
+                },
                 "publish" => AndroidOp::PublishProgress,
                 "finish" => AndroidOp::Finish,
                 "listen" => AndroidOp::RegisterListener {
@@ -1752,6 +1772,43 @@ handler H on M { cb handleMessage { } }",
         let printed = print_program(&p);
         assert!(printed.contains("acquire t1"), "{printed}");
         assert!(printed.contains("release t1"), "{printed}");
+        assert_eq!(parse_ok(&printed), p);
+    }
+
+    #[test]
+    fn predicate_ops_parse_and_round_trip() {
+        let p = parse_ok(
+            r#"
+            app P
+            activity M {
+                field dlg: D
+                field rcv: R
+                cb onCreate { show dlg  schedule rcv  startactivity B }
+                cb onPause { dismiss dlg  cancelalarm rcv }
+            }
+            dialog D in M { cb onShow { } }
+            receiver R { cb onAlarm { } }
+            activity B { }
+            "#,
+        );
+        let printed = print_program(&p);
+        for op in ["show ", "dismiss ", "schedule ", "cancelalarm ", "startactivity "] {
+            assert!(printed.contains(op), "missing {op:?} in:\n{printed}");
+        }
+        assert_eq!(parse_ok(&printed), p);
+    }
+
+    #[test]
+    fn launch_is_sugar_for_startactivity() {
+        let p = parse_ok(
+            r#"
+            app L
+            activity M { cb onClick { launch B } }
+            activity B { }
+            "#,
+        );
+        let printed = print_program(&p);
+        assert!(printed.contains("startactivity"), "{printed}");
         assert_eq!(parse_ok(&printed), p);
     }
 

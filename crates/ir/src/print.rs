@@ -255,6 +255,21 @@ fn print_android(_p: &Program, a: &AndroidOp, out: &mut String) {
         AndroidOp::ReleaseWakeLock { lock } => {
             let _ = write!(out, "release {lock}");
         }
+        AndroidOp::ShowDialog { dialog } => {
+            let _ = write!(out, "show {dialog}");
+        }
+        AndroidOp::DismissDialog { dialog } => {
+            let _ = write!(out, "dismiss {dialog}");
+        }
+        AndroidOp::ScheduleAlarm { target } => {
+            let _ = write!(out, "schedule {target}");
+        }
+        AndroidOp::CancelAlarm { target } => {
+            let _ = write!(out, "cancelalarm {target}");
+        }
+        AndroidOp::StartActivity { activity } => {
+            let _ = write!(out, "startactivity {activity}");
+        }
     }
 }
 

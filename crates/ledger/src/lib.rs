@@ -65,6 +65,8 @@ pub enum Kind {
     Ci,
     /// The `confirm_bench` schedule-synthesis driver.
     Confirm,
+    /// The `refute_bench` refutation-study driver.
+    Refute,
 }
 
 impl Kind {
@@ -77,6 +79,7 @@ impl Kind {
             Kind::Suite => "suite",
             Kind::Ci => "ci",
             Kind::Confirm => "confirm",
+            Kind::Refute => "refute",
         }
     }
 
@@ -95,6 +98,7 @@ impl Kind {
             "suite" => Ok(Kind::Suite),
             "ci" => Ok(Kind::Ci),
             "confirm" => Ok(Kind::Confirm),
+            "refute" => Ok(Kind::Refute),
             other => Err(format!("unknown run kind {other:?}")),
         }
     }
@@ -1196,6 +1200,90 @@ pub fn record_from_bench_confirm(v: &JsonValue) -> Result<Record, String> {
     Ok(rec)
 }
 
+/// Convert a `nadroid-refute-bench/*` BENCH document into a ledger
+/// record. The Figure-5-style stage tally (potential → after_sound →
+/// after_unsound → refuted → after_refutation), the per-reason
+/// refutation counts, and the per-app post-refutation warning
+/// populations are all deterministic, so they land as drift-exact
+/// counters and a [`Population`]; only `wall_secs` rides the
+/// noise-tolerant timing lane.
+///
+/// # Errors
+///
+/// Rejects documents without a `nadroid-refute-bench/` schema or with
+/// required sections missing.
+pub fn record_from_bench_refute(v: &JsonValue) -> Result<Record, String> {
+    let schema = v
+        .get("schema")
+        .and_then(JsonValue::as_str)
+        .ok_or("missing schema")?;
+    if !schema.starts_with("nadroid-refute-bench/") {
+        return Err(format!(
+            "schema {schema:?} is not a nadroid-refute-bench document"
+        ));
+    }
+    let mut rec = Record::new(Kind::Refute);
+    rec.counters.insert("apps".into(), unum(v, &["apps"])?);
+    rec.times
+        .insert("refute.wall_secs".into(), num(v, &["wall_secs"])?);
+    let mut tallies = BTreeMap::new();
+    for k in [
+        "potential",
+        "after_sound",
+        "after_unsound",
+        "refuted",
+        "after_refutation",
+    ] {
+        let n = unum(v, &["tally", k])?;
+        rec.counters.insert(format!("refute.{k}"), n);
+        tallies.insert(k.to_string(), n);
+    }
+    if let Some(JsonValue::Obj(members)) = v.get("reasons") {
+        for (k, rv) in members {
+            let n = rv
+                .as_u64()
+                .ok_or_else(|| format!("reason {k:?} is not an unsigned number"))?;
+            rec.counters.insert(format!("refute.reason.{k}"), n);
+            tallies.insert(format!("reason.{k}"), n);
+        }
+    }
+    let per_app = v
+        .get("per_app")
+        .and_then(JsonValue::as_arr)
+        .ok_or("missing per_app")?;
+    let mut apps = Vec::new();
+    for row in per_app {
+        let app = row
+            .get("app")
+            .and_then(JsonValue::as_str)
+            .ok_or("per_app row missing app")?
+            .to_string();
+        let digest = row
+            .get("digest")
+            .and_then(JsonValue::as_str)
+            .ok_or("per_app row missing digest")?
+            .to_string();
+        let ids = row
+            .get("surviving_ids")
+            .and_then(JsonValue::as_arr)
+            .ok_or("per_app row missing surviving_ids")?
+            .iter()
+            .filter_map(JsonValue::as_str)
+            .map(str::to_string)
+            .collect();
+        apps.push(AppPopulation { app, digest, ids });
+    }
+    apps.sort_by(|a, b| a.app.cmp(&b.app));
+    rec.population = Some(Population { apps, tallies });
+    if let Some(cores) = v.get("cores").and_then(JsonValue::as_u64) {
+        rec.env.cores = cores;
+    }
+    if let Some(threads) = v.get("threads").and_then(JsonValue::as_u64) {
+        rec.env.threads = threads;
+    }
+    Ok(rec)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1510,6 +1598,53 @@ mod tests {
         let verdict = gate(&rec, &moved, &DiffOptions::default());
         assert!(!verdict.pass());
         assert!(verdict.deltas.iter().any(|d| d.key == "counters.confirm.confirmed"));
+    }
+
+    #[test]
+    fn bench_refute_conversion_extracts_stage_tally_and_reasons() {
+        let doc = r#"{
+          "schema": "nadroid-refute-bench/1", "apps": 6,
+          "cores": 8, "threads": 2, "wall_secs": 0.42,
+          "tally": {"potential": 30, "after_sound": 25, "after_unsound": 24,
+                    "refuted": 21, "after_refutation": 3},
+          "reasons": {"extended-order": 8, "disabled": 13, "unreachable": 0},
+          "per_app": [
+            {"app": "RefuteDialogs", "potential": 7, "after_unsound": 4, "refuted": 3,
+             "after_refutation": 1, "micros": 900, "digest": "wp:00000000deadbeef",
+             "surviving_ids": ["w:0000000000000001"]},
+            {"app": "RefuteAlarms", "potential": 5, "after_unsound": 4, "refuted": 4,
+             "after_refutation": 0, "micros": 700, "digest": "wp:0000000000c0ffee",
+             "surviving_ids": []}
+          ]
+        }"#;
+        let v = parse_json(doc).unwrap();
+        let rec = record_from_bench_refute(&v).unwrap();
+        assert_eq!(rec.kind, Kind::Refute);
+        assert_eq!(rec.counters["apps"], 6);
+        assert_eq!(rec.counters["refute.refuted"], 21);
+        assert_eq!(rec.counters["refute.after_refutation"], 3);
+        assert_eq!(rec.counters["refute.reason.disabled"], 13);
+        assert_eq!(rec.env.cores, 8);
+        assert!((rec.times["refute.wall_secs"] - 0.42).abs() < 1e-12);
+        let pop = rec.population.as_ref().expect("population recorded");
+        assert_eq!(pop.tallies["refuted"], 21);
+        assert_eq!(pop.tallies["reason.extended-order"], 8);
+        // Apps come back sorted regardless of document order.
+        assert_eq!(pop.apps[0].app, "RefuteAlarms");
+        assert_eq!(pop.apps[1].ids, vec!["w:0000000000000001".to_string()]);
+        // The record survives a JSONL round trip.
+        let line = rec.to_json_line();
+        let back = Record::from_json(&parse_json(&line).unwrap()).unwrap();
+        assert_eq!(back, rec);
+        // A refutation-count flip is drift, not noise.
+        let mut moved = rec.clone();
+        *moved.counters.get_mut("refute.refuted").unwrap() -= 1;
+        let verdict = gate(&rec, &moved, &DiffOptions::default());
+        assert!(!verdict.pass());
+        assert!(verdict
+            .deltas
+            .iter()
+            .any(|d| d.key == "counters.refute.refuted"));
     }
 
     #[test]

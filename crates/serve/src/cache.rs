@@ -220,6 +220,8 @@ mod tests {
                 potential: 1,
                 after_sound: 1,
                 after_unsound: 1,
+                refuted: 0,
+                after_refutation: 1,
             },
             warning_ids: vec!["w:0011223344556677".into()],
             provenance_json: "x".repeat(pad),

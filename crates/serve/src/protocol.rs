@@ -252,8 +252,16 @@ fn check_schema(v: &JsonValue) -> Result<(), String> {
 
 fn summary_json(s: &Summary) -> String {
     format!(
-        "{{\"loc\":{},\"ec\":{},\"pc\":{},\"threads\":{},\"potential\":{},\"after_sound\":{},\"after_unsound\":{}}}",
-        s.loc, s.ec, s.pc, s.threads, s.potential, s.after_sound, s.after_unsound
+        "{{\"loc\":{},\"ec\":{},\"pc\":{},\"threads\":{},\"potential\":{},\"after_sound\":{},\"after_unsound\":{},\"refuted\":{},\"after_refutation\":{}}}",
+        s.loc,
+        s.ec,
+        s.pc,
+        s.threads,
+        s.potential,
+        s.after_sound,
+        s.after_unsound,
+        s.refuted,
+        s.after_refutation
     )
 }
 
@@ -264,6 +272,15 @@ fn summary_from_json(v: &JsonValue) -> Result<Summary, String> {
             .map(|n| usize::try_from(n).unwrap_or(usize::MAX))
             .ok_or_else(|| format!("summary missing `{key}`"))
     };
+    // The refutation fields arrived with nadroid-provenance/4-era
+    // builds; default them to the no-refutation reading so documents
+    // from older peers still parse.
+    let after_unsound = field("after_unsound")?;
+    let opt = |key: &str| -> Option<usize> {
+        v.get(key)
+            .and_then(JsonValue::as_u64)
+            .map(|n| usize::try_from(n).unwrap_or(usize::MAX))
+    };
     Ok(Summary {
         loc: field("loc")?,
         ec: field("ec")?,
@@ -271,7 +288,9 @@ fn summary_from_json(v: &JsonValue) -> Result<Summary, String> {
         threads: field("threads")?,
         potential: field("potential")?,
         after_sound: field("after_sound")?,
-        after_unsound: field("after_unsound")?,
+        after_unsound,
+        refuted: opt("refuted").unwrap_or(0),
+        after_refutation: opt("after_refutation").unwrap_or(after_unsound),
     })
 }
 
@@ -548,6 +567,8 @@ mod tests {
                 potential: 5,
                 after_sound: 2,
                 after_unsound: 1,
+                refuted: 0,
+                after_refutation: 1,
             },
             warnings: vec!["w:0011223344556677".into(), "w:8899aabbccddeeff".into()],
         });

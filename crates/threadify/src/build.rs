@@ -312,7 +312,7 @@ impl<'p> Builder<'p> {
                 let Some(k) = self.program.method(m).callback() else {
                     continue;
                 };
-                if k.is_lifecycle() || k.is_ui() || k.is_system() {
+                if k.is_lifecycle() || k.is_ui() || k.is_system() || k.is_fragment_lifecycle() {
                     self.spawn(
                         ThreadKind::Callback(k),
                         m,
@@ -472,13 +472,47 @@ impl<'p> Builder<'p> {
                     );
                 }
             }
+            SiteAction::Show(c) => {
+                // show() arms both dialog callbacks: onShow fires on
+                // display, onDismiss when the shown dialog is dismissed.
+                for k in [CallbackKind::OnShow, CallbackKind::OnDismiss] {
+                    if let Some(m) = at(c, k) {
+                        self.spawn(
+                            ThreadKind::Callback(k),
+                            m,
+                            c,
+                            t,
+                            SpawnVia::Show,
+                            Some(site.instr),
+                        );
+                    }
+                }
+            }
+            SiteAction::Schedule(c) => {
+                if let Some(m) = at(c, CallbackKind::OnAlarm) {
+                    self.spawn(
+                        ThreadKind::Callback(CallbackKind::OnAlarm),
+                        m,
+                        c,
+                        t,
+                        SpawnVia::Schedule,
+                        Some(site.instr),
+                    );
+                }
+            }
             // Cancellation and publish sites arm no threads; the filter
-            // layer reads them from `sites_of`.
+            // layer reads them from `sites_of`. Launch sites arm nothing
+            // either: the target activity's lifecycle callbacks are
+            // already component-armed, and the predicate HB layer reads
+            // launch sites directly to derive task-stack edges.
             SiteAction::Unbind(_)
             | SiteAction::Unregister(_)
             | SiteAction::RemovePosts(_)
             | SiteAction::Finish
-            | SiteAction::Publish => {}
+            | SiteAction::Publish
+            | SiteAction::Dismiss(_)
+            | SiteAction::CancelAlarm(_)
+            | SiteAction::Launch(_) => {}
         }
     }
 

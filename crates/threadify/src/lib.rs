@@ -109,6 +109,84 @@ mod tests {
     }
 
     #[test]
+    fn predicate_sites_arm_dialog_and_alarm_callbacks() {
+        let (_p, m) = model(
+            r#"
+            app P
+            activity Main {
+                field dlg: Dlg
+                field rcv: Recv
+                cb onCreate { t1 = new Dlg  store t1 Dlg.$outer = this  store this Main.dlg = t1  show t1  schedule Recv  startactivity Other }
+                cb onPause { dismiss dlg  cancelalarm rcv }
+            }
+            dialog Dlg in Main {
+                field $outer
+                cb onShow { }
+                cb onDismiss { }
+            }
+            receiver Recv { cb onAlarm { } }
+            activity Other { cb onCreate { } }
+            "#,
+        );
+        // show arms both dialog callbacks as children of the shower.
+        let dialog_cbs: Vec<_> = m
+            .threads()
+            .filter(|(_, t)| t.via() == SpawnVia::Show)
+            .collect();
+        assert_eq!(dialog_cbs.len(), 2);
+        for (_, t) in &dialog_cbs {
+            let shower = m.thread(t.parent().unwrap());
+            assert_eq!(shower.kind().callback_kind(), Some(CallbackKind::OnCreate));
+        }
+        // schedule arms onAlarm.
+        let (_, alarm) = m
+            .threads()
+            .find(|(_, t)| t.via() == SpawnVia::Schedule)
+            .expect("onAlarm thread");
+        assert_eq!(alarm.kind().callback_kind(), Some(CallbackKind::OnAlarm));
+        // Launch arms nothing extra: Other.onCreate is component-armed.
+        let other_creates = m
+            .threads()
+            .filter(|(_, t)| {
+                t.kind().callback_kind() == Some(CallbackKind::OnCreate)
+                    && t.via() == SpawnVia::Component
+            })
+            .count();
+        assert_eq!(other_creates, 2); // Main.onCreate + Other.onCreate
+        // Dismiss/cancel sites are recorded but arm nothing.
+        assert!(m.threads().all(|(_, t)| t.via() != SpawnVia::Bind));
+    }
+
+    #[test]
+    fn fragment_lifecycle_callbacks_are_component_armed() {
+        let (_p, m) = model(
+            r#"
+            app F
+            activity Host { cb onCreate { } }
+            fragment Frag in Host {
+                cb onAttach { }
+                cb onCreateView { }
+                cb onDestroyView { }
+                cb onDetach { }
+            }
+            "#,
+        );
+        let frag_cbs: Vec<_> = m
+            .threads()
+            .filter(|(_, t)| {
+                t.kind()
+                    .callback_kind()
+                    .is_some_and(CallbackKind::is_fragment_lifecycle)
+            })
+            .collect();
+        assert_eq!(frag_cbs.len(), 4);
+        for (_, t) in frag_cbs {
+            assert_eq!(t.via(), SpawnVia::Component);
+            assert_eq!(t.parent(), Some(ThreadId::DUMMY_MAIN));
+        }
+    }
+
+    #[test]
     fn listener_registrations_are_entry_children_of_main() {
         let (_p, m) = model(
             r#"

@@ -109,6 +109,10 @@ pub enum SpawnVia {
     TaskCallback,
     /// `Thread.start`.
     Spawn,
+    /// `Dialog.show()` (arms the dialog's `onShow`/`onDismiss`).
+    Show,
+    /// `AlarmManager.set(...)` (arms the target's `onAlarm`).
+    Schedule,
 }
 
 /// One modeled thread: a node of the threadification forest.

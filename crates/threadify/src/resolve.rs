@@ -38,6 +38,16 @@ pub enum SiteAction {
     Finish,
     /// `publishProgress()` inside `doInBackground`.
     Publish,
+    /// `Dialog.show()` of a dialog of the given class.
+    Show(ClassId),
+    /// `Dialog.dismiss()` of a dialog of the given class.
+    Dismiss(ClassId),
+    /// `AlarmManager.set(...)` arming an alarm target of the given class.
+    Schedule(ClassId),
+    /// `AlarmManager.cancel(...)` of an alarm target of the given class.
+    CancelAlarm(ClassId),
+    /// `startActivity` launching the given activity class.
+    Launch(ClassId),
 }
 
 /// A resolved Android intrinsic site.
@@ -165,6 +175,15 @@ fn scan_instr(
                 }
                 AndroidOp::Finish => Some(SiteAction::Finish),
                 AndroidOp::PublishProgress => Some(SiteAction::Publish),
+                AndroidOp::ShowDialog { dialog } => resolved(dialog).map(SiteAction::Show),
+                AndroidOp::DismissDialog { dialog } => resolved(dialog).map(SiteAction::Dismiss),
+                AndroidOp::ScheduleAlarm { target } => resolved(target).map(SiteAction::Schedule),
+                AndroidOp::CancelAlarm { target } => {
+                    resolved(target).map(SiteAction::CancelAlarm)
+                }
+                AndroidOp::StartActivity { activity } => {
+                    resolved(activity).map(SiteAction::Launch)
+                }
                 // Wake-lock ops arm no callbacks and cancel nothing; the
                 // no-sleep client scans them directly.
                 AndroidOp::AcquireWakeLock { .. } | AndroidOp::ReleaseWakeLock { .. } => {

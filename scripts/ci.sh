@@ -53,9 +53,19 @@
 #    ledger record, and `nadroid perf gate` compares that record
 #    against the committed baseline — verdict tallies, explored-state
 #    counts, and per-app confirmed-warning populations are drift-exact,
-# 9. schema pins: BENCH_timing.json, BENCH_serve.json,
-#    BENCH_confirm.json, the metrics document, and every
-#    Result/ledger.jsonl line must carry their declared schemas
+# 9. refutation drift gate: refute_bench re-runs the predicate
+#    refutation study over its dedicated corpus (its self-checks
+#    require every planted Refute* cluster to refute with exactly its
+#    certified reason and every kept control to survive), refreshes
+#    BENCH_refute.json, appends a `refute` ledger record, and
+#    `nadroid perf gate` compares it against the committed baseline —
+#    the Figure-5-style stage tally, per-reason counts, and per-app
+#    surviving populations are drift-exact; the Gallery explain smoke
+#    then checks the rendered `refutation:` contradiction chains and
+#    pins the provenance sidecar to nadroid-provenance/4,
+# 10. schema pins: BENCH_timing.json, BENCH_serve.json,
+#    BENCH_confirm.json, BENCH_refute.json, the metrics document, and
+#    every Result/ledger.jsonl line must carry their declared schemas
 #    (`check-json --expect-schema`).
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -212,11 +222,44 @@ cargo run --release -p nadroid-bench --bin confirm_bench -- --threads 2
 "$bin" perf gate --against "$confirm_baseline" --current last
 rm -f "$confirm_baseline"
 
+# --- refutation drift gate ---
+# Same shape as the confirmation gate: snapshot the committed
+# BENCH_refute.json, re-run the refutation study (its self-checks
+# enforce reason-exact refutation of every planted cluster and
+# survival of every kept control), then compare the fresh `refute`
+# ledger record against the snapshot — the stage tally, per-reason
+# counts, and per-app surviving populations are deterministic.
+refute_baseline=$(mktemp)
+cp BENCH_refute.json "$refute_baseline"
+cargo run --release -p nadroid-bench --bin refute_bench -- --threads 2
+"$bin" perf gate --against "$refute_baseline" --current last
+rm -f "$refute_baseline"
+
+# Refutation explain smoke: the Gallery app plants one refutation per
+# reason family plus a kept control; the rendered chains and the
+# provenance sidecar's schema are pinned here (the golden test pins
+# the full shape).
+refute_prov=$(mktemp)
+"$bin" analyze apps/gallery.dsl --provenance "$refute_prov" > /dev/null
+"$bin" check-json "$refute_prov" --expect-schema nadroid-provenance/4
+rm -f "$refute_prov"
+refute_explain=$("$bin" explain apps/gallery.dsl)
+echo "$refute_explain" | grep -q 'status: refuted (disabled)' || {
+    echo "ci.sh: gallery dialog warning not refuted as disabled" >&2; exit 1; }
+echo "$refute_explain" | grep -q 'status: refuted (extended-order)' || {
+    echo "ci.sh: gallery fragment warning not refuted by extended order" >&2; exit 1; }
+echo "$refute_explain" | grep -q 'status: survived all filters' || {
+    echo "ci.sh: gallery kept control did not survive" >&2; exit 1; }
+echo "$refute_explain" | grep -q 'no witness exists' || {
+    echo "ci.sh: gallery refutation chains missing contradiction" >&2; exit 1; }
+
 # Schema pins for the refreshed artifacts, and the run ledger — which
-# now holds at least the `ci` gate record plus the serve_bench and
-# confirm_bench records from this very run — must validate line by line.
+# now holds at least the `ci` gate record plus the serve_bench,
+# confirm_bench, and refute_bench records from this very run — must
+# validate line by line.
 "$bin" check-json BENCH_serve.json --expect-schema nadroid-serve-bench/3
 "$bin" check-json BENCH_confirm.json --expect-schema nadroid-confirm-bench/1
+"$bin" check-json BENCH_refute.json --expect-schema nadroid-refute-bench/1
 "$bin" check-json Result/ledger.jsonl --lines --expect-schema nadroid-ledger/1
 "$bin" perf list
 

@@ -34,6 +34,61 @@ fn legacy_outcomes(
         .collect()
 }
 
+/// The predicate layer must be inert on the paper corpus: no Table 1
+/// app calls a *disabling* API (no unbind/dismiss/unregister/cancel)
+/// and none launches or hosts fragments, so the solved `disables` and
+/// `predEdge` relations are empty, the only `enables` facts are the
+/// Connection binds the service-lifecycle patterns always contained,
+/// the refuter never fires, and running with the refutation stage
+/// disabled renders the byte-identical report — the Figure 5 tallies
+/// and surviving ids pinned by the other gates cannot move.
+#[test]
+fn paper_apps_have_no_predicate_facts_and_refutation_is_a_no_op() {
+    let on = AnalysisConfig::default();
+    let off = AnalysisConfig {
+        refutation: false,
+        ..AnalysisConfig::default()
+    };
+    for row in table1_rows() {
+        let app = generate(&spec_for(&row));
+        let analysis = analyze(&app.program, &on);
+        let hb = analysis.hb();
+        assert_eq!(
+            hb.disables_count(),
+            0,
+            "{}: disables must be empty on the paper corpus",
+            row.name
+        );
+        assert!(
+            hb.pred_edges().is_empty(),
+            "{}: no fragment or task-stack predicate edges on the paper corpus",
+            row.name
+        );
+        for (e, c, site) in hb.enables_facts() {
+            assert_eq!(
+                site.api, "Context.bindService()",
+                "{}: unexpected enabling API for enables({e:?}, {c:?})",
+                row.name
+            );
+        }
+        assert!(
+            analysis.refutations().is_empty(),
+            "{}: nothing to refute without predicate facts",
+            row.name
+        );
+        let s = analysis.summary();
+        assert_eq!(s.refuted, 0, "{}", row.name);
+        assert_eq!(s.after_refutation, s.after_unsound, "{}", row.name);
+        let baseline = analyze(&app.program, &off);
+        assert_eq!(
+            nadroid::core::render_report(&analysis, None),
+            nadroid::core::render_report(&baseline, None),
+            "{}: the refutation stage must not perturb the paper corpus",
+            row.name
+        );
+    }
+}
+
 #[test]
 fn hb_backed_filters_match_legacy_logic_on_all_27_apps() {
     let cfg = AnalysisConfig::default();

@@ -109,6 +109,54 @@ proptest! {
         prop_assert!(k2.summary().potential <= k0.summary().potential);
     }
 
+    /// The predicate-extended closure `predHb` is still a strict partial
+    /// order — irreflexive, transitive, and a superset of `must_hb` —
+    /// and the negative relation `mustNotHb` never intersects it, at
+    /// every thread budget. The refutation filter is only sound if both
+    /// invariants hold, so they are checked on randomly composed apps
+    /// (the pattern pool includes the `Refute*` kinds, which plant
+    /// enabling/disabling pairs, fragments, and task-stack launches).
+    #[test]
+    fn pred_hb_is_a_strict_partial_order_disjoint_from_must_not_hb(spec in spec_strategy(2)) {
+        let app = generate(&spec);
+        let threads = ThreadModel::build(&app.program);
+        for budget in [1usize, 2, 4, 8] {
+            let g = nadroid::par::with_threads(budget, || {
+                nadroid::hb::HbGraph::build(&app.program, &threads)
+            });
+            let ids: Vec<_> = threads.threads().map(|(id, _)| id).collect();
+            for &a in &ids {
+                prop_assert!(!g.pred_must_hb(a, a), "predHb must be irreflexive (K={budget})");
+                for &b in &ids {
+                    if g.must_hb(a, b) {
+                        prop_assert!(
+                            g.pred_must_hb(a, b),
+                            "predHb must contain must_hb (K={budget})"
+                        );
+                    }
+                    if g.pred_must_hb(a, b) {
+                        prop_assert!(
+                            !g.pred_must_hb(b, a),
+                            "predHb must be asymmetric (K={budget})"
+                        );
+                    }
+                    prop_assert!(
+                        !(g.must_not_hb(a, b) && g.pred_must_hb(a, b)),
+                        "mustNotHb and predHb (hence mustHb) must be disjoint (K={budget})"
+                    );
+                    for &c in &ids {
+                        if g.pred_must_hb(a, b) && g.pred_must_hb(b, c) {
+                            prop_assert!(
+                                g.pred_must_hb(a, c),
+                                "predHb must be transitive (K={budget})"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
     /// `must_hb` is a strict partial order — irreflexive and transitive —
     /// and `mhp` is exactly its symmetric complement: two distinct
     /// threads may happen in parallel iff neither is must-ordered before
